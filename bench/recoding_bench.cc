@@ -1,0 +1,77 @@
+// Quantifies the Section III claim that motivates the paper's model
+// choice: "Local recoding is more flexible, hence it offers higher
+// utility." Compares full-domain (global) recoding against the paper's
+// local-recoding algorithms on every dataset, plus the (k,k) relaxation
+// on top.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "kanon/algo/agglomerative.h"
+#include "kanon/algo/global_recoding.h"
+#include "kanon/algo/kk_anonymizer.h"
+#include "kanon/common/table_printer.h"
+
+namespace kanon {
+namespace bench {
+namespace {
+
+int Run(const BenchConfig& config) {
+  PrintHeader("Local vs. full-domain recoding (Section III claim)", config);
+
+  int local_wins = 0;
+  int cells = 0;
+  for (const char* dataset_name : {"ART", "ADT", "CMC"}) {
+    Result<Workload> workload = GetWorkload(dataset_name, config);
+    KANON_CHECK(workload.ok(), workload.status().ToString());
+    std::unique_ptr<LossMeasure> measure = MakeMeasure("EM");
+    PrecomputedLoss loss(workload->scheme, workload->dataset, *measure);
+
+    std::printf("%s / EM\n", dataset_name);
+    TablePrinter t;
+    t.SetHeader({"model", "k=5", "k=10", "k=15", "k=20"});
+    std::vector<std::string> global_row = {"full-domain (greedy ascent)"};
+    std::vector<std::string> local_row = {"local (agglomerative)"};
+    std::vector<std::string> kk_row = {"local relaxed ((k,k), Alg4+5)"};
+    for (size_t k : kPaperKs) {
+      Result<GlobalRecodingResult> global =
+          GlobalRecodingKAnonymize(workload->dataset, loss, k);
+      KANON_CHECK(global.ok(), global.status().ToString());
+      const double global_loss = loss.TableLoss(global->table);
+
+      AgglomerativeOptions options;
+      options.distance = DistanceFunction::kRatio;
+      Result<GeneralizedTable> local =
+          AgglomerativeKAnonymize(workload->dataset, loss, k, options);
+      KANON_CHECK(local.ok(), local.status().ToString());
+      const double local_loss = loss.TableLoss(local.value());
+
+      Result<GeneralizedTable> kk = KKAnonymize(
+          workload->dataset, loss, k, K1Algorithm::kGreedyExpansion);
+      KANON_CHECK(kk.ok(), kk.status().ToString());
+
+      global_row.push_back(Cell(global_loss));
+      local_row.push_back(Cell(local_loss));
+      kk_row.push_back(Cell(loss.TableLoss(kk.value())));
+      ++cells;
+      if (local_loss <= global_loss + 1e-12) ++local_wins;
+    }
+    t.AddRow(global_row);
+    t.AddRow(local_row);
+    t.AddRow(kk_row);
+    std::printf("%s\n", t.ToString().c_str());
+  }
+  std::printf("shape: local recoding at least ties full-domain recoding in"
+              " %d/%d cells (Section III: local recoding offers higher"
+              " utility) %s\n",
+              local_wins, cells,
+              local_wins == cells ? "[OK]" : "[MISMATCH]");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kanon
+
+int main(int argc, char** argv) {
+  return kanon::bench::Run(kanon::bench::BenchConfig::FromArgs(argc, argv));
+}

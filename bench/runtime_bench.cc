@@ -1,0 +1,167 @@
+// google-benchmark timings backing the paper's complexity claims:
+// O(n²) agglomerative clustering (Section V-A), O(k·n²) (k,1)/(k,k)
+// pipelines (Section V-B), the consistency-graph + matchable-edge
+// machinery of Section V-C (naive per-edge Hopcroft–Karp vs matching+SCC),
+// and the verifier costs.
+#include <benchmark/benchmark.h>
+
+#include "kanon/algo/agglomerative.h"
+#include "kanon/algo/forest.h"
+#include "kanon/algo/global_anonymizer.h"
+#include "kanon/algo/kk_anonymizer.h"
+#include "kanon/anonymity/verify.h"
+#include "kanon/common/check.h"
+#include "kanon/datasets/art.h"
+#include "kanon/graph/consistency_graph.h"
+#include "kanon/graph/matchable_edges.h"
+#include "kanon/loss/entropy_measure.h"
+
+namespace kanon {
+namespace {
+
+Workload MakeWorkload(size_t n) {
+  Result<Workload> w = MakeArtWorkload(n, 99);
+  KANON_CHECK(w.ok(), w.status().ToString());
+  return std::move(w).value();
+}
+
+void BM_Agglomerative(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload w = MakeWorkload(n);
+  const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  AgglomerativeOptions options;
+  options.distance = static_cast<DistanceFunction>(state.range(1));
+  for (auto _ : state) {
+    Result<Clustering> c = AgglomerativeCluster(w.dataset, loss, 10, options);
+    KANON_CHECK(c.ok());
+    benchmark::DoNotOptimize(c.value().clusters.size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Agglomerative)
+    ->ArgsProduct({{250, 500, 1000, 2000},
+                   {static_cast<int>(DistanceFunction::kWeighted),
+                    static_cast<int>(DistanceFunction::kRatio)}})
+    ->Complexity(benchmark::oNSquared)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ModifiedAgglomerative(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload w = MakeWorkload(n);
+  const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  AgglomerativeOptions options;
+  options.modified = true;
+  for (auto _ : state) {
+    Result<Clustering> c = AgglomerativeCluster(w.dataset, loss, 10, options);
+    KANON_CHECK(c.ok());
+    benchmark::DoNotOptimize(c.value().clusters.size());
+  }
+}
+BENCHMARK(BM_ModifiedAgglomerative)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Forest(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload w = MakeWorkload(n);
+  const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  for (auto _ : state) {
+    Result<Clustering> c = ForestCluster(w.dataset, loss, 10);
+    KANON_CHECK(c.ok());
+    benchmark::DoNotOptimize(c.value().clusters.size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Forest)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Complexity(benchmark::oNSquared)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KKPipeline(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const Workload w = MakeWorkload(n);
+  const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  for (auto _ : state) {
+    Result<GeneralizedTable> t =
+        KKAnonymize(w.dataset, loss, k, K1Algorithm::kGreedyExpansion);
+    KANON_CHECK(t.ok());
+    benchmark::DoNotOptimize(t.value().num_rows());
+  }
+}
+BENCHMARK(BM_KKPipeline)
+    ->ArgsProduct({{500, 1000, 2000}, {5, 20}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Global1K(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload w = MakeWorkload(n);
+  const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  Result<GeneralizedTable> kk =
+      KKAnonymize(w.dataset, loss, 5, K1Algorithm::kGreedyExpansion);
+  KANON_CHECK(kk.ok());
+  for (auto _ : state) {
+    Result<GlobalAnonymizationResult> g =
+        MakeGlobal1KAnonymous(w.dataset, loss, 5, kk.value());
+    KANON_CHECK(g.ok());
+    benchmark::DoNotOptimize(g.value().stats.upgrade_steps);
+  }
+}
+BENCHMARK(BM_Global1K)->Arg(250)->Arg(500)->Arg(1000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_VerifyKK(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload w = MakeWorkload(n);
+  const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  Result<GeneralizedTable> kk =
+      KKAnonymize(w.dataset, loss, 5, K1Algorithm::kGreedyExpansion);
+  KANON_CHECK(kk.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsKKAnonymous(w.dataset, kk.value(), 5));
+  }
+}
+BENCHMARK(BM_VerifyKK)->Arg(500)->Arg(1000)->Arg(2000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_MatchableEdgesFast(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload w = MakeWorkload(n);
+  const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  Result<GeneralizedTable> kk =
+      KKAnonymize(w.dataset, loss, 5, K1Algorithm::kGreedyExpansion);
+  KANON_CHECK(kk.ok());
+  const BipartiteGraph graph = BuildConsistencyGraph(w.dataset, kk.value());
+  for (auto _ : state) {
+    Result<MatchableEdgeSets> m = ComputeMatchableEdges(graph);
+    KANON_CHECK(m.ok());
+    benchmark::DoNotOptimize(m.value().matches.size());
+  }
+}
+BENCHMARK(BM_MatchableEdgesFast)->Arg(250)->Arg(1000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_MatchableEdgesNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload w = MakeWorkload(n);
+  const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  Result<GeneralizedTable> kk =
+      KKAnonymize(w.dataset, loss, 5, K1Algorithm::kGreedyExpansion);
+  KANON_CHECK(kk.ok());
+  const BipartiteGraph graph = BuildConsistencyGraph(w.dataset, kk.value());
+  for (auto _ : state) {
+    Result<MatchableEdgeSets> m = ComputeMatchableEdgesNaive(graph);
+    KANON_CHECK(m.ok());
+    benchmark::DoNotOptimize(m.value().matches.size());
+  }
+}
+BENCHMARK(BM_MatchableEdgesNaive)->Arg(250)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kanon
+
+BENCHMARK_MAIN();

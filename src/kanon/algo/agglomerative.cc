@@ -1,0 +1,468 @@
+#include "kanon/algo/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+namespace {
+
+constexpr uint32_t kNone = std::numeric_limits<uint32_t>::max();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ClusterState {
+  std::vector<uint32_t> members;
+  GeneralizedRecord closure;
+  double cost = 0.0;  // d(S) = c(closure of S).
+  bool alive = false;
+};
+
+// Nearest-neighbor bookkeeping for one cluster x. Cluster contents are
+// immutable (merges create fresh clusters), so pair distances never change
+// and the engine can maintain, with O(1) repairs in the common case:
+//
+//   invariant A: c1 is alive and d1 = min over alive y≠x of dist(x, y)
+//                (exact), whenever c1 != kNone;
+//   invariant B: when second_valid, every alive y ∉ {c1} has
+//                dist(x, y) >= d2 (c2 itself may meanwhile be dead; d2
+//                then still bounds everyone else).
+//
+// A cluster that loses c1 promotes c2 when invariant B allows it, adopts
+// the freshly merged cluster when that is provably at least as close, and
+// only falls back to a full rescan otherwise. This keeps the engine exact
+// while avoiding the O(n³) blow-up of naive repair in the "one growing
+// cluster" regime that distance functions (10) and (11) induce.
+struct CandidatePair {
+  uint32_t c1 = kNone;
+  double d1 = kInf;
+  uint32_t c2 = kNone;
+  double d2 = kInf;
+  bool second_valid = true;
+};
+
+struct HeapEntry {
+  double dist;
+  uint32_t a;  // First argument of dist(A, B).
+  uint32_t b;  // Second argument.
+};
+
+struct HeapEntryGreater {
+  bool operator()(const HeapEntry& x, const HeapEntry& y) const {
+    if (x.dist != y.dist) return x.dist > y.dist;
+    if (x.a != y.a) return x.a > y.a;
+    return x.b > y.b;
+  }
+};
+
+// Engine shared by the basic and modified variants of Algorithm 1.
+class Engine {
+ public:
+  Engine(const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
+         const AgglomerativeOptions& options)
+      : dataset_(dataset),
+        loss_(loss),
+        scheme_(loss.scheme()),
+        k_(k),
+        options_(options),
+        num_attrs_(dataset.num_attributes()) {}
+
+  Clustering Run() {
+    InitSingletons();
+    MainLoop();
+    DistributeLeftover();
+    Clustering out;
+    for (uint32_t id : final_) {
+      out.clusters.push_back(std::move(clusters_[id].members));
+    }
+    return out;
+  }
+
+ private:
+  // d(A ∪ B) computed attribute-wise through the join tables; O(r).
+  double UnionCost(const ClusterState& a, const ClusterState& b) const {
+    double total = 0.0;
+    for (size_t j = 0; j < num_attrs_; ++j) {
+      const SetId joined =
+          scheme_.hierarchy(j).Join(a.closure[j], b.closure[j]);
+      total += loss_.EntryCost(j, joined);
+    }
+    return total / static_cast<double>(num_attrs_);
+  }
+
+  double DistFromUnionCost(uint32_t a, uint32_t b, double d_union) const {
+    const ClusterState& ca = clusters_[a];
+    const ClusterState& cb = clusters_[b];
+    return EvalDistance(options_.distance, options_.params,
+                        ca.members.size(), cb.members.size(),
+                        ca.members.size() + cb.members.size(), ca.cost,
+                        cb.cost, d_union);
+  }
+
+  double Dist(uint32_t a, uint32_t b) const {
+    return DistFromUnionCost(a, b, UnionCost(clusters_[a], clusters_[b]));
+  }
+
+  bool Alive(uint32_t id) const { return id != kNone && clusters_[id].alive; }
+
+  // Offers alive candidate (y, d) to x's two-best.
+  void Offer(uint32_t x, uint32_t y, double d) {
+    CandidatePair& c = cands_[x];
+    if (y == c.c1 || y == c.c2) return;
+    if (d < c.d1 || (d == c.d1 && y < c.c1)) {
+      // The displaced c1 was the exact minimum over the other alive
+      // clusters, so it is a correct second bound.
+      c.c2 = c.c1;
+      c.d2 = c.d1;
+      c.second_valid = true;
+      c.c1 = y;
+      c.d1 = d;
+      heap_.push(HeapEntry{d, x, y});
+    } else if (d < c.d2 || (d == c.d2 && y < c.c2)) {
+      // Tightening the second bound keeps invariant B when it held (y is
+      // accounted for explicitly, everyone else was >= old d2 > d).
+      c.c2 = y;
+      c.d2 = d;
+    }
+  }
+
+  // Fixes x after the deaths of the just-merged pair. `added` (kNone for a
+  // ripe merge) is the freshly created cluster and `d_x_added` its distance
+  // from x. Returns true when x needs a full rescan.
+  bool Repair(uint32_t x, uint32_t added, double d_x_added) {
+    CandidatePair& c = cands_[x];
+    if (c.c1 == kNone || Alive(c.c1)) {
+      return false;  // Nearest intact (a dead c2 stays as a bound).
+    }
+    if (added != kNone && d_x_added <= c.d1) {
+      // Everyone alive was at distance >= d1 before the merge, so the new
+      // cluster is an exact new minimum. The second bound keeps holding.
+      c.c1 = added;
+      c.d1 = d_x_added;
+      heap_.push(HeapEntry{d_x_added, x, added});
+      return false;
+    }
+    if (Alive(c.c2) && c.second_valid) {
+      // Invariant B: nothing alive beats d2, so c2 is the exact minimum.
+      c.c1 = c.c2;
+      c.d1 = c.d2;
+      c.c2 = kNone;
+      c.d2 = kInf;
+      c.second_valid = false;
+      heap_.push(HeapEntry{c.d1, x, c.c1});
+      return false;
+    }
+    return true;
+  }
+
+  // Recomputes x's two-best over every active cluster. O(active · r).
+  void FullRescan(uint32_t x) {
+    CandidatePair& c = cands_[x];
+    c = CandidatePair();
+    for (uint32_t y : active_) {
+      if (y == x || !clusters_[y].alive) continue;
+      const double d = Dist(x, y);
+      if (d < c.d1 || (d == c.d1 && y < c.c1)) {
+        c.c2 = c.c1;
+        c.d2 = c.d1;
+        c.c1 = y;
+        c.d1 = d;
+      } else if (d < c.d2 || (d == c.d2 && y < c.c2)) {
+        c.c2 = y;
+        c.d2 = d;
+      }
+    }
+    c.second_valid = true;
+    if (c.c1 != kNone) {
+      heap_.push(HeapEntry{c.d1, x, c.c1});
+    }
+  }
+
+  // Exhaustively checks that `dist` is the minimum over all alive pairs.
+  void VerifyGlobalMinimum(double dist) const {
+    for (uint32_t a : active_) {
+      if (!clusters_[a].alive) continue;
+      for (uint32_t b : active_) {
+        if (a == b || !clusters_[b].alive) continue;
+        KANON_CHECK(Dist(a, b) >= dist - 1e-12,
+                    "engine merged a non-minimal pair");
+      }
+    }
+  }
+
+  void InitSingletons() {
+    const size_t n = dataset_.num_rows();
+    clusters_.reserve(2 * n);
+    active_.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      ClusterState c;
+      c.members = {i};
+      c.closure = scheme_.Identity(dataset_.row(i));
+      c.cost = loss_.RecordCost(c.closure);
+      c.alive = true;
+      clusters_.push_back(std::move(c));
+      active_.push_back(i);
+    }
+    num_active_ = n;
+    cands_.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      FullRescan(i);
+    }
+  }
+
+  void Deactivate(uint32_t c) {
+    clusters_[c].alive = false;
+    --num_active_;
+    ++num_dead_in_active_;
+  }
+
+  void MaybeCompactActive() {
+    if (num_dead_in_active_ * 2 < active_.size()) return;
+    std::vector<uint32_t> compacted;
+    compacted.reserve(num_active_);
+    for (uint32_t id : active_) {
+      if (clusters_[id].alive) compacted.push_back(id);
+    }
+    active_ = std::move(compacted);
+    num_dead_in_active_ = 0;
+  }
+
+  uint32_t NewCluster(ClusterState state) {
+    clusters_.push_back(std::move(state));
+    const uint32_t id = static_cast<uint32_t>(clusters_.size() - 1);
+    if (cands_.size() <= id) {
+      cands_.resize(cands_.size() * 2 + 1);
+    }
+    cands_[id] = CandidatePair();
+    return id;
+  }
+
+  uint32_t Merge(uint32_t a, uint32_t b) {
+    ClusterState merged;
+    merged.members = clusters_[a].members;
+    merged.members.insert(merged.members.end(), clusters_[b].members.begin(),
+                          clusters_[b].members.end());
+    std::sort(merged.members.begin(), merged.members.end());
+    merged.closure =
+        scheme_.JoinRecords(clusters_[a].closure, clusters_[b].closure);
+    merged.cost = loss_.RecordCost(merged.closure);
+    Deactivate(a);
+    Deactivate(b);
+    return NewCluster(std::move(merged));
+  }
+
+  // One pass over the active set after a merge. When `added` is not kNone
+  // it is the freshly created cluster: its two-best is built, it is offered
+  // to everyone, and it joins the active set. Clusters whose candidates
+  // were wiped out are rescanned at the end (rare).
+  void RepairAndMaybeAdd(uint32_t added) {
+    std::vector<uint32_t> needs_rescan;
+    const bool asymmetric =
+        options_.distance == DistanceFunction::kNergizClifton;
+    for (uint32_t x : active_) {
+      if (!clusters_[x].alive) continue;
+      double d_added_x = kInf;
+      double d_x_added = kInf;
+      if (added != kNone) {
+        const double d_union = UnionCost(clusters_[added], clusters_[x]);
+        d_added_x = DistFromUnionCost(added, x, d_union);
+        d_x_added =
+            asymmetric ? DistFromUnionCost(x, added, d_union) : d_added_x;
+        Offer(added, x, d_added_x);
+      }
+      if (Repair(x, added, d_x_added)) {
+        needs_rescan.push_back(x);
+      } else if (added != kNone) {
+        Offer(x, added, d_x_added);
+      }
+    }
+    if (added != kNone) {
+      clusters_[added].alive = true;
+      ++num_active_;
+      active_.push_back(added);
+    }
+    MaybeCompactActive();
+    for (uint32_t x : needs_rescan) {
+      if (clusters_[x].alive) FullRescan(x);
+    }
+  }
+
+  // Algorithm 2: shrinks a ripe cluster to exactly k records; ejected
+  // records are returned (they re-enter the pool as singletons).
+  std::vector<uint32_t> ShrinkToK(uint32_t id) {
+    std::vector<uint32_t> ejected;
+    ClusterState& c = clusters_[id];
+    while (c.members.size() > k_) {
+      const size_t len = c.members.size();
+      size_t eject_pos = 0;
+      double best_di = -kInf;
+      GeneralizedRecord best_closure;
+      for (size_t pos = 0; pos < len; ++pos) {
+        // Closure and cost of Ŝ ∖ {R̂_pos}.
+        GeneralizedRecord closure(num_attrs_);
+        bool first = true;
+        for (size_t q = 0; q < len; ++q) {
+          if (q == pos) continue;
+          const uint32_t row = c.members[q];
+          for (size_t j = 0; j < num_attrs_; ++j) {
+            const SetId leaf = scheme_.hierarchy(j).LeafOf(dataset_.at(row, j));
+            closure[j] =
+                first ? leaf : scheme_.hierarchy(j).Join(closure[j], leaf);
+          }
+          first = false;
+        }
+        const double d_minus = loss_.RecordCost(closure);
+        // dist(Ŝ, Ŝ ∖ {R̂_pos}): the union is Ŝ itself.
+        const double di =
+            EvalDistance(options_.distance, options_.params, len, len - 1,
+                         len, c.cost, d_minus, c.cost);
+        if (di > best_di) {
+          best_di = di;
+          eject_pos = pos;
+          best_closure = std::move(closure);
+        }
+      }
+      ejected.push_back(c.members[eject_pos]);
+      c.members.erase(c.members.begin() +
+                      static_cast<ptrdiff_t>(eject_pos));
+      c.closure = std::move(best_closure);
+      c.cost = loss_.RecordCost(c.closure);
+    }
+    return ejected;
+  }
+
+  void MainLoop() {
+    while (num_active_ > 1) {
+      KANON_CHECK(!heap_.empty(), "active clusters must have heap entries");
+      const HeapEntry entry = heap_.top();
+      heap_.pop();
+      // Distances are immutable per pair, so an entry is valid iff both
+      // endpoints are alive; invariant A guarantees the first valid pop is
+      // a globally closest pair.
+      if (!Alive(entry.a) || !Alive(entry.b)) continue;
+      if (options_.check_exact_merges) {
+        VerifyGlobalMinimum(entry.dist);
+      }
+      const uint32_t merged = Merge(entry.a, entry.b);
+      if (clusters_[merged].members.size() >= k_) {
+        if (options_.modified && clusters_[merged].members.size() > k_) {
+          const std::vector<uint32_t> ejected = ShrinkToK(merged);
+          final_.push_back(merged);
+          RepairAndMaybeAdd(kNone);
+          for (uint32_t row : ejected) {
+            ClusterState single;
+            single.members = {row};
+            single.closure = scheme_.Identity(dataset_.row(row));
+            single.cost = loss_.RecordCost(single.closure);
+            const uint32_t sid = NewCluster(std::move(single));
+            RepairAndMaybeAdd(sid);
+          }
+        } else {
+          final_.push_back(merged);
+          RepairAndMaybeAdd(kNone);
+        }
+      } else {
+        RepairAndMaybeAdd(merged);
+      }
+    }
+  }
+
+  // Line 10 of Algorithm 1: every record of the leftover (<k) cluster joins
+  // the final cluster minimizing dist({R}, S).
+  void DistributeLeftover() {
+    std::vector<uint32_t> leftover;
+    for (uint32_t x : active_) {
+      if (!clusters_[x].alive) continue;
+      leftover.insert(leftover.end(), clusters_[x].members.begin(),
+                      clusters_[x].members.end());
+      clusters_[x].alive = false;
+    }
+    if (leftover.empty()) return;
+    KANON_CHECK(!final_.empty(),
+                "no ripe cluster to absorb leftover records (k > n?)");
+    std::sort(leftover.begin(), leftover.end());
+    for (uint32_t row : leftover) {
+      ClusterState single;
+      single.members = {row};
+      single.closure = scheme_.Identity(dataset_.row(row));
+      single.cost = loss_.RecordCost(single.closure);
+
+      size_t best_pos = 0;
+      double best_dist = kInf;
+      for (size_t pos = 0; pos < final_.size(); ++pos) {
+        const ClusterState& target = clusters_[final_[pos]];
+        const double d_union = UnionCost(single, target);
+        const double d =
+            EvalDistance(options_.distance, options_.params, 1,
+                         target.members.size(), target.members.size() + 1,
+                         single.cost, target.cost, d_union);
+        if (d < best_dist) {
+          best_dist = d;
+          best_pos = pos;
+        }
+      }
+      ClusterState& target = clusters_[final_[best_pos]];
+      target.members.push_back(row);
+      std::sort(target.members.begin(), target.members.end());
+      target.closure = scheme_.JoinRecords(target.closure, single.closure);
+      target.cost = loss_.RecordCost(target.closure);
+    }
+  }
+
+  const Dataset& dataset_;
+  const PrecomputedLoss& loss_;
+  const GeneralizationScheme& scheme_;
+  const size_t k_;
+  const AgglomerativeOptions& options_;
+  const size_t num_attrs_;
+
+  std::vector<ClusterState> clusters_;
+  std::vector<uint32_t> active_;  // Ids; may contain dead entries.
+  size_t num_active_ = 0;
+  size_t num_dead_in_active_ = 0;
+  std::vector<uint32_t> final_;
+  std::vector<CandidatePair> cands_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapEntryGreater>
+      heap_;
+};
+
+}  // namespace
+
+Result<Clustering> AgglomerativeCluster(const Dataset& dataset,
+                                        const PrecomputedLoss& loss, size_t k,
+                                        const AgglomerativeOptions& options) {
+  const size_t n = dataset.num_rows();
+  if (k < 1) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  if (k > n) {
+    return Status::InvalidArgument("k = " + std::to_string(k) +
+                                   " exceeds the number of records " +
+                                   std::to_string(n));
+  }
+  if (dataset.num_attributes() != loss.scheme().num_attributes()) {
+    return Status::InvalidArgument("dataset/loss arity mismatch");
+  }
+  if (k == 1) {
+    // Identity clustering: nothing to anonymize.
+    Clustering out;
+    out.clusters.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      out.clusters.push_back({i});
+    }
+    return out;
+  }
+  return Engine(dataset, loss, k, options).Run();
+}
+
+Result<GeneralizedTable> AgglomerativeKAnonymize(
+    const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
+    const AgglomerativeOptions& options) {
+  KANON_ASSIGN_OR_RETURN(Clustering clustering,
+                         AgglomerativeCluster(dataset, loss, k, options));
+  return TableFromClustering(loss.scheme_ptr(), dataset, clustering);
+}
+
+}  // namespace kanon

@@ -1,0 +1,47 @@
+#ifndef KANON_ALGO_AGGLOMERATIVE_H_
+#define KANON_ALGO_AGGLOMERATIVE_H_
+
+#include "kanon/algo/clustering.h"
+#include "kanon/algo/distance.h"
+#include "kanon/common/result.h"
+#include "kanon/data/dataset.h"
+#include "kanon/loss/precomputed_loss.h"
+
+namespace kanon {
+
+/// Options for the agglomerative k-anonymization algorithms.
+struct AgglomerativeOptions {
+  /// Cluster distance (Section V-A.2). The paper finds (10) and (11) best.
+  DistanceFunction distance = DistanceFunction::kLogWeighted;
+  DistanceParams params;
+  /// When true, runs the *modified* agglomerative algorithm (Algorithm 2):
+  /// a cluster that ripens beyond size k is shrunk back to exactly k by
+  /// repeatedly ejecting the record whose removal is most profitable; the
+  /// ejected records re-enter the pool as singletons.
+  bool modified = false;
+  /// Debug/testing: verify by exhaustive O(n²) scan, before every merge,
+  /// that the merged pair attains the global minimum distance. Quadratic
+  /// per merge — only for tests.
+  bool check_exact_merges = false;
+};
+
+/// The (basic or modified) agglomerative algorithm for k-anonymization
+/// (Algorithms 1 and 2 of Section V-A): start from singleton clusters,
+/// repeatedly unify the two closest clusters, and move clusters of size ≥ k
+/// to the output; leftover records join their nearest final cluster.
+///
+/// Every output cluster has at least k records (at most 2k−2 for the basic
+/// variant; exactly k for the modified variant, except clusters that absorb
+/// leftovers). Requires 1 ≤ k ≤ n. Expected cost O(n²·r).
+Result<Clustering> AgglomerativeCluster(const Dataset& dataset,
+                                        const PrecomputedLoss& loss, size_t k,
+                                        const AgglomerativeOptions& options);
+
+/// Convenience: cluster and translate to a generalized table.
+Result<GeneralizedTable> AgglomerativeKAnonymize(
+    const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
+    const AgglomerativeOptions& options);
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_AGGLOMERATIVE_H_

@@ -1,0 +1,87 @@
+#include "kanon/algo/anonymizer.h"
+
+#include <utility>
+
+#include "kanon/algo/agglomerative.h"
+#include "kanon/algo/forest.h"
+#include "kanon/algo/global_anonymizer.h"
+#include "kanon/algo/global_recoding.h"
+#include "kanon/algo/kk_anonymizer.h"
+#include "kanon/common/timer.h"
+
+namespace kanon {
+
+const char* AnonymizationMethodName(AnonymizationMethod method) {
+  switch (method) {
+    case AnonymizationMethod::kAgglomerative:
+      return "agglomerative";
+    case AnonymizationMethod::kModifiedAgglomerative:
+      return "modified-agglomerative";
+    case AnonymizationMethod::kForest:
+      return "forest";
+    case AnonymizationMethod::kKKNearestNeighbors:
+      return "kk-nearest-neighbors";
+    case AnonymizationMethod::kKKGreedyExpansion:
+      return "kk-greedy-expansion";
+    case AnonymizationMethod::kGlobal:
+      return "global-1k";
+    case AnonymizationMethod::kFullDomain:
+      return "full-domain";
+  }
+  return "unknown";
+}
+
+Result<AnonymizationResult> Anonymize(const Dataset& dataset,
+                                      const PrecomputedLoss& loss,
+                                      const AnonymizerConfig& config) {
+  Timer timer;
+  Result<GeneralizedTable> table = Status::Internal("unreachable");
+  switch (config.method) {
+    case AnonymizationMethod::kAgglomerative:
+    case AnonymizationMethod::kModifiedAgglomerative: {
+      AgglomerativeOptions options;
+      options.distance = config.distance;
+      options.params = config.params;
+      options.modified =
+          config.method == AnonymizationMethod::kModifiedAgglomerative;
+      table = AgglomerativeKAnonymize(dataset, loss, config.k, options);
+      break;
+    }
+    case AnonymizationMethod::kForest:
+      table = ForestKAnonymize(dataset, loss, config.k);
+      break;
+    case AnonymizationMethod::kKKNearestNeighbors:
+      table = KKAnonymize(dataset, loss, config.k,
+                          K1Algorithm::kNearestNeighbors);
+      break;
+    case AnonymizationMethod::kKKGreedyExpansion:
+      table = KKAnonymize(dataset, loss, config.k,
+                          K1Algorithm::kGreedyExpansion);
+      break;
+    case AnonymizationMethod::kGlobal: {
+      Result<GeneralizedTable> kk = KKAnonymize(
+          dataset, loss, config.k, K1Algorithm::kGreedyExpansion);
+      if (!kk.ok()) return kk.status();
+      Result<GlobalAnonymizationResult> global = MakeGlobal1KAnonymous(
+          dataset, loss, config.k, std::move(kk).value());
+      if (!global.ok()) return global.status();
+      table = std::move(global->table);
+      break;
+    }
+    case AnonymizationMethod::kFullDomain: {
+      Result<GlobalRecodingResult> recoded =
+          GlobalRecodingKAnonymize(dataset, loss, config.k);
+      if (!recoded.ok()) return recoded.status();
+      table = std::move(recoded->table);
+      break;
+    }
+  }
+  if (!table.ok()) return table.status();
+
+  AnonymizationResult result{std::move(table).value(), 0.0, 0.0};
+  result.loss = loss.TableLoss(result.table);
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,59 @@
+#ifndef KANON_ALGO_ANONYMIZER_H_
+#define KANON_ALGO_ANONYMIZER_H_
+
+#include <string>
+
+#include "kanon/algo/distance.h"
+#include "kanon/common/result.h"
+#include "kanon/data/dataset.h"
+#include "kanon/generalization/generalized_table.h"
+#include "kanon/loss/precomputed_loss.h"
+
+namespace kanon {
+
+/// Every anonymization pipeline in the library, behind one switch.
+enum class AnonymizationMethod {
+  /// Algorithm 1 with a configurable distance function.
+  kAgglomerative,
+  /// Algorithms 1+2 (ripe clusters shrunk back to size k).
+  kModifiedAgglomerative,
+  /// The forest baseline of Aggarwal et al.
+  kForest,
+  /// (k,k): Algorithm 3 (nearest neighbors) + Algorithm 5.
+  kKKNearestNeighbors,
+  /// (k,k): Algorithm 4 (greedy expansion) + Algorithm 5.
+  kKKGreedyExpansion,
+  /// Global (1,k): Algorithm 4 + Algorithm 5 + Algorithm 6.
+  kGlobal,
+  /// Full-domain (global-recoding) baseline — one level per attribute
+  /// (Section III's comparison model; requires laminar hierarchies).
+  kFullDomain,
+};
+
+const char* AnonymizationMethodName(AnonymizationMethod method);
+
+struct AnonymizerConfig {
+  size_t k = 5;
+  AnonymizationMethod method = AnonymizationMethod::kAgglomerative;
+  /// Used by the agglomerative methods only.
+  DistanceFunction distance = DistanceFunction::kLogWeighted;
+  DistanceParams params;
+};
+
+struct AnonymizationResult {
+  GeneralizedTable table;
+  /// Π(D, g(D)) under the loss measure the pipeline optimized.
+  double loss = 0.0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Runs the configured pipeline on `dataset`, optimizing `loss`.
+/// This is the recommended entry point for library users; the individual
+/// algorithms remain available in the algo/ headers.
+Result<AnonymizationResult> Anonymize(const Dataset& dataset,
+                                      const PrecomputedLoss& loss,
+                                      const AnonymizerConfig& config);
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_ANONYMIZER_H_

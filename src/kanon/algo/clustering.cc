@@ -1,0 +1,55 @@
+#include "kanon/algo/clustering.h"
+
+#include <algorithm>
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+size_t Clustering::num_rows() const {
+  size_t total = 0;
+  for (const auto& cluster : clusters) {
+    total += cluster.size();
+  }
+  return total;
+}
+
+size_t Clustering::min_cluster_size() const {
+  size_t smallest = SIZE_MAX;
+  for (const auto& cluster : clusters) {
+    smallest = std::min(smallest, cluster.size());
+  }
+  return clusters.empty() ? 0 : smallest;
+}
+
+bool Clustering::IsPartitionOf(size_t n) const {
+  std::vector<bool> seen(n, false);
+  size_t count = 0;
+  for (const auto& cluster : clusters) {
+    for (uint32_t row : cluster) {
+      if (row >= n || seen[row]) return false;
+      seen[row] = true;
+      ++count;
+    }
+  }
+  return count == n;
+}
+
+GeneralizedTable TableFromClustering(
+    std::shared_ptr<const GeneralizationScheme> scheme, const Dataset& dataset,
+    const Clustering& clustering) {
+  KANON_CHECK(scheme != nullptr, "scheme must not be null");
+  KANON_CHECK(clustering.IsPartitionOf(dataset.num_rows()),
+              "clustering must partition the dataset rows");
+  GeneralizedTable table =
+      GeneralizedTable::Identity(scheme, dataset);
+  for (const auto& cluster : clustering.clusters) {
+    const GeneralizedRecord closure = scheme->ClosureOfRows(dataset, cluster);
+    for (uint32_t row : cluster) {
+      table.SetRecord(row, closure);
+    }
+  }
+  return table;
+}
+
+}  // namespace kanon

@@ -1,0 +1,40 @@
+#ifndef KANON_ALGO_CLUSTERING_H_
+#define KANON_ALGO_CLUSTERING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kanon/common/result.h"
+#include "kanon/data/dataset.h"
+#include "kanon/generalization/generalized_table.h"
+#include "kanon/generalization/scheme.h"
+
+namespace kanon {
+
+/// A partition γ = {S_1, ..., S_m} of the dataset rows (Section V-A.1).
+struct Clustering {
+  std::vector<std::vector<uint32_t>> clusters;
+
+  size_t num_clusters() const { return clusters.size(); }
+
+  /// Total number of rows across clusters.
+  size_t num_rows() const;
+
+  /// Smallest cluster size (0 for an empty clustering).
+  size_t min_cluster_size() const;
+
+  /// True iff the clusters partition {0, ..., n-1} exactly.
+  bool IsPartitionOf(size_t n) const;
+};
+
+/// Translates a clustering into a generalization g(D): every record is
+/// replaced by the closure of its cluster (the minimal generalized record
+/// consistent with all of the cluster's records).
+GeneralizedTable TableFromClustering(
+    std::shared_ptr<const GeneralizationScheme> scheme, const Dataset& dataset,
+    const Clustering& clustering);
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_CLUSTERING_H_

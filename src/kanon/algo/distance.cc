@@ -1,0 +1,48 @@
+#include "kanon/algo/distance.h"
+
+#include <cmath>
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+std::string DistanceFunctionName(DistanceFunction f) {
+  switch (f) {
+    case DistanceFunction::kWeighted:
+      return "dist1(8)";
+    case DistanceFunction::kPlain:
+      return "dist2(9)";
+    case DistanceFunction::kLogWeighted:
+      return "dist3(10)";
+    case DistanceFunction::kRatio:
+      return "dist4(11)";
+    case DistanceFunction::kNergizClifton:
+      return "distNC";
+  }
+  return "unknown";
+}
+
+double EvalDistance(DistanceFunction f, const DistanceParams& params,
+                    size_t size_a, size_t size_b, size_t size_union,
+                    double d_a, double d_b, double d_union) {
+  KANON_DCHECK(size_a > 0 && size_b > 0 && size_union > 1);
+  switch (f) {
+    case DistanceFunction::kWeighted:
+      return static_cast<double>(size_union) * d_union -
+             static_cast<double>(size_a) * d_a -
+             static_cast<double>(size_b) * d_b;
+    case DistanceFunction::kPlain:
+      return d_union - d_a - d_b;
+    case DistanceFunction::kLogWeighted:
+      return (d_union - d_a - d_b) /
+             std::log2(static_cast<double>(size_union));
+    case DistanceFunction::kRatio:
+      return d_union / (d_a + d_b + params.epsilon);
+    case DistanceFunction::kNergizClifton:
+      return d_union - d_b;
+  }
+  KANON_CHECK(false, "unreachable distance function");
+  return 0.0;
+}
+
+}  // namespace kanon

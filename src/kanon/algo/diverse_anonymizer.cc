@@ -1,0 +1,98 @@
+#include "kanon/algo/diverse_anonymizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+namespace {
+
+// Number of distinct class values among `rows`.
+size_t DistinctClasses(const Dataset& dataset,
+                       const std::vector<uint32_t>& rows) {
+  std::set<ValueCode> classes;
+  for (uint32_t row : rows) {
+    classes.insert(dataset.class_of(row));
+  }
+  return classes.size();
+}
+
+}  // namespace
+
+Result<Clustering> LDiverseCluster(const Dataset& dataset,
+                                   const PrecomputedLoss& loss, size_t k,
+                                   size_t l,
+                                   const AgglomerativeOptions& options) {
+  if (!dataset.has_class_column()) {
+    return Status::InvalidArgument(
+        "ℓ-diverse anonymization requires a class column");
+  }
+  if (l < 1) {
+    return Status::InvalidArgument("l must be at least 1");
+  }
+  // Feasibility: the dataset itself must carry ℓ distinct classes.
+  std::set<ValueCode> all_classes;
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    all_classes.insert(dataset.class_of(i));
+  }
+  if (all_classes.size() < l) {
+    return Status::FailedPrecondition(
+        "dataset carries only " + std::to_string(all_classes.size()) +
+        " distinct class values; cannot be " + std::to_string(l) +
+        "-diverse");
+  }
+
+  KANON_ASSIGN_OR_RETURN(Clustering clustering,
+                         AgglomerativeCluster(dataset, loss, k, options));
+
+  // Repair pass: merge non-diverse clusters into the cheapest partner.
+  // Each merge removes one cluster, so this terminates; a single cluster
+  // holding the whole dataset is ℓ-diverse by the feasibility check.
+  for (;;) {
+    size_t violator = SIZE_MAX;
+    for (size_t c = 0; c < clustering.clusters.size(); ++c) {
+      if (DistinctClasses(dataset, clustering.clusters[c]) < l) {
+        violator = c;
+        break;
+      }
+    }
+    if (violator == SIZE_MAX) break;
+    KANON_CHECK(clustering.clusters.size() > 1,
+                "feasibility check guarantees a diverse final cluster");
+
+    // Cheapest partner by the closure cost of the union.
+    size_t best = SIZE_MAX;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < clustering.clusters.size(); ++c) {
+      if (c == violator) continue;
+      std::vector<uint32_t> merged = clustering.clusters[violator];
+      merged.insert(merged.end(), clustering.clusters[c].begin(),
+                    clustering.clusters[c].end());
+      const double cost = loss.ClosureCost(dataset, merged);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = c;
+      }
+    }
+    std::vector<uint32_t>& target = clustering.clusters[best];
+    const std::vector<uint32_t>& source = clustering.clusters[violator];
+    target.insert(target.end(), source.begin(), source.end());
+    std::sort(target.begin(), target.end());
+    clustering.clusters.erase(clustering.clusters.begin() +
+                              static_cast<ptrdiff_t>(violator));
+  }
+  return clustering;
+}
+
+Result<GeneralizedTable> LDiverseKAnonymize(
+    const Dataset& dataset, const PrecomputedLoss& loss, size_t k, size_t l,
+    const AgglomerativeOptions& options) {
+  KANON_ASSIGN_OR_RETURN(Clustering clustering,
+                         LDiverseCluster(dataset, loss, k, l, options));
+  return TableFromClustering(loss.scheme_ptr(), dataset, clustering);
+}
+
+}  // namespace kanon

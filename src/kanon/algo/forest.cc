@@ -1,0 +1,310 @@
+#include "kanon/algo/forest.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+namespace {
+
+constexpr uint32_t kNone = std::numeric_limits<uint32_t>::max();
+
+// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns the new root.
+  uint32_t Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    KANON_CHECK(a != b, "union of the same component");
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return a;
+  }
+
+  size_t SizeOf(uint32_t x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+class ForestBuilder {
+ public:
+  ForestBuilder(const Dataset& dataset, const PrecomputedLoss& loss, size_t k)
+      : dataset_(dataset),
+        loss_(loss),
+        scheme_(loss.scheme()),
+        k_(k),
+        n_(dataset.num_rows()),
+        r_(dataset.num_attributes()),
+        uf_(dataset.num_rows()) {}
+
+  Clustering Run() {
+    GrowForest();
+    Clustering out;
+    for (const std::vector<uint32_t>& tree : Trees()) {
+      SplitTree(tree, &out);
+    }
+    return out;
+  }
+
+ private:
+  // w(u, v) = d({R_u, R_v}): the pairwise generalization cost.
+  double PairCost(uint32_t u, uint32_t v) const {
+    double total = 0.0;
+    for (size_t j = 0; j < r_; ++j) {
+      const Hierarchy& h = scheme_.hierarchy(j);
+      total += loss_.EntryCost(
+          j, h.Join(h.LeafOf(dataset_.at(u, j)), h.LeafOf(dataset_.at(v, j))));
+    }
+    return total / static_cast<double>(r_);
+  }
+
+  // Refreshes record u's cached nearest out-of-component record.
+  void RecomputeBest(uint32_t u) {
+    const uint32_t root = uf_.Find(u);
+    best_v_[u] = kNone;
+    best_w_[u] = std::numeric_limits<double>::infinity();
+    for (uint32_t v = 0; v < n_; ++v) {
+      if (uf_.Find(v) == root) continue;
+      const double w = PairCost(u, v);
+      if (w < best_w_[u]) {
+        best_w_[u] = w;
+        best_v_[u] = v;
+      }
+    }
+  }
+
+  // Phase 1: every component reaches size >= k.
+  void GrowForest() {
+    best_v_.assign(n_, kNone);
+    best_w_.assign(n_, std::numeric_limits<double>::infinity());
+    members_.assign(n_, {});
+    for (uint32_t i = 0; i < n_; ++i) {
+      members_[i] = {i};
+      RecomputeBest(i);
+    }
+    adjacency_.assign(n_, {});
+
+    std::vector<uint32_t> pending;  // Roots that may still be small.
+    for (uint32_t i = 0; i < n_; ++i) pending.push_back(i);
+
+    while (!pending.empty()) {
+      const uint32_t root = pending.back();
+      pending.pop_back();
+      if (uf_.Find(root) != root) continue;          // Stale: merged away.
+      if (members_[root].size() >= k_) continue;     // Already big enough.
+
+      // Cheapest outgoing edge of the component.
+      uint32_t best_u = kNone;
+      for (uint32_t u : members_[root]) {
+        if (best_v_[u] != kNone && uf_.Find(best_v_[u]) == root) {
+          RecomputeBest(u);
+        }
+        if (best_u == kNone || best_w_[u] < best_w_[best_u]) {
+          best_u = u;
+        }
+      }
+      KANON_CHECK(best_u != kNone && best_v_[best_u] != kNone,
+                  "a small component must have an outgoing edge (k <= n)");
+
+      const uint32_t u = best_u;
+      const uint32_t v = best_v_[u];
+      adjacency_[u].push_back(v);
+      adjacency_[v].push_back(u);
+      const uint32_t other_root = uf_.Find(v);
+      const uint32_t merged_root = uf_.Union(root, other_root);
+      const uint32_t losing_root = merged_root == root ? other_root : root;
+      members_[merged_root].insert(members_[merged_root].end(),
+                                   members_[losing_root].begin(),
+                                   members_[losing_root].end());
+      members_[losing_root].clear();
+      members_[losing_root].shrink_to_fit();
+      if (members_[merged_root].size() < k_) {
+        pending.push_back(merged_root);
+      }
+    }
+  }
+
+  // Connected components of the grown forest, as sorted node lists.
+  std::vector<std::vector<uint32_t>> Trees() {
+    std::vector<std::vector<uint32_t>> trees;
+    std::vector<bool> seen(n_, false);
+    for (uint32_t start = 0; start < n_; ++start) {
+      if (seen[start]) continue;
+      std::vector<uint32_t> tree;
+      std::vector<uint32_t> stack = {start};
+      seen[start] = true;
+      while (!stack.empty()) {
+        const uint32_t u = stack.back();
+        stack.pop_back();
+        tree.push_back(u);
+        for (uint32_t v : adjacency_[u]) {
+          if (!seen[v]) {
+            seen[v] = true;
+            stack.push_back(v);
+          }
+        }
+      }
+      std::sort(tree.begin(), tree.end());
+      trees.push_back(std::move(tree));
+    }
+    return trees;
+  }
+
+  // Phase 2: splits a tree into clusters of size in [k, 3k-3].
+  void SplitTree(const std::vector<uint32_t>& nodes, Clustering* out) {
+    const size_t limit = std::max(3 * k_ - 3, k_);  // 3k-3 (k>=2), k for k=1.
+    if (nodes.size() <= limit) {
+      out->clusters.push_back(nodes);
+      return;
+    }
+
+    // Root the tree at its smallest node; compute a BFS order and parents,
+    // restricted to `nodes`.
+    std::vector<bool> in_tree(n_, false);
+    for (uint32_t u : nodes) in_tree[u] = true;
+    std::vector<uint32_t> parent(n_, kNone);
+    std::vector<uint32_t> depth(n_, 0);
+    std::vector<uint32_t> order;
+    order.reserve(nodes.size());
+    const uint32_t root = nodes[0];
+    order.push_back(root);
+    parent[root] = root;
+    for (size_t head = 0; head < order.size(); ++head) {
+      const uint32_t u = order[head];
+      for (uint32_t v : adjacency_[u]) {
+        if (in_tree[v] && parent[v] == kNone) {
+          parent[v] = u;
+          depth[v] = depth[u] + 1;
+          order.push_back(v);
+        }
+      }
+    }
+    KANON_CHECK(order.size() == nodes.size(), "forest edges must form a tree");
+
+    std::vector<uint32_t> subtree_size(n_, 0);
+    for (size_t pos = order.size(); pos-- > 0;) {
+      const uint32_t u = order[pos];
+      subtree_size[u] += 1;
+      if (u != root) subtree_size[parent[u]] += subtree_size[u];
+    }
+
+    // Deepest vertex whose subtree has at least k nodes (ties: smallest id).
+    uint32_t v = root;
+    for (uint32_t u : nodes) {
+      if (subtree_size[u] < k_) continue;
+      if (depth[u] > depth[v] || (depth[u] == depth[v] && u < v)) {
+        v = u;
+      }
+    }
+
+    std::vector<uint32_t> part_a;  // Will satisfy k <= |A| <= 2k-2 <= limit.
+    if (v != root && nodes.size() - subtree_size[v] >= k_) {
+      // Cut the edge above v: subtree(v) vs. the rest, both of size >= k.
+      CollectSubtree(v, parent, in_tree, &part_a);
+    } else {
+      // The rest above v is smaller than k, so subtree(v) >= 2k-1 and every
+      // child subtree of v is < k. Greedily group child subtrees until the
+      // group reaches k; the group is a valid cluster and removing it
+      // leaves a connected tree of size >= k.
+      for (uint32_t c : adjacency_[v]) {
+        if (!in_tree[c] || parent[c] != v) continue;
+        std::vector<uint32_t> child_nodes;
+        CollectSubtree(c, parent, in_tree, &child_nodes);
+        part_a.insert(part_a.end(), child_nodes.begin(), child_nodes.end());
+        if (part_a.size() >= k_) break;
+      }
+      KANON_CHECK(part_a.size() >= k_ && part_a.size() <= 2 * k_ - 2,
+                  "child-subtree group size out of range");
+    }
+
+    std::sort(part_a.begin(), part_a.end());
+    std::vector<uint32_t> part_b;
+    part_b.reserve(nodes.size() - part_a.size());
+    std::set_difference(nodes.begin(), nodes.end(), part_a.begin(),
+                        part_a.end(), std::back_inserter(part_b));
+    KANON_CHECK(part_b.size() >= k_, "remainder must keep at least k nodes");
+
+    if (part_a.size() <= limit) {
+      out->clusters.push_back(std::move(part_a));
+    } else {
+      SplitTree(part_a, out);
+    }
+    SplitTree(part_b, out);
+  }
+
+  void CollectSubtree(uint32_t start, const std::vector<uint32_t>& parent,
+                      const std::vector<bool>& in_tree,
+                      std::vector<uint32_t>* out_nodes) {
+    std::vector<uint32_t> stack = {start};
+    while (!stack.empty()) {
+      const uint32_t u = stack.back();
+      stack.pop_back();
+      out_nodes->push_back(u);
+      for (uint32_t w : adjacency_[u]) {
+        if (in_tree[w] && parent[w] == u) {
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+
+  const Dataset& dataset_;
+  const PrecomputedLoss& loss_;
+  const GeneralizationScheme& scheme_;
+  const size_t k_;
+  const size_t n_;
+  const size_t r_;
+
+  UnionFind uf_;
+  std::vector<uint32_t> best_v_;
+  std::vector<double> best_w_;
+  std::vector<std::vector<uint32_t>> members_;    // Indexed by root.
+  std::vector<std::vector<uint32_t>> adjacency_;  // The grown forest.
+};
+
+}  // namespace
+
+Result<Clustering> ForestCluster(const Dataset& dataset,
+                                 const PrecomputedLoss& loss, size_t k) {
+  const size_t n = dataset.num_rows();
+  if (k < 1) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  if (k > n) {
+    return Status::InvalidArgument("k = " + std::to_string(k) +
+                                   " exceeds the number of records " +
+                                   std::to_string(n));
+  }
+  if (dataset.num_attributes() != loss.scheme().num_attributes()) {
+    return Status::InvalidArgument("dataset/loss arity mismatch");
+  }
+  return ForestBuilder(dataset, loss, k).Run();
+}
+
+Result<GeneralizedTable> ForestKAnonymize(const Dataset& dataset,
+                                          const PrecomputedLoss& loss,
+                                          size_t k) {
+  KANON_ASSIGN_OR_RETURN(Clustering clustering,
+                         ForestCluster(dataset, loss, k));
+  return TableFromClustering(loss.scheme_ptr(), dataset, clustering);
+}
+
+}  // namespace kanon

@@ -1,0 +1,101 @@
+#include "kanon/algo/global_anonymizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "kanon/common/check.h"
+#include "kanon/graph/consistency_graph.h"
+#include "kanon/graph/matchable_edges.h"
+
+namespace kanon {
+
+Result<GlobalAnonymizationResult> MakeGlobal1KAnonymous(
+    const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
+    GeneralizedTable table) {
+  const size_t n = dataset.num_rows();
+  const size_t r = dataset.num_attributes();
+  if (k < 1) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  if (k > n) {
+    return Status::InvalidArgument("k exceeds the number of records");
+  }
+  if (table.num_rows() != n) {
+    return Status::InvalidArgument(
+        "table must have one generalized record per dataset row");
+  }
+  const GeneralizationScheme& scheme = loss.scheme();
+  if (r != scheme.num_attributes()) {
+    return Status::InvalidArgument("dataset/loss arity mismatch");
+  }
+  // R̄_i must generalize R_i: Algorithm 6 relies on the identity edges for
+  // its perfect-matching swaps.
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!table.ConsistentPair(dataset, i, i)) {
+      return Status::FailedPrecondition(
+          "generalized record " + std::to_string(i) +
+          " does not generalize its original record");
+    }
+  }
+
+  BipartiteGraph graph = BuildConsistencyGraph(dataset, table);
+  Result<MatchableEdgeSets> matchable = ComputeMatchableEdges(graph);
+  KANON_RETURN_NOT_OK(matchable.status());
+  KANON_CHECK(matchable->has_perfect_matching,
+              "identity edges guarantee a perfect matching");
+
+  GlobalAnonymizerStats stats;
+  for (uint32_t i = 0; i < n; ++i) {
+    size_t steps_for_record = 0;
+    if (matchable->matches[i].size() < k) {
+      ++stats.deficient_records;
+    }
+    while (matchable->matches[i].size() < k) {
+      // Non-match neighbors Q \ P of R_i.
+      const std::vector<uint32_t>& neighbors = graph.Neighbors(i);
+      const std::vector<uint32_t>& matches = matchable->matches[i];
+      uint32_t best = std::numeric_limits<uint32_t>::max();
+      double best_delta = std::numeric_limits<double>::infinity();
+      for (uint32_t t : neighbors) {
+        if (std::binary_search(matches.begin(), matches.end(), t)) continue;
+        // d_h = c(R_{j_h} + R̄_i) − c(R̄_i), attribute-wise.
+        double delta = 0.0;
+        for (size_t j = 0; j < r; ++j) {
+          const SetId current = table.at(i, j);
+          const SetId joined =
+              scheme.hierarchy(j).JoinValue(current, dataset.at(t, j));
+          delta += loss.EntryCost(j, joined) - loss.EntryCost(j, current);
+        }
+        if (delta < best_delta ||
+            (delta == best_delta && t < best)) {
+          best_delta = delta;
+          best = t;
+        }
+      }
+      KANON_CHECK(best != std::numeric_limits<uint32_t>::max(),
+                  "a record with <k matches must have a non-match neighbor "
+                  "(is the input (k,k)-anonymous?)");
+
+      // R̄_i := R_{j_h} + R̄_i. This upgrades R̄_{j_h} to a match of R_i:
+      // swap (R_i, R̄_i) and (R_{j_h}, R̄_{j_h}) in the identity matching.
+      table.GeneralizeToCover(i, dataset.row(best));
+      ++stats.upgrade_steps;
+      ++steps_for_record;
+      KANON_CHECK(steps_for_record <= n, "Algorithm 6 failed to converge");
+
+      // Right vertex i may now be consistent with more originals.
+      for (uint32_t x = 0; x < n; ++x) {
+        if (!graph.HasEdge(x, i) && table.ConsistentPair(dataset, x, i)) {
+          graph.AddEdge(x, i);
+        }
+      }
+      matchable = ComputeMatchableEdges(graph);
+      KANON_RETURN_NOT_OK(matchable.status());
+    }
+    stats.max_steps_per_record =
+        std::max(stats.max_steps_per_record, steps_for_record);
+  }
+  return GlobalAnonymizationResult{std::move(table), stats};
+}
+
+}  // namespace kanon

@@ -1,0 +1,150 @@
+#include "kanon/algo/global_recoding.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+namespace {
+
+// The chain of permissible supersets of {value}, smallest first. Laminar
+// collections make this chain unique (sets containing a point are nested).
+std::vector<SetId> ChainOf(const Hierarchy& h, ValueCode value) {
+  std::vector<SetId> chain;
+  for (SetId s = 0; s < h.num_sets(); ++s) {
+    if (h.Contains(s, value)) {
+      chain.push_back(s);
+    }
+  }
+  // Ids are sorted by cardinality; within a laminar chain cardinality is
+  // strictly increasing, so the id order is the chain order.
+  return chain;
+}
+
+// levels[j][level][value] -> SetId.
+std::vector<std::vector<std::vector<SetId>>> BuildLevelTables(
+    const GeneralizationScheme& scheme) {
+  const size_t r = scheme.num_attributes();
+  std::vector<std::vector<std::vector<SetId>>> tables(r);
+  for (size_t j = 0; j < r; ++j) {
+    const Hierarchy& h = scheme.hierarchy(j);
+    size_t max_len = 1;
+    std::vector<std::vector<SetId>> chains(h.domain_size());
+    for (size_t v = 0; v < h.domain_size(); ++v) {
+      chains[v] = ChainOf(h, static_cast<ValueCode>(v));
+      max_len = std::max(max_len, chains[v].size());
+    }
+    tables[j].resize(max_len, std::vector<SetId>(h.domain_size()));
+    for (size_t level = 0; level < max_len; ++level) {
+      for (size_t v = 0; v < h.domain_size(); ++v) {
+        const size_t idx = std::min(level, chains[v].size() - 1);
+        tables[j][level][v] = chains[v][idx];
+      }
+    }
+  }
+  return tables;
+}
+
+// Applies a level vector to the whole dataset.
+GeneralizedTable ApplyLevels(
+    const Dataset& dataset,
+    std::shared_ptr<const GeneralizationScheme> scheme,
+    const std::vector<std::vector<std::vector<SetId>>>& tables,
+    const std::vector<uint32_t>& levels) {
+  GeneralizedTable table(scheme);
+  const size_t r = dataset.num_attributes();
+  GeneralizedRecord record(r);
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    for (size_t j = 0; j < r; ++j) {
+      record[j] = tables[j][levels[j]][dataset.at(i, j)];
+    }
+    table.AppendRecord(record);
+  }
+  return table;
+}
+
+bool TableIsKAnonymous(const GeneralizedTable& table, size_t k) {
+  std::map<GeneralizedRecord, size_t> counts;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    ++counts[table.record(i)];
+  }
+  for (const auto& [record, count] : counts) {
+    if (count < k) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t NumGeneralizationLevels(const Hierarchy& hierarchy) {
+  size_t max_len = 1;
+  for (size_t v = 0; v < hierarchy.domain_size(); ++v) {
+    max_len =
+        std::max(max_len, ChainOf(hierarchy, static_cast<ValueCode>(v)).size());
+  }
+  return max_len;
+}
+
+SetId LevelAncestor(const Hierarchy& hierarchy, ValueCode value,
+                    uint32_t level) {
+  const std::vector<SetId> chain = ChainOf(hierarchy, value);
+  return chain[std::min<size_t>(level, chain.size() - 1)];
+}
+
+Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
+    const Dataset& dataset, const PrecomputedLoss& loss, size_t k) {
+  const size_t n = dataset.num_rows();
+  const size_t r = dataset.num_attributes();
+  if (k < 1) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  if (k > n) {
+    return Status::InvalidArgument("k exceeds the number of records");
+  }
+  const GeneralizationScheme& scheme = loss.scheme();
+  if (r != scheme.num_attributes()) {
+    return Status::InvalidArgument("dataset/loss arity mismatch");
+  }
+  for (size_t j = 0; j < r; ++j) {
+    if (!scheme.hierarchy(j).IsLaminar()) {
+      return Status::FailedPrecondition(
+          "global recoding requires laminar hierarchies (attribute '" +
+          scheme.schema().attribute(j).name() + "' is not)");
+    }
+  }
+
+  const auto tables = BuildLevelTables(scheme);
+  std::vector<uint32_t> levels(r, 0);
+
+  GeneralizedTable current = ApplyLevels(dataset, loss.scheme_ptr(), tables,
+                                         levels);
+  while (!TableIsKAnonymous(current, k)) {
+    // Raise the attribute whose bump loses the least information.
+    size_t best_attr = SIZE_MAX;
+    double best_loss = std::numeric_limits<double>::infinity();
+    GeneralizedTable best_table(loss.scheme_ptr());
+    for (size_t j = 0; j < r; ++j) {
+      if (levels[j] + 1 >= tables[j].size()) continue;
+      std::vector<uint32_t> trial = levels;
+      ++trial[j];
+      GeneralizedTable table =
+          ApplyLevels(dataset, loss.scheme_ptr(), tables, trial);
+      const double pi = loss.TableLoss(table);
+      if (pi < best_loss) {
+        best_loss = pi;
+        best_attr = j;
+        best_table = std::move(table);
+      }
+    }
+    KANON_CHECK(best_attr != SIZE_MAX,
+                "all attributes fully suppressed must be k-anonymous");
+    ++levels[best_attr];
+    current = std::move(best_table);
+  }
+  return GlobalRecodingResult{std::move(current), std::move(levels)};
+}
+
+}  // namespace kanon

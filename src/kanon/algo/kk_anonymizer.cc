@@ -1,0 +1,204 @@
+#include "kanon/algo/kk_anonymizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+namespace {
+
+Status ValidateArgs(const Dataset& dataset, const PrecomputedLoss& loss,
+                    size_t k) {
+  if (k < 1) {
+    return Status::InvalidArgument("k must be at least 1");
+  }
+  if (k > dataset.num_rows()) {
+    return Status::InvalidArgument("k = " + std::to_string(k) +
+                                   " exceeds the number of records " +
+                                   std::to_string(dataset.num_rows()));
+  }
+  if (dataset.num_attributes() != loss.scheme().num_attributes()) {
+    return Status::InvalidArgument("dataset/loss arity mismatch");
+  }
+  return Status::OK();
+}
+
+// Cost of the attribute-wise join of a cached closure with row `row`.
+double JoinedCost(const GeneralizationScheme& scheme,
+                  const PrecomputedLoss& loss, const Dataset& dataset,
+                  const GeneralizedRecord& closure, uint32_t row) {
+  const size_t r = closure.size();
+  double total = 0.0;
+  for (size_t j = 0; j < r; ++j) {
+    const SetId joined =
+        scheme.hierarchy(j).JoinValue(closure[j], dataset.at(row, j));
+    total += loss.EntryCost(j, joined);
+  }
+  return total / static_cast<double>(r);
+}
+
+}  // namespace
+
+Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
+                                            const PrecomputedLoss& loss,
+                                            size_t k) {
+  KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
+  const GeneralizationScheme& scheme = loss.scheme();
+  const size_t n = dataset.num_rows();
+
+  GeneralizedTable table(loss.scheme_ptr());
+  std::vector<std::pair<double, uint32_t>> candidates;
+  candidates.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const GeneralizedRecord self = scheme.Identity(dataset.row(i));
+    candidates.clear();
+    for (uint32_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      candidates.emplace_back(JoinedCost(scheme, loss, dataset, self, j), j);
+    }
+    // The k−1 nearest records by pairwise closure cost d({R_i, R_j}).
+    std::partial_sort(candidates.begin(),
+                      candidates.begin() + static_cast<ptrdiff_t>(k - 1),
+                      candidates.end());
+    std::vector<uint32_t> cluster = {i};
+    for (size_t t = 0; t + 1 < k; ++t) {
+      cluster.push_back(candidates[t].second);
+    }
+    table.AppendRecord(scheme.ClosureOfRows(dataset, cluster));
+  }
+  return table;
+}
+
+Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
+                                           const PrecomputedLoss& loss,
+                                           size_t k) {
+  KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
+  const GeneralizationScheme& scheme = loss.scheme();
+  const size_t n = dataset.num_rows();
+  const size_t r = dataset.num_attributes();
+
+  GeneralizedTable table(loss.scheme_ptr());
+  std::vector<bool> in_cluster(n, false);
+  for (uint32_t i = 0; i < n; ++i) {
+    GeneralizedRecord closure = scheme.Identity(dataset.row(i));
+    double closure_cost = loss.RecordCost(closure);
+    size_t cluster_size = 1;
+    std::vector<uint32_t> members = {i};
+    in_cluster.assign(n, false);
+    in_cluster[i] = true;
+
+    while (cluster_size < k) {
+      // One scan per closure change. Records already inside the closure
+      // cost nothing to add; absorb them greedily up to size k.
+      uint32_t best = std::numeric_limits<uint32_t>::max();
+      double best_delta = std::numeric_limits<double>::infinity();
+      bool absorbed_free = false;
+      for (uint32_t j = 0; j < n && cluster_size < k; ++j) {
+        if (in_cluster[j]) continue;
+        bool covered = true;
+        for (size_t a = 0; a < r; ++a) {
+          if (!scheme.hierarchy(a).Contains(closure[a], dataset.at(j, a))) {
+            covered = false;
+            break;
+          }
+        }
+        if (covered) {
+          // dist(S_i, R_j) = d(S_i ∪ {R_j}) − d(S_i) = 0: minimal.
+          in_cluster[j] = true;
+          members.push_back(j);
+          ++cluster_size;
+          absorbed_free = true;
+          continue;
+        }
+        const double delta =
+            JoinedCost(scheme, loss, dataset, closure, j) - closure_cost;
+        if (delta < best_delta) {
+          best_delta = delta;
+          best = j;
+        }
+      }
+      if (cluster_size >= k) break;
+      if (absorbed_free) {
+        // Cluster grew without changing the closure; candidates computed in
+        // this scan remain valid, but rescanning keeps the code simple and
+        // the work is bounded by k scans per record.
+        continue;
+      }
+      KANON_CHECK(best != std::numeric_limits<uint32_t>::max(),
+                  "expansion must find a record while cluster_size < k <= n");
+      in_cluster[best] = true;
+      members.push_back(best);
+      ++cluster_size;
+      for (size_t a = 0; a < r; ++a) {
+        closure[a] =
+            scheme.hierarchy(a).JoinValue(closure[a], dataset.at(best, a));
+      }
+      closure_cost = loss.RecordCost(closure);
+    }
+    table.AppendRecord(closure);
+  }
+  return table;
+}
+
+Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
+                                         const PrecomputedLoss& loss, size_t k,
+                                         GeneralizedTable table) {
+  KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
+  if (table.num_rows() != dataset.num_rows()) {
+    return Status::InvalidArgument(
+        "table must have one generalized record per dataset row");
+  }
+  const GeneralizationScheme& scheme = loss.scheme();
+  const size_t n = dataset.num_rows();
+
+  const size_t r = dataset.num_attributes();
+  std::vector<std::pair<double, uint32_t>> candidates;
+  for (uint32_t i = 0; i < n; ++i) {
+    const Record record = dataset.row(i);
+    // ℓ = #generalized records consistent with R_i.
+    size_t consistent = 0;
+    candidates.clear();
+    for (uint32_t t = 0; t < n; ++t) {
+      if (table.ConsistentPair(dataset, i, t)) {
+        ++consistent;
+      } else {
+        // Price of upgrading R̄_t to cover R_i: c(R_i + R̄_t) − c(R̄_t),
+        // computed attribute-wise to stay allocation-free.
+        double delta = 0.0;
+        for (size_t j = 0; j < r; ++j) {
+          const SetId current = table.at(t, j);
+          const SetId joined =
+              scheme.hierarchy(j).JoinValue(current, record[j]);
+          delta += loss.EntryCost(j, joined) - loss.EntryCost(j, current);
+        }
+        candidates.emplace_back(delta / static_cast<double>(r), t);
+      }
+    }
+    if (consistent >= k) continue;
+    const size_t deficit = k - consistent;
+    KANON_CHECK(candidates.size() >= deficit,
+                "not enough records to generalize (k > n?)");
+    std::partial_sort(candidates.begin(),
+                      candidates.begin() + static_cast<ptrdiff_t>(deficit),
+                      candidates.end());
+    for (size_t t = 0; t < deficit; ++t) {
+      table.GeneralizeToCover(candidates[t].second, record);
+    }
+  }
+  return table;
+}
+
+Result<GeneralizedTable> KKAnonymize(const Dataset& dataset,
+                                     const PrecomputedLoss& loss, size_t k,
+                                     K1Algorithm k1_algorithm) {
+  Result<GeneralizedTable> k1 =
+      k1_algorithm == K1Algorithm::kNearestNeighbors
+          ? K1NearestNeighbors(dataset, loss, k)
+          : K1GreedyExpansion(dataset, loss, k);
+  if (!k1.ok()) return k1.status();
+  return Make1KAnonymous(dataset, loss, k, std::move(k1).value());
+}
+
+}  // namespace kanon

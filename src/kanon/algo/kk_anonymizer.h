@@ -1,0 +1,53 @@
+#ifndef KANON_ALGO_KK_ANONYMIZER_H_
+#define KANON_ALGO_KK_ANONYMIZER_H_
+
+#include "kanon/common/result.h"
+#include "kanon/data/dataset.h"
+#include "kanon/generalization/generalized_table.h"
+#include "kanon/loss/precomputed_loss.h"
+
+namespace kanon {
+
+/// Algorithm 3: (k,1)-anonymization by nearest neighbors. Each record is
+/// generalized to the closure of itself and the k−1 records minimizing the
+/// pairwise closure cost d({R_i, R_j}). Approximates the optimal
+/// (k,1)-anonymization within a factor of k−1 (Proposition 5.1). O(k·n²·r).
+Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
+                                            const PrecomputedLoss& loss,
+                                            size_t k);
+
+/// Algorithm 4: (k,1)-anonymization by greedy expansion. Each record grows
+/// a cluster of size k by repeatedly adding the record whose inclusion
+/// increases the closure cost the least. No approximation guarantee, but
+/// consistently better than Algorithm 3 in the paper's experiments.
+/// O(k·n²·r) worst case.
+Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
+                                           const PrecomputedLoss& loss,
+                                           size_t k);
+
+/// Algorithm 5: the (1,k)-anonymizer. Further generalizes records of
+/// `table` until every record of `dataset` is consistent with at least k of
+/// them: a record R_i with only ℓ < k consistent generalized records picks
+/// the k−ℓ inconsistent records R̄_j minimizing c(R_i + R̄_j) − c(R̄_j) and
+/// replaces them with R_i + R̄_j. Applied to a (k,1)-anonymization this
+/// yields a (k,k)-anonymization. O(k·n²·r).
+Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
+                                         const PrecomputedLoss& loss, size_t k,
+                                         GeneralizedTable table);
+
+/// Which (k,1) algorithm seeds the (k,k) pipeline.
+enum class K1Algorithm {
+  kNearestNeighbors,  // Algorithm 3.
+  kGreedyExpansion,   // Algorithm 4.
+};
+
+/// The paper's (k,k)-anonymizer: a (k,1) algorithm coupled with
+/// Algorithm 5. The coupling of Algorithm 4 with Algorithm 5 is the
+/// recommended configuration.
+Result<GeneralizedTable> KKAnonymize(const Dataset& dataset,
+                                     const PrecomputedLoss& loss, size_t k,
+                                     K1Algorithm k1_algorithm);
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_KK_ANONYMIZER_H_

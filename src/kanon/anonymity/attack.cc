@@ -1,0 +1,86 @@
+#include "kanon/anonymity/attack.h"
+
+#include <algorithm>
+
+#include "kanon/common/check.h"
+#include "kanon/common/text.h"
+#include "kanon/graph/consistency_graph.h"
+#include "kanon/graph/matchable_edges.h"
+
+namespace kanon {
+
+size_t AttackResult::min_neighbors() const {
+  if (neighbor_counts.empty()) return 0;
+  return *std::min_element(neighbor_counts.begin(), neighbor_counts.end());
+}
+
+size_t AttackResult::min_matches() const {
+  if (match_counts.empty()) return 0;
+  return *std::min_element(match_counts.begin(), match_counts.end());
+}
+
+std::string AttackResult::Summary() const {
+  const size_t n = match_counts.size();
+  double avg_neighbors = 0.0;
+  double avg_matches = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    avg_neighbors += neighbor_counts[i];
+    avg_matches += match_counts[i];
+  }
+  if (n > 0) {
+    avg_neighbors /= static_cast<double>(n);
+    avg_matches /= static_cast<double>(n);
+  }
+  std::string out;
+  out += "second-adversary attack (k = " + std::to_string(k) + ", n = " +
+         std::to_string(n) + ")\n";
+  out += "  neighbors per record: min " + std::to_string(min_neighbors()) +
+         ", avg " + FormatDouble(avg_neighbors, 2) + "\n";
+  out += "  matches per record:   min " + std::to_string(min_matches()) +
+         ", avg " + FormatDouble(avg_matches, 2) + "\n";
+  out += "  breached (<k matches): " + std::to_string(breached_records.size()) +
+         "\n";
+  out += "  re-identified (=1 match): " +
+         std::to_string(reidentified_records.size()) + "\n";
+  return out;
+}
+
+AttackResult MatchReductionAttack(const Dataset& dataset,
+                                  const GeneralizedTable& table, size_t k) {
+  KANON_CHECK(k >= 1, "k must be positive");
+  KANON_CHECK(dataset.num_rows() == table.num_rows(),
+              "attack requires one generalized record per dataset row");
+  const size_t n = dataset.num_rows();
+
+  AttackResult result;
+  result.k = k;
+  result.neighbor_counts.resize(n, 0);
+  result.match_counts.resize(n, 0);
+
+  const BipartiteGraph graph = BuildConsistencyGraph(dataset, table);
+  for (uint32_t i = 0; i < n; ++i) {
+    result.neighbor_counts[i] =
+        static_cast<uint32_t>(graph.Neighbors(i).size());
+  }
+
+  const Result<MatchableEdgeSets> matchable = ComputeMatchableEdges(graph);
+  KANON_CHECK(matchable.ok(), matchable.status().ToString());
+  if (matchable->has_perfect_matching) {
+    for (uint32_t i = 0; i < n; ++i) {
+      result.match_counts[i] =
+          static_cast<uint32_t>(matchable->matches[i].size());
+    }
+  }
+
+  for (uint32_t i = 0; i < n; ++i) {
+    if (result.match_counts[i] < k) {
+      result.breached_records.push_back(i);
+    }
+    if (result.match_counts[i] == 1) {
+      result.reidentified_records.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace kanon

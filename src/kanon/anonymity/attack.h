@@ -1,0 +1,48 @@
+#ifndef KANON_ANONYMITY_ATTACK_H_
+#define KANON_ANONYMITY_ATTACK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kanon/data/dataset.h"
+#include "kanon/generalization/generalized_table.h"
+
+namespace kanon {
+
+/// Result of the second-adversary attack of Section IV-A: an adversary who
+/// knows the entire public database D and the published table g(D) builds
+/// the bipartite consistency graph and prunes, for every individual, the
+/// neighbors that are *not* matches (cannot belong to any perfect
+/// matching). A record whose match count drops below k is a privacy breach
+/// of the k-anonymity goal even when g(D) is (k,k)-anonymous.
+struct AttackResult {
+  size_t k = 0;
+  /// Per original record: #neighbors in V_{D,g(D)} (what the *first*
+  /// adversary sees).
+  std::vector<uint32_t> neighbor_counts;
+  /// Per original record: #matches after pruning (what the *second*
+  /// adversary can narrow the candidate set down to).
+  std::vector<uint32_t> match_counts;
+  /// Records whose match count is below k — individuals the second
+  /// adversary links to fewer than k generalized records.
+  std::vector<uint32_t> breached_records;
+  /// Records the attack pins to exactly one generalized record — full
+  /// re-identification.
+  std::vector<uint32_t> reidentified_records;
+
+  size_t min_neighbors() const;
+  size_t min_matches() const;
+  std::string Summary() const;
+};
+
+/// Runs the attack. The table must have one generalized record per dataset
+/// row. If the consistency graph has no perfect matching (g(D) is not a
+/// row-wise generalization of any permutation of D), every record counts as
+/// breached with zero matches.
+AttackResult MatchReductionAttack(const Dataset& dataset,
+                                  const GeneralizedTable& table, size_t k);
+
+}  // namespace kanon
+
+#endif  // KANON_ANONYMITY_ATTACK_H_

@@ -1,0 +1,44 @@
+#ifndef KANON_ANONYMITY_DIVERSITY_H_
+#define KANON_ANONYMITY_DIVERSITY_H_
+
+#include <cstddef>
+
+#include "kanon/data/dataset.h"
+#include "kanon/generalization/generalized_table.h"
+
+namespace kanon {
+
+/// ℓ-diversity (Machanavajjhala et al.), which the paper points to as the
+/// natural strengthening of its notions on the sensitive-attribute side:
+/// every anonymity group (rows sharing the same generalized record) must
+/// contain "diverse enough" values of the sensitive class column.
+///
+/// Distinct ℓ-diversity: each group has at least ℓ distinct class values.
+/// Requires dataset.has_class_column() and equal row counts.
+bool IsDistinctLDiverse(const Dataset& dataset, const GeneralizedTable& table,
+                        size_t l);
+
+/// Entropy ℓ-diversity: each group's class distribution has entropy of at
+/// least log2(ℓ).
+bool IsEntropyLDiverse(const Dataset& dataset, const GeneralizedTable& table,
+                       double l);
+
+/// The largest ℓ such that the table is distinct ℓ-diverse (the minimum,
+/// over the groups, of the number of distinct class values). 0 for an
+/// empty table.
+size_t DistinctDiversity(const Dataset& dataset,
+                         const GeneralizedTable& table);
+
+/// Consistency-side diversity for the relaxed notions, where groups of
+/// identical records need not exist: for every original record, the set of
+/// generalized records consistent with it must cover at least ℓ distinct
+/// class values (each generalized record contributes the class of its own
+/// original). This is the natural transplant of distinct ℓ-diversity to
+/// (1,k)/(k,k)-anonymized tables; the paper leaves its systematic study to
+/// future work.
+bool IsConsistencyLDiverse(const Dataset& dataset,
+                           const GeneralizedTable& table, size_t l);
+
+}  // namespace kanon
+
+#endif  // KANON_ANONYMITY_DIVERSITY_H_

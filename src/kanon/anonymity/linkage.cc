@@ -1,0 +1,73 @@
+#include "kanon/anonymity/linkage.h"
+
+#include <algorithm>
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+Result<std::vector<uint32_t>> LinkCandidates(
+    const GeneralizedTable& table, const std::vector<ValueCode>& record) {
+  const GeneralizationScheme& scheme = table.scheme();
+  const size_t r = scheme.num_attributes();
+  if (record.size() != r) {
+    return Status::InvalidArgument("record has " +
+                                   std::to_string(record.size()) +
+                                   " values; expected " + std::to_string(r));
+  }
+  for (size_t j = 0; j < r; ++j) {
+    if (record[j] != kNoValue &&
+        record[j] >= scheme.schema().attribute(j).size()) {
+      return Status::OutOfRange("value for attribute '" +
+                                scheme.schema().attribute(j).name() +
+                                "' out of its domain");
+    }
+  }
+  std::vector<uint32_t> candidates;
+  for (uint32_t t = 0; t < table.num_rows(); ++t) {
+    bool consistent = true;
+    for (size_t j = 0; j < r && consistent; ++j) {
+      if (record[j] == kNoValue) continue;
+      consistent = scheme.hierarchy(j).Contains(table.at(t, j), record[j]);
+    }
+    if (consistent) {
+      candidates.push_back(t);
+    }
+  }
+  return candidates;
+}
+
+Result<std::vector<uint32_t>> LinkCandidatesByLabel(
+    const GeneralizedTable& table, const std::vector<std::string>& labels) {
+  const Schema& schema = table.scheme().schema();
+  if (labels.size() != schema.num_attributes()) {
+    return Status::InvalidArgument("label record has " +
+                                   std::to_string(labels.size()) +
+                                   " values; expected " +
+                                   std::to_string(schema.num_attributes()));
+  }
+  std::vector<ValueCode> record(labels.size(), kNoValue);
+  for (size_t j = 0; j < labels.size(); ++j) {
+    if (labels[j].empty() || labels[j] == "*") continue;
+    KANON_ASSIGN_OR_RETURN(record[j], schema.attribute(j).CodeOf(labels[j]));
+  }
+  return LinkCandidates(table, record);
+}
+
+size_t MinLinkageSetSize(const Dataset& dataset,
+                         const GeneralizedTable& table) {
+  KANON_CHECK(dataset.num_attributes() == table.num_attributes(),
+              "dataset/table arity mismatch");
+  if (dataset.num_rows() == 0) return 0;
+  size_t min_size = table.num_rows();
+  for (uint32_t i = 0; i < dataset.num_rows(); ++i) {
+    size_t count = 0;
+    for (uint32_t t = 0; t < table.num_rows(); ++t) {
+      if (table.ConsistentPair(dataset, i, t)) ++count;
+    }
+    min_size = std::min(min_size, count);
+  }
+  return min_size;
+}
+
+}  // namespace kanon

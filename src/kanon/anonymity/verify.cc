@@ -1,0 +1,184 @@
+#include "kanon/anonymity/verify.h"
+
+#include <algorithm>
+
+#include "kanon/common/check.h"
+#include "kanon/graph/consistency_graph.h"
+#include "kanon/graph/hopcroft_karp.h"
+#include "kanon/graph/matchable_edges.h"
+#include "kanon/loss/table_metrics.h"
+
+namespace kanon {
+
+const char* AnonymityNotionName(AnonymityNotion notion) {
+  switch (notion) {
+    case AnonymityNotion::kKAnonymity:
+      return "k-anonymity";
+    case AnonymityNotion::kOneK:
+      return "(1,k)-anonymity";
+    case AnonymityNotion::kKOne:
+      return "(k,1)-anonymity";
+    case AnonymityNotion::kKK:
+      return "(k,k)-anonymity";
+    case AnonymityNotion::kGlobalOneK:
+      return "global (1,k)-anonymity";
+  }
+  return "unknown";
+}
+
+bool IsKAnonymous(const GeneralizedTable& table, size_t k) {
+  KANON_CHECK(k >= 1, "k must be positive");
+  for (const auto& group : GroupIdenticalRecords(table)) {
+    if (group.size() < k) return false;
+  }
+  return true;
+}
+
+bool Is1KAnonymous(const Dataset& dataset, const GeneralizedTable& table,
+                   size_t k) {
+  KANON_CHECK(k >= 1, "k must be positive");
+  KANON_CHECK(dataset.num_attributes() == table.num_attributes(),
+              "dataset/table arity mismatch");
+  for (uint32_t i = 0; i < dataset.num_rows(); ++i) {
+    size_t degree = 0;
+    for (uint32_t t = 0; t < table.num_rows() && degree < k; ++t) {
+      if (table.ConsistentPair(dataset, i, t)) ++degree;
+    }
+    if (degree < k) return false;
+  }
+  return true;
+}
+
+bool IsK1Anonymous(const Dataset& dataset, const GeneralizedTable& table,
+                   size_t k) {
+  KANON_CHECK(k >= 1, "k must be positive");
+  KANON_CHECK(dataset.num_attributes() == table.num_attributes(),
+              "dataset/table arity mismatch");
+  for (uint32_t t = 0; t < table.num_rows(); ++t) {
+    size_t degree = 0;
+    for (uint32_t i = 0; i < dataset.num_rows() && degree < k; ++i) {
+      if (table.ConsistentPair(dataset, i, t)) ++degree;
+    }
+    if (degree < k) return false;
+  }
+  return true;
+}
+
+bool IsKKAnonymous(const Dataset& dataset, const GeneralizedTable& table,
+                   size_t k) {
+  return Is1KAnonymous(dataset, table, k) && IsK1Anonymous(dataset, table, k);
+}
+
+bool IsGlobal1KAnonymous(const Dataset& dataset, const GeneralizedTable& table,
+                         size_t k) {
+  KANON_CHECK(k >= 1, "k must be positive");
+  const BipartiteGraph graph = BuildConsistencyGraph(dataset, table);
+  const Result<MatchableEdgeSets> matchable = ComputeMatchableEdges(graph);
+  KANON_CHECK(matchable.ok(), matchable.status().ToString());
+  if (!matchable->has_perfect_matching) return false;
+  for (const auto& matches : matchable->matches) {
+    if (matches.size() < k) return false;
+  }
+  return true;
+}
+
+bool IsGlobal1KAnonymousNaive(const Dataset& dataset,
+                              const GeneralizedTable& table, size_t k) {
+  KANON_CHECK(k >= 1, "k must be positive");
+  const BipartiteGraph graph = BuildConsistencyGraph(dataset, table);
+  const Result<MatchableEdgeSets> matchable =
+      ComputeMatchableEdgesNaive(graph);
+  KANON_CHECK(matchable.ok(), matchable.status().ToString());
+  if (!matchable->has_perfect_matching) return false;
+  for (const auto& matches : matchable->matches) {
+    if (matches.size() < k) return false;
+  }
+  return true;
+}
+
+bool SatisfiesNotion(AnonymityNotion notion, const Dataset& dataset,
+                     const GeneralizedTable& table, size_t k) {
+  switch (notion) {
+    case AnonymityNotion::kKAnonymity:
+      return IsKAnonymous(table, k);
+    case AnonymityNotion::kOneK:
+      return Is1KAnonymous(dataset, table, k);
+    case AnonymityNotion::kKOne:
+      return IsK1Anonymous(dataset, table, k);
+    case AnonymityNotion::kKK:
+      return IsKKAnonymous(dataset, table, k);
+    case AnonymityNotion::kGlobalOneK:
+      return IsGlobal1KAnonymous(dataset, table, k);
+  }
+  return false;
+}
+
+std::string AnonymityReport::ToString() const {
+  std::string out;
+  out += "k = " + std::to_string(k) + "\n";
+  auto line = [&out](const char* name, bool value) {
+    out += std::string(name) + ": " + (value ? "yes" : "no") + "\n";
+  };
+  line("k-anonymous        ", k_anonymous);
+  line("(1,k)-anonymous    ", one_k);
+  line("(k,1)-anonymous    ", k_one);
+  line("(k,k)-anonymous    ", kk);
+  line("global (1,k)-anon. ", global_one_k);
+  out += "min #consistent generalized records per original: " +
+         std::to_string(min_left_degree) + "\n";
+  out += "min #consistent originals per generalized record: " +
+         std::to_string(min_right_degree) + "\n";
+  out += "min #matches per original: " + std::to_string(min_matches) + "\n";
+  out += "smallest identical-record group: " +
+         std::to_string(min_group_size) + "\n";
+  return out;
+}
+
+AnonymityReport AnalyzeAnonymity(const Dataset& dataset,
+                                 const GeneralizedTable& table, size_t k) {
+  KANON_CHECK(k >= 1, "k must be positive");
+  AnonymityReport report;
+  report.k = k;
+
+  const BipartiteGraph graph = BuildConsistencyGraph(dataset, table);
+
+  size_t min_left = table.num_rows();
+  for (uint32_t i = 0; i < graph.num_left(); ++i) {
+    min_left = std::min(min_left, graph.Neighbors(i).size());
+  }
+  report.min_left_degree = graph.num_left() == 0 ? 0 : min_left;
+
+  const std::vector<uint32_t> right_degrees = graph.RightDegrees();
+  report.min_right_degree =
+      right_degrees.empty()
+          ? 0
+          : *std::min_element(right_degrees.begin(), right_degrees.end());
+
+  size_t min_group = table.num_rows();
+  for (const auto& group : GroupIdenticalRecords(table)) {
+    min_group = std::min(min_group, group.size());
+  }
+  report.min_group_size = table.num_rows() == 0 ? 0 : min_group;
+
+  size_t min_matches = 0;
+  if (graph.num_left() == graph.num_right() && graph.num_left() > 0) {
+    const Result<MatchableEdgeSets> matchable = ComputeMatchableEdges(graph);
+    KANON_CHECK(matchable.ok(), matchable.status().ToString());
+    if (matchable->has_perfect_matching) {
+      min_matches = table.num_rows();
+      for (const auto& matches : matchable->matches) {
+        min_matches = std::min(min_matches, matches.size());
+      }
+    }
+  }
+  report.min_matches = min_matches;
+
+  report.k_anonymous = report.min_group_size >= k && table.num_rows() > 0;
+  report.one_k = report.min_left_degree >= k;
+  report.k_one = report.min_right_degree >= k;
+  report.kk = report.one_k && report.k_one;
+  report.global_one_k = report.min_matches >= k;
+  return report;
+}
+
+}  // namespace kanon

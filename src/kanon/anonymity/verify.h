@@ -1,0 +1,85 @@
+#ifndef KANON_ANONYMITY_VERIFY_H_
+#define KANON_ANONYMITY_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kanon/data/dataset.h"
+#include "kanon/generalization/generalized_table.h"
+
+namespace kanon {
+
+/// The five k-type anonymity notions of the paper.
+enum class AnonymityNotion {
+  kKAnonymity,      // Definition 4.1.
+  kOneK,            // (1,k): Definition 4.4.
+  kKOne,            // (k,1): Definition 4.4.
+  kKK,              // (k,k): Definition 4.4.
+  kGlobalOneK,      // Global (1,k): Definition 4.6.
+};
+
+const char* AnonymityNotionName(AnonymityNotion notion);
+
+/// Definition 4.1: every generalized record is identical to at least k−1
+/// other generalized records.
+bool IsKAnonymous(const GeneralizedTable& table, size_t k);
+
+/// Definition 4.4: every record of D is consistent with at least k records
+/// of g(D).
+bool Is1KAnonymous(const Dataset& dataset, const GeneralizedTable& table,
+                   size_t k);
+
+/// Definition 4.4: every record of g(D) is consistent with at least k
+/// records of D.
+bool IsK1Anonymous(const Dataset& dataset, const GeneralizedTable& table,
+                   size_t k);
+
+/// Definition 4.4: both (1,k) and (k,1).
+bool IsKKAnonymous(const Dataset& dataset, const GeneralizedTable& table,
+                   size_t k);
+
+/// Definition 4.6: every record of D has at least k matches — neighbors
+/// whose edge extends to a perfect matching of V_{D,g(D)}. Uses the
+/// O(V+E) matchable-edges algorithm.
+bool IsGlobal1KAnonymous(const Dataset& dataset, const GeneralizedTable& table,
+                         size_t k);
+
+/// Same notion, decided with the paper's per-edge Hopcroft–Karp test.
+/// Exponentially slower in practice; kept as a cross-validation oracle.
+bool IsGlobal1KAnonymousNaive(const Dataset& dataset,
+                              const GeneralizedTable& table, size_t k);
+
+/// Checks one notion.
+bool SatisfiesNotion(AnonymityNotion notion, const Dataset& dataset,
+                     const GeneralizedTable& table, size_t k);
+
+/// Degree/match statistics of a (dataset, table) pair — everything the
+/// verifiers decide, in one pass, plus distribution summaries.
+struct AnonymityReport {
+  size_t k = 0;
+  bool k_anonymous = false;
+  bool one_k = false;
+  bool k_one = false;
+  bool kk = false;
+  bool global_one_k = false;
+
+  /// Min over originals of #consistent generalized records (the (1,k) side).
+  size_t min_left_degree = 0;
+  /// Min over generalized records of #consistent originals (the (k,1) side).
+  size_t min_right_degree = 0;
+  /// Min over originals of #matches (the global (1,k) side).
+  size_t min_matches = 0;
+  /// Smallest group of identical generalized records.
+  size_t min_group_size = 0;
+
+  std::string ToString() const;
+};
+
+/// Full analysis; builds the consistency graph once.
+AnonymityReport AnalyzeAnonymity(const Dataset& dataset,
+                                 const GeneralizedTable& table, size_t k);
+
+}  // namespace kanon
+
+#endif  // KANON_ANONYMITY_VERIFY_H_

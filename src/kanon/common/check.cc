@@ -1,0 +1,18 @@
+#include "kanon/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kanon {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "KANON_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace kanon

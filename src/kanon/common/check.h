@@ -1,0 +1,43 @@
+#ifndef KANON_COMMON_CHECK_H_
+#define KANON_COMMON_CHECK_H_
+
+#include <string>
+
+namespace kanon {
+namespace internal {
+
+/// Prints the failure to stderr and aborts. Out-of-line to keep the macro
+/// expansion small.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+inline std::string CheckMessage() { return std::string(); }
+inline std::string CheckMessage(std::string message) { return message; }
+inline std::string CheckMessage(const char* message) {
+  return std::string(message);
+}
+
+}  // namespace internal
+}  // namespace kanon
+
+/// Aborts with a diagnostic when `cond` is false. For programming errors
+/// (violated invariants), not for recoverable conditions — those use Status.
+#define KANON_CHECK(cond, ...)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::kanon::internal::CheckFailed(                                 \
+          __FILE__, __LINE__, #cond,                                  \
+          ::kanon::internal::CheckMessage(__VA_ARGS__));              \
+    }                                                                 \
+  } while (false)
+
+/// KANON_DCHECK compiles away in release builds.
+#ifdef NDEBUG
+#define KANON_DCHECK(cond, ...) \
+  do {                          \
+  } while (false)
+#else
+#define KANON_DCHECK(cond, ...) KANON_CHECK(cond, __VA_ARGS__)
+#endif
+
+#endif  // KANON_COMMON_CHECK_H_

@@ -1,0 +1,41 @@
+#ifndef KANON_COMMON_FLAGS_H_
+#define KANON_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kanon/common/status.h"
+
+namespace kanon {
+
+/// Minimal command-line flag parser for the example and bench binaries.
+///
+/// Accepts `--name=value` and bare `--name` (boolean true). Anything not
+/// starting with "--" is collected as a positional argument.
+class FlagParser {
+ public:
+  /// Parses argv. Returns an error for malformed flags (e.g. "--=x").
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed getters with defaults. GetInt/GetDouble abort on a value that is
+  /// present but unparsable — bad CLI input on a dev tool is a usage error.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_COMMON_FLAGS_H_

@@ -1,0 +1,75 @@
+#ifndef KANON_COMMON_RESULT_H_
+#define KANON_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "kanon/common/check.h"
+#include "kanon/common/status.h"
+
+namespace kanon {
+
+/// Holds either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<Dataset> r = LoadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Dataset d = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result. Intentionally implicit so functions can
+  /// `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status. Intentionally implicit
+  /// so functions can `return Status::InvalidArgument(...);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    KANON_CHECK(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; Status::OK() if this result holds a value.
+  const Status& status() const { return status_; }
+
+  /// The held value. Requires ok().
+  const T& value() const& {
+    KANON_CHECK(ok(), "Result::value() called on error: " + status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    KANON_CHECK(ok(), "Result::value() called on error: " + status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    KANON_CHECK(ok(), "Result::value() called on error: " + status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Unwraps a Result into `lhs`, propagating errors to the caller.
+#define KANON_INTERNAL_CONCAT2(a, b) a##b
+#define KANON_INTERNAL_CONCAT(a, b) KANON_INTERNAL_CONCAT2(a, b)
+#define KANON_INTERNAL_ASSIGN_OR_RETURN(var, lhs, expr) \
+  auto var = (expr);                                    \
+  if (!var.ok()) {                                      \
+    return var.status();                                \
+  }                                                     \
+  lhs = std::move(var).value()
+#define KANON_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  KANON_INTERNAL_ASSIGN_OR_RETURN(                                         \
+      KANON_INTERNAL_CONCAT(kanon_result_macro_, __LINE__), lhs, expr)
+
+}  // namespace kanon
+
+#endif  // KANON_COMMON_RESULT_H_

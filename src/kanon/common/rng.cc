@@ -1,0 +1,71 @@
+#include "kanon/common/rng.h"
+
+#include <deque>
+
+namespace kanon {
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    KANON_CHECK(w >= 0.0, "NextWeighted requires non-negative weights");
+    total += w;
+  }
+  KANON_CHECK(total > 0.0, "NextWeighted requires a positive weight sum");
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // Floating-point slack.
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  KANON_CHECK(!weights.empty(), "AliasSampler requires at least one weight");
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    KANON_CHECK(w >= 0.0, "AliasSampler requires non-negative weights");
+    total += w;
+  }
+  KANON_CHECK(total > 0.0, "AliasSampler requires a positive weight sum");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::deque<size_t> small;
+  std::deque<size_t> large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    size_t s = small.front();
+    small.pop_front();
+    size_t l = large.front();
+    large.pop_front();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  while (!large.empty()) {
+    prob_[large.front()] = 1.0;
+    large.pop_front();
+  }
+  while (!small.empty()) {
+    prob_[small.front()] = 1.0;  // Floating-point slack.
+    small.pop_front();
+  }
+}
+
+size_t AliasSampler::Sample(Rng* rng) const {
+  size_t i = static_cast<size_t>(rng->NextBounded(prob_.size()));
+  return rng->NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace kanon

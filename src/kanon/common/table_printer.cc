@@ -1,0 +1,74 @@
+#include "kanon/common/table_printer.h"
+
+#include <algorithm>
+
+namespace kanon {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), /*separator=*/false});
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back(Row{{}, /*separator=*/true});
+}
+
+std::string TablePrinter::ToString() const {
+  size_t num_cols = header_.size();
+  for (const Row& row : rows_) {
+    num_cols = std::max(num_cols, row.cells.size());
+  }
+  if (num_cols == 0) return std::string();
+
+  std::vector<size_t> width(num_cols, 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    width[c] = std::max(width[c], header_[c].size());
+  }
+  for (const Row& row : rows_) {
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : std::string();
+      line += cell;
+      if (c + 1 < num_cols) {
+        line.append(width[c] - cell.size() + 2, ' ');
+      }
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  size_t total_width = 0;
+  for (size_t c = 0; c < num_cols; ++c) {
+    total_width += width[c] + (c + 1 < num_cols ? 2 : 0);
+  }
+  const std::string rule(total_width, '-');
+
+  std::string out;
+  if (!header_.empty()) {
+    out += render_cells(header_);
+    out += rule;
+    out += '\n';
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      out += rule;
+      out += '\n';
+    } else {
+      out += render_cells(row.cells);
+    }
+  }
+  return out;
+}
+
+}  // namespace kanon

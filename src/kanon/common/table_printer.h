@@ -1,0 +1,40 @@
+#ifndef KANON_COMMON_TABLE_PRINTER_H_
+#define KANON_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace kanon {
+
+/// Renders aligned plain-text tables for the bench harnesses and examples.
+///
+///   TablePrinter t;
+///   t.SetHeader({"k", "loss"});
+///   t.AddRow({"5", "0.65"});
+///   std::string text = t.ToString();
+class TablePrinter {
+ public:
+  void SetHeader(std::vector<std::string> header);
+
+  /// Rows may have fewer cells than the header; missing cells print empty.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator line at this position.
+  void AddSeparator();
+
+  /// Renders the table. Every column is padded to its widest cell.
+  std::string ToString() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,25 @@
+#ifndef KANON_COMMON_TEXT_H_
+#define KANON_COMMON_TEXT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kanon {
+
+/// Splits `input` on `delim`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace kanon
+
+#endif  // KANON_COMMON_TEXT_H_

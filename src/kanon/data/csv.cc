@@ -1,0 +1,191 @@
+#include "kanon/data/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "kanon/common/text.h"
+
+namespace kanon {
+
+namespace {
+
+// Splits one CSV line into trimmed fields.
+std::vector<std::string> SplitFields(const std::string& line, char delimiter) {
+  std::vector<std::string> fields = Split(line, delimiter);
+  for (std::string& f : fields) {
+    f = std::string(Trim(f));
+  }
+  return fields;
+}
+
+bool HasMissing(const std::vector<std::string>& fields,
+                const CsvOptions& options) {
+  if (!options.skip_rows_with_missing || options.missing_marker.empty()) {
+    return false;
+  }
+  return std::find(fields.begin(), fields.end(), options.missing_marker) !=
+         fields.end();
+}
+
+// Reads all non-empty, non-skipped data rows; validates/strips the header.
+Status ReadRows(std::istream& input, const CsvOptions& options,
+                std::vector<std::string>* header,
+                std::vector<std::vector<std::string>>* rows) {
+  std::string line;
+  bool saw_header = false;
+  size_t line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = SplitFields(line, options.delimiter);
+    if (options.has_header && !saw_header) {
+      *header = std::move(fields);
+      saw_header = true;
+      continue;
+    }
+    if (HasMissing(fields, options)) continue;
+    rows->push_back(std::move(fields));
+  }
+  if (options.has_header && !saw_header) {
+    return Status::IOError("CSV input is empty; expected a header row");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dataset> ReadCsv(const Schema& schema, std::istream& input,
+                        const CsvOptions& options) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  KANON_RETURN_NOT_OK(ReadRows(input, options, &header, &rows));
+
+  if (options.has_header) {
+    if (header.size() != schema.num_attributes()) {
+      return Status::InvalidArgument(
+          "CSV header has " + std::to_string(header.size()) +
+          " columns, schema has " + std::to_string(schema.num_attributes()));
+    }
+    for (size_t j = 0; j < header.size(); ++j) {
+      if (header[j] != schema.attribute(j).name()) {
+        return Status::InvalidArgument("CSV column '" + header[j] +
+                                       "' does not match schema attribute '" +
+                                       schema.attribute(j).name() + "'");
+      }
+    }
+  }
+
+  Dataset dataset(schema);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Status s = dataset.AppendRowLabels(rows[i]);
+    if (!s.ok()) {
+      return Status(s.code(),
+                    "row " + std::to_string(i + 1) + ": " + s.message());
+    }
+  }
+  return dataset;
+}
+
+Result<Dataset> ReadCsvFile(const Schema& schema, const std::string& path,
+                            const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ReadCsv(schema, file, options);
+}
+
+Result<Dataset> ReadCsvInferSchema(std::istream& input,
+                                   const CsvOptions& options) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  KANON_RETURN_NOT_OK(ReadRows(input, options, &header, &rows));
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV input has no data rows");
+  }
+
+  const size_t num_cols = rows[0].size();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != num_cols) {
+      return Status::InvalidArgument("row " + std::to_string(i + 1) + " has " +
+                                     std::to_string(rows[i].size()) +
+                                     " fields; expected " +
+                                     std::to_string(num_cols));
+    }
+  }
+  if (options.has_header && header.size() != num_cols) {
+    return Status::InvalidArgument("header/data column count mismatch");
+  }
+
+  std::vector<AttributeDomain> attributes;
+  for (size_t j = 0; j < num_cols; ++j) {
+    std::set<std::string> distinct;
+    for (const auto& row : rows) {
+      distinct.insert(row[j]);
+    }
+    std::string name =
+        options.has_header ? header[j] : "col" + std::to_string(j);
+    KANON_ASSIGN_OR_RETURN(
+        AttributeDomain domain,
+        AttributeDomain::Create(
+            std::move(name),
+            std::vector<std::string>(distinct.begin(), distinct.end())));
+    attributes.push_back(std::move(domain));
+  }
+  KANON_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attributes)));
+
+  Dataset dataset(std::move(schema));
+  for (const auto& row : rows) {
+    KANON_RETURN_NOT_OK(dataset.AppendRowLabels(row));
+  }
+  return dataset;
+}
+
+Result<Dataset> ReadCsvInferSchemaFile(const std::string& path,
+                                       const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ReadCsvInferSchema(file, options);
+}
+
+Status WriteCsv(const Dataset& dataset, std::ostream& output,
+                char delimiter) {
+  const Schema& schema = dataset.schema();
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    if (j > 0) output << delimiter;
+    output << schema.attribute(j).name();
+  }
+  if (dataset.has_class_column()) {
+    output << delimiter << dataset.class_domain().name();
+  }
+  output << '\n';
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    for (size_t j = 0; j < schema.num_attributes(); ++j) {
+      if (j > 0) output << delimiter;
+      output << schema.attribute(j).label(dataset.at(i, j));
+    }
+    if (dataset.has_class_column()) {
+      output << delimiter << dataset.class_domain().label(dataset.class_of(i));
+    }
+    output << '\n';
+  }
+  if (!output) {
+    return Status::IOError("failed writing CSV output");
+  }
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                    char delimiter) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return WriteCsv(dataset, file, delimiter);
+}
+
+}  // namespace kanon

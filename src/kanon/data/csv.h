@@ -1,0 +1,48 @@
+#ifndef KANON_DATA_CSV_H_
+#define KANON_DATA_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "kanon/common/result.h"
+#include "kanon/data/dataset.h"
+
+namespace kanon {
+
+/// Options for the CSV reader. The format is plain comma-separated text
+/// without quoting (the UCI files this library targets use none); fields are
+/// trimmed of surrounding whitespace.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Rows containing this field (e.g. "?" in UCI Adult) are skipped entirely.
+  std::string missing_marker = "?";
+  bool skip_rows_with_missing = true;
+};
+
+/// Reads a dataset whose columns match `schema` (by position). Unknown value
+/// labels produce an error. A header row, when present, is validated against
+/// the attribute names.
+Result<Dataset> ReadCsv(const Schema& schema, std::istream& input,
+                        const CsvOptions& options = CsvOptions());
+Result<Dataset> ReadCsvFile(const Schema& schema, const std::string& path,
+                            const CsvOptions& options = CsvOptions());
+
+/// Reads a CSV and infers an attribute domain per column from the distinct
+/// values seen (labels sorted lexicographically). With a header, attribute
+/// names come from it; otherwise they are "col0", "col1", ....
+Result<Dataset> ReadCsvInferSchema(std::istream& input,
+                                   const CsvOptions& options = CsvOptions());
+Result<Dataset> ReadCsvInferSchemaFile(
+    const std::string& path, const CsvOptions& options = CsvOptions());
+
+/// Writes a dataset (value labels, with a header; the class column, when
+/// present, is appended as the last column).
+Status WriteCsv(const Dataset& dataset, std::ostream& output,
+                char delimiter = ',');
+Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_CSV_H_

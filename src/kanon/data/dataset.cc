@@ -1,0 +1,101 @@
+#include "kanon/data/dataset.h"
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+Record Dataset::row(size_t row_index) const {
+  KANON_CHECK(row_index < num_rows(), "row index out of range");
+  const size_t r = num_attributes();
+  Record out(r);
+  for (size_t j = 0; j < r; ++j) {
+    out[j] = cells_[row_index * r + j];
+  }
+  return out;
+}
+
+Status Dataset::AppendRow(const Record& record) {
+  if (record.size() != num_attributes()) {
+    return Status::InvalidArgument(
+        "record has " + std::to_string(record.size()) + " values, schema has " +
+        std::to_string(num_attributes()) + " attributes");
+  }
+  for (size_t j = 0; j < record.size(); ++j) {
+    if (record[j] >= schema_.attribute(j).size()) {
+      return Status::OutOfRange("value code " + std::to_string(record[j]) +
+                                " out of range for attribute '" +
+                                schema_.attribute(j).name() + "'");
+    }
+  }
+  if (!class_codes_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot append rows after a class column was attached");
+  }
+  cells_.insert(cells_.end(), record.begin(), record.end());
+  return Status::OK();
+}
+
+Status Dataset::AppendRowLabels(const std::vector<std::string>& labels) {
+  if (labels.size() != num_attributes()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(labels.size()) + " labels, schema has " +
+        std::to_string(num_attributes()) + " attributes");
+  }
+  Record record(labels.size());
+  for (size_t j = 0; j < labels.size(); ++j) {
+    KANON_ASSIGN_OR_RETURN(record[j], schema_.attribute(j).CodeOf(labels[j]));
+  }
+  return AppendRow(record);
+}
+
+std::vector<uint32_t> Dataset::ValueCounts(size_t attr) const {
+  KANON_CHECK(attr < num_attributes(), "attribute index out of range");
+  std::vector<uint32_t> counts(schema_.attribute(attr).size(), 0);
+  const size_t r = num_attributes();
+  const size_t n = num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    ++counts[cells_[i * r + attr]];
+  }
+  return counts;
+}
+
+Status Dataset::SetClassColumn(AttributeDomain domain,
+                               std::vector<ValueCode> codes) {
+  if (codes.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "class column has " + std::to_string(codes.size()) +
+        " values for " + std::to_string(num_rows()) + " rows");
+  }
+  for (ValueCode c : codes) {
+    if (c >= domain.size()) {
+      return Status::OutOfRange("class code out of range");
+    }
+  }
+  class_domain_ = std::move(domain);
+  class_codes_ = std::move(codes);
+  return Status::OK();
+}
+
+const AttributeDomain& Dataset::class_domain() const {
+  KANON_CHECK(class_domain_.has_value(), "dataset has no class column");
+  return *class_domain_;
+}
+
+ValueCode Dataset::class_of(size_t row) const {
+  KANON_CHECK(row < class_codes_.size(), "dataset has no class column");
+  return class_codes_[row];
+}
+
+Dataset Dataset::Head(size_t n) const {
+  KANON_CHECK(n <= num_rows(), "Head(n) requires n <= num_rows()");
+  Dataset out(schema_);
+  const size_t r = num_attributes();
+  out.cells_.assign(cells_.begin(), cells_.begin() + n * r);
+  if (class_domain_.has_value()) {
+    out.class_domain_ = class_domain_;
+    out.class_codes_.assign(class_codes_.begin(), class_codes_.begin() + n);
+  }
+  return out;
+}
+
+}  // namespace kanon

@@ -1,0 +1,74 @@
+#ifndef KANON_DATA_DATASET_H_
+#define KANON_DATA_DATASET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kanon/common/result.h"
+#include "kanon/data/attribute.h"
+#include "kanon/data/schema.h"
+
+namespace kanon {
+
+/// A record of the public database D: one coded value per attribute.
+using Record = std::vector<ValueCode>;
+
+/// The public database D = {R_1, ..., R_n} (eq. (1) of the paper): an
+/// in-memory table of coded categorical records over a Schema.
+///
+/// An optional class column (e.g. the contraceptive-method attribute of the
+/// CMC dataset) stands in for the private database D'; it is used by the
+/// classification metric and by the adversary demos, and is never touched by
+/// the anonymization algorithms.
+class Dataset {
+ public:
+  explicit Dataset(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const {
+    return schema_.num_attributes() == 0
+               ? 0
+               : cells_.size() / schema_.num_attributes();
+  }
+  size_t num_attributes() const { return schema_.num_attributes(); }
+
+  /// Value of attribute `attr` in row `row`. Ri(j) in the paper's notation.
+  ValueCode at(size_t row, size_t attr) const {
+    KANON_DCHECK(row < num_rows() && attr < num_attributes());
+    return cells_[row * num_attributes() + attr];
+  }
+
+  /// Copies out row `row` as a Record.
+  Record row(size_t row_index) const;
+
+  /// Appends a row. The record must have one in-range code per attribute.
+  Status AppendRow(const Record& record);
+
+  /// Appends a row of value labels, translating them to codes.
+  Status AppendRowLabels(const std::vector<std::string>& labels);
+
+  /// Per-attribute value histogram: counts[v] = #{i : R_i(j) = v}.
+  std::vector<uint32_t> ValueCounts(size_t attr) const;
+
+  /// Attaches a class column (one code per existing row).
+  Status SetClassColumn(AttributeDomain domain, std::vector<ValueCode> codes);
+  bool has_class_column() const { return class_domain_.has_value(); }
+  const AttributeDomain& class_domain() const;
+  ValueCode class_of(size_t row) const;
+
+  /// Returns the first `n` rows as a new dataset (class column included).
+  /// Requires n <= num_rows().
+  Dataset Head(size_t n) const;
+
+ private:
+  Schema schema_;
+  std::vector<ValueCode> cells_;  // Row-major, n x r.
+  std::optional<AttributeDomain> class_domain_;
+  std::vector<ValueCode> class_codes_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_DATASET_H_

@@ -1,0 +1,44 @@
+#include "kanon/data/schema.h"
+
+#include <unordered_set>
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+Result<Schema> Schema::Create(std::vector<AttributeDomain> attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("schema must have at least one attribute");
+  }
+  std::unordered_set<std::string> names;
+  for (const AttributeDomain& a : attributes) {
+    if (!names.insert(a.name()).second) {
+      return Status::InvalidArgument("duplicate attribute name '" + a.name() +
+                                     "'");
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+const AttributeDomain& Schema::attribute(size_t index) const {
+  KANON_CHECK(index < attributes_.size(), "attribute index out of range");
+  return attributes_[index];
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name() == name) return i;
+  }
+  return Status::NotFound("schema has no attribute '" + name + "'");
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name() != other.attributes_[i].name()) return false;
+    if (attributes_[i].labels() != other.attributes_[i].labels()) return false;
+  }
+  return true;
+}
+
+}  // namespace kanon

@@ -1,0 +1,40 @@
+#ifndef KANON_DATA_SCHEMA_H_
+#define KANON_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "kanon/common/result.h"
+#include "kanon/data/attribute.h"
+
+namespace kanon {
+
+/// The public (quasi-identifier) attributes A_1, ..., A_r of a table.
+class Schema {
+ public:
+  /// Attribute names must be distinct and there must be at least one.
+  static Result<Schema> Create(std::vector<AttributeDomain> attributes);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeDomain& attribute(size_t index) const;
+  const std::vector<AttributeDomain>& attributes() const {
+    return attributes_;
+  }
+
+  /// Index of the attribute with this name.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if both schemas have the same attribute names and value labels
+  /// in the same order.
+  bool Equals(const Schema& other) const;
+
+ private:
+  explicit Schema(std::vector<AttributeDomain> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  std::vector<AttributeDomain> attributes_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_SCHEMA_H_

@@ -1,0 +1,37 @@
+#ifndef KANON_DATASETS_ADULT_H_
+#define KANON_DATASETS_ADULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kanon/common/result.h"
+#include "kanon/datasets/workload.h"
+
+namespace kanon {
+
+/// A synthetic stand-in for the UCI Adult (census income) dataset with the
+/// paper's nine public attributes: age, work-class, education,
+/// marital-status, occupation, relationship, race, sex, native-country.
+///
+/// Domains are the real Adult categorical domains; marginals approximate
+/// the census data (e.g. Private ≈ 0.73 of work-class, United-States ≈ 0.90
+/// of native-country) and the strongest real correlations are preserved
+/// (sex/marital-status → relationship, education → occupation). The
+/// income class column (<=50K / >50K) is attached for the classification
+/// metric. Deterministic in `seed`.
+///
+/// The generalization hierarchies group semantically close values (the
+/// paper's example: education → {high-school, college, advanced-degrees});
+/// age uses nested 5/10/20-year bands.
+Result<Workload> MakeAdultWorkload(size_t n, uint64_t seed);
+
+/// Loads the genuine UCI `adult.data` file (no header, 15 comma-separated
+/// columns, "?" for missing) into the same schema and hierarchies, so the
+/// experiments can be re-run on the real data when the file is available.
+/// Rows with missing values are skipped; at most `max_rows` rows are kept
+/// (0 = all). Rows whose age falls outside [17, 90] are rejected.
+Result<Workload> LoadAdultWorkload(const std::string& path, size_t max_rows);
+
+}  // namespace kanon
+
+#endif  // KANON_DATASETS_ADULT_H_

@@ -1,0 +1,100 @@
+#include "kanon/datasets/art.h"
+
+#include "kanon/common/rng.h"
+
+namespace kanon {
+
+namespace {
+
+// Value labels "a1".."am".
+std::vector<std::string> GenericLabels(size_t m) {
+  std::vector<std::string> labels;
+  labels.reserve(m);
+  for (size_t i = 1; i <= m; ++i) {
+    std::string label = "a";
+    label += std::to_string(i);
+    labels.push_back(std::move(label));
+  }
+  return labels;
+}
+
+// A contiguous 0-based group [lo, hi] (paper indices are 1-based).
+std::vector<ValueCode> Range(int lo_1based, int hi_1based) {
+  std::vector<ValueCode> out;
+  for (int v = lo_1based; v <= hi_1based; ++v) {
+    out.push_back(static_cast<ValueCode>(v - 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Workload> MakeArtWorkload(size_t n, uint64_t seed) {
+  if (n == 0) {
+    return Status::InvalidArgument("n must be positive");
+  }
+
+  // Value distributions per the paper.
+  const std::vector<std::vector<double>> weights = {
+      {0.7, 0.3},
+      {0.3, 0.3, 0.2, 0.2},
+      {0.25, 0.25, 0.4, 0.1},
+      {0.07, 0.07, 0.07, 0.07, 0.07, 0.07,              // 6 × 0.07
+       0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04,  // 10×.04
+       0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02},       // 9×.02
+      {0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1},
+      {0.05, 0.05, 0.5, 0.3, 0.1},
+  };
+
+  std::vector<AttributeDomain> attributes;
+  for (size_t j = 0; j < weights.size(); ++j) {
+    KANON_ASSIGN_OR_RETURN(
+        AttributeDomain domain,
+        AttributeDomain::Create(std::string("A") += std::to_string(j + 1),
+                                GenericLabels(weights[j].size())));
+    attributes.push_back(std::move(domain));
+  }
+  KANON_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attributes)));
+
+  // Non-trivial permissible subsets per the paper (1-based indices).
+  std::vector<std::vector<std::vector<ValueCode>>> groups(6);
+  groups[0] = {};
+  groups[1] = {Range(1, 2), Range(3, 4)};
+  groups[2] = {Range(1, 2), Range(3, 4)};
+  groups[3] = {Range(1, 6),   Range(7, 12), Range(13, 18),
+               Range(19, 25), Range(1, 12), Range(13, 25)};
+  groups[4] = {Range(1, 2), Range(3, 4), Range(6, 7),
+               Range(8, 9), Range(1, 5), Range(6, 10)};
+  groups[5] = {Range(1, 2), Range(4, 5), Range(3, 5)};
+
+  std::vector<Hierarchy> hierarchies;
+  for (size_t j = 0; j < weights.size(); ++j) {
+    KANON_ASSIGN_OR_RETURN(
+        Hierarchy h, Hierarchy::FromGroups(weights[j].size(), groups[j]));
+    hierarchies.push_back(std::move(h));
+  }
+  KANON_ASSIGN_OR_RETURN(
+      GeneralizationScheme scheme_value,
+      GeneralizationScheme::Create(schema, std::move(hierarchies)));
+
+  Dataset dataset(schema);
+  Rng rng(seed);
+  std::vector<AliasSampler> samplers;
+  samplers.reserve(weights.size());
+  for (const auto& w : weights) {
+    samplers.emplace_back(w);
+  }
+  Record record(weights.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < weights.size(); ++j) {
+      record[j] = static_cast<ValueCode>(samplers[j].Sample(&rng));
+    }
+    KANON_RETURN_NOT_OK(dataset.AppendRow(record));
+  }
+
+  return Workload{
+      "ART", std::move(dataset),
+      std::make_shared<const GeneralizationScheme>(std::move(scheme_value))};
+}
+
+}  // namespace kanon

@@ -1,0 +1,30 @@
+#ifndef KANON_DATASETS_ART_H_
+#define KANON_DATASETS_ART_H_
+
+#include <cstdint>
+
+#include "kanon/common/result.h"
+#include "kanon/datasets/workload.h"
+
+namespace kanon {
+
+/// The paper's artificial dataset (Section VI): n records over six
+/// attributes A1..A6 whose value distributions and permissible generalized
+/// subsets are exactly the ones printed in the paper:
+///
+///   A1: {0.7, 0.3}                                 — no non-trivial subsets
+///   A2: {0.3, 0.3, 0.2, 0.2}                       — {a1,a2}, {a3,a4}
+///   A3: {0.25, 0.25, 0.4, 0.1}                     — {a1,a2}, {a3,a4}
+///   A4: {6×0.07, 10×0.04, 9×0.02}                  — {a1..a6}, {a7..a12},
+///        {a13..a18}, {a19..a25}, {a1..a12}, {a13..a25}
+///   A5: {10×0.1}                                   — {a1,a2}, {a3,a4},
+///        {a6,a7}, {a8,a9}, {a1..a5}, {a6..a10}
+///   A6: {0.05, 0.05, 0.5, 0.3, 0.1}                — {a1,a2}, {a4,a5},
+///        {a3,a4,a5}
+///
+/// Attribute values are sampled independently. Deterministic in `seed`.
+Result<Workload> MakeArtWorkload(size_t n, uint64_t seed);
+
+}  // namespace kanon
+
+#endif  // KANON_DATASETS_ART_H_

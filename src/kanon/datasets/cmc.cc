@@ -1,0 +1,229 @@
+#include "kanon/datasets/cmc.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "kanon/common/rng.h"
+#include "kanon/common/text.h"
+
+namespace kanon {
+
+namespace {
+
+constexpr int kMinWifeAge = 16;
+constexpr int kMaxWifeAge = 49;
+constexpr int kMaxChildren = 16;
+
+std::vector<std::string> NumericLabels(int lo, int hi) {
+  std::vector<std::string> labels;
+  for (int v = lo; v <= hi; ++v) {
+    labels.push_back(std::to_string(v));
+  }
+  return labels;
+}
+
+struct CmcSchemaParts {
+  Schema schema;
+  GeneralizationScheme scheme;
+};
+
+Result<CmcSchemaParts> BuildCmcSchema() {
+  std::vector<AttributeDomain> attributes;
+  attributes.push_back(
+      AttributeDomain::IntegerRange("wife-age", kMinWifeAge, kMaxWifeAge));
+  auto add = [&attributes](std::string name, int lo, int hi) -> Status {
+    Result<AttributeDomain> domain =
+        AttributeDomain::Create(std::move(name), NumericLabels(lo, hi));
+    KANON_RETURN_NOT_OK(domain.status());
+    attributes.push_back(std::move(domain).value());
+    return Status::OK();
+  };
+  KANON_RETURN_NOT_OK(add("wife-education", 1, 4));
+  KANON_RETURN_NOT_OK(add("husband-education", 1, 4));
+  KANON_RETURN_NOT_OK(add("num-children", 0, kMaxChildren));
+  KANON_RETURN_NOT_OK(add("wife-religion", 0, 1));
+  KANON_RETURN_NOT_OK(add("wife-working", 0, 1));
+  KANON_RETURN_NOT_OK(add("husband-occupation", 1, 4));
+  KANON_RETURN_NOT_OK(add("living-standard", 1, 4));
+  KANON_RETURN_NOT_OK(add("media-exposure", 0, 1));
+  KANON_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(attributes)));
+
+  std::vector<Hierarchy> hierarchies;
+  // wife-age: nested 5/10-year bands (offset from 16).
+  KANON_ASSIGN_OR_RETURN(
+      Hierarchy age_h,
+      Hierarchy::Intervals(schema.attribute(0).size(), {5, 10}));
+  hierarchies.push_back(std::move(age_h));
+
+  const std::vector<std::vector<ValueCode>> low_high = {{0, 1}, {2, 3}};
+  auto add_groups = [&schema, &hierarchies](
+                        size_t attr,
+                        std::vector<std::vector<ValueCode>> groups) -> Status {
+    Result<Hierarchy> h =
+        Hierarchy::FromGroups(schema.attribute(attr).size(), groups);
+    KANON_RETURN_NOT_OK(h.status());
+    hierarchies.push_back(std::move(h).value());
+    return Status::OK();
+  };
+  KANON_RETURN_NOT_OK(add_groups(1, low_high));  // wife-education
+  KANON_RETURN_NOT_OK(add_groups(2, low_high));  // husband-education
+  // num-children: {1,2}, {3,4}, {1..4}, {5..16}.
+  KANON_RETURN_NOT_OK(add_groups(
+      3, {{1, 2},
+              {3, 4},
+              {1, 2, 3, 4},
+              {5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}}));
+  KANON_RETURN_NOT_OK(add_groups(4, {}));        // wife-religion
+  KANON_RETURN_NOT_OK(add_groups(5, {}));        // wife-working
+  KANON_RETURN_NOT_OK(add_groups(6, low_high));  // husband-occupation
+  KANON_RETURN_NOT_OK(add_groups(7, low_high));  // living-standard
+  KANON_RETURN_NOT_OK(add_groups(8, {}));        // media-exposure
+
+  KANON_ASSIGN_OR_RETURN(
+      GeneralizationScheme scheme,
+      GeneralizationScheme::Create(schema, std::move(hierarchies)));
+  return CmcSchemaParts{std::move(schema), std::move(scheme)};
+}
+
+Result<AttributeDomain> ClassDomain() {
+  return AttributeDomain::Create("contraceptive-method",
+                                 {"no-use", "long-term", "short-term"});
+}
+
+std::vector<double> WifeAgeWeights() {
+  std::vector<double> weights;
+  for (int age = kMinWifeAge; age <= kMaxWifeAge; ++age) {
+    const double z = (age - 32.5) / 8.2;
+    weights.push_back(std::exp(-0.5 * z * z));
+  }
+  return weights;
+}
+
+std::vector<double> ChildrenWeights() {
+  // Decaying histogram with mean ≈ 3.3, as in the survey.
+  std::vector<double> weights = {0.065, 0.180, 0.160, 0.150, 0.120, 0.090,
+                                 0.070, 0.050, 0.035, 0.025, 0.018, 0.012,
+                                 0.008, 0.005, 0.004, 0.002, 0.001};
+  return weights;
+}
+
+}  // namespace
+
+Result<Workload> MakeCmcWorkload(size_t n, uint64_t seed) {
+  if (n == 0) {
+    return Status::InvalidArgument("n must be positive");
+  }
+  KANON_ASSIGN_OR_RETURN(CmcSchemaParts parts, BuildCmcSchema());
+  const Schema& schema = parts.schema;
+
+  Rng rng(seed);
+  const AliasSampler age_sampler(WifeAgeWeights());
+  const AliasSampler wife_edu_sampler({0.10, 0.22, 0.28, 0.40});
+  const AliasSampler husband_edu_sampler({0.03, 0.12, 0.24, 0.61});
+  const AliasSampler children_sampler(ChildrenWeights());
+  const AliasSampler religion_sampler({0.15, 0.85});
+  const AliasSampler working_sampler({0.25, 0.75});
+  const AliasSampler occupation_sampler({0.30, 0.29, 0.38, 0.03});
+  const AliasSampler living_sampler({0.09, 0.15, 0.29, 0.47});
+  const AliasSampler media_sampler({0.926, 0.074});
+
+  Dataset dataset(schema);
+  std::vector<ValueCode> method(n);
+  Record record(schema.num_attributes());
+  for (size_t i = 0; i < n; ++i) {
+    const ValueCode age = static_cast<ValueCode>(age_sampler.Sample(&rng));
+    const ValueCode wife_edu =
+        static_cast<ValueCode>(wife_edu_sampler.Sample(&rng));
+    ValueCode children =
+        static_cast<ValueCode>(children_sampler.Sample(&rng));
+    // Children count grows with age: young wives rarely have many.
+    const int actual_age = kMinWifeAge + age;
+    if (actual_age < 22 && children > 2) {
+      children = static_cast<ValueCode>(rng.NextBounded(3));
+    }
+
+    record[0] = age;
+    record[1] = wife_edu;
+    record[2] = static_cast<ValueCode>(husband_edu_sampler.Sample(&rng));
+    record[3] = children;
+    record[4] = static_cast<ValueCode>(religion_sampler.Sample(&rng));
+    record[5] = static_cast<ValueCode>(working_sampler.Sample(&rng));
+    record[6] = static_cast<ValueCode>(occupation_sampler.Sample(&rng));
+    record[7] = static_cast<ValueCode>(living_sampler.Sample(&rng));
+    record[8] = static_cast<ValueCode>(media_sampler.Sample(&rng));
+    KANON_RETURN_NOT_OK(dataset.AppendRow(record));
+
+    // Class (no-use / long-term / short-term), tilted like the survey:
+    // childless and older wives skew to no-use, educated wives to
+    // long-term methods.
+    double w_no = 0.43;
+    double w_long = 0.22;
+    double w_short = 0.35;
+    if (children == 0) {
+      w_no += 0.35;
+    }
+    if (wife_edu == 3) {
+      w_long += 0.15;
+    }
+    if (actual_age >= 42) {
+      w_no += 0.20;
+    } else if (actual_age <= 25) {
+      w_short += 0.12;
+    }
+    method[i] =
+        static_cast<ValueCode>(rng.NextWeighted({w_no, w_long, w_short}));
+  }
+
+  KANON_ASSIGN_OR_RETURN(AttributeDomain class_domain, ClassDomain());
+  KANON_RETURN_NOT_OK(
+      dataset.SetClassColumn(std::move(class_domain), std::move(method)));
+
+  return Workload{"CMC", std::move(dataset),
+                  std::make_shared<const GeneralizationScheme>(
+                      std::move(parts.scheme))};
+}
+
+Result<Workload> LoadCmcWorkload(const std::string& path) {
+  KANON_ASSIGN_OR_RETURN(CmcSchemaParts parts, BuildCmcSchema());
+
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  Dataset dataset(parts.schema);
+  std::vector<ValueCode> method;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != 10) {
+      return Status::InvalidArgument("cmc.data row with " +
+                                     std::to_string(fields.size()) +
+                                     " fields; expected 10");
+    }
+    for (std::string& f : fields) f = std::string(Trim(f));
+    std::vector<std::string> labels(fields.begin(), fields.begin() + 9);
+    KANON_RETURN_NOT_OK(dataset.AppendRowLabels(labels));
+    // Class codes in the file are 1..3.
+    char* end = nullptr;
+    const long cls = std::strtol(fields[9].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || cls < 1 || cls > 3) {
+      return Status::OutOfRange("class value must be an integer in 1..3; got '" +
+                                fields[9] + "'");
+    }
+    method.push_back(static_cast<ValueCode>(cls - 1));
+  }
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("'" + path + "' contains no usable rows");
+  }
+  KANON_ASSIGN_OR_RETURN(AttributeDomain class_domain, ClassDomain());
+  KANON_RETURN_NOT_OK(
+      dataset.SetClassColumn(std::move(class_domain), std::move(method)));
+
+  return Workload{"CMC-real", std::move(dataset),
+                  std::make_shared<const GeneralizationScheme>(
+                      std::move(parts.scheme))};
+}
+
+}  // namespace kanon

@@ -1,0 +1,29 @@
+#ifndef KANON_DATASETS_CMC_H_
+#define KANON_DATASETS_CMC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kanon/common/result.h"
+#include "kanon/datasets/workload.h"
+
+namespace kanon {
+
+/// A synthetic stand-in for the UCI Contraceptive Method Choice dataset
+/// (1987 National Indonesia Contraceptive Prevalence Survey): nine public
+/// attributes — wife-age, wife-education, husband-education, num-children,
+/// wife-religion, wife-working, husband-occupation, living-standard,
+/// media-exposure — plus the contraceptive-method class column (no-use /
+/// long-term / short-term). Marginals approximate the survey; the class is
+/// correlated with age, education and children as in the real data.
+/// The paper uses n = 1500 (the real file has 1473 rows). Deterministic in
+/// `seed`.
+Result<Workload> MakeCmcWorkload(size_t n, uint64_t seed);
+
+/// Loads the genuine UCI `cmc.data` file (no header, 10 comma-separated
+/// integer columns, last = class) into the same schema and hierarchies.
+Result<Workload> LoadCmcWorkload(const std::string& path);
+
+}  // namespace kanon
+
+#endif  // KANON_DATASETS_CMC_H_

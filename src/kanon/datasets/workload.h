@@ -1,0 +1,22 @@
+#ifndef KANON_DATASETS_WORKLOAD_H_
+#define KANON_DATASETS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "kanon/data/dataset.h"
+#include "kanon/generalization/scheme.h"
+
+namespace kanon {
+
+/// A dataset bundled with its generalization scheme — everything an
+/// anonymization experiment needs.
+struct Workload {
+  std::string name;
+  Dataset dataset;
+  std::shared_ptr<const GeneralizationScheme> scheme;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_DATASETS_WORKLOAD_H_

@@ -1,0 +1,160 @@
+#include "kanon/generalization/generalized_csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "kanon/common/text.h"
+
+namespace kanon {
+
+namespace {
+
+// Renders one generalized cell: label, "{a;b;c}", or "*".
+std::string CellText(const Hierarchy& h, const AttributeDomain& domain,
+                     SetId set) {
+  const size_t size = h.SizeOf(set);
+  if (size == 1) {
+    return domain.label(h.set(set).Values()[0]);
+  }
+  if (size == domain.size()) {
+    return "*";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (ValueCode v : h.set(set).Values()) {
+    if (!first) out += ";";
+    out += domain.label(v);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+Result<SetId> ParseCell(const Hierarchy& h, const AttributeDomain& domain,
+                        const std::string& text) {
+  if (text == "*") {
+    return h.FullSetId();
+  }
+  if (!text.empty() && text.front() == '{' && text.back() == '}') {
+    ValueSet set(domain.size());
+    for (const std::string& part :
+         Split(text.substr(1, text.size() - 2), ';')) {
+      KANON_ASSIGN_OR_RETURN(ValueCode code,
+                             domain.CodeOf(std::string(Trim(part))));
+      set.Insert(code);
+    }
+    Result<SetId> id = h.IdOf(set);
+    if (!id.ok()) {
+      return Status::InvalidArgument("subset " + text +
+                                     " is not permissible for attribute '" +
+                                     domain.name() + "'");
+    }
+    return id;
+  }
+  KANON_ASSIGN_OR_RETURN(ValueCode code, domain.CodeOf(text));
+  return h.LeafOf(code);
+}
+
+}  // namespace
+
+Status WriteGeneralizedCsv(const GeneralizedTable& table,
+                           std::ostream& output) {
+  const GeneralizationScheme& scheme = table.scheme();
+  const Schema& schema = scheme.schema();
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    if (j > 0) output << ',';
+    output << schema.attribute(j).name();
+  }
+  output << '\n';
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (size_t j = 0; j < schema.num_attributes(); ++j) {
+      if (j > 0) output << ',';
+      output << CellText(scheme.hierarchy(j), schema.attribute(j),
+                         table.at(i, j));
+    }
+    output << '\n';
+  }
+  if (!output) {
+    return Status::IOError("failed writing generalized CSV output");
+  }
+  return Status::OK();
+}
+
+Status WriteGeneralizedCsvFile(const GeneralizedTable& table,
+                               const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return WriteGeneralizedCsv(table, file);
+}
+
+Result<GeneralizedTable> ReadGeneralizedCsv(
+    std::shared_ptr<const GeneralizationScheme> scheme, std::istream& input) {
+  if (scheme == nullptr) {
+    return Status::InvalidArgument("scheme must not be null");
+  }
+  const Schema& schema = scheme->schema();
+  GeneralizedTable table(scheme);
+
+  std::string line;
+  bool saw_header = false;
+  size_t line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    for (std::string& f : fields) f = std::string(Trim(f));
+    if (!saw_header) {
+      if (fields.size() != schema.num_attributes()) {
+        return Status::InvalidArgument("header has " +
+                                       std::to_string(fields.size()) +
+                                       " columns; expected " +
+                                       std::to_string(schema.num_attributes()));
+      }
+      for (size_t j = 0; j < fields.size(); ++j) {
+        if (fields[j] != schema.attribute(j).name()) {
+          return Status::InvalidArgument(
+              "header column '" + fields[j] + "' does not match attribute '" +
+              schema.attribute(j).name() + "'");
+        }
+      }
+      saw_header = true;
+      continue;
+    }
+    if (fields.size() != schema.num_attributes()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     " has " + std::to_string(fields.size()) +
+                                     " fields; expected " +
+                                     std::to_string(schema.num_attributes()));
+    }
+    GeneralizedRecord record(fields.size());
+    for (size_t j = 0; j < fields.size(); ++j) {
+      Result<SetId> id =
+          ParseCell(scheme->hierarchy(j), schema.attribute(j), fields[j]);
+      if (!id.ok()) {
+        return Status(id.status().code(), "line " +
+                                              std::to_string(line_number) +
+                                              ": " + id.status().message());
+      }
+      record[j] = id.value();
+    }
+    table.AppendRecord(record);
+  }
+  if (!saw_header) {
+    return Status::IOError("generalized CSV input is empty");
+  }
+  return table;
+}
+
+Result<GeneralizedTable> ReadGeneralizedCsvFile(
+    std::shared_ptr<const GeneralizationScheme> scheme,
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ReadGeneralizedCsv(std::move(scheme), file);
+}
+
+}  // namespace kanon

@@ -1,0 +1,100 @@
+#ifndef KANON_GENERALIZATION_HIERARCHY_H_
+#define KANON_GENERALIZATION_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kanon/common/result.h"
+#include "kanon/data/attribute.h"
+#include "kanon/generalization/value_set.h"
+
+namespace kanon {
+
+/// Id of a permissible generalized subset within a Hierarchy.
+using SetId = uint16_t;
+
+/// The collection of permissible generalized subsets A_j ⊆ P(A_j) for one
+/// attribute (Definition 3.1), with precomputed join tables.
+///
+/// Following the paper (Section VI), every collection implicitly contains
+/// all singletons {a} (the "not generalized" entries) and the full domain
+/// A_j (total suppression); Build adds them when absent.
+///
+/// The collection must be *join-consistent*: every pair of subsets must have
+/// a unique minimal permissible superset of their union, so that cluster
+/// closures (the minimal generalized record consistent with a set of
+/// records) are well defined. Laminar families — hierarchy trees, which is
+/// what the paper uses throughout — always are; Build verifies the property
+/// and fails otherwise.
+class Hierarchy {
+ public:
+  /// Builds a hierarchy over a domain of `domain_size` values from the given
+  /// subsets (duplicates are dropped; singletons and the full set added).
+  static Result<Hierarchy> Build(size_t domain_size,
+                                 std::vector<ValueSet> subsets);
+
+  /// Builds from value-code groups: each group becomes one subset.
+  static Result<Hierarchy> FromGroups(
+      size_t domain_size, const std::vector<std::vector<ValueCode>>& groups);
+
+  /// Builds from label groups resolved against `domain`.
+  static Result<Hierarchy> FromLabelGroups(
+      const AttributeDomain& domain,
+      const std::vector<std::vector<std::string>>& groups);
+
+  /// "Trivial" hierarchy: only singletons and the full set (the
+  /// suppression-only model of Meyerson and Williams).
+  static Result<Hierarchy> SuppressionOnly(size_t domain_size);
+
+  /// For an integer-like domain of consecutive values: nested aligned bands
+  /// of the given widths (each width must divide the next; e.g. {5,10,20}
+  /// yields 5-wide, 10-wide and 20-wide ranges). Always laminar.
+  static Result<Hierarchy> Intervals(size_t domain_size,
+                                     const std::vector<int>& widths);
+
+  size_t domain_size() const { return domain_size_; }
+  size_t num_sets() const { return sets_.size(); }
+
+  const ValueSet& set(SetId id) const;
+  size_t SizeOf(SetId id) const;
+  bool Contains(SetId id, ValueCode value) const;
+
+  /// The singleton subset {value}.
+  SetId LeafOf(ValueCode value) const;
+
+  /// The full domain.
+  SetId FullSetId() const { return full_set_id_; }
+
+  /// The minimal permissible subset containing set(a) ∪ set(b).
+  /// This is the lattice join used to compute closures.
+  SetId Join(SetId a, SetId b) const {
+    KANON_DCHECK(a < num_sets() && b < num_sets());
+    return join_[static_cast<size_t>(a) * sets_.size() + b];
+  }
+
+  /// Join of a subset with a single value: Join(a, LeafOf(value)).
+  SetId JoinValue(SetId a, ValueCode value) const {
+    return Join(a, LeafOf(value));
+  }
+
+  /// Id of a subset equal to `set`, if permissible.
+  Result<SetId> IdOf(const ValueSet& set) const;
+
+  /// True iff every pair of subsets is nested or disjoint.
+  bool IsLaminar() const;
+
+ private:
+  Hierarchy() = default;
+
+  size_t domain_size_ = 0;
+  std::vector<ValueSet> sets_;        // Sorted by (size, values); id = index.
+  std::vector<uint32_t> set_sizes_;   // Cached cardinalities.
+  std::vector<SetId> leaf_of_value_;  // value -> singleton id.
+  std::vector<SetId> join_;           // Dense num_sets x num_sets table.
+  SetId full_set_id_ = 0;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_GENERALIZATION_HIERARCHY_H_

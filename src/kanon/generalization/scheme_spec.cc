@@ -1,0 +1,182 @@
+#include "kanon/generalization/scheme_spec.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "kanon/common/text.h"
+
+namespace kanon {
+
+namespace {
+
+// Whitespace tokenizer (labels must not contain spaces).
+std::vector<std::string> Tokens(std::string_view line) {
+  std::vector<std::string> out;
+  std::istringstream stream{std::string(line)};
+  std::string token;
+  while (stream >> token) {
+    out.push_back(token);
+  }
+  return out;
+}
+
+Status ParseError(size_t line_number, const std::string& message) {
+  return Status::InvalidArgument("spec line " + std::to_string(line_number) +
+                                 ": " + message);
+}
+
+}  // namespace
+
+Result<GeneralizationScheme> ParseSchemeSpec(const Schema& schema,
+                                             std::istream& input) {
+  // Collected groups / interval widths per attribute index.
+  std::vector<std::vector<std::vector<ValueCode>>> groups(
+      schema.num_attributes());
+  std::vector<std::vector<int>> intervals(schema.num_attributes());
+
+  constexpr size_t kNoBlock = SIZE_MAX;
+  size_t current = kNoBlock;  // Attribute block being parsed.
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(input, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::vector<std::string> tokens = Tokens(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "attribute") {
+      if (current != kNoBlock) {
+        return ParseError(line_number,
+                          "nested 'attribute' block (missing '}'?)");
+      }
+      if (tokens.size() != 3 || tokens[2] != "{") {
+        return ParseError(line_number, "expected: attribute <name> {");
+      }
+      Result<size_t> index = schema.IndexOf(tokens[1]);
+      if (!index.ok()) {
+        return ParseError(line_number, index.status().message());
+      }
+      current = index.value();
+      continue;
+    }
+    if (tokens[0] == "}") {
+      if (current == kNoBlock) {
+        return ParseError(line_number, "'}' outside an attribute block");
+      }
+      if (tokens.size() != 1) {
+        return ParseError(line_number, "unexpected tokens after '}'");
+      }
+      current = kNoBlock;
+      continue;
+    }
+    if (current == kNoBlock) {
+      return ParseError(line_number,
+                        "directive outside an attribute block: " + tokens[0]);
+    }
+    const AttributeDomain& domain = schema.attribute(current);
+
+    if (tokens[0] == "group") {
+      if (tokens.size() < 2) {
+        return ParseError(line_number, "empty group");
+      }
+      std::vector<ValueCode> codes;
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        Result<ValueCode> code = domain.CodeOf(tokens[t]);
+        if (!code.ok()) {
+          return ParseError(line_number, code.status().message());
+        }
+        codes.push_back(code.value());
+      }
+      groups[current].push_back(std::move(codes));
+    } else if (tokens[0] == "intervals") {
+      if (tokens.size() < 2) {
+        return ParseError(line_number, "intervals needs at least one width");
+      }
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        char* end = nullptr;
+        const long width = std::strtol(tokens[t].c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || width < 1) {
+          return ParseError(line_number,
+                            "bad interval width '" + tokens[t] + "'");
+        }
+        intervals[current].push_back(static_cast<int>(width));
+      }
+    } else if (tokens[0] == "suppression-only") {
+      if (tokens.size() != 1) {
+        return ParseError(line_number, "unexpected tokens after directive");
+      }
+      // Nothing to record: suppression-only is the default.
+    } else {
+      return ParseError(line_number, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (current != kNoBlock) {
+    return Status::InvalidArgument("spec ends inside an attribute block");
+  }
+
+  std::vector<Hierarchy> hierarchies;
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    const size_t domain_size = schema.attribute(j).size();
+    std::vector<ValueSet> subsets;
+    for (const auto& group : groups[j]) {
+      subsets.push_back(ValueSet::Of(domain_size, group));
+    }
+    if (!intervals[j].empty()) {
+      // Reuse the intervals builder for validation, then merge its sets.
+      Result<Hierarchy> bands = Hierarchy::Intervals(domain_size, intervals[j]);
+      if (!bands.ok()) {
+        return Status(bands.status().code(),
+                      "attribute '" + schema.attribute(j).name() + "': " +
+                          bands.status().message());
+      }
+      for (SetId s = 0; s < bands->num_sets(); ++s) {
+        subsets.push_back(bands->set(s));
+      }
+    }
+    Result<Hierarchy> h = Hierarchy::Build(domain_size, std::move(subsets));
+    if (!h.ok()) {
+      return Status(h.status().code(),
+                    "attribute '" + schema.attribute(j).name() + "': " +
+                        h.status().message());
+    }
+    hierarchies.push_back(std::move(h).value());
+  }
+  return GeneralizationScheme::Create(schema, std::move(hierarchies));
+}
+
+Result<GeneralizationScheme> ParseSchemeSpecFile(const Schema& schema,
+                                                 const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ParseSchemeSpec(schema, file);
+}
+
+std::string FormatSchemeSpec(const GeneralizationScheme& scheme) {
+  std::string out;
+  const Schema& schema = scheme.schema();
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    const AttributeDomain& domain = schema.attribute(j);
+    const Hierarchy& h = scheme.hierarchy(j);
+    out += "attribute " + domain.name() + " {\n";
+    for (SetId s = 0; s < h.num_sets(); ++s) {
+      const size_t size = h.SizeOf(s);
+      if (size <= 1 || size >= domain.size()) continue;  // Implicit sets.
+      out += "  group";
+      for (ValueCode v : h.set(s).Values()) {
+        out += " " + domain.label(v);
+      }
+      out += "\n";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace kanon

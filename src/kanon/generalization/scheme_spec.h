@@ -1,0 +1,41 @@
+#ifndef KANON_GENERALIZATION_SCHEME_SPEC_H_
+#define KANON_GENERALIZATION_SCHEME_SPEC_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "kanon/common/result.h"
+#include "kanon/generalization/scheme.h"
+
+namespace kanon {
+
+/// Parses a plain-text generalization specification against a schema, the
+/// format used by the kanon_cli tool:
+///
+///   # lines starting with '#' are comments
+///   attribute age {
+///     intervals 5 10 20        # nested aligned bands (integer domains)
+///   }
+///   attribute education {
+///     group Preschool 1st-4th 5th-6th
+///     group Masters Doctorate
+///   }
+///   attribute sex {
+///     suppression-only         # optional: this is also the default
+///   }
+///
+/// Every schema attribute not mentioned gets the suppression-only
+/// hierarchy (singletons + full domain). Value labels are
+/// whitespace-separated tokens, so labels must not contain spaces.
+Result<GeneralizationScheme> ParseSchemeSpec(const Schema& schema,
+                                             std::istream& input);
+Result<GeneralizationScheme> ParseSchemeSpecFile(const Schema& schema,
+                                                 const std::string& path);
+
+/// Renders a scheme back into the spec format (groups listed per
+/// attribute; singletons and the full set are implicit).
+std::string FormatSchemeSpec(const GeneralizationScheme& scheme);
+
+}  // namespace kanon
+
+#endif  // KANON_GENERALIZATION_SCHEME_SPEC_H_

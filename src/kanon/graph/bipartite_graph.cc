@@ -1,0 +1,23 @@
+#include "kanon/graph/bipartite_graph.h"
+
+#include <algorithm>
+
+namespace kanon {
+
+bool BipartiteGraph::HasEdge(uint32_t left, uint32_t right) const {
+  KANON_DCHECK(left < adj_.size());
+  const std::vector<uint32_t>& nbrs = adj_[left];
+  return std::find(nbrs.begin(), nbrs.end(), right) != nbrs.end();
+}
+
+std::vector<uint32_t> BipartiteGraph::RightDegrees() const {
+  std::vector<uint32_t> degrees(num_right_, 0);
+  for (const auto& nbrs : adj_) {
+    for (uint32_t v : nbrs) {
+      ++degrees[v];
+    }
+  }
+  return degrees;
+}
+
+}  // namespace kanon

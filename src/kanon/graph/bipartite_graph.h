@@ -1,0 +1,51 @@
+#ifndef KANON_GRAPH_BIPARTITE_GRAPH_H_
+#define KANON_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+/// Sentinel for "unmatched" in matching vectors.
+inline constexpr uint32_t kUnmatched = UINT32_MAX;
+
+/// A bipartite graph with `num_left` + `num_right` vertices, stored as
+/// left-side adjacency lists. In this library the left side holds the
+/// original records of D and the right side the generalized records of
+/// g(D); edges connect consistent pairs (the graph V_{D,g(D)} of Section IV).
+class BipartiteGraph {
+ public:
+  BipartiteGraph(size_t num_left, size_t num_right)
+      : num_right_(num_right), adj_(num_left) {}
+
+  size_t num_left() const { return adj_.size(); }
+  size_t num_right() const { return num_right_; }
+  size_t num_edges() const { return num_edges_; }
+
+  void AddEdge(uint32_t left, uint32_t right) {
+    KANON_DCHECK(left < adj_.size() && right < num_right_);
+    adj_[left].push_back(right);
+    ++num_edges_;
+  }
+
+  const std::vector<uint32_t>& Neighbors(uint32_t left) const {
+    KANON_DCHECK(left < adj_.size());
+    return adj_[left];
+  }
+
+  bool HasEdge(uint32_t left, uint32_t right) const;
+
+  /// Degree of a right-side vertex (O(m) scan; prefer RightDegrees for all).
+  std::vector<uint32_t> RightDegrees() const;
+
+ private:
+  size_t num_right_;
+  size_t num_edges_ = 0;
+  std::vector<std::vector<uint32_t>> adj_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_GRAPH_BIPARTITE_GRAPH_H_

@@ -1,0 +1,22 @@
+#include "kanon/graph/consistency_graph.h"
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+BipartiteGraph BuildConsistencyGraph(const Dataset& dataset,
+                                     const GeneralizedTable& table) {
+  KANON_CHECK(dataset.num_attributes() == table.num_attributes(),
+              "dataset/table arity mismatch");
+  BipartiteGraph graph(dataset.num_rows(), table.num_rows());
+  for (uint32_t i = 0; i < dataset.num_rows(); ++i) {
+    for (uint32_t t = 0; t < table.num_rows(); ++t) {
+      if (table.ConsistentPair(dataset, i, t)) {
+        graph.AddEdge(i, t);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace kanon

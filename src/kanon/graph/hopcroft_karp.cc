@@ -1,0 +1,113 @@
+#include "kanon/graph/hopcroft_karp.h"
+
+#include <deque>
+#include <limits>
+
+namespace kanon {
+
+namespace {
+
+constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
+
+// Internal state for one Hopcroft–Karp execution. `skip_left`/`skip_right`
+// (when not kUnmatched) are treated as deleted vertices.
+class Solver {
+ public:
+  Solver(const BipartiteGraph& graph, uint32_t skip_left, uint32_t skip_right)
+      : graph_(graph),
+        skip_left_(skip_left),
+        skip_right_(skip_right),
+        match_left_(graph.num_left(), kUnmatched),
+        match_right_(graph.num_right(), kUnmatched),
+        dist_(graph.num_left(), kInf) {}
+
+  Matching Run() {
+    size_t matched = 0;
+    while (Bfs()) {
+      for (uint32_t u = 0; u < graph_.num_left(); ++u) {
+        if (u != skip_left_ && match_left_[u] == kUnmatched && Dfs(u)) {
+          ++matched;
+        }
+      }
+    }
+    Matching result;
+    result.match_left = std::move(match_left_);
+    result.match_right = std::move(match_right_);
+    result.size = matched;
+    return result;
+  }
+
+ private:
+  // Layers free left vertices by alternating-path distance. Returns true if
+  // some free right vertex is reachable.
+  bool Bfs() {
+    std::deque<uint32_t> queue;
+    for (uint32_t u = 0; u < graph_.num_left(); ++u) {
+      if (u != skip_left_ && match_left_[u] == kUnmatched) {
+        dist_[u] = 0;
+        queue.push_back(u);
+      } else {
+        dist_[u] = kInf;
+      }
+    }
+    bool reachable = false;
+    while (!queue.empty()) {
+      const uint32_t u = queue.front();
+      queue.pop_front();
+      for (uint32_t v : graph_.Neighbors(u)) {
+        if (v == skip_right_) continue;
+        const uint32_t w = match_right_[v];
+        if (w == kUnmatched) {
+          reachable = true;
+        } else if (dist_[w] == kInf) {
+          dist_[w] = dist_[u] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    return reachable;
+  }
+
+  bool Dfs(uint32_t u) {
+    for (uint32_t v : graph_.Neighbors(u)) {
+      if (v == skip_right_) continue;
+      const uint32_t w = match_right_[v];
+      if (w == kUnmatched || (dist_[w] == dist_[u] + 1 && Dfs(w))) {
+        match_left_[u] = v;
+        match_right_[v] = u;
+        return true;
+      }
+    }
+    dist_[u] = kInf;
+    return false;
+  }
+
+  const BipartiteGraph& graph_;
+  const uint32_t skip_left_;
+  const uint32_t skip_right_;
+  std::vector<uint32_t> match_left_;
+  std::vector<uint32_t> match_right_;
+  std::vector<uint32_t> dist_;
+};
+
+}  // namespace
+
+Matching HopcroftKarp(const BipartiteGraph& graph) {
+  return Solver(graph, kUnmatched, kUnmatched).Run();
+}
+
+Matching HopcroftKarpExcluding(const BipartiteGraph& graph,
+                               uint32_t skip_left, uint32_t skip_right) {
+  return Solver(graph, skip_left, skip_right).Run();
+}
+
+bool EdgeInSomePerfectMatchingNaive(const BipartiteGraph& graph, uint32_t u,
+                                    uint32_t v) {
+  KANON_CHECK(graph.num_left() == graph.num_right(),
+              "perfect matchings require a balanced graph");
+  KANON_CHECK(graph.HasEdge(u, v), "edge (u,v) must exist");
+  const Matching reduced = HopcroftKarpExcluding(graph, u, v);
+  return reduced.size == graph.num_left() - 1;
+}
+
+}  // namespace kanon

@@ -1,0 +1,76 @@
+#include "kanon/graph/matchable_edges.h"
+
+#include <algorithm>
+
+#include "kanon/graph/strongly_connected.h"
+
+namespace kanon {
+
+Result<MatchableEdgeSets> ComputeMatchableEdges(const BipartiteGraph& graph) {
+  if (graph.num_left() != graph.num_right()) {
+    return Status::InvalidArgument(
+        "matchable edges require a balanced bipartite graph");
+  }
+  const size_t n = graph.num_left();
+  MatchableEdgeSets out;
+  out.matches.resize(n);
+
+  const Matching matching = HopcroftKarp(graph);
+  if (matching.size != n) {
+    out.has_perfect_matching = false;
+    return out;
+  }
+  out.has_perfect_matching = true;
+
+  // Directed graph on 2n vertices: left u is vertex u, right v is n + v.
+  // Unmatched edges point left→right; matched edges point right→left.
+  std::vector<std::vector<uint32_t>> directed(2 * n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v : graph.Neighbors(u)) {
+      if (matching.match_left[u] == v) {
+        directed[n + v].push_back(u);
+      } else {
+        directed[u].push_back(n + v);
+      }
+    }
+  }
+  const std::vector<uint32_t> component =
+      StronglyConnectedComponents(directed);
+
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v : graph.Neighbors(u)) {
+      if (matching.match_left[u] == v ||
+          component[u] == component[n + v]) {
+        out.matches[u].push_back(v);
+      }
+    }
+    std::sort(out.matches[u].begin(), out.matches[u].end());
+  }
+  return out;
+}
+
+Result<MatchableEdgeSets> ComputeMatchableEdgesNaive(
+    const BipartiteGraph& graph) {
+  if (graph.num_left() != graph.num_right()) {
+    return Status::InvalidArgument(
+        "matchable edges require a balanced bipartite graph");
+  }
+  const size_t n = graph.num_left();
+  MatchableEdgeSets out;
+  out.matches.resize(n);
+  out.has_perfect_matching = HopcroftKarp(graph).size == n;
+  if (!out.has_perfect_matching) {
+    return out;
+  }
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v : graph.Neighbors(u)) {
+      if (EdgeInSomePerfectMatchingNaive(graph, u, v)) {
+        out.matches[u].push_back(v);
+      }
+    }
+    std::sort(out.matches[u].begin(), out.matches[u].end());
+  }
+  return out;
+}
+
+}  // namespace kanon

@@ -1,0 +1,72 @@
+#include "kanon/graph/strongly_connected.h"
+
+#include <cstddef>
+#include <limits>
+
+namespace kanon {
+
+std::vector<uint32_t> StronglyConnectedComponents(
+    const std::vector<std::vector<uint32_t>>& adjacency) {
+  const uint32_t n = static_cast<uint32_t>(adjacency.size());
+  constexpr uint32_t kUnvisited = std::numeric_limits<uint32_t>::max();
+
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  std::vector<uint32_t> component(n, 0);
+  uint32_t next_index = 0;
+  uint32_t num_components = 0;
+
+  // Explicit DFS frames: (vertex, next child position).
+  struct Frame {
+    uint32_t vertex;
+    size_t child;
+  };
+  std::vector<Frame> frames;
+
+  for (uint32_t start = 0; start < n; ++start) {
+    if (index[start] != kUnvisited) continue;
+    frames.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const uint32_t u = frame.vertex;
+      if (frame.child < adjacency[u].size()) {
+        const uint32_t v = adjacency[u][frame.child++];
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          frames.push_back({v, 0});
+        } else if (on_stack[v] && index[v] < lowlink[u]) {
+          lowlink[u] = index[v];
+        }
+      } else {
+        if (lowlink[u] == index[u]) {
+          for (;;) {
+            const uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = num_components;
+            if (w == u) break;
+          }
+          ++num_components;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          const uint32_t parent = frames.back().vertex;
+          if (lowlink[u] < lowlink[parent]) {
+            lowlink[parent] = lowlink[u];
+          }
+        }
+      }
+    }
+  }
+  return component;
+}
+
+}  // namespace kanon

@@ -1,0 +1,17 @@
+#ifndef KANON_GRAPH_STRONGLY_CONNECTED_H_
+#define KANON_GRAPH_STRONGLY_CONNECTED_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace kanon {
+
+/// Strongly connected components of a directed graph given as adjacency
+/// lists. Returns one component id per vertex (0-based; ids are assigned in
+/// reverse topological order of the condensation). Iterative Tarjan, O(V+E).
+std::vector<uint32_t> StronglyConnectedComponents(
+    const std::vector<std::vector<uint32_t>>& adjacency);
+
+}  // namespace kanon
+
+#endif  // KANON_GRAPH_STRONGLY_CONNECTED_H_

@@ -1,0 +1,29 @@
+#include "kanon/loss/entropy_measure.h"
+
+#include <cmath>
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+double EntropyMeasure::SetCost(const Hierarchy& h,
+                               const std::vector<uint32_t>& counts,
+                               SetId set) const {
+  KANON_CHECK(counts.size() == h.domain_size(),
+              "counts must have one entry per domain value");
+  uint64_t total = 0;
+  for (ValueCode v : h.set(set).Values()) {
+    total += counts[v];
+  }
+  if (total == 0) return 0.0;
+  double entropy = 0.0;
+  for (ValueCode v : h.set(set).Values()) {
+    if (counts[v] == 0) continue;
+    const double p = static_cast<double>(counts[v]) /
+                     static_cast<double>(total);
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+}  // namespace kanon

@@ -1,0 +1,25 @@
+#ifndef KANON_LOSS_ENTROPY_MEASURE_H_
+#define KANON_LOSS_ENTROPY_MEASURE_H_
+
+#include "kanon/loss/measure.h"
+
+namespace kanon {
+
+/// The entropy measure Π_E of Definition 4.3 (from Gionis & Tassa, ESA'07):
+/// the cost of publishing subset B for attribute j is the conditional
+/// entropy H(X_j | B) = −Σ_{b∈B} Pr(b|B)·log2 Pr(b|B), where X_j is the
+/// value of attribute j in a random record of D.
+///
+/// Values of B that do not occur in D contribute nothing; a subset whose
+/// values never occur costs 0 (it reveals as much as the data contains).
+class EntropyMeasure : public LossMeasure {
+ public:
+  std::string name() const override { return "EM"; }
+
+  double SetCost(const Hierarchy& h, const std::vector<uint32_t>& counts,
+                 SetId set) const override;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_LOSS_ENTROPY_MEASURE_H_

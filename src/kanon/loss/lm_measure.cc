@@ -1,0 +1,14 @@
+#include "kanon/loss/lm_measure.h"
+
+namespace kanon {
+
+double LmMeasure::SetCost(const Hierarchy& h,
+                          const std::vector<uint32_t>& counts,
+                          SetId set) const {
+  (void)counts;  // LM depends only on cardinalities.
+  if (h.domain_size() <= 1) return 0.0;
+  return static_cast<double>(h.SizeOf(set) - 1) /
+         static_cast<double>(h.domain_size() - 1);
+}
+
+}  // namespace kanon

@@ -1,0 +1,22 @@
+#ifndef KANON_LOSS_LM_MEASURE_H_
+#define KANON_LOSS_LM_MEASURE_H_
+
+#include "kanon/loss/measure.h"
+
+namespace kanon {
+
+/// The LM (Loss Metric) measure of Iyengar / Nergiz–Clifton (eq. (4)):
+/// publishing subset B for an attribute with domain A costs
+/// (|B| − 1) / (|A| − 1) — 0 for no generalization, 1 for suppression.
+/// Attributes with a single value always cost 0.
+class LmMeasure : public LossMeasure {
+ public:
+  std::string name() const override { return "LM"; }
+
+  double SetCost(const Hierarchy& h, const std::vector<uint32_t>& counts,
+                 SetId set) const override;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_LOSS_LM_MEASURE_H_

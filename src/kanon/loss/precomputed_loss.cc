@@ -1,0 +1,47 @@
+#include "kanon/loss/precomputed_loss.h"
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+PrecomputedLoss::PrecomputedLoss(
+    std::shared_ptr<const GeneralizationScheme> scheme, const Dataset& dataset,
+    const LossMeasure& measure)
+    : scheme_(std::move(scheme)), measure_name_(measure.name()) {
+  KANON_CHECK(scheme_ != nullptr, "scheme must not be null");
+  KANON_CHECK(dataset.num_attributes() == scheme_->num_attributes(),
+              "dataset arity mismatch");
+  const size_t r = scheme_->num_attributes();
+  costs_.resize(r);
+  for (size_t j = 0; j < r; ++j) {
+    const Hierarchy& h = scheme_->hierarchy(j);
+    const std::vector<uint32_t> counts = dataset.ValueCounts(j);
+    costs_[j].resize(h.num_sets());
+    for (size_t s = 0; s < h.num_sets(); ++s) {
+      costs_[j][s] = measure.SetCost(h, counts, static_cast<SetId>(s));
+    }
+  }
+  inv_num_attributes_ = 1.0 / static_cast<double>(r);
+}
+
+double PrecomputedLoss::TableLoss(const GeneralizedTable& table) const {
+  KANON_CHECK(table.num_attributes() == scheme_->num_attributes(),
+              "table arity mismatch");
+  if (table.num_rows() == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    double row_cost = 0.0;
+    for (size_t j = 0; j < table.num_attributes(); ++j) {
+      row_cost += costs_[j][table.at(i, j)];
+    }
+    total += row_cost;
+  }
+  return total * inv_num_attributes_ / static_cast<double>(table.num_rows());
+}
+
+double PrecomputedLoss::ClosureCost(const Dataset& dataset,
+                                    const std::vector<uint32_t>& rows) const {
+  return RecordCost(scheme_->ClosureOfRows(dataset, rows));
+}
+
+}  // namespace kanon

@@ -1,0 +1,65 @@
+#ifndef KANON_LOSS_PRECOMPUTED_LOSS_H_
+#define KANON_LOSS_PRECOMPUTED_LOSS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kanon/data/dataset.h"
+#include "kanon/generalization/generalized_table.h"
+#include "kanon/generalization/scheme.h"
+#include "kanon/loss/measure.h"
+
+namespace kanon {
+
+/// A LossMeasure bound to a (scheme, dataset) pair with every per-entry cost
+/// precomputed, so that the generalization cost c(R̄) of a record and the
+/// information loss Π(D, g(D)) of a table are table lookups. This is the
+/// object the anonymization algorithms evaluate millions of times.
+class PrecomputedLoss {
+ public:
+  /// Precomputes cost[attr][set] = measure.SetCost(...) for every attribute
+  /// and permissible subset. The measure is only used during construction.
+  PrecomputedLoss(std::shared_ptr<const GeneralizationScheme> scheme,
+                  const Dataset& dataset, const LossMeasure& measure);
+
+  const GeneralizationScheme& scheme() const { return *scheme_; }
+  std::shared_ptr<const GeneralizationScheme> scheme_ptr() const {
+    return scheme_;
+  }
+  const std::string& measure_name() const { return measure_name_; }
+
+  /// Per-entry cost of publishing subset `set` for attribute `attr`.
+  double EntryCost(size_t attr, SetId set) const {
+    KANON_DCHECK(attr < costs_.size() && set < costs_[attr].size());
+    return costs_[attr][set];
+  }
+
+  /// c(R̄) = (1/r) Σ_j cost_j(R̄(j)) — the generalization cost of a record.
+  double RecordCost(const GeneralizedRecord& record) const {
+    KANON_DCHECK(record.size() == costs_.size());
+    double total = 0.0;
+    for (size_t j = 0; j < record.size(); ++j) {
+      total += costs_[j][record[j]];
+    }
+    return total * inv_num_attributes_;
+  }
+
+  /// Π(D, g(D)) = (1/n) Σ_i c(R̄_i) — the information loss of a table.
+  double TableLoss(const GeneralizedTable& table) const;
+
+  /// d(S): the generalization cost of the closure of a set of dataset rows
+  /// (eq. (7)). Requires `rows` non-empty.
+  double ClosureCost(const Dataset& dataset,
+                     const std::vector<uint32_t>& rows) const;
+
+ private:
+  std::shared_ptr<const GeneralizationScheme> scheme_;
+  std::string measure_name_;
+  std::vector<std::vector<double>> costs_;  // [attr][set_id]
+  double inv_num_attributes_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_LOSS_PRECOMPUTED_LOSS_H_

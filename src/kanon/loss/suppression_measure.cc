@@ -1,0 +1,12 @@
+#include "kanon/loss/suppression_measure.h"
+
+namespace kanon {
+
+double SuppressionMeasure::SetCost(const Hierarchy& h,
+                                   const std::vector<uint32_t>& counts,
+                                   SetId set) const {
+  (void)counts;
+  return h.SizeOf(set) > 1 ? 1.0 : 0.0;
+}
+
+}  // namespace kanon

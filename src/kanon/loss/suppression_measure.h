@@ -1,0 +1,25 @@
+#ifndef KANON_LOSS_SUPPRESSION_MEASURE_H_
+#define KANON_LOSS_SUPPRESSION_MEASURE_H_
+
+#include "kanon/loss/measure.h"
+
+namespace kanon {
+
+/// The measure of Meyerson & Williams [16]: a table entry costs 1 when it
+/// is generalized at all (in their model, suppressed) and 0 when it is
+/// published exactly. Π then equals the fraction of generalized entries.
+///
+/// In the suppression-only model this is exactly their objective; with
+/// richer hierarchies it counts every non-singleton entry as a
+/// suppression, which upper-bounds their cost.
+class SuppressionMeasure : public LossMeasure {
+ public:
+  std::string name() const override { return "SUP"; }
+
+  double SetCost(const Hierarchy& h, const std::vector<uint32_t>& counts,
+                 SetId set) const override;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_LOSS_SUPPRESSION_MEASURE_H_

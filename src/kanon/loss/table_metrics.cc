@@ -1,0 +1,63 @@
+#include "kanon/loss/table_metrics.h"
+
+#include <algorithm>
+#include <map>
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+std::vector<std::vector<uint32_t>> GroupIdenticalRecords(
+    const GeneralizedTable& table) {
+  std::map<GeneralizedRecord, std::vector<uint32_t>> groups;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    groups[table.record(i)].push_back(static_cast<uint32_t>(i));
+  }
+  std::vector<std::vector<uint32_t>> out;
+  out.reserve(groups.size());
+  for (auto& [record, rows] : groups) {
+    out.push_back(std::move(rows));
+  }
+  return out;
+}
+
+uint64_t DiscernibilityMetric(const GeneralizedTable& table) {
+  uint64_t total = 0;
+  for (const auto& group : GroupIdenticalRecords(table)) {
+    total += static_cast<uint64_t>(group.size()) * group.size();
+  }
+  return total;
+}
+
+double ClassificationMetric(const Dataset& dataset,
+                            const GeneralizedTable& table) {
+  KANON_CHECK(dataset.has_class_column(),
+              "ClassificationMetric requires a class column");
+  KANON_CHECK(dataset.num_rows() == table.num_rows(), "row count mismatch");
+  if (dataset.num_rows() == 0) return 0.0;
+
+  uint64_t penalties = 0;
+  const size_t num_classes = dataset.class_domain().size();
+  for (const auto& group : GroupIdenticalRecords(table)) {
+    std::vector<uint32_t> class_counts(num_classes, 0);
+    for (uint32_t row : group) {
+      ++class_counts[dataset.class_of(row)];
+    }
+    const uint32_t majority =
+        *std::max_element(class_counts.begin(), class_counts.end());
+    penalties += group.size() - majority;
+  }
+  return static_cast<double>(penalties) /
+         static_cast<double>(dataset.num_rows());
+}
+
+std::vector<size_t> GroupSizes(const GeneralizedTable& table) {
+  std::vector<size_t> sizes;
+  for (const auto& group : GroupIdenticalRecords(table)) {
+    sizes.push_back(group.size());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+}  // namespace kanon

@@ -1,0 +1,39 @@
+#include "kanon/loss/tree_measure.h"
+
+#include <algorithm>
+
+namespace kanon {
+
+namespace {
+
+// Longest chain of permissible subsets from a singleton up to each set.
+// Set ids are sorted by cardinality, so a single forward pass suffices.
+std::vector<int> Heights(const Hierarchy& h) {
+  const size_t num = h.num_sets();
+  std::vector<int> height(num, 0);
+  for (size_t i = 0; i < num; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (h.SizeOf(static_cast<SetId>(j)) <
+              h.SizeOf(static_cast<SetId>(i)) &&
+          h.set(static_cast<SetId>(j))
+              .IsSubsetOf(h.set(static_cast<SetId>(i)))) {
+        height[i] = std::max(height[i], height[j] + 1);
+      }
+    }
+  }
+  return height;
+}
+
+}  // namespace
+
+double TreeMeasure::SetCost(const Hierarchy& h,
+                            const std::vector<uint32_t>& counts,
+                            SetId set) const {
+  (void)counts;  // The tree measure depends only on the hierarchy shape.
+  const std::vector<int> height = Heights(h);
+  const int full = height[h.FullSetId()];
+  if (full == 0) return 0.0;  // Single-value domain: nothing to lose.
+  return static_cast<double>(height[set]) / static_cast<double>(full);
+}
+
+}  // namespace kanon

@@ -1,0 +1,26 @@
+#ifndef KANON_LOSS_TREE_MEASURE_H_
+#define KANON_LOSS_TREE_MEASURE_H_
+
+#include "kanon/loss/measure.h"
+
+namespace kanon {
+
+/// The tree measure of Aggarwal et al. [2,3], adapted to the subset model:
+/// the cost of a subset B is its height in the containment order of the
+/// permissible collection (the longest chain of permissible subsets from a
+/// singleton up to B), normalized by the height of the full domain.
+/// Singletons cost 0, full suppression costs 1.
+///
+/// For a hierarchy-tree collection this coincides with "level of the chosen
+/// node / height of the tree", which is the original definition.
+class TreeMeasure : public LossMeasure {
+ public:
+  std::string name() const override { return "TM"; }
+
+  double SetCost(const Hierarchy& h, const std::vector<uint32_t>& counts,
+                 SetId set) const override;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_LOSS_TREE_MEASURE_H_

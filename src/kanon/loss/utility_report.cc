@@ -1,0 +1,92 @@
+#include "kanon/loss/utility_report.h"
+
+#include <algorithm>
+
+#include "kanon/common/check.h"
+#include "kanon/common/text.h"
+#include "kanon/loss/entropy_measure.h"
+#include "kanon/loss/lm_measure.h"
+#include "kanon/loss/precomputed_loss.h"
+#include "kanon/loss/suppression_measure.h"
+#include "kanon/loss/table_metrics.h"
+
+namespace kanon {
+
+std::string UtilityReport::ToString() const {
+  std::string out;
+  out += "utility report (" + std::to_string(num_rows) + " rows)\n";
+  out += "  loss: EM " + FormatDouble(entropy_loss, 3) + " bits/entry, LM " +
+         FormatDouble(lm_loss, 3) + ", suppressed-entry fraction " +
+         FormatDouble(suppression_loss, 3) + "\n";
+  out += "  discernibility (DM): " + std::to_string(discernibility);
+  if (classification >= 0.0) {
+    out += ", classification (CM): " + FormatDouble(classification, 3);
+  }
+  out += "\n";
+  out += "  groups: " + std::to_string(num_groups) + " (min size " +
+         std::to_string(min_group_size) + ", avg " +
+         FormatDouble(avg_group_size, 1) + ")\n";
+  for (const AttributeStats& a : attributes) {
+    out += "  " + a.name + ": avg set size " +
+           FormatDouble(a.avg_set_size, 2) + ", exact " +
+           FormatDouble(100.0 * a.exact_fraction, 0) + "%, suppressed " +
+           FormatDouble(100.0 * a.suppressed_fraction, 0) + "%\n";
+  }
+  return out;
+}
+
+UtilityReport BuildUtilityReport(const Dataset& dataset,
+                                 const GeneralizedTable& table) {
+  KANON_CHECK(dataset.num_attributes() == table.num_attributes(),
+              "dataset/table arity mismatch");
+  const GeneralizationScheme& scheme = table.scheme();
+  const size_t n = table.num_rows();
+  const size_t r = table.num_attributes();
+
+  UtilityReport report;
+  report.num_rows = n;
+
+  for (size_t j = 0; j < r; ++j) {
+    const Hierarchy& h = scheme.hierarchy(j);
+    UtilityReport::AttributeStats stats;
+    stats.name = scheme.schema().attribute(j).name();
+    size_t exact = 0;
+    size_t suppressed = 0;
+    double total_size = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t size = h.SizeOf(table.at(i, j));
+      total_size += static_cast<double>(size);
+      if (size == 1) ++exact;
+      if (size == h.domain_size()) ++suppressed;
+    }
+    if (n > 0) {
+      stats.avg_set_size = total_size / static_cast<double>(n);
+      stats.exact_fraction = static_cast<double>(exact) / n;
+      stats.suppressed_fraction = static_cast<double>(suppressed) / n;
+    }
+    report.attributes.push_back(std::move(stats));
+  }
+
+  report.entropy_loss =
+      PrecomputedLoss(table.scheme_ptr(), dataset, EntropyMeasure())
+          .TableLoss(table);
+  report.lm_loss = PrecomputedLoss(table.scheme_ptr(), dataset, LmMeasure())
+                       .TableLoss(table);
+  report.suppression_loss =
+      PrecomputedLoss(table.scheme_ptr(), dataset, SuppressionMeasure())
+          .TableLoss(table);
+  report.discernibility = DiscernibilityMetric(table);
+  report.classification = dataset.has_class_column()
+                              ? ClassificationMetric(dataset, table)
+                              : -1.0;
+
+  const std::vector<size_t> sizes = GroupSizes(table);
+  report.num_groups = sizes.size();
+  report.min_group_size = sizes.empty() ? 0 : sizes.front();
+  report.avg_group_size =
+      sizes.empty() ? 0.0
+                    : static_cast<double>(n) / static_cast<double>(sizes.size());
+  return report;
+}
+
+}  // namespace kanon

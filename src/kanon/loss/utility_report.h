@@ -1,0 +1,53 @@
+#ifndef KANON_LOSS_UTILITY_REPORT_H_
+#define KANON_LOSS_UTILITY_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kanon/data/dataset.h"
+#include "kanon/generalization/generalized_table.h"
+
+namespace kanon {
+
+/// Everything a data owner wants to know about the utility of a published
+/// generalization, in one pass: per-attribute generalization statistics,
+/// the information loss under every built-in measure, and the group
+/// structure.
+struct UtilityReport {
+  struct AttributeStats {
+    std::string name;
+    /// Average cardinality of the published subsets for this attribute.
+    double avg_set_size = 0.0;
+    /// Fraction of entries published exactly (singleton subsets).
+    double exact_fraction = 0.0;
+    /// Fraction of entries fully suppressed (the whole domain).
+    double suppressed_fraction = 0.0;
+  };
+
+  size_t num_rows = 0;
+  std::vector<AttributeStats> attributes;
+
+  double entropy_loss = 0.0;      // Π_E, eq. (3).
+  double lm_loss = 0.0;           // Π_LM, eq. (4).
+  double suppression_loss = 0.0;  // Fraction of generalized entries.
+  uint64_t discernibility = 0;    // DM.
+  /// CM; negative when the dataset has no class column.
+  double classification = -1.0;
+
+  size_t num_groups = 0;       // Groups of identical generalized records.
+  size_t min_group_size = 0;
+  double avg_group_size = 0.0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Builds the report. `dataset` supplies the empirical distributions for
+/// the entropy measure and the optional class column for CM.
+UtilityReport BuildUtilityReport(const Dataset& dataset,
+                                 const GeneralizedTable& table);
+
+}  // namespace kanon
+
+#endif  // KANON_LOSS_UTILITY_REPORT_H_

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "kanon/algo/anonymizer.h"
+#include "kanon/anonymity/verify.h"
+#include "kanon/loss/entropy_measure.h"
+#include "kanon/loss/lm_measure.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallRandomDataset;
+using testing::SmallScheme;
+using testing::Unwrap;
+
+TEST(AnonymizerTest, MethodNames) {
+  EXPECT_STREQ(AnonymizationMethodName(AnonymizationMethod::kAgglomerative),
+               "agglomerative");
+  EXPECT_STREQ(
+      AnonymizationMethodName(AnonymizationMethod::kModifiedAgglomerative),
+      "modified-agglomerative");
+  EXPECT_STREQ(AnonymizationMethodName(AnonymizationMethod::kForest),
+               "forest");
+  EXPECT_STREQ(
+      AnonymizationMethodName(AnonymizationMethod::kKKNearestNeighbors),
+      "kk-nearest-neighbors");
+  EXPECT_STREQ(
+      AnonymizationMethodName(AnonymizationMethod::kKKGreedyExpansion),
+      "kk-greedy-expansion");
+  EXPECT_STREQ(AnonymizationMethodName(AnonymizationMethod::kGlobal),
+               "global-1k");
+  EXPECT_STREQ(AnonymizationMethodName(AnonymizationMethod::kFullDomain),
+               "full-domain");
+}
+
+TEST(AnonymizerTest, EveryMethodMeetsItsNotion) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 30, 1);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+
+  struct Case {
+    AnonymizationMethod method;
+    AnonymityNotion notion;
+  };
+  const Case cases[] = {
+      {AnonymizationMethod::kAgglomerative, AnonymityNotion::kKAnonymity},
+      {AnonymizationMethod::kModifiedAgglomerative,
+       AnonymityNotion::kKAnonymity},
+      {AnonymizationMethod::kForest, AnonymityNotion::kKAnonymity},
+      {AnonymizationMethod::kKKNearestNeighbors, AnonymityNotion::kKK},
+      {AnonymizationMethod::kKKGreedyExpansion, AnonymityNotion::kKK},
+      {AnonymizationMethod::kGlobal, AnonymityNotion::kGlobalOneK},
+      {AnonymizationMethod::kFullDomain, AnonymityNotion::kKAnonymity},
+  };
+  for (const Case& c : cases) {
+    AnonymizerConfig config;
+    config.k = 3;
+    config.method = c.method;
+    AnonymizationResult result = Unwrap(Anonymize(d, loss, config));
+    EXPECT_TRUE(SatisfiesNotion(c.notion, d, result.table, 3))
+        << AnonymizationMethodName(c.method);
+    EXPECT_NEAR(result.loss, loss.TableLoss(result.table), 1e-12);
+    EXPECT_GE(result.elapsed_seconds, 0.0);
+  }
+}
+
+TEST(AnonymizerTest, PropagatesErrors) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 4, 2);
+  PrecomputedLoss loss(scheme, d, LmMeasure());
+  AnonymizerConfig config;
+  config.k = 5;  // k > n.
+  for (AnonymizationMethod method :
+       {AnonymizationMethod::kAgglomerative, AnonymizationMethod::kForest,
+        AnonymizationMethod::kKKGreedyExpansion,
+        AnonymizationMethod::kGlobal}) {
+    config.method = method;
+    EXPECT_FALSE(Anonymize(d, loss, config).ok())
+        << AnonymizationMethodName(method);
+  }
+}
+
+TEST(AnonymizerTest, DistanceFlagReachesAgglomerative) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 30, 3);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  AnonymizerConfig a;
+  a.k = 3;
+  a.distance = DistanceFunction::kWeighted;
+  AnonymizerConfig b = a;
+  b.distance = DistanceFunction::kRatio;
+  AnonymizationResult ra = Unwrap(Anonymize(d, loss, a));
+  AnonymizationResult rb = Unwrap(Anonymize(d, loss, b));
+  // Both are valid 3-anonymizations (they may or may not coincide).
+  EXPECT_TRUE(IsKAnonymous(ra.table, 3));
+  EXPECT_TRUE(IsKAnonymous(rb.table, 3));
+}
+
+TEST(AnonymizerTest, UtilityOrderingAcrossNotions) {
+  // Global builds on (k,k) and only coarsens, so loss(global) >= loss(kk);
+  // both should stay below the forest baseline on aggregate.
+  auto scheme = SmallScheme();
+  double kk = 0.0;
+  double global = 0.0;
+  double forest = 0.0;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Dataset d = SmallRandomDataset(*scheme, 40, 70 + seed);
+    PrecomputedLoss loss(scheme, d, EntropyMeasure());
+    AnonymizerConfig config;
+    config.k = 4;
+    config.method = AnonymizationMethod::kKKGreedyExpansion;
+    kk += Unwrap(Anonymize(d, loss, config)).loss;
+    config.method = AnonymizationMethod::kGlobal;
+    global += Unwrap(Anonymize(d, loss, config)).loss;
+    config.method = AnonymizationMethod::kForest;
+    forest += Unwrap(Anonymize(d, loss, config)).loss;
+  }
+  EXPECT_GE(global, kk - 1e-9);
+  EXPECT_LE(kk, forest * 1.02);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "kanon/anonymity/attack.h"
+#include "kanon/anonymity/verify.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallScheme;
+
+TEST(AttackTest, IdentityTableFullyReidentified) {
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({2, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({4, 1}).ok());
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  const AttackResult result = MatchReductionAttack(d, t, 2);
+  EXPECT_EQ(result.min_neighbors(), 1u);
+  EXPECT_EQ(result.min_matches(), 1u);
+  EXPECT_EQ(result.breached_records.size(), 3u);
+  EXPECT_EQ(result.reidentified_records.size(), 3u);
+}
+
+TEST(AttackTest, ProperPairingResists) {
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({1, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({4, 1}).ok());
+  ASSERT_TRUE(d.AppendRow({5, 1}).ok());
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  const GeneralizedRecord c01 = scheme->ClosureOfRows(d, {0, 1});
+  const GeneralizedRecord c23 = scheme->ClosureOfRows(d, {2, 3});
+  t.SetRecord(0, c01);
+  t.SetRecord(1, c01);
+  t.SetRecord(2, c23);
+  t.SetRecord(3, c23);
+  const AttackResult result = MatchReductionAttack(d, t, 2);
+  EXPECT_EQ(result.min_matches(), 2u);
+  EXPECT_TRUE(result.breached_records.empty());
+  EXPECT_TRUE(result.reidentified_records.empty());
+}
+
+TEST(AttackTest, KKTableCanBeBreached) {
+  // The Section IV-A scenario: a (k,k)-anonymous table where match pruning
+  // pins a record. The originals {R0, R1} form a Hall-tight set — their
+  // combined neighborhood is exactly {R̄0, R̄1} — so every perfect matching
+  // assigns R̄0 and R̄1 to them, and R2's neighbor R̄1 can never be R2's
+  // own record. R2 is left with a single match: full re-identification.
+  //
+  //   R0=(0,M) R1=(1,M) R2=(2,M) R3=(3,M) R4=(3,F)
+  //   R̄0=([0,1],M) R̄1=([0..3],M) R̄2=([2,3],M) R̄3=R̄4=({3},*)
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({1, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({2, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({3, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({3, 1}).ok());
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  const Hierarchy& zip = scheme->hierarchy(0);
+  const Hierarchy& sex = scheme->hierarchy(1);
+  const SetId band01 = zip.Join(zip.LeafOf(0), zip.LeafOf(1));
+  const SetId band23 = zip.Join(zip.LeafOf(2), zip.LeafOf(3));
+  const SetId band03 = zip.Join(zip.LeafOf(0), zip.LeafOf(3));
+  ASSERT_EQ(zip.SizeOf(band03), 4u);
+  const SetId m = sex.LeafOf(0);
+  t.SetRecord(0, {band01, m});
+  t.SetRecord(1, {band03, m});
+  t.SetRecord(2, {band23, m});
+  t.SetRecord(3, {zip.LeafOf(3), sex.FullSetId()});
+  t.SetRecord(4, {zip.LeafOf(3), sex.FullSetId()});
+
+  // The table is (2,2)-anonymous...
+  ASSERT_TRUE(IsKKAnonymous(d, t, 2));
+  // ...but not 2-anonymous and not globally (1,2)-anonymous.
+  EXPECT_FALSE(IsKAnonymous(t, 2));
+  EXPECT_FALSE(IsGlobal1KAnonymous(d, t, 2));
+  const AttackResult result = MatchReductionAttack(d, t, 2);
+  EXPECT_EQ(result.min_matches(), 1u);
+  ASSERT_EQ(result.breached_records.size(), 1u);
+  EXPECT_EQ(result.breached_records[0], 2u);
+  EXPECT_EQ(result.reidentified_records,
+            (std::vector<uint32_t>{2}));
+  EXPECT_EQ(result.neighbor_counts[2], 2u);
+  EXPECT_EQ(result.match_counts[2], 1u);
+}
+
+TEST(AttackTest, SummaryMentionsCounts) {
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({1, 0}).ok());
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  const AttackResult result = MatchReductionAttack(d, t, 2);
+  const std::string summary = result.Summary();
+  EXPECT_NE(summary.find("k = 2"), std::string::npos);
+  EXPECT_NE(summary.find("breached"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "kanon/algo/agglomerative.h"
+#include "kanon/algo/brute_force.h"
+#include "kanon/algo/forest.h"
+#include "kanon/algo/kk_anonymizer.h"
+#include "kanon/anonymity/verify.h"
+#include "kanon/loss/entropy_measure.h"
+#include "kanon/loss/lm_measure.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallRandomDataset;
+using testing::SmallScheme;
+using testing::Unwrap;
+
+TEST(BruteForceTest, RejectsLargeInputs) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 20, 1);
+  PrecomputedLoss loss(scheme, d, LmMeasure());
+  EXPECT_FALSE(OptimalKAnonymityBruteForce(d, loss, 2).ok());
+  EXPECT_FALSE(OptimalK1BruteForce(d, loss, 2).ok());
+}
+
+TEST(BruteForceTest, OptimalPartitionIsValid) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 7, 2);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  Clustering c = Unwrap(OptimalKAnonymityBruteForce(d, loss, 2));
+  EXPECT_TRUE(c.IsPartitionOf(7));
+  EXPECT_GE(c.min_cluster_size(), 2u);
+}
+
+TEST(BruteForceTest, HeuristicsNeverBeatOptimalKAnonymity) {
+  auto scheme = SmallScheme();
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Dataset d = SmallRandomDataset(*scheme, 8, 10 + seed);
+    PrecomputedLoss loss(scheme, d, EntropyMeasure());
+    const double optimal = ClusteringLoss(
+        d, loss, Unwrap(OptimalKAnonymityBruteForce(d, loss, 2)));
+    for (DistanceFunction f : kAllDistanceFunctions) {
+      AgglomerativeOptions options;
+      options.distance = f;
+      const double heuristic = ClusteringLoss(
+          d, loss, Unwrap(AgglomerativeCluster(d, loss, 2, options)));
+      EXPECT_GE(heuristic, optimal - 1e-9)
+          << DistanceFunctionName(f) << " seed " << seed;
+    }
+    const double forest =
+        ClusteringLoss(d, loss, Unwrap(ForestCluster(d, loss, 2)));
+    EXPECT_GE(forest, optimal - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(BruteForceTest, OptimalK1IsK1Anonymous) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 9, 3);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  GeneralizedTable t = Unwrap(OptimalK1BruteForce(d, loss, 3));
+  EXPECT_TRUE(IsK1Anonymous(d, t, 3));
+}
+
+TEST(BruteForceTest, K1HeuristicsNeverBeatOptimal) {
+  auto scheme = SmallScheme();
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Dataset d = SmallRandomDataset(*scheme, 9, 20 + seed);
+    PrecomputedLoss loss(scheme, d, EntropyMeasure());
+    const double optimal =
+        loss.TableLoss(Unwrap(OptimalK1BruteForce(d, loss, 3)));
+    const double nn =
+        loss.TableLoss(Unwrap(K1NearestNeighbors(d, loss, 3)));
+    const double greedy =
+        loss.TableLoss(Unwrap(K1GreedyExpansion(d, loss, 3)));
+    EXPECT_GE(nn, optimal - 1e-9);
+    EXPECT_GE(greedy, optimal - 1e-9);
+  }
+}
+
+TEST(BruteForceTest, Proposition51ApproximationBound) {
+  // Algorithm 3 approximates optimal (k,1)-anonymization within k−1.
+  auto scheme = SmallScheme();
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Dataset d = SmallRandomDataset(*scheme, 10, 30 + seed);
+    for (size_t k : {2u, 3u}) {
+      PrecomputedLoss loss(scheme, d, EntropyMeasure());
+      const double optimal =
+          loss.TableLoss(Unwrap(OptimalK1BruteForce(d, loss, k)));
+      const double nn = loss.TableLoss(Unwrap(K1NearestNeighbors(d, loss, k)));
+      EXPECT_LE(nn, (k - 1) * optimal + 1e-9)
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(BruteForceTest, OptimalK1NoWorseThanOptimalKAnonymity) {
+  // A^k ⊂ A^{(k,1)}: the optimal (k,1) loss is ≤ the optimal clustering
+  // k-anonymity loss.
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 8, 40);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  const double opt_k = ClusteringLoss(
+      d, loss, Unwrap(OptimalKAnonymityBruteForce(d, loss, 2)));
+  const double opt_k1 =
+      loss.TableLoss(Unwrap(OptimalK1BruteForce(d, loss, 2)));
+  EXPECT_LE(opt_k1, opt_k + 1e-9);
+}
+
+TEST(BruteForceTest, ClusteringLossMatchesTableLoss) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 12, 50);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  Clustering c = Unwrap(AgglomerativeCluster(d, loss, 3, {}));
+  GeneralizedTable t = TableFromClustering(scheme, d, c);
+  EXPECT_NEAR(ClusteringLoss(d, loss, c), loss.TableLoss(t), 1e-12);
+}
+
+}  // namespace
+}  // namespace kanon

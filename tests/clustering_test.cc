@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "kanon/algo/clustering.h"
+#include "kanon/anonymity/verify.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallRandomDataset;
+using testing::SmallScheme;
+
+TEST(ClusteringTest, Accessors) {
+  Clustering c;
+  c.clusters = {{0, 1}, {2, 3, 4}};
+  EXPECT_EQ(c.num_clusters(), 2u);
+  EXPECT_EQ(c.num_rows(), 5u);
+  EXPECT_EQ(c.min_cluster_size(), 2u);
+}
+
+TEST(ClusteringTest, EmptyClustering) {
+  Clustering c;
+  EXPECT_EQ(c.num_clusters(), 0u);
+  EXPECT_EQ(c.num_rows(), 0u);
+  EXPECT_EQ(c.min_cluster_size(), 0u);
+  EXPECT_TRUE(c.IsPartitionOf(0));
+  EXPECT_FALSE(c.IsPartitionOf(1));
+}
+
+TEST(ClusteringTest, IsPartitionOf) {
+  Clustering good;
+  good.clusters = {{1, 0}, {2}};
+  EXPECT_TRUE(good.IsPartitionOf(3));
+  EXPECT_FALSE(good.IsPartitionOf(4));  // Missing row 3.
+
+  Clustering dup;
+  dup.clusters = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(dup.IsPartitionOf(3));
+
+  Clustering out_of_range;
+  out_of_range.clusters = {{0, 5}};
+  EXPECT_FALSE(out_of_range.IsPartitionOf(3));
+}
+
+TEST(ClusteringTest, TableFromClusteringUsesClosures) {
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({1, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({4, 1}).ok());
+  ASSERT_TRUE(d.AppendRow({5, 1}).ok());
+  Clustering c;
+  c.clusters = {{0, 1}, {2, 3}};
+  GeneralizedTable t = TableFromClustering(scheme, d, c);
+  ASSERT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.record(0), t.record(1));
+  EXPECT_EQ(t.record(2), t.record(3));
+  EXPECT_NE(t.record(0), t.record(2));
+  EXPECT_EQ(t.record(0), scheme->ClosureOfRows(d, {0, 1}));
+  EXPECT_TRUE(IsKAnonymous(t, 2));
+}
+
+TEST(ClusteringTest, ClusterOfSizeKGivesKAnonymity) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 30, 5);
+  Clustering c;
+  for (uint32_t i = 0; i < 30; i += 5) {
+    c.clusters.push_back({i, i + 1, i + 2, i + 3, i + 4});
+  }
+  GeneralizedTable t = TableFromClustering(scheme, d, c);
+  EXPECT_TRUE(IsKAnonymous(t, 5));
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    EXPECT_TRUE(t.ConsistentPair(d, i, i));
+  }
+}
+
+}  // namespace
+}  // namespace kanon

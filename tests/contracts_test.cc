@@ -1,0 +1,70 @@
+// Contract (KANON_CHECK) death tests: programming errors must abort with a
+// diagnostic rather than corrupt state. Run in gtest death-test mode.
+#include <gtest/gtest.h>
+
+#include "kanon/common/check.h"
+#include "kanon/common/rng.h"
+#include "kanon/data/dataset.h"
+#include "kanon/generalization/value_set.h"
+#include "kanon/loss/precomputed_loss.h"
+#include "kanon/loss/table_metrics.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallRandomDataset;
+using testing::SmallScheme;
+
+TEST(ContractsDeathTest, CheckMacroAbortsWithMessage) {
+  EXPECT_DEATH(KANON_CHECK(false, "custom context"), "custom context");
+  EXPECT_DEATH(KANON_CHECK(1 == 2), "1 == 2");
+}
+
+TEST(ContractsDeathTest, RngRejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.NextBounded(0), "bound > 0");
+  EXPECT_DEATH(rng.NextInt(3, 2), "lo <= hi");
+  EXPECT_DEATH(rng.NextWeighted({}), "positive weight sum");
+  EXPECT_DEATH(rng.NextWeighted({-1.0, 2.0}), "non-negative");
+}
+
+TEST(ContractsDeathTest, AliasSamplerRejectsBadWeights) {
+  EXPECT_DEATH(AliasSampler({}), "at least one weight");
+  EXPECT_DEATH(AliasSampler({0.0, 0.0}), "positive weight sum");
+}
+
+TEST(ContractsDeathTest, ValueSetUniverseMismatch) {
+  ValueSet a(8);
+  ValueSet b(9);
+  EXPECT_DEATH(a.Union(b), "universe mismatch");
+  EXPECT_DEATH(a.IsSubsetOf(b), "universe mismatch");
+}
+
+TEST(ContractsDeathTest, DatasetOutOfRangeAccess) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 3, 1);
+  EXPECT_DEATH(d.row(3), "out of range");
+  EXPECT_DEATH(d.class_of(0), "no class column");
+}
+
+TEST(ContractsDeathTest, ResultValueOnError) {
+  Result<int> r = Status::InvalidArgument("boom");
+  EXPECT_DEATH(r.value(), "boom");
+}
+
+TEST(ContractsDeathTest, ClosureOfEmptyCluster) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 3, 2);
+  EXPECT_DEATH(scheme->ClosureOfRows(d, {}), "empty cluster");
+}
+
+TEST(ContractsDeathTest, ClassificationMetricNeedsClassColumn) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 3, 3);
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  EXPECT_DEATH(ClassificationMetric(d, t), "class column");
+}
+
+}  // namespace
+}  // namespace kanon

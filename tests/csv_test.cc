@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kanon/data/csv.h"
+
+namespace kanon {
+namespace {
+
+Schema MakeTestSchema() {
+  Result<AttributeDomain> gender = AttributeDomain::Create("gender", {"M", "F"});
+  Result<AttributeDomain> city =
+      AttributeDomain::Create("city", {"NYC", "LA", "SF"});
+  Result<Schema> s = Schema::Create({gender.value(), city.value()});
+  return std::move(s).value();
+}
+
+TEST(CsvTest, ReadWithSchema) {
+  std::istringstream input("gender,city\nM,NYC\nF,SF\n");
+  Result<Dataset> d = ReadCsv(MakeTestSchema(), input);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->num_rows(), 2u);
+  EXPECT_EQ(d->at(1, 1), 2);
+}
+
+TEST(CsvTest, TrimsWhitespace) {
+  std::istringstream input("gender,city\n M , NYC \n");
+  Result<Dataset> d = ReadCsv(MakeTestSchema(), input);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->at(0, 0), 0);
+}
+
+TEST(CsvTest, SkipsMissingRows) {
+  std::istringstream input("gender,city\nM,?\nF,LA\n");
+  Result<Dataset> d = ReadCsv(MakeTestSchema(), input);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 1u);
+  EXPECT_EQ(d->at(0, 0), 1);
+}
+
+TEST(CsvTest, KeepsMissingRowsWhenDisabled) {
+  std::istringstream input("gender,city\nM,LA\n");
+  CsvOptions options;
+  options.skip_rows_with_missing = false;
+  Result<Dataset> d = ReadCsv(MakeTestSchema(), input, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 1u);
+}
+
+TEST(CsvTest, HeaderMismatchFails) {
+  std::istringstream input("city,gender\nNYC,M\n");
+  EXPECT_FALSE(ReadCsv(MakeTestSchema(), input).ok());
+}
+
+TEST(CsvTest, UnknownLabelFails) {
+  std::istringstream input("gender,city\nM,Boston\n");
+  Result<Dataset> d = ReadCsv(MakeTestSchema(), input);
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("row 1"), std::string::npos);
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  std::istringstream input("M,NYC\nF,LA\n");
+  CsvOptions options;
+  options.has_header = false;
+  Result<Dataset> d = ReadCsv(MakeTestSchema(), input, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 2u);
+}
+
+TEST(CsvTest, EmptyInputFails) {
+  std::istringstream input("");
+  EXPECT_FALSE(ReadCsv(MakeTestSchema(), input).ok());
+}
+
+TEST(CsvTest, InferSchema) {
+  std::istringstream input("a,b\nx,1\ny,2\nx,2\n");
+  Result<Dataset> d = ReadCsvInferSchema(input);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->num_rows(), 3u);
+  EXPECT_EQ(d->schema().attribute(0).name(), "a");
+  EXPECT_EQ(d->schema().attribute(0).size(), 2u);
+  EXPECT_EQ(d->schema().attribute(1).size(), 2u);
+}
+
+TEST(CsvTest, InferSchemaRaggedRowsFail) {
+  std::istringstream input("a,b\nx,1\ny\n");
+  EXPECT_FALSE(ReadCsvInferSchema(input).ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  Dataset d(MakeTestSchema());
+  ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({1, 2}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(d, out).ok());
+
+  std::istringstream in(out.str());
+  Result<Dataset> back = ReadCsv(MakeTestSchema(), in);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->at(0, 0), 0);
+  EXPECT_EQ(back->at(1, 1), 2);
+}
+
+TEST(CsvTest, WriteIncludesClassColumn) {
+  Dataset d(MakeTestSchema());
+  ASSERT_TRUE(d.AppendRow({0, 1}).ok());
+  Result<AttributeDomain> cls = AttributeDomain::Create("ill", {"flu", "ok"});
+  ASSERT_TRUE(d.SetClassColumn(cls.value(), {1}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(d, out).ok());
+  EXPECT_EQ(out.str(), "gender,city,ill\nM,LA,ok\n");
+}
+
+TEST(CsvTest, FileNotFound) {
+  EXPECT_EQ(ReadCsvFile(MakeTestSchema(), "/nonexistent/x.csv").status().code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(ReadCsvInferSchemaFile("/nonexistent/x.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+
+TEST(CsvTest, CustomDelimiterAndMissingMarker) {
+  CsvOptions options;
+  options.delimiter = ';';
+  options.missing_marker = "NA";
+  std::istringstream input("gender;city\nM;NYC\nF;NA\nM;LA\n");
+  Result<Dataset> d = ReadCsv(MakeTestSchema(), input, options);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->num_rows(), 2u);  // The NA row is skipped.
+}
+
+TEST(CsvTest, DisabledMissingMarker) {
+  CsvOptions options;
+  options.missing_marker = "";
+  std::istringstream input("gender,city\nM,NYC\n");
+  Result<Dataset> d = ReadCsv(MakeTestSchema(), input, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 1u);
+}
+
+TEST(CsvTest, BlankLinesIgnored) {
+  std::istringstream input("gender,city\n\nM,NYC\n   \nF,LA\n");
+  Result<Dataset> d = ReadCsv(MakeTestSchema(), input);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kanon/algo/distance.h"
+
+namespace kanon {
+namespace {
+
+const DistanceParams kParams;  // ε = 0.1 as in the paper.
+
+TEST(DistanceTest, WeightedFormula) {
+  // (8): |A∪B|·d(A∪B) − |A|·d(A) − |B|·d(B).
+  EXPECT_DOUBLE_EQ(EvalDistance(DistanceFunction::kWeighted, kParams, 2, 3, 5,
+                                0.2, 0.3, 0.5),
+                   5 * 0.5 - 2 * 0.2 - 3 * 0.3);
+}
+
+TEST(DistanceTest, PlainFormula) {
+  // (9): d(A∪B) − d(A) − d(B). Can be negative.
+  EXPECT_DOUBLE_EQ(
+      EvalDistance(DistanceFunction::kPlain, kParams, 2, 3, 5, 0.4, 0.3, 0.5),
+      0.5 - 0.4 - 0.3);
+}
+
+TEST(DistanceTest, LogWeightedFormula) {
+  // (10): (d(A∪B) − d(A) − d(B)) / log2|A∪B|.
+  EXPECT_DOUBLE_EQ(EvalDistance(DistanceFunction::kLogWeighted, kParams, 2, 2,
+                                4, 0.1, 0.1, 0.6),
+                   (0.6 - 0.2) / 2.0);
+}
+
+TEST(DistanceTest, RatioFormula) {
+  // (11): d(A∪B) / (d(A) + d(B) + ε).
+  EXPECT_DOUBLE_EQ(
+      EvalDistance(DistanceFunction::kRatio, kParams, 1, 1, 2, 0.0, 0.0, 0.3),
+      0.3 / 0.1);
+}
+
+TEST(DistanceTest, RatioEpsilonConfigurable) {
+  DistanceParams params;
+  params.epsilon = 0.5;
+  EXPECT_DOUBLE_EQ(
+      EvalDistance(DistanceFunction::kRatio, params, 1, 1, 2, 0.0, 0.0, 0.3),
+      0.3 / 0.5);
+}
+
+TEST(DistanceTest, NergizCliftonIsAsymmetric) {
+  const double ab = EvalDistance(DistanceFunction::kNergizClifton, kParams, 2,
+                                 3, 5, 0.2, 0.4, 0.7);
+  const double ba = EvalDistance(DistanceFunction::kNergizClifton, kParams, 3,
+                                 2, 5, 0.4, 0.2, 0.7);
+  EXPECT_DOUBLE_EQ(ab, 0.7 - 0.4);
+  EXPECT_DOUBLE_EQ(ba, 0.7 - 0.2);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(DistanceTest, SymmetricFunctionsAreSymmetric) {
+  for (DistanceFunction f :
+       {DistanceFunction::kWeighted, DistanceFunction::kPlain,
+        DistanceFunction::kLogWeighted, DistanceFunction::kRatio}) {
+    const double ab = EvalDistance(f, kParams, 2, 3, 5, 0.2, 0.4, 0.7);
+    const double ba = EvalDistance(f, kParams, 3, 2, 5, 0.4, 0.2, 0.7);
+    EXPECT_DOUBLE_EQ(ab, ba) << DistanceFunctionName(f);
+  }
+}
+
+TEST(DistanceTest, OverlappingArguments) {
+  // The modified algorithm evaluates dist(Ŝ, Ŝ∖{R}): union size = |Ŝ|.
+  const double d = EvalDistance(DistanceFunction::kWeighted, kParams, 4, 3, 4,
+                                0.5, 0.2, 0.5);
+  EXPECT_DOUBLE_EQ(d, 4 * 0.5 - 4 * 0.5 - 3 * 0.2);
+}
+
+TEST(DistanceTest, NamesAreStable) {
+  EXPECT_EQ(DistanceFunctionName(DistanceFunction::kWeighted), "dist1(8)");
+  EXPECT_EQ(DistanceFunctionName(DistanceFunction::kPlain), "dist2(9)");
+  EXPECT_EQ(DistanceFunctionName(DistanceFunction::kLogWeighted), "dist3(10)");
+  EXPECT_EQ(DistanceFunctionName(DistanceFunction::kRatio), "dist4(11)");
+  EXPECT_EQ(DistanceFunctionName(DistanceFunction::kNergizClifton), "distNC");
+}
+
+TEST(DistanceTest, AllDistanceFunctionsArrayCoversEnum) {
+  EXPECT_EQ(std::size(kAllDistanceFunctions), 5u);
+}
+
+}  // namespace
+}  // namespace kanon

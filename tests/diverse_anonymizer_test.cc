@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "kanon/algo/diverse_anonymizer.h"
+#include "kanon/anonymity/diversity.h"
+#include "kanon/anonymity/verify.h"
+#include "kanon/common/rng.h"
+#include "kanon/loss/entropy_measure.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallScheme;
+using testing::Unwrap;
+
+Dataset MakeClassified(const GeneralizationScheme& scheme, size_t n,
+                       uint64_t seed, size_t num_classes) {
+  Rng rng(seed);
+  Dataset d(scheme.schema());
+  std::vector<ValueCode> classes;
+  for (size_t i = 0; i < n; ++i) {
+    KANON_CHECK(d.AppendRow({static_cast<ValueCode>(rng.NextBounded(8)),
+                             static_cast<ValueCode>(rng.NextBounded(2))})
+                    .ok());
+    // Correlate the class with the zip so that homogeneous clusters occur.
+    const ValueCode cls = static_cast<ValueCode>(
+        (d.at(i, 0) / 3 + rng.NextBounded(2)) % num_classes);
+    classes.push_back(cls);
+  }
+  std::vector<std::string> labels;
+  for (size_t c = 0; c < num_classes; ++c) {
+    std::string label = "c";
+    label += std::to_string(c);
+    labels.push_back(std::move(label));
+  }
+  KANON_CHECK(
+      d.SetClassColumn(Unwrap(AttributeDomain::Create("cls", labels)),
+                       classes)
+          .ok());
+  return d;
+}
+
+TEST(DiverseAnonymizerTest, RequiresClassColumn) {
+  auto scheme = SmallScheme();
+  Dataset d = testing::SmallRandomDataset(*scheme, 10, 1);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  EXPECT_FALSE(LDiverseCluster(d, loss, 2, 2, {}).ok());
+}
+
+TEST(DiverseAnonymizerTest, RejectsInfeasibleL) {
+  auto scheme = SmallScheme();
+  Dataset d = MakeClassified(*scheme, 20, 2, 2);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  Result<Clustering> c = LDiverseCluster(d, loss, 2, 3, {});
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DiverseAnonymizerTest, OutputIsKAnonymousAndLDiverse) {
+  auto scheme = SmallScheme();
+  for (uint64_t seed : {3u, 4u, 5u}) {
+    Dataset d = MakeClassified(*scheme, 40, seed, 3);
+    PrecomputedLoss loss(scheme, d, EntropyMeasure());
+    for (size_t l : {2u, 3u}) {
+      GeneralizedTable t = Unwrap(LDiverseKAnonymize(d, loss, 3, l, {}));
+      EXPECT_TRUE(IsKAnonymous(t, 3)) << "seed " << seed << " l " << l;
+      EXPECT_TRUE(IsDistinctLDiverse(d, t, l))
+          << "seed " << seed << " l " << l;
+    }
+  }
+}
+
+TEST(DiverseAnonymizerTest, LOneIsPlainKAnonymity) {
+  auto scheme = SmallScheme();
+  Dataset d = MakeClassified(*scheme, 30, 6, 2);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  Clustering diverse = Unwrap(LDiverseCluster(d, loss, 3, 1, {}));
+  Clustering plain = Unwrap(AgglomerativeCluster(d, loss, 3, {}));
+  EXPECT_EQ(diverse.clusters, plain.clusters);
+}
+
+TEST(DiverseAnonymizerTest, DiversityCostsUtility) {
+  auto scheme = SmallScheme();
+  Dataset d = MakeClassified(*scheme, 40, 7, 3);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  GeneralizedTable plain = Unwrap(AgglomerativeKAnonymize(d, loss, 3, {}));
+  GeneralizedTable diverse = Unwrap(LDiverseKAnonymize(d, loss, 3, 3, {}));
+  EXPECT_GE(loss.TableLoss(diverse), loss.TableLoss(plain) - 1e-9);
+}
+
+TEST(DiverseAnonymizerTest, HomogeneousClassMeansWholeTableCluster) {
+  // Every record shares one class and l=1 keeps clusters; but with l=2 the
+  // feasibility check must reject.
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  for (int i = 0; i < 10; ++i) {
+    KANON_CHECK(d.AppendRow({static_cast<ValueCode>(i % 8), 0}).ok());
+  }
+  KANON_CHECK(d.SetClassColumn(
+                   Unwrap(AttributeDomain::Create("c", {"only", "other"})),
+                   std::vector<ValueCode>(10, 0))
+                  .ok());
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  EXPECT_TRUE(LDiverseCluster(d, loss, 2, 1, {}).ok());
+  EXPECT_FALSE(LDiverseCluster(d, loss, 2, 2, {}).ok());
+}
+
+}  // namespace
+}  // namespace kanon

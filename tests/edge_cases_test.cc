@@ -1,0 +1,166 @@
+// Edge-case coverage across the algorithm modules: degenerate shapes,
+// duplicate-heavy data, adversarial tree shapes for the forest splitter,
+// and deficit-heavy inputs for Algorithm 5.
+#include <gtest/gtest.h>
+
+#include "kanon/algo/agglomerative.h"
+#include "kanon/algo/forest.h"
+#include "kanon/algo/kk_anonymizer.h"
+#include "kanon/anonymity/verify.h"
+#include "kanon/loss/entropy_measure.h"
+#include "kanon/loss/lm_measure.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallRandomDataset;
+using testing::SmallScheme;
+using testing::Unwrap;
+
+TEST(EdgeCasesTest, SingleRowDataset) {
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  ASSERT_TRUE(d.AppendRow({3, 1}).ok());
+  PrecomputedLoss loss(scheme, d, LmMeasure());
+  Clustering c = Unwrap(AgglomerativeCluster(d, loss, 1, {}));
+  EXPECT_EQ(c.num_clusters(), 1u);
+  GeneralizedTable t = Unwrap(K1GreedyExpansion(d, loss, 1));
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(EdgeCasesTest, TwoRowsK2AllAlgorithms) {
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({7, 1}).ok());
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  for (DistanceFunction f : kAllDistanceFunctions) {
+    AgglomerativeOptions options;
+    options.distance = f;
+    GeneralizedTable t = Unwrap(AgglomerativeKAnonymize(d, loss, 2, options));
+    EXPECT_TRUE(IsKAnonymous(t, 2));
+  }
+  EXPECT_TRUE(IsKAnonymous(Unwrap(ForestKAnonymize(d, loss, 2)), 2));
+  EXPECT_TRUE(IsKKAnonymous(
+      d, Unwrap(KKAnonymize(d, loss, 2, K1Algorithm::kGreedyExpansion)), 2));
+}
+
+TEST(EdgeCasesTest, AllRowsIdentical) {
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(d.AppendRow({5, 1}).ok());
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  for (size_t k : {2u, 5u, 12u}) {
+    GeneralizedTable agglo = Unwrap(AgglomerativeKAnonymize(d, loss, k, {}));
+    EXPECT_DOUBLE_EQ(loss.TableLoss(agglo), 0.0) << "k=" << k;
+    GeneralizedTable forest = Unwrap(ForestKAnonymize(d, loss, k));
+    EXPECT_DOUBLE_EQ(loss.TableLoss(forest), 0.0) << "k=" << k;
+    GeneralizedTable kk =
+        Unwrap(KKAnonymize(d, loss, k, K1Algorithm::kNearestNeighbors));
+    EXPECT_DOUBLE_EQ(loss.TableLoss(kk), 0.0) << "k=" << k;
+  }
+}
+
+TEST(EdgeCasesTest, ForestStarShapedData) {
+  // One "hub" value repeated and many distinct satellites: phase-1 trees
+  // become stars, exercising the child-grouping branch of the splitter
+  // (no single edge cut can leave both sides >= k).
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  for (ValueCode v = 1; v < 8; ++v) {
+    ASSERT_TRUE(d.AppendRow({v, 1}).ok());
+  }
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  for (size_t k : {2u, 3u, 5u}) {
+    Clustering c = Unwrap(ForestCluster(d, loss, k));
+    EXPECT_TRUE(c.IsPartitionOf(27));
+    for (const auto& cluster : c.clusters) {
+      EXPECT_GE(cluster.size(), k);
+      EXPECT_LE(cluster.size(), std::max(3 * k - 3, k));
+    }
+  }
+}
+
+TEST(EdgeCasesTest, Make1KWithLargeDeficit) {
+  // Start from the identity table (every record deficit k-1) and let
+  // Algorithm 5 fix everything at once.
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 25, 9);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  GeneralizedTable identity = GeneralizedTable::Identity(scheme, d);
+  for (size_t k : {2u, 4u, 6u}) {
+    GeneralizedTable t = Unwrap(Make1KAnonymous(d, loss, k, identity));
+    EXPECT_TRUE(Is1KAnonymous(d, t, k)) << "k=" << k;
+    EXPECT_TRUE(t.RowwiseGeneralizes(identity));
+  }
+}
+
+TEST(EdgeCasesTest, AgglomerativeNergizCliftonAsymmetry) {
+  // The NC distance is asymmetric; the engine must still terminate and
+  // produce a valid k-anonymization on skewed data.
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  for (int i = 0; i < 15; ++i) ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(d.AppendRow({static_cast<ValueCode>(i + 3), 1}).ok());
+  }
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  AgglomerativeOptions options;
+  options.distance = DistanceFunction::kNergizClifton;
+  options.check_exact_merges = true;
+  GeneralizedTable t = Unwrap(AgglomerativeKAnonymize(d, loss, 4, options));
+  EXPECT_TRUE(IsKAnonymous(t, 4));
+}
+
+TEST(EdgeCasesTest, SingleAttributeScheme) {
+  AttributeDomain a = AttributeDomain::IntegerRange("v", 0, 9);
+  Schema schema = Unwrap(Schema::Create({a}));
+  Hierarchy h = Unwrap(Hierarchy::Intervals(10, {2}));
+  auto scheme = std::make_shared<const GeneralizationScheme>(
+      Unwrap(GeneralizationScheme::Create(schema, {std::move(h)})));
+  Dataset d(scheme->schema());
+  for (ValueCode v = 0; v < 10; ++v) ASSERT_TRUE(d.AppendRow({v}).ok());
+  PrecomputedLoss loss(scheme, d, LmMeasure());
+  GeneralizedTable t = Unwrap(AgglomerativeKAnonymize(d, loss, 2, {}));
+  EXPECT_TRUE(IsKAnonymous(t, 2));
+  // Perfect banding exists: each pair shares a width-2 band, LM = 1/9.
+  EXPECT_NEAR(loss.TableLoss(t), 1.0 / 9.0, 1e-12);
+}
+
+TEST(EdgeCasesTest, SingleValueAttribute) {
+  AttributeDomain a = Unwrap(AttributeDomain::Create("constant", {"only"}));
+  AttributeDomain b = AttributeDomain::IntegerRange("v", 0, 3);
+  Schema schema = Unwrap(Schema::Create({a, b}));
+  Hierarchy ha = Unwrap(Hierarchy::SuppressionOnly(1));
+  Hierarchy hb = Unwrap(Hierarchy::FromGroups(4, {{0, 1}, {2, 3}}));
+  auto scheme = std::make_shared<const GeneralizationScheme>(
+      Unwrap(GeneralizationScheme::Create(schema, {ha, hb})));
+  Dataset d(scheme->schema());
+  for (ValueCode v = 0; v < 4; ++v) ASSERT_TRUE(d.AppendRow({0, v}).ok());
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  GeneralizedTable t = Unwrap(AgglomerativeKAnonymize(d, loss, 2, {}));
+  EXPECT_TRUE(IsKAnonymous(t, 2));
+  EXPECT_TRUE(IsGlobal1KAnonymous(d, t, 2));
+}
+
+TEST(EdgeCasesTest, KKOnDuplicateHeavyData) {
+  // 5 distinct records x 6 copies each; (k,k) with k=6 can publish the
+  // identity of each duplicate class: zero loss.
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  for (ValueCode v = 0; v < 5; ++v) {
+    for (int copy = 0; copy < 6; ++copy) {
+      ASSERT_TRUE(d.AppendRow({v, static_cast<ValueCode>(v % 2)}).ok());
+    }
+  }
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  GeneralizedTable t =
+      Unwrap(KKAnonymize(d, loss, 6, K1Algorithm::kGreedyExpansion));
+  EXPECT_TRUE(IsKKAnonymous(d, t, 6));
+  EXPECT_DOUBLE_EQ(loss.TableLoss(t), 0.0);
+}
+
+}  // namespace
+}  // namespace kanon

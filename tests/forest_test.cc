@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "kanon/algo/agglomerative.h"
+#include "kanon/algo/forest.h"
+#include "kanon/anonymity/verify.h"
+#include "kanon/loss/entropy_measure.h"
+#include "kanon/loss/lm_measure.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallRandomDataset;
+using testing::SmallScheme;
+using testing::Unwrap;
+
+TEST(ForestTest, RejectsBadK) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 5, 1);
+  PrecomputedLoss loss(scheme, d, LmMeasure());
+  EXPECT_FALSE(ForestCluster(d, loss, 0).ok());
+  EXPECT_FALSE(ForestCluster(d, loss, 6).ok());
+}
+
+TEST(ForestTest, PartitionWithSizeBounds) {
+  auto scheme = SmallScheme();
+  for (size_t k : {2u, 3u, 5u}) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      Dataset d = SmallRandomDataset(*scheme, 50, seed);
+      PrecomputedLoss loss(scheme, d, EntropyMeasure());
+      Clustering c = Unwrap(ForestCluster(d, loss, k));
+      EXPECT_TRUE(c.IsPartitionOf(50));
+      for (const auto& cluster : c.clusters) {
+        EXPECT_GE(cluster.size(), k) << "k=" << k << " seed=" << seed;
+        EXPECT_LE(cluster.size(), std::max(3 * k - 3, k))
+            << "k=" << k << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(ForestTest, TableIsKAnonymous) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 40, 4);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  GeneralizedTable t = Unwrap(ForestKAnonymize(d, loss, 4));
+  EXPECT_TRUE(IsKAnonymous(t, 4));
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    EXPECT_TRUE(t.ConsistentPair(d, i, i));
+  }
+}
+
+TEST(ForestTest, KEqualsN) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 7, 5);
+  PrecomputedLoss loss(scheme, d, LmMeasure());
+  Clustering c = Unwrap(ForestCluster(d, loss, 7));
+  // One tree of 7 nodes; with k=7 the split limit is 3k-3=18, so a single
+  // cluster remains.
+  EXPECT_EQ(c.num_clusters(), 1u);
+}
+
+TEST(ForestTest, Deterministic) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 35, 6);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  Clustering a = Unwrap(ForestCluster(d, loss, 3));
+  Clustering b = Unwrap(ForestCluster(d, loss, 3));
+  EXPECT_EQ(a.clusters, b.clusters);
+}
+
+TEST(ForestTest, IdenticalRecordsZeroLoss) {
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(d.AppendRow({1, 1}).ok());
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(d.AppendRow({6, 0}).ok());
+  PrecomputedLoss loss(scheme, d, LmMeasure());
+  GeneralizedTable t = Unwrap(ForestKAnonymize(d, loss, 4));
+  EXPECT_DOUBLE_EQ(loss.TableLoss(t), 0.0);
+}
+
+TEST(ForestTest, AgglomerativeBeatsForest) {
+  // The paper's headline: the agglomerative algorithms outperform the
+  // forest baseline. On aggregate over seeds, the best agglomerative
+  // variant must not lose to the forest algorithm.
+  auto scheme = SmallScheme();
+  double agglo_total = 0.0;
+  double forest_total = 0.0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Dataset d = SmallRandomDataset(*scheme, 60, 50 + seed);
+    PrecomputedLoss loss(scheme, d, EntropyMeasure());
+    double best_agglo = 1e18;
+    for (DistanceFunction f : kAllDistanceFunctions) {
+      for (bool modified : {false, true}) {
+        AgglomerativeOptions options;
+        options.distance = f;
+        options.modified = modified;
+        best_agglo = std::min(best_agglo,
+                              loss.TableLoss(Unwrap(
+                                  AgglomerativeKAnonymize(d, loss, 5, options))));
+      }
+    }
+    agglo_total += best_agglo;
+    forest_total += loss.TableLoss(Unwrap(ForestKAnonymize(d, loss, 5)));
+  }
+  EXPECT_LE(agglo_total, forest_total * 1.02);
+}
+
+}  // namespace
+}  // namespace kanon

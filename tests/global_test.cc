@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "kanon/algo/global_anonymizer.h"
+#include "kanon/algo/kk_anonymizer.h"
+#include "kanon/anonymity/attack.h"
+#include "kanon/anonymity/verify.h"
+#include "kanon/loss/entropy_measure.h"
+#include "kanon/loss/lm_measure.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallRandomDataset;
+using testing::SmallScheme;
+using testing::Unwrap;
+
+TEST(GlobalTest, RejectsBadArgs) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 6, 1);
+  PrecomputedLoss loss(scheme, d, LmMeasure());
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  EXPECT_FALSE(MakeGlobal1KAnonymous(d, loss, 0, t).ok());
+  EXPECT_FALSE(MakeGlobal1KAnonymous(d, loss, 7, t).ok());
+  GeneralizedTable empty(scheme);
+  EXPECT_FALSE(MakeGlobal1KAnonymous(d, loss, 2, empty).ok());
+}
+
+TEST(GlobalTest, RejectsNonGeneralizingTable) {
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({7, 1}).ok());
+  PrecomputedLoss loss(scheme, d, LmMeasure());
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  // Swap the records so that R̄_i no longer generalizes R_i.
+  const GeneralizedRecord r0 = t.record(0);
+  t.SetRecord(0, t.record(1));
+  t.SetRecord(1, r0);
+  Result<GlobalAnonymizationResult> result =
+      MakeGlobal1KAnonymous(d, loss, 1, t);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GlobalTest, UpgradesKKToGlobal) {
+  auto scheme = SmallScheme();
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Dataset d = SmallRandomDataset(*scheme, 30, 60 + seed);
+    PrecomputedLoss loss(scheme, d, EntropyMeasure());
+    const size_t k = 3;
+    GeneralizedTable kk =
+        Unwrap(KKAnonymize(d, loss, k, K1Algorithm::kGreedyExpansion));
+    GlobalAnonymizationResult result =
+        Unwrap(MakeGlobal1KAnonymous(d, loss, k, kk));
+    EXPECT_TRUE(IsGlobal1KAnonymous(d, result.table, k)) << "seed " << seed;
+    // Global (1,k) implies (k,k) (Figure 1 inclusions).
+    EXPECT_TRUE(IsKKAnonymous(d, result.table, k));
+    // The conversion only coarsens records.
+    EXPECT_TRUE(result.table.RowwiseGeneralizes(kk));
+  }
+}
+
+TEST(GlobalTest, NoOpWhenAlreadyGlobal) {
+  // A k-anonymous table is globally (1,k)-anonymous; Algorithm 6 must not
+  // spend any upgrade step on it.
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(d.AppendRow({5, 1}).ok());
+  PrecomputedLoss loss(scheme, d, LmMeasure());
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  GlobalAnonymizationResult result =
+      Unwrap(MakeGlobal1KAnonymous(d, loss, 4, t));
+  EXPECT_EQ(result.stats.deficient_records, 0u);
+  EXPECT_EQ(result.stats.upgrade_steps, 0u);
+  EXPECT_DOUBLE_EQ(loss.TableLoss(result.table), 0.0);
+}
+
+TEST(GlobalTest, FixesTheBreachedTable) {
+  // The attack_test construction: R2 has one match. Algorithm 6 repairs it.
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({1, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({2, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({3, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({3, 1}).ok());
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  const Hierarchy& zip = scheme->hierarchy(0);
+  const Hierarchy& sex = scheme->hierarchy(1);
+  const SetId band01 = zip.Join(zip.LeafOf(0), zip.LeafOf(1));
+  const SetId band23 = zip.Join(zip.LeafOf(2), zip.LeafOf(3));
+  const SetId band03 = zip.Join(zip.LeafOf(0), zip.LeafOf(3));
+  const SetId m = sex.LeafOf(0);
+  t.SetRecord(0, {band01, m});
+  t.SetRecord(1, {band03, m});
+  t.SetRecord(2, {band23, m});
+  t.SetRecord(3, {zip.LeafOf(3), sex.FullSetId()});
+  t.SetRecord(4, {zip.LeafOf(3), sex.FullSetId()});
+  ASSERT_TRUE(IsKKAnonymous(d, t, 2));
+  ASSERT_FALSE(IsGlobal1KAnonymous(d, t, 2));
+
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  GlobalAnonymizationResult result =
+      Unwrap(MakeGlobal1KAnonymous(d, loss, 2, t));
+  EXPECT_TRUE(IsGlobal1KAnonymous(d, result.table, 2));
+  EXPECT_EQ(result.stats.deficient_records, 1u);
+  EXPECT_GE(result.stats.upgrade_steps, 1u);
+  const AttackResult attack = MatchReductionAttack(d, result.table, 2);
+  EXPECT_TRUE(attack.breached_records.empty());
+}
+
+TEST(GlobalTest, StatsObserveOneStepPhenomenon) {
+  // The paper notes one upgrade step almost always suffices per deficient
+  // record; assert steps stay close to the number of deficient records.
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 40, 77);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  GeneralizedTable kk =
+      Unwrap(KKAnonymize(d, loss, 4, K1Algorithm::kGreedyExpansion));
+  GlobalAnonymizationResult result =
+      Unwrap(MakeGlobal1KAnonymous(d, loss, 4, kk));
+  EXPECT_LE(result.stats.upgrade_steps,
+            result.stats.deficient_records * 4 + 4);
+}
+
+TEST(GlobalTest, MatchesNaiveVerifier) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 16, 88);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  GeneralizedTable kk =
+      Unwrap(KKAnonymize(d, loss, 3, K1Algorithm::kGreedyExpansion));
+  GlobalAnonymizationResult result =
+      Unwrap(MakeGlobal1KAnonymous(d, loss, 3, kk));
+  EXPECT_TRUE(IsGlobal1KAnonymousNaive(d, result.table, 3));
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,100 @@
+// Property sweep over randomly generated laminar hierarchies: every
+// collection a hierarchy tree induces must build successfully, and its
+// join tables must satisfy the closure laws the anonymization algorithms
+// rely on (containment, minimality, commutativity, associativity,
+// idempotence).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "kanon/common/rng.h"
+#include "kanon/generalization/hierarchy.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::Unwrap;
+
+// Generates a random laminar family by recursively partitioning the value
+// range [lo, hi) into contiguous blocks.
+void RandomLaminar(Rng* rng, size_t lo, size_t hi, size_t domain_size,
+                   std::vector<ValueSet>* out) {
+  const size_t span = hi - lo;
+  if (span <= 1) return;
+  ValueSet block(domain_size);
+  for (size_t v = lo; v < hi; ++v) {
+    block.Insert(static_cast<ValueCode>(v));
+  }
+  out->push_back(block);
+  // Split into 2-3 parts at random cut points.
+  const size_t parts = 2 + rng->NextBounded(2);
+  std::vector<size_t> cuts = {lo, hi};
+  for (size_t p = 1; p < parts; ++p) {
+    cuts.push_back(lo + 1 + rng->NextBounded(span - 1));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+    if (cuts[c + 1] - cuts[c] < span) {  // Strictly smaller: terminates.
+      RandomLaminar(rng, cuts[c], cuts[c + 1], domain_size, out);
+    }
+  }
+}
+
+class LaminarSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LaminarSweep, ClosureLaws) {
+  Rng rng(GetParam());
+  const size_t domain_size = 4 + rng.NextBounded(20);
+  std::vector<ValueSet> subsets;
+  RandomLaminar(&rng, 0, domain_size, domain_size, &subsets);
+  Result<Hierarchy> built = Hierarchy::Build(domain_size, subsets);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const Hierarchy& h = built.value();
+  ASSERT_TRUE(h.IsLaminar());
+
+  const size_t num = h.num_sets();
+  for (SetId a = 0; a < num; ++a) {
+    EXPECT_EQ(h.Join(a, a), a);  // Idempotence.
+    for (SetId b = 0; b < num; ++b) {
+      const SetId j = h.Join(a, b);
+      // Containment.
+      EXPECT_TRUE(h.set(a).IsSubsetOf(h.set(j)));
+      EXPECT_TRUE(h.set(b).IsSubsetOf(h.set(j)));
+      // Commutativity.
+      EXPECT_EQ(j, h.Join(b, a));
+      // Minimality: no permissible subset strictly inside the join
+      // contains both arguments.
+      for (SetId c = 0; c < num; ++c) {
+        if (c == j || !h.set(c).IsSubsetOf(h.set(j))) continue;
+        EXPECT_FALSE(h.set(a).IsSubsetOf(h.set(c)) &&
+                     h.set(b).IsSubsetOf(h.set(c)))
+            << "join not minimal: " << h.set(j).ToString() << " vs "
+            << h.set(c).ToString();
+      }
+    }
+  }
+
+  // Associativity on a random sample of triples (the full cube is large).
+  for (int trial = 0; trial < 200; ++trial) {
+    const SetId a = static_cast<SetId>(rng.NextBounded(num));
+    const SetId b = static_cast<SetId>(rng.NextBounded(num));
+    const SetId c = static_cast<SetId>(rng.NextBounded(num));
+    EXPECT_EQ(h.Join(h.Join(a, b), c), h.Join(a, h.Join(b, c)));
+  }
+
+  // Every value's leaf is a singleton containing it.
+  for (size_t v = 0; v < domain_size; ++v) {
+    const SetId leaf = h.LeafOf(static_cast<ValueCode>(v));
+    EXPECT_EQ(h.SizeOf(leaf), 1u);
+    EXPECT_TRUE(h.Contains(leaf, static_cast<ValueCode>(v)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LaminarSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace kanon

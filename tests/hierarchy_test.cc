@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "kanon/generalization/hierarchy.h"
+
+namespace kanon {
+namespace {
+
+Hierarchy MustBuild(size_t domain_size,
+                    std::vector<std::vector<ValueCode>> groups) {
+  Result<Hierarchy> h = Hierarchy::FromGroups(domain_size, groups);
+  EXPECT_TRUE(h.ok()) << h.status().ToString();
+  return std::move(h).value();
+}
+
+TEST(HierarchyTest, SuppressionOnlyHasSingletonsAndFullSet) {
+  Result<Hierarchy> h = Hierarchy::SuppressionOnly(4);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_sets(), 5u);  // 4 singletons + full set.
+  EXPECT_EQ(h->SizeOf(h->FullSetId()), 4u);
+  for (ValueCode v = 0; v < 4; ++v) {
+    EXPECT_EQ(h->SizeOf(h->LeafOf(v)), 1u);
+    EXPECT_TRUE(h->Contains(h->LeafOf(v), v));
+  }
+}
+
+TEST(HierarchyTest, AddsSingletonsAndFullSetToGroups) {
+  Hierarchy h = MustBuild(4, {{0, 1}, {2, 3}});
+  // 4 singletons + 2 groups + full set.
+  EXPECT_EQ(h.num_sets(), 7u);
+}
+
+TEST(HierarchyTest, DeduplicatesSubsets) {
+  Hierarchy h = MustBuild(3, {{0, 1}, {1, 0}, {0}});
+  // 3 singletons + {0,1} + full set.
+  EXPECT_EQ(h.num_sets(), 5u);
+}
+
+TEST(HierarchyTest, JoinOfSiblingSingletonsIsGroup) {
+  Hierarchy h = MustBuild(4, {{0, 1}, {2, 3}});
+  const SetId join = h.Join(h.LeafOf(0), h.LeafOf(1));
+  EXPECT_EQ(h.SizeOf(join), 2u);
+  EXPECT_TRUE(h.Contains(join, 0));
+  EXPECT_TRUE(h.Contains(join, 1));
+}
+
+TEST(HierarchyTest, JoinAcrossGroupsIsFullSet) {
+  Hierarchy h = MustBuild(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(h.Join(h.LeafOf(0), h.LeafOf(2)), h.FullSetId());
+}
+
+TEST(HierarchyTest, JoinIsIdempotentAndCommutative) {
+  Hierarchy h = MustBuild(5, {{0, 1}, {3, 4}, {2, 3, 4}});
+  for (SetId a = 0; a < h.num_sets(); ++a) {
+    EXPECT_EQ(h.Join(a, a), a);
+    for (SetId b = 0; b < h.num_sets(); ++b) {
+      EXPECT_EQ(h.Join(a, b), h.Join(b, a));
+    }
+  }
+}
+
+TEST(HierarchyTest, JoinIsAssociativeOnLaminarFamilies) {
+  Hierarchy h = MustBuild(5, {{0, 1}, {3, 4}, {2, 3, 4}});
+  for (SetId a = 0; a < h.num_sets(); ++a) {
+    for (SetId b = 0; b < h.num_sets(); ++b) {
+      for (SetId c = 0; c < h.num_sets(); ++c) {
+        EXPECT_EQ(h.Join(h.Join(a, b), c), h.Join(a, h.Join(b, c)));
+      }
+    }
+  }
+}
+
+TEST(HierarchyTest, JoinContainsBothArguments) {
+  Hierarchy h = MustBuild(10, {{0, 1}, {2, 3}, {5, 6}, {7, 8},
+                               {0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}});
+  for (SetId a = 0; a < h.num_sets(); ++a) {
+    for (SetId b = 0; b < h.num_sets(); ++b) {
+      const SetId j = h.Join(a, b);
+      EXPECT_TRUE(h.set(a).IsSubsetOf(h.set(j)));
+      EXPECT_TRUE(h.set(b).IsSubsetOf(h.set(j)));
+    }
+  }
+}
+
+TEST(HierarchyTest, JoinIsMinimal) {
+  // {2,3,4} contains {3,4}; join of {3} and {4} must be {3,4}, not {2,3,4}.
+  Hierarchy h = MustBuild(5, {{3, 4}, {2, 3, 4}});
+  const SetId join = h.Join(h.LeafOf(3), h.LeafOf(4));
+  EXPECT_EQ(h.SizeOf(join), 2u);
+}
+
+TEST(HierarchyTest, RejectsAmbiguousClosure) {
+  // {0,1,2} and {1,2,3} are incomparable minimal supersets of the union
+  // {1,2}, so the closure of {1} and {2} would be ambiguous — Build must
+  // reject the collection.
+  Result<Hierarchy> h = Hierarchy::FromGroups(4, {{0, 1, 2}, {1, 2, 3}});
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchyTest, RejectsEmptySubsetAndBadDomain) {
+  EXPECT_FALSE(Hierarchy::Build(0, {}).ok());
+  EXPECT_FALSE(Hierarchy::Build(3, {ValueSet(3)}).ok());
+  EXPECT_FALSE(Hierarchy::Build(3, {ValueSet::Of(4, {0})}).ok());
+  EXPECT_FALSE(Hierarchy::FromGroups(3, {{5}}).ok());
+}
+
+TEST(HierarchyTest, IntervalsNestedBands) {
+  Result<Hierarchy> h = Hierarchy::Intervals(20, {5, 10});
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_TRUE(h->IsLaminar());
+  // 20 singletons + 4 bands of 5 + 2 bands of 10 + full set.
+  EXPECT_EQ(h->num_sets(), 27u);
+  const SetId band = h->Join(h->LeafOf(0), h->LeafOf(4));
+  EXPECT_EQ(h->SizeOf(band), 5u);
+  const SetId wide = h->Join(h->LeafOf(0), h->LeafOf(9));
+  EXPECT_EQ(h->SizeOf(wide), 10u);
+  EXPECT_EQ(h->Join(h->LeafOf(0), h->LeafOf(15)), h->FullSetId());
+}
+
+TEST(HierarchyTest, IntervalsTruncatedLastBand) {
+  Result<Hierarchy> h = Hierarchy::Intervals(7, {5});
+  ASSERT_TRUE(h.ok());
+  const SetId last = h->Join(h->LeafOf(5), h->LeafOf(6));
+  EXPECT_EQ(h->SizeOf(last), 2u);  // [5,6] truncated from width 5.
+  EXPECT_TRUE(h->IsLaminar());
+}
+
+TEST(HierarchyTest, IntervalsRequireDividingWidths) {
+  EXPECT_FALSE(Hierarchy::Intervals(30, {10, 25}).ok());
+  EXPECT_FALSE(Hierarchy::Intervals(30, {0}).ok());
+  EXPECT_TRUE(Hierarchy::Intervals(30, {2, 6, 12}).ok());
+}
+
+TEST(HierarchyTest, FromLabelGroups) {
+  Result<AttributeDomain> domain = AttributeDomain::Create(
+      "edu", {"HS", "BS", "MS", "PhD"});
+  ASSERT_TRUE(domain.ok());
+  Result<Hierarchy> h =
+      Hierarchy::FromLabelGroups(domain.value(), {{"MS", "PhD"}});
+  ASSERT_TRUE(h.ok());
+  const SetId grad = h->Join(h->LeafOf(2), h->LeafOf(3));
+  EXPECT_EQ(h->SizeOf(grad), 2u);
+  EXPECT_FALSE(
+      Hierarchy::FromLabelGroups(domain.value(), {{"nope"}}).ok());
+}
+
+TEST(HierarchyTest, IdOf) {
+  Hierarchy h = MustBuild(4, {{0, 1}});
+  Result<SetId> id = h.IdOf(ValueSet::Of(4, {0, 1}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(h.SizeOf(id.value()), 2u);
+  EXPECT_FALSE(h.IdOf(ValueSet::Of(4, {1, 2})).ok());
+  EXPECT_FALSE(h.IdOf(ValueSet::Of(5, {0, 1})).ok());
+}
+
+TEST(HierarchyTest, IsLaminar) {
+  EXPECT_TRUE(MustBuild(4, {{0, 1}, {2, 3}}).IsLaminar());
+  EXPECT_TRUE(MustBuild(5, {{3, 4}, {2, 3, 4}}).IsLaminar());
+  // Overlapping but join-consistent families are possible; {0,1} and {1,2}
+  // overlap, and every union has the full set as unique minimal superset
+  // except unions inside the pairs.
+  Result<Hierarchy> overlapping = Hierarchy::FromGroups(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(overlapping.ok()) << overlapping.status().ToString();
+  EXPECT_FALSE(overlapping->IsLaminar());
+}
+
+TEST(HierarchyTest, SetIdsSortedBySize) {
+  Hierarchy h = MustBuild(4, {{0, 1}, {2, 3}});
+  for (SetId s = 1; s < h.num_sets(); ++s) {
+    EXPECT_LE(h.SizeOf(static_cast<SetId>(s - 1)), h.SizeOf(s));
+  }
+  EXPECT_EQ(h.FullSetId(), h.num_sets() - 1);
+}
+
+
+TEST(HierarchyTest, LargeDomainCapacity) {
+  // A 300-value domain with nested bands builds and joins correctly
+  // (multi-word bitsets, >300 subsets).
+  Result<Hierarchy> h = Hierarchy::Intervals(300, {5, 25});
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(h->num_sets(), 300u + 60u + 12u + 1u);
+  EXPECT_EQ(h->SizeOf(h->Join(h->LeafOf(0), h->LeafOf(4))), 5u);
+  EXPECT_EQ(h->SizeOf(h->Join(h->LeafOf(0), h->LeafOf(24))), 25u);
+  EXPECT_EQ(h->Join(h->LeafOf(0), h->LeafOf(299)), h->FullSetId());
+}
+
+TEST(HierarchyTest, SingleValueDomain) {
+  Result<Hierarchy> h = Hierarchy::SuppressionOnly(1);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_sets(), 1u);  // The singleton IS the full set.
+  EXPECT_EQ(h->LeafOf(0), h->FullSetId());
+  EXPECT_EQ(h->Join(0, 0), 0);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "kanon/algo/anonymizer.h"
+#include "kanon/anonymity/linkage.h"
+#include "kanon/anonymity/verify.h"
+#include "kanon/loss/entropy_measure.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallRandomDataset;
+using testing::SmallScheme;
+using testing::Unwrap;
+
+TEST(LinkageTest, ExactRecordLinksToItsGroup) {
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({1, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({4, 1}).ok());
+  ASSERT_TRUE(d.AppendRow({5, 1}).ok());
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  const GeneralizedRecord c01 = scheme->ClosureOfRows(d, {0, 1});
+  t.SetRecord(0, c01);
+  t.SetRecord(1, c01);
+
+  std::vector<uint32_t> candidates =
+      Unwrap(LinkCandidates(t, {0, 0}));
+  EXPECT_EQ(candidates, (std::vector<uint32_t>{0, 1}));
+  candidates = Unwrap(LinkCandidates(t, {4, 1}));
+  EXPECT_EQ(candidates, (std::vector<uint32_t>{2}));
+}
+
+TEST(LinkageTest, PartialKnowledgeWidensTheSet) {
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({1, 1}).ok());
+  ASSERT_TRUE(d.AppendRow({7, 0}).ok());
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  // Adversary knows only the sex.
+  std::vector<uint32_t> males =
+      Unwrap(LinkCandidates(t, {kNoValue, 0}));
+  EXPECT_EQ(males, (std::vector<uint32_t>{0, 2}));
+  // Knows nothing: everyone is a candidate.
+  std::vector<uint32_t> all =
+      Unwrap(LinkCandidates(t, {kNoValue, kNoValue}));
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(LinkageTest, LabelInterface) {
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  ASSERT_TRUE(d.AppendRow({2, 1}).ok());
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  EXPECT_EQ(Unwrap(LinkCandidatesByLabel(t, {"2", "F"})).size(), 1u);
+  EXPECT_EQ(Unwrap(LinkCandidatesByLabel(t, {"*", "F"})).size(), 1u);
+  EXPECT_EQ(Unwrap(LinkCandidatesByLabel(t, {"", ""})).size(), 1u);
+  EXPECT_EQ(Unwrap(LinkCandidatesByLabel(t, {"3", "F"})).size(), 0u);
+  EXPECT_FALSE(LinkCandidatesByLabel(t, {"nope", "F"}).ok());
+  EXPECT_FALSE(LinkCandidatesByLabel(t, {"2"}).ok());
+}
+
+TEST(LinkageTest, RejectsBadRecords) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 3, 1);
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  EXPECT_FALSE(LinkCandidates(t, {0}).ok());        // Arity.
+  EXPECT_FALSE(LinkCandidates(t, {200, 0}).ok());   // Out of domain.
+}
+
+TEST(LinkageTest, MinLinkageMatchesOneKBound) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 35, 5);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  for (size_t k : {2u, 4u}) {
+    AnonymizerConfig config;
+    config.k = k;
+    config.method = AnonymizationMethod::kKKGreedyExpansion;
+    AnonymizationResult result = Unwrap(Anonymize(d, loss, config));
+    const size_t min_linkage = MinLinkageSetSize(d, result.table);
+    EXPECT_GE(min_linkage, k);
+    // The linkage bound is exactly the (1,k) verifier's criterion.
+    EXPECT_TRUE(Is1KAnonymous(d, result.table, min_linkage));
+    EXPECT_FALSE(Is1KAnonymous(d, result.table, min_linkage + 1));
+  }
+}
+
+}  // namespace
+}  // namespace kanon

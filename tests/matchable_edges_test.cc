@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kanon/common/rng.h"
+#include "kanon/graph/matchable_edges.h"
+
+namespace kanon {
+namespace {
+
+BipartiteGraph RandomGraphWithIdentity(Rng* rng, size_t n, double p) {
+  BipartiteGraph g(n, n);
+  for (uint32_t u = 0; u < n; ++u) {
+    g.AddEdge(u, u);  // Identity edge guarantees a perfect matching.
+    for (uint32_t v = 0; v < n; ++v) {
+      if (v != u && rng->NextDouble() < p) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+TEST(MatchableEdgesTest, RequiresBalancedGraph) {
+  BipartiteGraph g(2, 3);
+  EXPECT_FALSE(ComputeMatchableEdges(g).ok());
+  EXPECT_FALSE(ComputeMatchableEdgesNaive(g).ok());
+}
+
+TEST(MatchableEdgesTest, NoPerfectMatching) {
+  BipartiteGraph g(2, 2);
+  g.AddEdge(0, 0);
+  g.AddEdge(1, 0);  // Right vertex 1 isolated.
+  Result<MatchableEdgeSets> m = ComputeMatchableEdges(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->has_perfect_matching);
+  EXPECT_TRUE(m->matches[0].empty());
+  EXPECT_TRUE(m->matches[1].empty());
+}
+
+TEST(MatchableEdgesTest, PathGraph) {
+  // L0-R0, L0-R1, L1-R1: (0,1) is not matchable.
+  BipartiteGraph g(2, 2);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 1);
+  Result<MatchableEdgeSets> m = ComputeMatchableEdges(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->has_perfect_matching);
+  EXPECT_EQ(m->matches[0], (std::vector<uint32_t>{0}));
+  EXPECT_EQ(m->matches[1], (std::vector<uint32_t>{1}));
+}
+
+TEST(MatchableEdgesTest, CycleAllMatchable) {
+  // L0-R0, L0-R1, L1-R0, L1-R1: complete K22, every edge matchable.
+  BipartiteGraph g(2, 2);
+  for (uint32_t u = 0; u < 2; ++u) {
+    for (uint32_t v = 0; v < 2; ++v) g.AddEdge(u, v);
+  }
+  Result<MatchableEdgeSets> m = ComputeMatchableEdges(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->matches[0], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(m->matches[1], (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(MatchableEdgesTest, MatchesNaiveOnRandomGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    const size_t n = 2 + rng.NextBounded(10);
+    const BipartiteGraph g = RandomGraphWithIdentity(&rng, n, 0.25);
+    Result<MatchableEdgeSets> fast = ComputeMatchableEdges(g);
+    Result<MatchableEdgeSets> naive = ComputeMatchableEdgesNaive(g);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(naive.ok());
+    EXPECT_EQ(fast->has_perfect_matching, naive->has_perfect_matching);
+    for (size_t u = 0; u < n; ++u) {
+      EXPECT_EQ(fast->matches[u], naive->matches[u])
+          << "trial " << trial << " left vertex " << u;
+    }
+  }
+}
+
+TEST(MatchableEdgesTest, MatchedEdgesAlwaysMatchable) {
+  Rng rng(17);
+  const BipartiteGraph g = RandomGraphWithIdentity(&rng, 15, 0.3);
+  const Matching matching = HopcroftKarp(g);
+  ASSERT_EQ(matching.size, 15u);
+  Result<MatchableEdgeSets> m = ComputeMatchableEdges(g);
+  ASSERT_TRUE(m.ok());
+  for (uint32_t u = 0; u < 15; ++u) {
+    const auto& matches = m->matches[u];
+    EXPECT_TRUE(std::binary_search(matches.begin(), matches.end(),
+                                   matching.match_left[u]));
+  }
+}
+
+TEST(MatchableEdgesTest, MatchesAreNeighborsSubset) {
+  Rng rng(23);
+  const BipartiteGraph g = RandomGraphWithIdentity(&rng, 12, 0.4);
+  Result<MatchableEdgeSets> m = ComputeMatchableEdges(g);
+  ASSERT_TRUE(m.ok());
+  for (uint32_t u = 0; u < 12; ++u) {
+    for (uint32_t v : m->matches[u]) {
+      EXPECT_TRUE(g.HasEdge(u, v));
+    }
+  }
+}
+
+TEST(MatchableEdgesTest, FullSuppressionAllMatchable) {
+  // Complete bipartite graph: every edge lies in some perfect matching.
+  const size_t n = 6;
+  BipartiteGraph g(n, n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = 0; v < n; ++v) g.AddEdge(u, v);
+  }
+  Result<MatchableEdgeSets> m = ComputeMatchableEdges(g);
+  ASSERT_TRUE(m.ok());
+  for (uint32_t u = 0; u < n; ++u) {
+    EXPECT_EQ(m->matches[u].size(), n);
+  }
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,258 @@
+// Parameterized property sweeps: every anonymization pipeline, run over a
+// grid of (n, k, seed, measure), must uphold the paper's invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "kanon/algo/agglomerative.h"
+#include "kanon/algo/anonymizer.h"
+#include "kanon/anonymity/verify.h"
+#include "kanon/datasets/art.h"
+#include "kanon/loss/entropy_measure.h"
+#include "kanon/loss/lm_measure.h"
+#include "kanon/loss/table_metrics.h"
+#include "kanon/loss/tree_measure.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallRandomDataset;
+using testing::SmallScheme;
+using testing::Unwrap;
+
+enum class MeasureKind { kEntropy, kLm, kTree };
+
+const LossMeasure& GetMeasure(MeasureKind kind) {
+  static const EntropyMeasure em;
+  static const LmMeasure lm;
+  static const TreeMeasure tm;
+  switch (kind) {
+    case MeasureKind::kEntropy:
+      return em;
+    case MeasureKind::kLm:
+      return lm;
+    case MeasureKind::kTree:
+      return tm;
+  }
+  KANON_CHECK(false);
+  return em;
+}
+
+using SweepParam =
+    std::tuple<size_t /*n*/, size_t /*k*/, uint64_t /*seed*/, MeasureKind,
+               AnonymizationMethod>;
+
+class PipelineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PipelineSweep, UpholdsInvariants) {
+  const auto [n, k, seed, measure_kind, method] = GetParam();
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, n, seed);
+  PrecomputedLoss loss(scheme, d, GetMeasure(measure_kind));
+
+  AnonymizerConfig config;
+  config.k = k;
+  config.method = method;
+  AnonymizationResult result = Unwrap(Anonymize(d, loss, config));
+  const GeneralizedTable& t = result.table;
+
+  // Structural invariants.
+  ASSERT_EQ(t.num_rows(), d.num_rows());
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    EXPECT_TRUE(t.ConsistentPair(d, i, i)) << "row " << i;
+  }
+
+  // Loss is within [0, worst case 1 or log2(max domain)].
+  EXPECT_GE(result.loss, 0.0);
+  const double worst =
+      measure_kind == MeasureKind::kEntropy ? std::log2(8.0) : 1.0;
+  EXPECT_LE(result.loss, worst + 1e-9);
+
+  // The promised anonymity notion holds — and so do all notions implied by
+  // the Figure 1 inclusions.
+  switch (method) {
+    case AnonymizationMethod::kAgglomerative:
+    case AnonymizationMethod::kModifiedAgglomerative:
+    case AnonymizationMethod::kForest:
+      EXPECT_TRUE(IsKAnonymous(t, k));
+      EXPECT_TRUE(IsGlobal1KAnonymous(d, t, k));
+      EXPECT_TRUE(IsKKAnonymous(d, t, k));
+      break;
+    case AnonymizationMethod::kKKNearestNeighbors:
+    case AnonymizationMethod::kKKGreedyExpansion:
+      EXPECT_TRUE(IsKKAnonymous(d, t, k));
+      break;
+    case AnonymizationMethod::kGlobal:
+      EXPECT_TRUE(IsGlobal1KAnonymous(d, t, k));
+      EXPECT_TRUE(IsKKAnonymous(d, t, k));
+      break;
+    case AnonymizationMethod::kFullDomain:
+      EXPECT_TRUE(IsKAnonymous(t, k));
+      break;
+  }
+
+  // Every notion implies (1,k) and (k,1).
+  EXPECT_TRUE(Is1KAnonymous(d, t, k));
+  EXPECT_TRUE(IsK1Anonymous(d, t, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelineSweep,
+    ::testing::Combine(
+        ::testing::Values<size_t>(12, 33),
+        ::testing::Values<size_t>(2, 4),
+        ::testing::Values<uint64_t>(1, 2, 3),
+        ::testing::Values(MeasureKind::kEntropy, MeasureKind::kLm),
+        ::testing::Values(AnonymizationMethod::kAgglomerative,
+                          AnonymizationMethod::kModifiedAgglomerative,
+                          AnonymizationMethod::kForest,
+                          AnonymizationMethod::kKKNearestNeighbors,
+                          AnonymizationMethod::kKKGreedyExpansion,
+                          AnonymizationMethod::kGlobal)));
+
+// The tree measure in a separate, smaller sweep (it depends only on the
+// hierarchy shape, so fewer seeds suffice).
+INSTANTIATE_TEST_SUITE_P(
+    TreeMeasure, PipelineSweep,
+    ::testing::Combine(::testing::Values<size_t>(20),
+                       ::testing::Values<size_t>(3),
+                       ::testing::Values<uint64_t>(4),
+                       ::testing::Values(MeasureKind::kTree),
+                       ::testing::Values(
+                           AnonymizationMethod::kAgglomerative,
+                           AnonymizationMethod::kKKGreedyExpansion,
+                           AnonymizationMethod::kGlobal)));
+
+// Distance-function sweep: every distance function yields a valid
+// k-anonymization whose clusters respect the size bounds.
+using DistanceParam = std::tuple<DistanceFunction, size_t /*k*/, bool /*mod*/>;
+
+class DistanceSweep : public ::testing::TestWithParam<DistanceParam> {};
+
+TEST_P(DistanceSweep, ValidKAnonymization) {
+  const auto [distance, k, modified] = GetParam();
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 41, 17);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  AgglomerativeOptions options;
+  options.distance = distance;
+  options.modified = modified;
+  Clustering c = Unwrap(AgglomerativeCluster(d, loss, k, options));
+  EXPECT_TRUE(c.IsPartitionOf(41));
+  EXPECT_GE(c.min_cluster_size(), k);
+  GeneralizedTable t = TableFromClustering(scheme, d, c);
+  EXPECT_TRUE(IsKAnonymous(t, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DistanceSweep,
+    ::testing::Combine(::testing::ValuesIn(kAllDistanceFunctions),
+                       ::testing::Values<size_t>(2, 5),
+                       ::testing::Bool()));
+
+// The agglomerative engine uses lazily repaired nearest-neighbor caches;
+// this sweep asserts (by exhaustive per-merge scan) that every merge it
+// performs is at the globally minimal distance — i.e., the optimization is
+// behavior-preserving with respect to Algorithm 1.
+class ExactMergeSweep : public ::testing::TestWithParam<DistanceParam> {};
+
+TEST_P(ExactMergeSweep, EveryMergeIsGloballyMinimal) {
+  const auto [distance, k, modified] = GetParam();
+  auto scheme = SmallScheme();
+  for (uint64_t seed : {5u, 6u}) {
+    Dataset d = SmallRandomDataset(*scheme, 28, seed);
+    PrecomputedLoss loss(scheme, d, EntropyMeasure());
+    AgglomerativeOptions options;
+    options.distance = distance;
+    options.modified = modified;
+    options.check_exact_merges = true;  // KANON_CHECK aborts on violation.
+    Clustering c = Unwrap(AgglomerativeCluster(d, loss, k, options));
+    EXPECT_TRUE(c.IsPartitionOf(28));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExactMergeSweep,
+    ::testing::Combine(::testing::ValuesIn(kAllDistanceFunctions),
+                       ::testing::Values<size_t>(2, 4),
+                       ::testing::Bool()));
+
+// ART-workload sweep: the paper's synthetic data with its exact
+// generalization collections.
+class ArtSweep : public ::testing::TestWithParam<size_t /*k*/> {};
+
+TEST_P(ArtSweep, AllPipelinesValidOnArt) {
+  const size_t k = GetParam();
+  Workload w = Unwrap(MakeArtWorkload(60, 5));
+  PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  for (AnonymizationMethod method :
+       {AnonymizationMethod::kAgglomerative,
+        AnonymizationMethod::kKKGreedyExpansion,
+        AnonymizationMethod::kGlobal}) {
+    AnonymizerConfig config;
+    config.k = k;
+    config.method = method;
+    AnonymizationResult result = Unwrap(Anonymize(w.dataset, loss, config));
+    EXPECT_TRUE(Is1KAnonymous(w.dataset, result.table, k))
+        << AnonymizationMethodName(method);
+    EXPECT_TRUE(IsK1Anonymous(w.dataset, result.table, k))
+        << AnonymizationMethodName(method);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, ArtSweep, ::testing::Values<size_t>(2, 3, 6));
+
+// Loss-measure properties over random hierarchies.
+class MeasureSweep : public ::testing::TestWithParam<MeasureKind> {};
+
+TEST_P(MeasureSweep, NonNegativeAndFreeSingletons) {
+  const MeasureKind kind = GetParam();
+  const LossMeasure& measure = GetMeasure(kind);
+  Hierarchy h = Unwrap(Hierarchy::Intervals(12, {2, 4}));
+  Rng rng(3);
+  std::vector<uint32_t> counts(12);
+  for (auto& c : counts) c = static_cast<uint32_t>(rng.NextBounded(20));
+  for (SetId a = 0; a < h.num_sets(); ++a) {
+    EXPECT_GE(measure.SetCost(h, counts, a), 0.0);
+  }
+  for (ValueCode v = 0; v < 12; ++v) {
+    EXPECT_DOUBLE_EQ(measure.SetCost(h, counts, h.LeafOf(v)), 0.0);
+  }
+}
+
+TEST_P(MeasureSweep, SizeMonotoneMeasuresAreMonotone) {
+  // LM and the tree measure are monotone under set inclusion. The entropy
+  // measure deliberately is not (a subset dominated by one heavy value can
+  // have *lower* conditional entropy than a balanced smaller subset), so
+  // only bound it by log2 of the subset size.
+  const MeasureKind kind = GetParam();
+  const LossMeasure& measure = GetMeasure(kind);
+  Hierarchy h = Unwrap(Hierarchy::Intervals(12, {2, 4}));
+  Rng rng(3);
+  std::vector<uint32_t> counts(12);
+  for (auto& c : counts) c = static_cast<uint32_t>(rng.NextBounded(20));
+  for (SetId a = 0; a < h.num_sets(); ++a) {
+    if (kind == MeasureKind::kEntropy) {
+      EXPECT_LE(measure.SetCost(h, counts, a),
+                std::log2(static_cast<double>(h.SizeOf(a))) + 1e-12);
+      continue;
+    }
+    for (SetId b = 0; b < h.num_sets(); ++b) {
+      if (h.set(a).IsSubsetOf(h.set(b))) {
+        EXPECT_LE(measure.SetCost(h, counts, a),
+                  measure.SetCost(h, counts, b) + 1e-12)
+            << "sets " << a << " and " << b;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, MeasureSweep,
+                         ::testing::Values(MeasureKind::kEntropy,
+                                           MeasureKind::kLm,
+                                           MeasureKind::kTree));
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kanon/generalization/scheme_spec.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::Unwrap;
+
+Schema MakeSchema() {
+  AttributeDomain age = AttributeDomain::IntegerRange("age", 0, 19);
+  AttributeDomain edu = Unwrap(
+      AttributeDomain::Create("edu", {"HS", "BS", "MS", "PhD"}));
+  AttributeDomain sex = Unwrap(AttributeDomain::Create("sex", {"M", "F"}));
+  return Unwrap(Schema::Create({age, edu, sex}));
+}
+
+TEST(SchemeSpecTest, ParsesGroupsIntervalsAndDefaults) {
+  std::istringstream in(R"(
+# demo spec
+attribute age {
+  intervals 5 10
+}
+attribute edu {
+  group HS BS
+  group MS PhD
+}
+)");
+  GeneralizationScheme scheme = Unwrap(ParseSchemeSpec(MakeSchema(), in));
+  const Hierarchy& age = scheme.hierarchy(0);
+  EXPECT_EQ(age.SizeOf(age.Join(age.LeafOf(0), age.LeafOf(4))), 5u);
+  EXPECT_EQ(age.SizeOf(age.Join(age.LeafOf(0), age.LeafOf(9))), 10u);
+  const Hierarchy& edu = scheme.hierarchy(1);
+  EXPECT_EQ(edu.SizeOf(edu.Join(edu.LeafOf(2), edu.LeafOf(3))), 2u);
+  // sex unmentioned: suppression-only (2 singletons + full set).
+  EXPECT_EQ(scheme.hierarchy(2).num_sets(), 3u);
+}
+
+TEST(SchemeSpecTest, CommentsAndBlankLines) {
+  std::istringstream in(
+      "# top comment\n\nattribute sex {\n  suppression-only # inline\n}\n");
+  GeneralizationScheme scheme = Unwrap(ParseSchemeSpec(MakeSchema(), in));
+  EXPECT_EQ(scheme.hierarchy(2).num_sets(), 3u);
+}
+
+TEST(SchemeSpecTest, GroupsAndIntervalsCombine) {
+  std::istringstream in(R"(
+attribute age {
+  intervals 10
+  group 0 1
+}
+)");
+  GeneralizationScheme scheme = Unwrap(ParseSchemeSpec(MakeSchema(), in));
+  const Hierarchy& age = scheme.hierarchy(0);
+  EXPECT_EQ(age.SizeOf(age.Join(age.LeafOf(0), age.LeafOf(1))), 2u);
+  EXPECT_EQ(age.SizeOf(age.Join(age.LeafOf(0), age.LeafOf(5))), 10u);
+}
+
+TEST(SchemeSpecTest, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* spec;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"group HS BS\n", "outside an attribute block"},
+      {"attribute nope {\n}\n", "no attribute"},
+      {"attribute edu {\nattribute age {\n}\n}\n", "nested"},
+      {"attribute edu {\n  group\n}\n", "empty group"},
+      {"attribute edu {\n  group HS Nope\n}\n", "no value"},
+      {"attribute age {\n  intervals x\n}\n", "bad interval width"},
+      {"attribute age {\n  intervals 3 7\n}\n", "divide"},
+      {"attribute edu {\n  frobnicate\n}\n", "unknown directive"},
+      {"attribute edu {\n", "ends inside"},
+      {"}\n", "'}' outside"},
+  };
+  for (const Case& c : cases) {
+    std::istringstream in(c.spec);
+    Result<GeneralizationScheme> scheme = ParseSchemeSpec(MakeSchema(), in);
+    ASSERT_FALSE(scheme.ok()) << c.spec;
+    EXPECT_NE(scheme.status().message().find(c.needle), std::string::npos)
+        << "got: " << scheme.status().message();
+  }
+}
+
+TEST(SchemeSpecTest, RejectsAmbiguousGroups) {
+  std::istringstream in(
+      "attribute edu {\n  group HS BS MS\n  group BS MS PhD\n}\n");
+  EXPECT_FALSE(ParseSchemeSpec(MakeSchema(), in).ok());
+}
+
+TEST(SchemeSpecTest, FormatRoundTrip) {
+  std::istringstream in(R"(
+attribute edu {
+  group HS BS
+  group MS PhD
+}
+)");
+  GeneralizationScheme scheme = Unwrap(ParseSchemeSpec(MakeSchema(), in));
+  const std::string spec = FormatSchemeSpec(scheme);
+  EXPECT_NE(spec.find("group HS BS"), std::string::npos);
+  EXPECT_NE(spec.find("group MS PhD"), std::string::npos);
+
+  std::istringstream in2(spec);
+  GeneralizationScheme again = Unwrap(ParseSchemeSpec(MakeSchema(), in2));
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(again.hierarchy(j).num_sets(), scheme.hierarchy(j).num_sets());
+  }
+}
+
+TEST(SchemeSpecTest, FileHelpers) {
+  EXPECT_FALSE(ParseSchemeSpecFile(MakeSchema(), "/nonexistent/x.spec").ok());
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,157 @@
+// Heavier randomized end-to-end sweeps (still seconds, not minutes): every
+// pipeline over randomized schemas and workloads with full verification,
+// serialization round trips, and cross-module consistency checks.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kanon/algo/anonymizer.h"
+#include "kanon/anonymity/attack.h"
+#include "kanon/anonymity/linkage.h"
+#include "kanon/anonymity/verify.h"
+#include "kanon/common/rng.h"
+#include "kanon/datasets/art.h"
+#include "kanon/generalization/generalized_csv.h"
+#include "kanon/loss/entropy_measure.h"
+#include "kanon/loss/utility_report.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::Unwrap;
+
+// A random laminar scheme over 2-4 attributes with random domain sizes.
+std::shared_ptr<const GeneralizationScheme> RandomScheme(Rng* rng) {
+  const size_t r = 2 + rng->NextBounded(3);
+  std::vector<AttributeDomain> attributes;
+  std::vector<Hierarchy> hierarchies;
+  for (size_t j = 0; j < r; ++j) {
+    const int domain_size = 2 + static_cast<int>(rng->NextBounded(12));
+    std::string name = "a";
+    name += std::to_string(j);
+    attributes.push_back(
+        AttributeDomain::IntegerRange(std::move(name), 0, domain_size - 1));
+    // Random nested bands when the domain allows, else suppression-only.
+    Result<Hierarchy> h = Status::NotFound("unset");
+    if (domain_size >= 4 && rng->NextBounded(2) == 0) {
+      h = Hierarchy::Intervals(static_cast<size_t>(domain_size), {2, 4});
+    } else {
+      h = Hierarchy::SuppressionOnly(static_cast<size_t>(domain_size));
+    }
+    hierarchies.push_back(Unwrap(std::move(h)));
+  }
+  Schema schema = Unwrap(Schema::Create(std::move(attributes)));
+  return std::make_shared<const GeneralizationScheme>(
+      Unwrap(GeneralizationScheme::Create(schema, std::move(hierarchies))));
+}
+
+Dataset RandomData(const GeneralizationScheme& scheme, size_t n, Rng* rng) {
+  Dataset d(scheme.schema());
+  for (size_t i = 0; i < n; ++i) {
+    Record record(scheme.num_attributes());
+    for (size_t j = 0; j < record.size(); ++j) {
+      record[j] = static_cast<ValueCode>(
+          rng->NextBounded(scheme.schema().attribute(j).size()));
+    }
+    KANON_CHECK(d.AppendRow(record).ok());
+  }
+  return d;
+}
+
+TEST(StressTest, RandomSchemesAllPipelines) {
+  Rng rng(4242);
+  for (int round = 0; round < 8; ++round) {
+    auto scheme = RandomScheme(&rng);
+    const size_t n = 24 + rng.NextBounded(40);
+    Dataset d = RandomData(*scheme, n, &rng);
+    PrecomputedLoss loss(scheme, d, EntropyMeasure());
+    const size_t k = 2 + rng.NextBounded(4);
+
+    for (AnonymizationMethod method :
+         {AnonymizationMethod::kAgglomerative,
+          AnonymizationMethod::kModifiedAgglomerative,
+          AnonymizationMethod::kForest,
+          AnonymizationMethod::kKKGreedyExpansion,
+          AnonymizationMethod::kGlobal,
+          AnonymizationMethod::kFullDomain}) {
+      AnonymizerConfig config;
+      config.k = k;
+      config.method = method;
+      AnonymizationResult result = Unwrap(Anonymize(d, loss, config));
+      ASSERT_TRUE(Is1KAnonymous(d, result.table, k))
+          << "round " << round << " method "
+          << AnonymizationMethodName(method) << " k " << k;
+      ASSERT_TRUE(IsK1Anonymous(d, result.table, k));
+      // Serialization round trip preserves the table exactly.
+      std::ostringstream out;
+      ASSERT_TRUE(WriteGeneralizedCsv(result.table, out).ok());
+      std::istringstream in(out.str());
+      GeneralizedTable back = Unwrap(ReadGeneralizedCsv(scheme, in));
+      for (size_t i = 0; i < back.num_rows(); ++i) {
+        ASSERT_EQ(back.record(i), result.table.record(i));
+      }
+    }
+  }
+}
+
+TEST(StressTest, AttackAndLinkageAgreeOnNeighborCounts) {
+  Rng rng(777);
+  for (int round = 0; round < 5; ++round) {
+    auto scheme = RandomScheme(&rng);
+    Dataset d = RandomData(*scheme, 30, &rng);
+    PrecomputedLoss loss(scheme, d, EntropyMeasure());
+    AnonymizerConfig config;
+    config.k = 3;
+    config.method = AnonymizationMethod::kKKGreedyExpansion;
+    AnonymizationResult result = Unwrap(Anonymize(d, loss, config));
+
+    const AttackResult attack = MatchReductionAttack(d, result.table, 3);
+    for (uint32_t i = 0; i < d.num_rows(); ++i) {
+      const std::vector<uint32_t> candidates =
+          Unwrap(LinkCandidates(result.table, d.row(i)));
+      ASSERT_EQ(candidates.size(), attack.neighbor_counts[i]) << "row " << i;
+      ASSERT_GE(attack.neighbor_counts[i], attack.match_counts[i]);
+    }
+    ASSERT_EQ(MinLinkageSetSize(d, result.table), attack.min_neighbors());
+  }
+}
+
+TEST(StressTest, ArtWorkloadFullCycle) {
+  Workload w = Unwrap(MakeArtWorkload(400, 31337));
+  PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  for (size_t k : {3u, 7u}) {
+    AnonymizerConfig config;
+    config.k = k;
+    config.method = AnonymizationMethod::kGlobal;
+    AnonymizationResult result = Unwrap(Anonymize(w.dataset, loss, config));
+    ASSERT_TRUE(IsGlobal1KAnonymous(w.dataset, result.table, k));
+    const AttackResult attack = MatchReductionAttack(w.dataset, result.table, k);
+    ASSERT_TRUE(attack.breached_records.empty());
+    const UtilityReport report = BuildUtilityReport(w.dataset, result.table);
+    ASSERT_NEAR(report.entropy_loss, result.loss, 1e-12);
+    ASSERT_GE(report.num_groups, 1u);
+  }
+}
+
+TEST(StressTest, RepeatedRunsAreBitIdentical) {
+  Workload w = Unwrap(MakeArtWorkload(200, 5));
+  PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  for (AnonymizationMethod method :
+       {AnonymizationMethod::kAgglomerative,
+        AnonymizationMethod::kKKGreedyExpansion,
+        AnonymizationMethod::kGlobal}) {
+    AnonymizerConfig config;
+    config.k = 4;
+    config.method = method;
+    AnonymizationResult a = Unwrap(Anonymize(w.dataset, loss, config));
+    AnonymizationResult b = Unwrap(Anonymize(w.dataset, loss, config));
+    for (size_t i = 0; i < a.table.num_rows(); ++i) {
+      ASSERT_EQ(a.table.record(i), b.table.record(i))
+          << AnonymizationMethodName(method);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "kanon/loss/precomputed_loss.h"
+#include "kanon/loss/suppression_measure.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallRandomDataset;
+using testing::SmallScheme;
+
+TEST(SuppressionMeasureTest, ZeroOneCosts) {
+  auto scheme = SmallScheme();
+  const Hierarchy& zip = scheme->hierarchy(0);
+  SuppressionMeasure sup;
+  const std::vector<uint32_t> counts(8, 1);
+  for (ValueCode v = 0; v < 8; ++v) {
+    EXPECT_DOUBLE_EQ(sup.SetCost(zip, counts, zip.LeafOf(v)), 0.0);
+  }
+  const SetId band = zip.Join(zip.LeafOf(0), zip.LeafOf(1));
+  EXPECT_DOUBLE_EQ(sup.SetCost(zip, counts, band), 1.0);
+  EXPECT_DOUBLE_EQ(sup.SetCost(zip, counts, zip.FullSetId()), 1.0);
+}
+
+TEST(SuppressionMeasureTest, TableLossIsGeneralizedEntryFraction) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 6, 1);
+  PrecomputedLoss loss(scheme, d, SuppressionMeasure());
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  EXPECT_DOUBLE_EQ(loss.TableLoss(t), 0.0);
+  // Generalize one of the 12 entries.
+  GeneralizedRecord r = t.record(0);
+  r[1] = scheme->hierarchy(1).FullSetId();
+  t.SetRecord(0, r);
+  EXPECT_NEAR(loss.TableLoss(t), 1.0 / 12.0, 1e-12);
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    t.SetRecord(i, scheme->Suppressed());
+  }
+  EXPECT_DOUBLE_EQ(loss.TableLoss(t), 1.0);
+}
+
+TEST(SuppressionMeasureTest, NameIsStable) {
+  EXPECT_EQ(SuppressionMeasure().name(), "SUP");
+}
+
+}  // namespace
+}  // namespace kanon

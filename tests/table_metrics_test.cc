@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "kanon/loss/table_metrics.h"
+
+namespace kanon {
+namespace {
+
+std::shared_ptr<const GeneralizationScheme> MakeScheme() {
+  AttributeDomain a = AttributeDomain::IntegerRange("a", 0, 3);
+  Result<Schema> schema = Schema::Create({a});
+  Result<Hierarchy> h = Hierarchy::FromGroups(4, {{0, 1}, {2, 3}});
+  Result<GeneralizationScheme> scheme =
+      GeneralizationScheme::Create(schema.value(), {h.value()});
+  EXPECT_TRUE(scheme.ok());
+  return std::make_shared<const GeneralizationScheme>(
+      std::move(scheme).value());
+}
+
+Dataset MakeData(const GeneralizationScheme& scheme,
+                 std::vector<ValueCode> values,
+                 std::vector<ValueCode> classes = {}) {
+  Dataset d(scheme.schema());
+  for (ValueCode v : values) {
+    EXPECT_TRUE(d.AppendRow({v}).ok());
+  }
+  if (!classes.empty()) {
+    Result<AttributeDomain> cls =
+        AttributeDomain::Create("cls", {"x", "y", "z"});
+    EXPECT_TRUE(d.SetClassColumn(cls.value(), classes).ok());
+  }
+  return d;
+}
+
+TEST(TableMetricsTest, GroupIdenticalRecords) {
+  auto scheme = MakeScheme();
+  Dataset d = MakeData(*scheme, {0, 0, 1, 2});
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  auto groups = GroupIdenticalRecords(t);
+  ASSERT_EQ(groups.size(), 3u);
+  // Rows 0 and 1 share the identity record {0}.
+  size_t total = 0;
+  bool found_pair = false;
+  for (const auto& g : groups) {
+    total += g.size();
+    if (g.size() == 2) {
+      found_pair = true;
+      EXPECT_EQ(g, (std::vector<uint32_t>{0, 1}));
+    }
+  }
+  EXPECT_EQ(total, 4u);
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(TableMetricsTest, DiscernibilityMetric) {
+  auto scheme = MakeScheme();
+  Dataset d = MakeData(*scheme, {0, 0, 1, 2});
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  // Groups of sizes 2,1,1 -> 4+1+1 = 6.
+  EXPECT_EQ(DiscernibilityMetric(t), 6u);
+  // Suppress all: one group of 4 -> 16.
+  for (size_t i = 0; i < 4; ++i) t.SetRecord(i, scheme->Suppressed());
+  EXPECT_EQ(DiscernibilityMetric(t), 16u);
+}
+
+TEST(TableMetricsTest, ClassificationMetric) {
+  auto scheme = MakeScheme();
+  // Rows 0,1 identical; classes x,y -> one penalty in that group.
+  Dataset d = MakeData(*scheme, {0, 0, 1, 2}, {0, 1, 0, 0});
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  EXPECT_DOUBLE_EQ(ClassificationMetric(d, t), 0.25);
+  // Suppressing everything puts all rows in one group with majority x (3),
+  // so one row (the y) is misclassified.
+  for (size_t i = 0; i < 4; ++i) t.SetRecord(i, scheme->Suppressed());
+  EXPECT_DOUBLE_EQ(ClassificationMetric(d, t), 0.25);
+}
+
+TEST(TableMetricsTest, ClassificationMetricPerfectGroups) {
+  auto scheme = MakeScheme();
+  Dataset d = MakeData(*scheme, {0, 0, 2, 2}, {1, 1, 2, 2});
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  EXPECT_DOUBLE_EQ(ClassificationMetric(d, t), 0.0);
+}
+
+TEST(TableMetricsTest, GroupSizesSorted) {
+  auto scheme = MakeScheme();
+  Dataset d = MakeData(*scheme, {0, 0, 0, 1, 2});
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  EXPECT_EQ(GroupSizes(t), (std::vector<size_t>{1, 1, 3}));
+}
+
+}  // namespace
+}  // namespace kanon

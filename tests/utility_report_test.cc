@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "kanon/algo/anonymizer.h"
+#include "kanon/loss/entropy_measure.h"
+#include "kanon/loss/utility_report.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallRandomDataset;
+using testing::SmallScheme;
+using testing::Unwrap;
+
+TEST(UtilityReportTest, IdentityTableIsLossless) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 20, 1);
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  const UtilityReport report = BuildUtilityReport(d, t);
+  EXPECT_EQ(report.num_rows, 20u);
+  EXPECT_DOUBLE_EQ(report.entropy_loss, 0.0);
+  EXPECT_DOUBLE_EQ(report.lm_loss, 0.0);
+  EXPECT_DOUBLE_EQ(report.suppression_loss, 0.0);
+  ASSERT_EQ(report.attributes.size(), 2u);
+  for (const auto& a : report.attributes) {
+    EXPECT_DOUBLE_EQ(a.avg_set_size, 1.0);
+    EXPECT_DOUBLE_EQ(a.exact_fraction, 1.0);
+    EXPECT_DOUBLE_EQ(a.suppressed_fraction, 0.0);
+  }
+  EXPECT_LT(report.classification, 0.0);  // No class column.
+}
+
+TEST(UtilityReportTest, SuppressedTableIsMaximal) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 10, 2);
+  GeneralizedTable t(scheme);
+  for (size_t i = 0; i < 10; ++i) t.AppendRecord(scheme->Suppressed());
+  const UtilityReport report = BuildUtilityReport(d, t);
+  EXPECT_DOUBLE_EQ(report.lm_loss, 1.0);
+  EXPECT_DOUBLE_EQ(report.suppression_loss, 1.0);
+  EXPECT_EQ(report.num_groups, 1u);
+  EXPECT_EQ(report.min_group_size, 10u);
+  EXPECT_DOUBLE_EQ(report.attributes[0].suppressed_fraction, 1.0);
+  EXPECT_EQ(report.discernibility, 100u);
+}
+
+TEST(UtilityReportTest, AnonymizedTableStats) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 40, 3);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  AnonymizerConfig config;
+  config.k = 4;
+  AnonymizationResult result = Unwrap(Anonymize(d, loss, config));
+  const UtilityReport report = BuildUtilityReport(d, result.table);
+  EXPECT_NEAR(report.entropy_loss, result.loss, 1e-12);
+  EXPECT_GE(report.min_group_size, 4u);
+  EXPECT_GT(report.num_groups, 1u);
+  EXPECT_NEAR(report.avg_group_size,
+              40.0 / static_cast<double>(report.num_groups), 1e-12);
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("utility report (40 rows)"), std::string::npos);
+  EXPECT_NE(text.find("zip:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "kanon/anonymity/verify.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallScheme;
+using testing::Unwrap;
+
+// Four records over SmallScheme; rows 0,1 share zip band {0,1} and sex M.
+Dataset FourRows(const GeneralizationScheme& scheme) {
+  Dataset d(scheme.schema());
+  KANON_CHECK(d.AppendRow({0, 0}).ok());
+  KANON_CHECK(d.AppendRow({1, 0}).ok());
+  KANON_CHECK(d.AppendRow({4, 1}).ok());
+  KANON_CHECK(d.AppendRow({5, 1}).ok());
+  return d;
+}
+
+// Generalization pairing rows {0,1} and {2,3} by their cluster closures —
+// a proper 2-anonymization.
+GeneralizedTable PairTable(std::shared_ptr<const GeneralizationScheme> scheme,
+                           const Dataset& d) {
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  const GeneralizedRecord c01 = scheme->ClosureOfRows(d, {0, 1});
+  const GeneralizedRecord c23 = scheme->ClosureOfRows(d, {2, 3});
+  t.SetRecord(0, c01);
+  t.SetRecord(1, c01);
+  t.SetRecord(2, c23);
+  t.SetRecord(3, c23);
+  return t;
+}
+
+TEST(VerifyTest, IdentityTableIsOnlyOneAnonymous) {
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  EXPECT_TRUE(IsKAnonymous(t, 1));
+  EXPECT_FALSE(IsKAnonymous(t, 2));
+  EXPECT_TRUE(Is1KAnonymous(d, t, 1));
+  EXPECT_FALSE(Is1KAnonymous(d, t, 2));
+  EXPECT_TRUE(IsK1Anonymous(d, t, 1));
+  EXPECT_FALSE(IsK1Anonymous(d, t, 2));
+  EXPECT_TRUE(IsGlobal1KAnonymous(d, t, 1));
+  EXPECT_FALSE(IsGlobal1KAnonymous(d, t, 2));
+}
+
+TEST(VerifyTest, ProperPairingSatisfiesAllNotions) {
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  GeneralizedTable t = PairTable(scheme, d);
+  EXPECT_TRUE(IsKAnonymous(t, 2));
+  EXPECT_TRUE(Is1KAnonymous(d, t, 2));
+  EXPECT_TRUE(IsK1Anonymous(d, t, 2));
+  EXPECT_TRUE(IsKKAnonymous(d, t, 2));
+  EXPECT_TRUE(IsGlobal1KAnonymous(d, t, 2));
+  EXPECT_TRUE(IsGlobal1KAnonymousNaive(d, t, 2));
+  EXPECT_FALSE(IsKAnonymous(t, 3));
+}
+
+TEST(VerifyTest, OneKWithoutKOne) {
+  // The degenerate (1,k) example of Section IV-A: leave most rows intact
+  // and fully suppress the last k rows. (1,k) holds; (k,1) fails; privacy
+  // is clearly broken.
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  t.SetRecord(2, scheme->Suppressed());
+  t.SetRecord(3, scheme->Suppressed());
+  EXPECT_TRUE(Is1KAnonymous(d, t, 2));   // Everyone matches the 2 suppressed.
+  EXPECT_FALSE(IsK1Anonymous(d, t, 2));  // Rows 0,1 cover only themselves.
+  EXPECT_FALSE(IsKKAnonymous(d, t, 2));
+}
+
+TEST(VerifyTest, KOneWithoutOneK) {
+  // A (k,1)-but-not-(1,k) table: map *every* generalized record to the
+  // closure of rows {0,1}. Each published record covers two originals, so
+  // (2,1) holds — but rows 2 and 3 are consistent with nothing, so (1,2)
+  // fails. This mirrors the weakness of plain (k,1) that Section IV-A
+  // discusses.
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  const GeneralizedRecord c01 = scheme->ClosureOfRows(d, {0, 1});
+  for (size_t i = 0; i < 4; ++i) t.SetRecord(i, c01);
+  EXPECT_TRUE(IsK1Anonymous(d, t, 2));
+  EXPECT_FALSE(Is1KAnonymous(d, t, 2));
+  EXPECT_FALSE(IsKKAnonymous(d, t, 2));
+}
+
+TEST(VerifyTest, NotionNamesAndDispatch) {
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  GeneralizedTable t = PairTable(scheme, d);
+  for (AnonymityNotion notion :
+       {AnonymityNotion::kKAnonymity, AnonymityNotion::kOneK,
+        AnonymityNotion::kKOne, AnonymityNotion::kKK,
+        AnonymityNotion::kGlobalOneK}) {
+    EXPECT_TRUE(SatisfiesNotion(notion, d, t, 2))
+        << AnonymityNotionName(notion);
+    EXPECT_NE(std::string(AnonymityNotionName(notion)), "unknown");
+  }
+}
+
+TEST(VerifyTest, ReportOnProperPairing) {
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  GeneralizedTable t = PairTable(scheme, d);
+  const AnonymityReport report = AnalyzeAnonymity(d, t, 2);
+  EXPECT_TRUE(report.k_anonymous);
+  EXPECT_TRUE(report.one_k);
+  EXPECT_TRUE(report.k_one);
+  EXPECT_TRUE(report.kk);
+  EXPECT_TRUE(report.global_one_k);
+  EXPECT_EQ(report.min_left_degree, 2u);
+  EXPECT_EQ(report.min_right_degree, 2u);
+  EXPECT_EQ(report.min_matches, 2u);
+  EXPECT_EQ(report.min_group_size, 2u);
+  EXPECT_NE(report.ToString().find("k = 2"), std::string::npos);
+}
+
+TEST(VerifyTest, ReportOnIdentity) {
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  const AnonymityReport report = AnalyzeAnonymity(d, t, 3);
+  EXPECT_FALSE(report.k_anonymous);
+  EXPECT_FALSE(report.kk);
+  EXPECT_EQ(report.min_group_size, 1u);
+  EXPECT_EQ(report.min_matches, 1u);
+}
+
+TEST(VerifyTest, KAnonymityImpliesKK) {
+  // Proposition 4.5 inclusion on a concrete table.
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  GeneralizedTable t = PairTable(scheme, d);
+  ASSERT_TRUE(IsKAnonymous(t, 2));
+  EXPECT_TRUE(IsKKAnonymous(d, t, 2));
+  EXPECT_TRUE(Is1KAnonymous(d, t, 2));
+  EXPECT_TRUE(IsK1Anonymous(d, t, 2));
+}
+
+
+TEST(VerifyTest, UnbalancedTableNeverGlobal) {
+  // A published table with fewer records than the dataset cannot satisfy
+  // global (1,k): there is no perfect matching to hide in.
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  GeneralizedTable t(scheme);
+  t.AppendRecord(scheme->Suppressed());
+  t.AppendRecord(scheme->Suppressed());
+  const AnonymityReport report = AnalyzeAnonymity(d, t, 2);
+  EXPECT_TRUE(report.one_k);        // Everyone matches both records.
+  EXPECT_TRUE(report.k_one);
+  EXPECT_FALSE(report.global_one_k);
+  EXPECT_EQ(report.min_matches, 0u);
+}
+
+TEST(VerifyTest, KOneOnEmptyDatasetSide) {
+  // More generalized records than originals: (k,1) must fail when a
+  // record covers fewer than k originals.
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  KANON_CHECK(d.AppendRow({0, 0}).ok());
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  t.AppendRecord(scheme->Identity({7, 1}));  // Covers no original.
+  EXPECT_FALSE(IsK1Anonymous(d, t, 1));
+  EXPECT_TRUE(Is1KAnonymous(d, t, 1));
+}
+
+}  // namespace
+}  // namespace kanon
