@@ -58,7 +58,9 @@ int Run(BenchConfig config) {
           MakeGlobal1KAnonymous(workload->dataset, loss, k, kk.value());
       KANON_CHECK(global.ok(), global.status().ToString());
       const double global_loss = loss.TableLoss(global->table);
-      KANON_CHECK(IsGlobal1KAnonymous(workload->dataset, global->table, k),
+      const Result<bool> global_1k =
+          IsGlobal1KAnonymous(workload->dataset, global->table, k);
+      KANON_CHECK(global_1k.ok() && global_1k.value(),
                   "Algorithm 6 must produce a global (1,k)-anonymization");
       const AttackResult after =
           MatchReductionAttack(workload->dataset, global->table, k);

@@ -122,7 +122,9 @@ void BM_VerifyKK(benchmark::State& state) {
       KKAnonymize(w.dataset, loss, 5, K1Algorithm::kGreedyExpansion);
   KANON_CHECK(kk.ok());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(IsKKAnonymous(w.dataset, kk.value(), 5));
+    Result<bool> is_kk = IsKKAnonymous(w.dataset, kk.value(), 5);
+    KANON_CHECK(is_kk.ok() && is_kk.value());
+    benchmark::DoNotOptimize(is_kk);
   }
 }
 BENCHMARK(BM_VerifyKK)->Arg(500)->Arg(1000)->Arg(2000)->Unit(

@@ -125,7 +125,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!IsKAnonymous(chosen->table, k)) {
+  const Result<bool> k_anonymous = IsKAnonymous(chosen->table, k);
+  if (!k_anonymous.ok() || !k_anonymous.value()) {
     std::fprintf(stderr, "internal error: table is not %zu-anonymous\n", k);
     return 1;
   }

@@ -46,8 +46,13 @@ int main(int argc, char** argv) {
   std::printf("audit of the published table (n=%zu, k=%zu, entropy loss"
               " %.3f)\n\n",
               n, k, loss.TableLoss(published.value()));
-  const AnonymityReport report = AnalyzeAnonymity(survey, published.value(), k);
-  std::printf("%s\n", report.ToString().c_str());
+  const Result<AnonymityReport> report =
+      AnalyzeAnonymity(survey, published.value(), k);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->ToString().c_str());
 
   // The second adversary: knows the entire population AND that exactly
   // these n individuals are in the table. They prune neighbors that cannot
@@ -93,8 +98,13 @@ int main(int argc, char** argv) {
   const AttackResult after = MatchReductionAttack(survey, repaired->table, k);
   std::printf("after repair: min matches %zu, breached %zu\n",
               after.min_matches(), after.breached_records.size());
-  const bool global_ok = IsGlobal1KAnonymous(survey, repaired->table, k);
+  const Result<bool> global_ok =
+      IsGlobal1KAnonymous(survey, repaired->table, k);
+  if (!global_ok.ok()) {
+    std::fprintf(stderr, "%s\n", global_ok.status().ToString().c_str());
+    return 1;
+  }
   std::printf("global (1,%zu)-anonymity: %s\n", k,
-              global_ok ? "satisfied" : "VIOLATED");
-  return global_ok && after.breached_records.empty() ? 0 : 1;
+              global_ok.value() ? "satisfied" : "VIOLATED");
+  return global_ok.value() && after.breached_records.empty() ? 0 : 1;
 }

@@ -83,7 +83,12 @@ int main(int argc, char** argv) {
               k, result->loss, result->elapsed_seconds * 1e3);
   std::printf("%s", result->table.ToString().c_str());
 
-  const AnonymityReport report = AnalyzeAnonymity(patients, result->table, k);
-  std::printf("\n%s", report.ToString().c_str());
-  return report.k_anonymous ? 0 : 1;
+  const Result<AnonymityReport> report =
+      AnalyzeAnonymity(patients, result->table, k);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s", report->ToString().c_str());
+  return report->k_anonymous ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "kanon/common/check.h"
+#include "kanon/common/failpoint.h"
 
 namespace kanon {
 
@@ -67,12 +68,17 @@ class Engine {
         scheme_(loss.scheme()),
         k_(k),
         options_(options),
+        ctx_(options.run_context),
         num_attrs_(dataset.num_attributes()) {}
 
-  Clustering Run() {
-    InitSingletons();
-    MainLoop();
-    DistributeLeftover();
+  Result<Clustering> Run() {
+    KANON_RETURN_NOT_OK(InitSingletons());
+    KANON_RETURN_NOT_OK(MainLoop());
+    if (Stopped()) {
+      FinalizeDegraded();
+    } else {
+      DistributeLeftover();
+    }
     Clustering out;
     for (uint32_t id : final_) {
       out.clusters.push_back(std::move(clusters_[id].members));
@@ -81,6 +87,13 @@ class Engine {
   }
 
  private:
+  // One cooperative checkpoint per engine iteration.
+  bool CheckPoint(const char* stage) {
+    return ctx_ != nullptr && ctx_->CheckPoint(stage);
+  }
+
+  bool Stopped() const { return ctx_ != nullptr && ctx_->stopped(); }
+
   // d(A ∪ B) computed attribute-wise through the join tables; O(r).
   double UnionCost(const ClusterState& a, const ClusterState& b) const {
     double total = 0.0;
@@ -192,7 +205,7 @@ class Engine {
     }
   }
 
-  void InitSingletons() {
+  Status InitSingletons() {
     const size_t n = dataset_.num_rows();
     clusters_.reserve(2 * n);
     active_.reserve(n);
@@ -208,8 +221,13 @@ class Engine {
     num_active_ = n;
     cands_.resize(n);
     for (uint32_t i = 0; i < n; ++i) {
+      // The initial all-pairs scan is the O(n²) part of setup; it honors the
+      // same controls as the merge loop so tight deadlines bail early.
+      if (CheckPoint("agglomerative/init")) return Status::OK();
+      KANON_FAILPOINT("agglomerative.closure");
       FullRescan(i);
     }
+    return Status::OK();
   }
 
   void Deactivate(uint32_t c) {
@@ -333,8 +351,11 @@ class Engine {
     return ejected;
   }
 
-  void MainLoop() {
+  Status MainLoop() {
+    if (Stopped()) return Status::OK();  // Init was interrupted.
     while (num_active_ > 1) {
+      if (CheckPoint("agglomerative/merge")) return Status::OK();
+      KANON_FAILPOINT("agglomerative.closure");
       KANON_CHECK(!heap_.empty(), "active clusters must have heap entries");
       const HeapEntry entry = heap_.top();
       heap_.pop();
@@ -366,6 +387,64 @@ class Engine {
       } else {
         RepairAndMaybeAdd(merged);
       }
+    }
+    return Status::OK();
+  }
+
+  // Graceful wind-down after an interruption (deadline, cancel, budget):
+  // records still in undersized clusters are pooled into one catch-all
+  // cluster when they number at least k, and otherwise attached to their
+  // nearest finished cluster — so the result is k-anonymous either way.
+  void FinalizeDegraded() {
+    std::vector<uint32_t> leftover;
+    for (uint32_t x : active_) {
+      if (!clusters_[x].alive) continue;
+      leftover.insert(leftover.end(), clusters_[x].members.begin(),
+                      clusters_[x].members.end());
+      clusters_[x].alive = false;
+    }
+    if (leftover.empty()) return;  // Interrupted after the last ripening.
+    std::sort(leftover.begin(), leftover.end());
+    if (ctx_ != nullptr) {
+      ctx_->NoteDegraded("agglomerative/merge");
+      ctx_->AddRecordsSuppressed(leftover.size());
+    }
+    if (final_.empty() || leftover.size() >= k_) {
+      // One catch-all cluster. When no cluster ripened yet the pool is the
+      // whole dataset, and k <= n makes it valid.
+      ClusterState pool;
+      pool.members = std::move(leftover);
+      pool.closure = scheme_.ClosureOfRows(dataset_, pool.members);
+      pool.cost = loss_.RecordCost(pool.closure);
+      final_.push_back(NewCluster(std::move(pool)));
+      return;
+    }
+    // Fewer than k stragglers: nearest-final attachment, as in the normal
+    // leftover pass (one cheap scan per record).
+    for (uint32_t row : leftover) {
+      ClusterState single;
+      single.members = {row};
+      single.closure = scheme_.Identity(dataset_.row(row));
+      single.cost = loss_.RecordCost(single.closure);
+      size_t best_pos = 0;
+      double best_dist = kInf;
+      for (size_t pos = 0; pos < final_.size(); ++pos) {
+        const ClusterState& target = clusters_[final_[pos]];
+        const double d_union = UnionCost(single, target);
+        const double d =
+            EvalDistance(options_.distance, options_.params, 1,
+                         target.members.size(), target.members.size() + 1,
+                         single.cost, target.cost, d_union);
+        if (d < best_dist) {
+          best_dist = d;
+          best_pos = pos;
+        }
+      }
+      ClusterState& target = clusters_[final_[best_pos]];
+      target.members.push_back(row);
+      std::sort(target.members.begin(), target.members.end());
+      target.closure = scheme_.JoinRecords(target.closure, single.closure);
+      target.cost = loss_.RecordCost(target.closure);
     }
   }
 
@@ -416,6 +495,7 @@ class Engine {
   const GeneralizationScheme& scheme_;
   const size_t k_;
   const AgglomerativeOptions& options_;
+  RunContext* const ctx_;
   const size_t num_attrs_;
 
   std::vector<ClusterState> clusters_;

@@ -4,6 +4,7 @@
 #include "kanon/algo/clustering.h"
 #include "kanon/algo/distance.h"
 #include "kanon/common/result.h"
+#include "kanon/common/run_context.h"
 #include "kanon/data/dataset.h"
 #include "kanon/loss/precomputed_loss.h"
 
@@ -23,6 +24,12 @@ struct AgglomerativeOptions {
   /// that the merged pair attains the global minimum distance. Quadratic
   /// per merge — only for tests.
   bool check_exact_merges = false;
+  /// Optional execution controls (deadline, cancellation, step budget). Not
+  /// owned. On stop the engine finalizes the partial clustering: records of
+  /// still-undersized clusters are pooled into one catch-all cluster (or
+  /// attached to the nearest finished cluster), so the output is always
+  /// k-anonymous — just lossier. See docs/robustness.md.
+  RunContext* run_context = nullptr;
 };
 
 /// The (basic or modified) agglomerative algorithm for k-anonymization

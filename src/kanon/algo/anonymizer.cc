@@ -35,6 +35,7 @@ Result<AnonymizationResult> Anonymize(const Dataset& dataset,
                                       const PrecomputedLoss& loss,
                                       const AnonymizerConfig& config) {
   Timer timer;
+  RunContext* const ctx = config.run_context;
   Result<GeneralizedTable> table = Status::Internal("unreachable");
   switch (config.method) {
     case AnonymizationMethod::kAgglomerative:
@@ -44,33 +45,34 @@ Result<AnonymizationResult> Anonymize(const Dataset& dataset,
       options.params = config.params;
       options.modified =
           config.method == AnonymizationMethod::kModifiedAgglomerative;
+      options.run_context = ctx;
       table = AgglomerativeKAnonymize(dataset, loss, config.k, options);
       break;
     }
     case AnonymizationMethod::kForest:
-      table = ForestKAnonymize(dataset, loss, config.k);
+      table = ForestKAnonymize(dataset, loss, config.k, ctx);
       break;
     case AnonymizationMethod::kKKNearestNeighbors:
       table = KKAnonymize(dataset, loss, config.k,
-                          K1Algorithm::kNearestNeighbors);
+                          K1Algorithm::kNearestNeighbors, ctx);
       break;
     case AnonymizationMethod::kKKGreedyExpansion:
       table = KKAnonymize(dataset, loss, config.k,
-                          K1Algorithm::kGreedyExpansion);
+                          K1Algorithm::kGreedyExpansion, ctx);
       break;
     case AnonymizationMethod::kGlobal: {
       Result<GeneralizedTable> kk = KKAnonymize(
-          dataset, loss, config.k, K1Algorithm::kGreedyExpansion);
+          dataset, loss, config.k, K1Algorithm::kGreedyExpansion, ctx);
       if (!kk.ok()) return kk.status();
       Result<GlobalAnonymizationResult> global = MakeGlobal1KAnonymous(
-          dataset, loss, config.k, std::move(kk).value());
+          dataset, loss, config.k, std::move(kk).value(), ctx);
       if (!global.ok()) return global.status();
       table = std::move(global->table);
       break;
     }
     case AnonymizationMethod::kFullDomain: {
       Result<GlobalRecodingResult> recoded =
-          GlobalRecodingKAnonymize(dataset, loss, config.k);
+          GlobalRecodingKAnonymize(dataset, loss, config.k, ctx);
       if (!recoded.ok()) return recoded.status();
       table = std::move(recoded->table);
       break;
@@ -81,6 +83,13 @@ Result<AnonymizationResult> Anonymize(const Dataset& dataset,
   AnonymizationResult result{std::move(table).value(), 0.0, 0.0};
   result.loss = loss.TableLoss(result.table);
   result.elapsed_seconds = timer.ElapsedSeconds();
+  if (ctx != nullptr) {
+    const RunStats& stats = ctx->stats();
+    result.degraded = stats.degraded;
+    result.stop_reason = stats.stop_reason;
+    result.iterations_completed = stats.iterations_completed;
+    result.records_suppressed = stats.records_suppressed;
+  }
   return result;
 }
 

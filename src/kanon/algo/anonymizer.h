@@ -5,6 +5,7 @@
 
 #include "kanon/algo/distance.h"
 #include "kanon/common/result.h"
+#include "kanon/common/run_context.h"
 #include "kanon/data/dataset.h"
 #include "kanon/generalization/generalized_table.h"
 #include "kanon/loss/precomputed_loss.h"
@@ -38,6 +39,12 @@ struct AnonymizerConfig {
   /// Used by the agglomerative methods only.
   DistanceFunction distance = DistanceFunction::kLogWeighted;
   DistanceParams params;
+  /// Optional execution controls (deadline, cancellation, step budget,
+  /// progress observer). Not owned; must outlive the Anonymize() call. When
+  /// the context stops the run, the pipeline finalizes a degraded — but
+  /// still valid — table instead of aborting; the outcome is reported in
+  /// AnonymizationResult. See docs/robustness.md.
+  RunContext* run_context = nullptr;
 };
 
 struct AnonymizationResult {
@@ -45,6 +52,16 @@ struct AnonymizationResult {
   /// Π(D, g(D)) under the loss measure the pipeline optimized.
   double loss = 0.0;
   double elapsed_seconds = 0.0;
+  /// True when the run was cut short (deadline, cancellation, or step
+  /// budget) and a degradation fallback produced the table. The table still
+  /// satisfies the promised anonymity notion — it is just lossier.
+  bool degraded = false;
+  /// Why the run wound down early (kNone when it ran to completion).
+  StopReason stop_reason = StopReason::kNone;
+  /// Cooperative checkpoints passed (merge/expansion iterations).
+  size_t iterations_completed = 0;
+  /// Records coarsened beyond plan by the fallback (pooled or suppressed).
+  size_t records_suppressed = 0;
 };
 
 /// Runs the configured pipeline on `dataset`, optimizing `loss`.

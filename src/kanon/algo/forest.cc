@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "kanon/common/check.h"
+#include "kanon/common/failpoint.h"
 
 namespace kanon {
 
@@ -46,18 +47,24 @@ class UnionFind {
 
 class ForestBuilder {
  public:
-  ForestBuilder(const Dataset& dataset, const PrecomputedLoss& loss, size_t k)
+  ForestBuilder(const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
+                RunContext* ctx)
       : dataset_(dataset),
         loss_(loss),
         scheme_(loss.scheme()),
         k_(k),
         n_(dataset.num_rows()),
         r_(dataset.num_attributes()),
+        ctx_(ctx),
         uf_(dataset.num_rows()) {}
 
-  Clustering Run() {
-    GrowForest();
+  Result<Clustering> Run() {
+    KANON_RETURN_NOT_OK(GrowForest());
     Clustering out;
+    if (Stopped()) {
+      FinalizeDegraded(&out);
+      return out;
+    }
     for (const std::vector<uint32_t>& tree : Trees()) {
       SplitTree(tree, &out);
     }
@@ -65,6 +72,11 @@ class ForestBuilder {
   }
 
  private:
+  bool CheckPoint(const char* stage) {
+    return ctx_ != nullptr && ctx_->CheckPoint(stage);
+  }
+
+  bool Stopped() const { return ctx_ != nullptr && ctx_->stopped(); }
   // w(u, v) = d({R_u, R_v}): the pairwise generalization cost.
   double PairCost(uint32_t u, uint32_t v) const {
     double total = 0.0;
@@ -92,20 +104,26 @@ class ForestBuilder {
   }
 
   // Phase 1: every component reaches size >= k.
-  void GrowForest() {
+  Status GrowForest() {
     best_v_.assign(n_, kNone);
     best_w_.assign(n_, std::numeric_limits<double>::infinity());
     members_.assign(n_, {});
+    adjacency_.assign(n_, {});
+    for (uint32_t i = 0; i < n_; ++i) members_[i] = {i};
     for (uint32_t i = 0; i < n_; ++i) {
-      members_[i] = {i};
+      // The all-pairs nearest-neighbor scan is the O(n²) part of setup; it
+      // honors the same controls as the growth loop.
+      if (CheckPoint("forest/init")) return Status::OK();
+      KANON_FAILPOINT("forest.closure");
       RecomputeBest(i);
     }
-    adjacency_.assign(n_, {});
 
     std::vector<uint32_t> pending;  // Roots that may still be small.
     for (uint32_t i = 0; i < n_; ++i) pending.push_back(i);
 
     while (!pending.empty()) {
+      if (CheckPoint("forest/grow")) return Status::OK();
+      KANON_FAILPOINT("forest.closure");
       const uint32_t root = pending.back();
       pending.pop_back();
       if (uf_.Find(root) != root) continue;          // Stale: merged away.
@@ -140,6 +158,42 @@ class ForestBuilder {
         pending.push_back(merged_root);
       }
     }
+    return Status::OK();
+  }
+
+  // Graceful wind-down after an interruption: components already of size
+  // >= k become clusters as-is (the utility-only 3k−3 splitting of phase 2
+  // is skipped), and records of still-small components are pooled — into
+  // their own cluster when the pool reaches k, otherwise into a grown tree.
+  void FinalizeDegraded(Clustering* out) {
+    std::vector<uint32_t> pool;
+    for (uint32_t i = 0; i < n_; ++i) {
+      if (uf_.Find(i) != i || members_[i].empty()) continue;
+      if (members_[i].size() >= k_) {
+        std::vector<uint32_t> tree = members_[i];
+        std::sort(tree.begin(), tree.end());
+        out->clusters.push_back(std::move(tree));
+      } else {
+        pool.insert(pool.end(), members_[i].begin(), members_[i].end());
+      }
+    }
+    if (ctx_ != nullptr) {
+      ctx_->NoteDegraded("forest/grow");
+      ctx_->AddRecordsSuppressed(pool.size());
+    }
+    if (pool.empty()) return;
+    std::sort(pool.begin(), pool.end());
+    if (pool.size() >= k_) {
+      out->clusters.push_back(std::move(pool));
+      return;
+    }
+    // A pool below k implies some component grew to k (k <= n); merge the
+    // stragglers into the first such tree.
+    KANON_CHECK(!out->clusters.empty(),
+                "pool below k requires a grown tree (k <= n)");
+    std::vector<uint32_t>& host = out->clusters.front();
+    host.insert(host.end(), pool.begin(), pool.end());
+    std::sort(host.begin(), host.end());
   }
 
   // Connected components of the grown forest, as sorted node lists.
@@ -272,6 +326,7 @@ class ForestBuilder {
   const size_t k_;
   const size_t n_;
   const size_t r_;
+  RunContext* const ctx_;
 
   UnionFind uf_;
   std::vector<uint32_t> best_v_;
@@ -283,7 +338,8 @@ class ForestBuilder {
 }  // namespace
 
 Result<Clustering> ForestCluster(const Dataset& dataset,
-                                 const PrecomputedLoss& loss, size_t k) {
+                                 const PrecomputedLoss& loss, size_t k,
+                                 RunContext* ctx) {
   const size_t n = dataset.num_rows();
   if (k < 1) {
     return Status::InvalidArgument("k must be at least 1");
@@ -296,14 +352,14 @@ Result<Clustering> ForestCluster(const Dataset& dataset,
   if (dataset.num_attributes() != loss.scheme().num_attributes()) {
     return Status::InvalidArgument("dataset/loss arity mismatch");
   }
-  return ForestBuilder(dataset, loss, k).Run();
+  return ForestBuilder(dataset, loss, k, ctx).Run();
 }
 
 Result<GeneralizedTable> ForestKAnonymize(const Dataset& dataset,
                                           const PrecomputedLoss& loss,
-                                          size_t k) {
+                                          size_t k, RunContext* ctx) {
   KANON_ASSIGN_OR_RETURN(Clustering clustering,
-                         ForestCluster(dataset, loss, k));
+                         ForestCluster(dataset, loss, k, ctx));
   return TableFromClustering(loss.scheme_ptr(), dataset, clustering);
 }
 

@@ -3,6 +3,7 @@
 
 #include "kanon/algo/clustering.h"
 #include "kanon/common/result.h"
+#include "kanon/common/run_context.h"
 #include "kanon/data/dataset.h"
 #include "kanon/loss/precomputed_loss.h"
 
@@ -21,13 +22,18 @@ namespace kanon {
 /// grouping child subtrees when necessary).
 ///
 /// The resulting trees become the clusters of the anonymization.
+///
+/// When `ctx` stops the run, phase 1 pools the records of still-undersized
+/// components (attaching a < k pool to an already-grown tree) and phase 2's
+/// utility-only splitting is skipped, so the output stays k-anonymous.
 Result<Clustering> ForestCluster(const Dataset& dataset,
-                                 const PrecomputedLoss& loss, size_t k);
+                                 const PrecomputedLoss& loss, size_t k,
+                                 RunContext* ctx = nullptr);
 
 /// Convenience: cluster and translate to a generalized table.
 Result<GeneralizedTable> ForestKAnonymize(const Dataset& dataset,
                                           const PrecomputedLoss& loss,
-                                          size_t k);
+                                          size_t k, RunContext* ctx = nullptr);
 
 }  // namespace kanon
 

@@ -4,14 +4,44 @@
 #include <limits>
 
 #include "kanon/common/check.h"
+#include "kanon/common/failpoint.h"
 #include "kanon/graph/consistency_graph.h"
 #include "kanon/graph/matchable_edges.h"
 
 namespace kanon {
 
+namespace {
+
+// Global-(1,k) degradation: every record jumps to the common closure of the
+// whole table — one identical group of n >= k rows. That group is globally
+// (1,k)-anonymous outright: the identity matching is perfect, and inside an
+// identical group any edge swaps into it.
+void CollapseToCommonClosure(const GeneralizationScheme& scheme,
+                             RunContext* ctx, GeneralizedTable* table) {
+  const size_t n = table->num_rows();
+  const size_t r = table->num_attributes();
+  GeneralizedRecord common = table->record(0);
+  for (size_t t = 1; t < n; ++t) {
+    for (size_t j = 0; j < r; ++j) {
+      common[j] = scheme.hierarchy(j).Join(common[j], table->at(t, j));
+    }
+  }
+  size_t coarsened = 0;
+  for (size_t t = 0; t < n; ++t) {
+    if (table->record(t) != common) {
+      table->SetRecord(t, common);
+      ++coarsened;
+    }
+  }
+  ctx->NoteDegraded("global/upgrade");
+  ctx->AddRecordsSuppressed(coarsened);
+}
+
+}  // namespace
+
 Result<GlobalAnonymizationResult> MakeGlobal1KAnonymous(
     const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
-    GeneralizedTable table) {
+    GeneralizedTable table, RunContext* ctx) {
   const size_t n = dataset.num_rows();
   const size_t r = dataset.num_attributes();
   if (k < 1) {
@@ -38,6 +68,13 @@ Result<GlobalAnonymizationResult> MakeGlobal1KAnonymous(
     }
   }
 
+  // A context stopped during an earlier stage: skip the O(n²·r) consistency
+  // graph entirely and collapse right away.
+  if (ctx != nullptr && ctx->stopped()) {
+    CollapseToCommonClosure(scheme, ctx, &table);
+    return GlobalAnonymizationResult{std::move(table), GlobalAnonymizerStats{}};
+  }
+
   BipartiteGraph graph = BuildConsistencyGraph(dataset, table);
   Result<MatchableEdgeSets> matchable = ComputeMatchableEdges(graph);
   KANON_RETURN_NOT_OK(matchable.status());
@@ -51,6 +88,13 @@ Result<GlobalAnonymizationResult> MakeGlobal1KAnonymous(
       ++stats.deficient_records;
     }
     while (matchable->matches[i].size() < k) {
+      // One checkpoint per upgrade step — each recomputes the matchable
+      // edges, so this is the expensive unit of Algorithm 6.
+      if (ctx != nullptr && ctx->CheckPoint("global/upgrade")) {
+        CollapseToCommonClosure(scheme, ctx, &table);
+        return GlobalAnonymizationResult{std::move(table), stats};
+      }
+      KANON_FAILPOINT("global.closure");
       // Non-match neighbors Q \ P of R_i.
       const std::vector<uint32_t>& neighbors = graph.Neighbors(i);
       const std::vector<uint32_t>& matches = matchable->matches[i];

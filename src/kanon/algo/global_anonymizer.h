@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "kanon/common/result.h"
+#include "kanon/common/run_context.h"
 #include "kanon/data/dataset.h"
 #include "kanon/generalization/generalized_table.h"
 #include "kanon/loss/precomputed_loss.h"
@@ -39,9 +40,12 @@ struct GlobalAnonymizationResult {
 /// (k,k)-anonymity. Matches are recomputed with the matching+SCC algorithm,
 /// so the overall cost is O(#steps · (n·r + m)) instead of the paper's
 /// O(√n·m²).
+/// When `ctx` stops the run mid-upgrade, every record is generalized to the
+/// common closure of the whole table — one identical group of n ≥ k rows,
+/// which is globally (1,k)-anonymous outright.
 Result<GlobalAnonymizationResult> MakeGlobal1KAnonymous(
     const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
-    GeneralizedTable table);
+    GeneralizedTable table, RunContext* ctx = nullptr);
 
 }  // namespace kanon
 

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "kanon/common/check.h"
+#include "kanon/common/failpoint.h"
 
 namespace kanon {
 
@@ -95,7 +96,8 @@ SetId LevelAncestor(const Hierarchy& hierarchy, ValueCode value,
 }
 
 Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
-    const Dataset& dataset, const PrecomputedLoss& loss, size_t k) {
+    const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
+    RunContext* ctx) {
   const size_t n = dataset.num_rows();
   const size_t r = dataset.num_attributes();
   if (k < 1) {
@@ -122,6 +124,18 @@ Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
   GeneralizedTable current = ApplyLevels(dataset, loss.scheme_ptr(), tables,
                                          levels);
   while (!TableIsKAnonymous(current, k)) {
+    if (ctx != nullptr && ctx->CheckPoint("full-domain/ascent")) {
+      // Degradation: jump every attribute to its top level. All records
+      // become identical — k-anonymous for every k <= n.
+      for (size_t j = 0; j < r; ++j) {
+        levels[j] = static_cast<uint32_t>(tables[j].size() - 1);
+      }
+      ctx->NoteDegraded("full-domain/ascent");
+      ctx->AddRecordsSuppressed(n);
+      current = ApplyLevels(dataset, loss.scheme_ptr(), tables, levels);
+      return GlobalRecodingResult{std::move(current), std::move(levels)};
+    }
+    KANON_FAILPOINT("full_domain.step");
     // Raise the attribute whose bump loses the least information.
     size_t best_attr = SIZE_MAX;
     double best_loss = std::numeric_limits<double>::infinity();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "kanon/common/result.h"
+#include "kanon/common/run_context.h"
 #include "kanon/data/dataset.h"
 #include "kanon/generalization/generalized_table.h"
 #include "kanon/loss/precomputed_loss.h"
@@ -35,8 +36,11 @@ struct GlobalRecodingResult {
   std::vector<uint32_t> levels;
 };
 
+/// When `ctx` stops the ascent, every attribute jumps to its top level
+/// (all records identical — k-anonymous for every k ≤ n).
 Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
-    const Dataset& dataset, const PrecomputedLoss& loss, size_t k);
+    const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
+    RunContext* ctx = nullptr);
 
 /// The per-attribute level count (level 0 .. NumLevels-1); exposed for
 /// tests and for reporting.

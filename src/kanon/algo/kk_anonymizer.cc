@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "kanon/common/check.h"
+#include "kanon/common/failpoint.h"
 
 namespace kanon {
 
@@ -39,11 +40,56 @@ double JoinedCost(const GeneralizationScheme& scheme,
   return total / static_cast<double>(r);
 }
 
+// (k,1) degradation: records not yet processed ship fully suppressed. R*
+// covers every one of the n >= k originals, so the promise holds for them;
+// already-emitted records are untouched.
+void AppendSuppressedTail(const GeneralizationScheme& scheme, size_t n,
+                          const char* stage, RunContext* ctx,
+                          GeneralizedTable* table) {
+  const size_t emitted = table->num_rows();
+  ctx->NoteDegraded(stage);
+  ctx->AddRecordsSuppressed(n - emitted);
+  const GeneralizedRecord star = scheme.Suppressed();
+  for (size_t t = emitted; t < n; ++t) {
+    table->AppendRecord(star);
+  }
+}
+
+// (1,k) degradation: restores the property wholesale by fully suppressing
+// the k most-general rows (the cheapest to coarsen, since c(R*) is the same
+// for all). Every original is then consistent with those k rows, and rows
+// only coarsen, so (k,1) and row-wise generalization are preserved.
+GeneralizedTable SuppressKRows(const PrecomputedLoss& loss, size_t k,
+                               GeneralizedTable table, RunContext* ctx) {
+  const GeneralizedRecord star = loss.scheme().Suppressed();
+  const size_t n = table.num_rows();
+  std::vector<std::pair<double, uint32_t>> order;  // (−cost, row).
+  size_t already = 0;
+  for (uint32_t t = 0; t < n; ++t) {
+    const GeneralizedRecord rec = table.record(t);
+    if (rec == star) {
+      ++already;
+    } else {
+      order.emplace_back(-loss.RecordCost(rec), t);
+    }
+  }
+  ctx->NoteDegraded("kk/repair");
+  if (already >= k) return table;  // Enough suppressed rows exist.
+  const size_t need = k - already;
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<ptrdiff_t>(need), order.end());
+  ctx->AddRecordsSuppressed(need);
+  for (size_t t = 0; t < need; ++t) {
+    table.SetRecord(order[t].second, star);
+  }
+  return table;
+}
+
 }  // namespace
 
 Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
                                             const PrecomputedLoss& loss,
-                                            size_t k) {
+                                            size_t k, RunContext* ctx) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
   const GeneralizationScheme& scheme = loss.scheme();
   const size_t n = dataset.num_rows();
@@ -52,6 +98,11 @@ Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
   std::vector<std::pair<double, uint32_t>> candidates;
   candidates.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
+    if (ctx != nullptr && ctx->CheckPoint("kk/k1-nn")) {
+      AppendSuppressedTail(scheme, n, "kk/k1-nn", ctx, &table);
+      return table;
+    }
+    KANON_FAILPOINT("kk.closure");
     const GeneralizedRecord self = scheme.Identity(dataset.row(i));
     candidates.clear();
     for (uint32_t j = 0; j < n; ++j) {
@@ -73,7 +124,7 @@ Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
 
 Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
                                            const PrecomputedLoss& loss,
-                                           size_t k) {
+                                           size_t k, RunContext* ctx) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
   const GeneralizationScheme& scheme = loss.scheme();
   const size_t n = dataset.num_rows();
@@ -82,6 +133,11 @@ Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
   GeneralizedTable table(loss.scheme_ptr());
   std::vector<bool> in_cluster(n, false);
   for (uint32_t i = 0; i < n; ++i) {
+    if (ctx != nullptr && ctx->CheckPoint("kk/k1-greedy")) {
+      AppendSuppressedTail(scheme, n, "kk/k1-greedy", ctx, &table);
+      return table;
+    }
+    KANON_FAILPOINT("kk.closure");
     GeneralizedRecord closure = scheme.Identity(dataset.row(i));
     double closure_cost = loss.RecordCost(closure);
     size_t cluster_size = 1;
@@ -144,7 +200,8 @@ Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
 
 Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
                                          const PrecomputedLoss& loss, size_t k,
-                                         GeneralizedTable table) {
+                                         GeneralizedTable table,
+                                         RunContext* ctx) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
   if (table.num_rows() != dataset.num_rows()) {
     return Status::InvalidArgument(
@@ -156,6 +213,10 @@ Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
   const size_t r = dataset.num_attributes();
   std::vector<std::pair<double, uint32_t>> candidates;
   for (uint32_t i = 0; i < n; ++i) {
+    if (ctx != nullptr && ctx->CheckPoint("kk/repair")) {
+      return SuppressKRows(loss, k, std::move(table), ctx);
+    }
+    KANON_FAILPOINT("kk.upgrade");
     const Record record = dataset.row(i);
     // ℓ = #generalized records consistent with R_i.
     size_t consistent = 0;
@@ -192,13 +253,17 @@ Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
 
 Result<GeneralizedTable> KKAnonymize(const Dataset& dataset,
                                      const PrecomputedLoss& loss, size_t k,
-                                     K1Algorithm k1_algorithm) {
+                                     K1Algorithm k1_algorithm,
+                                     RunContext* ctx) {
   Result<GeneralizedTable> k1 =
       k1_algorithm == K1Algorithm::kNearestNeighbors
-          ? K1NearestNeighbors(dataset, loss, k)
-          : K1GreedyExpansion(dataset, loss, k);
+          ? K1NearestNeighbors(dataset, loss, k, ctx)
+          : K1GreedyExpansion(dataset, loss, k, ctx);
   if (!k1.ok()) return k1.status();
-  return Make1KAnonymous(dataset, loss, k, std::move(k1).value());
+  // A stopped context keeps returning true from CheckPoint(), so a (k,1)
+  // stage cut short flows into the repair stage's wholesale fallback — the
+  // final table is (k,k)-anonymous either way.
+  return Make1KAnonymous(dataset, loss, k, std::move(k1).value(), ctx);
 }
 
 }  // namespace kanon

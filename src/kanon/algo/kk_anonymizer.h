@@ -2,6 +2,7 @@
 #define KANON_ALGO_KK_ANONYMIZER_H_
 
 #include "kanon/common/result.h"
+#include "kanon/common/run_context.h"
 #include "kanon/data/dataset.h"
 #include "kanon/generalization/generalized_table.h"
 #include "kanon/loss/precomputed_loss.h"
@@ -12,9 +13,13 @@ namespace kanon {
 /// generalized to the closure of itself and the k−1 records minimizing the
 /// pairwise closure cost d({R_i, R_j}). Approximates the optimal
 /// (k,1)-anonymization within a factor of k−1 (Proposition 5.1). O(k·n²·r).
+/// When `ctx` stops the run, records not yet processed are emitted fully
+/// suppressed — every suppressed record covers all n ≥ k originals, so
+/// (k,1)-anonymity is preserved.
 Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
                                             const PrecomputedLoss& loss,
-                                            size_t k);
+                                            size_t k,
+                                            RunContext* ctx = nullptr);
 
 /// Algorithm 4: (k,1)-anonymization by greedy expansion. Each record grows
 /// a cluster of size k by repeatedly adding the record whose inclusion
@@ -23,7 +28,8 @@ Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
 /// O(k·n²·r) worst case.
 Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
                                            const PrecomputedLoss& loss,
-                                           size_t k);
+                                           size_t k,
+                                           RunContext* ctx = nullptr);
 
 /// Algorithm 5: the (1,k)-anonymizer. Further generalizes records of
 /// `table` until every record of `dataset` is consistent with at least k of
@@ -31,9 +37,14 @@ Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
 /// the k−ℓ inconsistent records R̄_j minimizing c(R_i + R̄_j) − c(R̄_j) and
 /// replaces them with R_i + R̄_j. Applied to a (k,1)-anonymization this
 /// yields a (k,k)-anonymization. O(k·n²·r).
+/// When `ctx` stops the run mid-repair, (1,k) is restored wholesale by fully
+/// suppressing the k cheapest-to-suppress records of `table` (every original
+/// is then consistent with those k rows; (k,1) is preserved because records
+/// only coarsen).
 Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
                                          const PrecomputedLoss& loss, size_t k,
-                                         GeneralizedTable table);
+                                         GeneralizedTable table,
+                                         RunContext* ctx = nullptr);
 
 /// Which (k,1) algorithm seeds the (k,k) pipeline.
 enum class K1Algorithm {
@@ -46,7 +57,8 @@ enum class K1Algorithm {
 /// recommended configuration.
 Result<GeneralizedTable> KKAnonymize(const Dataset& dataset,
                                      const PrecomputedLoss& loss, size_t k,
-                                     K1Algorithm k1_algorithm);
+                                     K1Algorithm k1_algorithm,
+                                     RunContext* ctx = nullptr);
 
 }  // namespace kanon
 

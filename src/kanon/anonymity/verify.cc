@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "kanon/common/check.h"
 #include "kanon/graph/consistency_graph.h"
 #include "kanon/graph/hopcroft_karp.h"
 #include "kanon/graph/matchable_edges.h"
@@ -26,19 +25,51 @@ const char* AnonymityNotionName(AnonymityNotion notion) {
   return "unknown";
 }
 
-bool IsKAnonymous(const GeneralizedTable& table, size_t k) {
-  KANON_CHECK(k >= 1, "k must be positive");
+namespace {
+
+// The verifiers run on untrusted input (files handed to --verify), so
+// malformed arguments come back as InvalidArgument instead of aborting.
+Status ValidateVerifyArgs(const Dataset& dataset,
+                          const GeneralizedTable& table, size_t k) {
+  if (k < 1) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (dataset.num_attributes() != table.num_attributes()) {
+    return Status::InvalidArgument(
+        "dataset/table arity mismatch: dataset has " +
+        std::to_string(dataset.num_attributes()) +
+        " attributes, table has " + std::to_string(table.num_attributes()));
+  }
+  return Status::OK();
+}
+
+// The matching-based notions additionally need |D| = |g(D)|.
+Status ValidateSquare(const Dataset& dataset, const GeneralizedTable& table) {
+  if (dataset.num_rows() != table.num_rows()) {
+    return Status::InvalidArgument(
+        "global (1,k) requires one generalized record per original: "
+        "dataset has " +
+        std::to_string(dataset.num_rows()) + " rows, table has " +
+        std::to_string(table.num_rows()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<bool> IsKAnonymous(const GeneralizedTable& table, size_t k) {
+  if (k < 1) {
+    return Status::InvalidArgument("k must be positive");
+  }
   for (const auto& group : GroupIdenticalRecords(table)) {
     if (group.size() < k) return false;
   }
   return true;
 }
 
-bool Is1KAnonymous(const Dataset& dataset, const GeneralizedTable& table,
-                   size_t k) {
-  KANON_CHECK(k >= 1, "k must be positive");
-  KANON_CHECK(dataset.num_attributes() == table.num_attributes(),
-              "dataset/table arity mismatch");
+Result<bool> Is1KAnonymous(const Dataset& dataset,
+                           const GeneralizedTable& table, size_t k) {
+  KANON_RETURN_NOT_OK(ValidateVerifyArgs(dataset, table, k));
   for (uint32_t i = 0; i < dataset.num_rows(); ++i) {
     size_t degree = 0;
     for (uint32_t t = 0; t < table.num_rows() && degree < k; ++t) {
@@ -49,11 +80,9 @@ bool Is1KAnonymous(const Dataset& dataset, const GeneralizedTable& table,
   return true;
 }
 
-bool IsK1Anonymous(const Dataset& dataset, const GeneralizedTable& table,
-                   size_t k) {
-  KANON_CHECK(k >= 1, "k must be positive");
-  KANON_CHECK(dataset.num_attributes() == table.num_attributes(),
-              "dataset/table arity mismatch");
+Result<bool> IsK1Anonymous(const Dataset& dataset,
+                           const GeneralizedTable& table, size_t k) {
+  KANON_RETURN_NOT_OK(ValidateVerifyArgs(dataset, table, k));
   for (uint32_t t = 0; t < table.num_rows(); ++t) {
     size_t degree = 0;
     for (uint32_t i = 0; i < dataset.num_rows() && degree < k; ++i) {
@@ -64,40 +93,44 @@ bool IsK1Anonymous(const Dataset& dataset, const GeneralizedTable& table,
   return true;
 }
 
-bool IsKKAnonymous(const Dataset& dataset, const GeneralizedTable& table,
-                   size_t k) {
-  return Is1KAnonymous(dataset, table, k) && IsK1Anonymous(dataset, table, k);
+Result<bool> IsKKAnonymous(const Dataset& dataset,
+                           const GeneralizedTable& table, size_t k) {
+  KANON_ASSIGN_OR_RETURN(const bool one_k, Is1KAnonymous(dataset, table, k));
+  if (!one_k) return false;
+  return IsK1Anonymous(dataset, table, k);
 }
 
-bool IsGlobal1KAnonymous(const Dataset& dataset, const GeneralizedTable& table,
-                         size_t k) {
-  KANON_CHECK(k >= 1, "k must be positive");
+Result<bool> IsGlobal1KAnonymous(const Dataset& dataset,
+                                 const GeneralizedTable& table, size_t k) {
+  KANON_RETURN_NOT_OK(ValidateVerifyArgs(dataset, table, k));
+  KANON_RETURN_NOT_OK(ValidateSquare(dataset, table));
   const BipartiteGraph graph = BuildConsistencyGraph(dataset, table);
-  const Result<MatchableEdgeSets> matchable = ComputeMatchableEdges(graph);
-  KANON_CHECK(matchable.ok(), matchable.status().ToString());
-  if (!matchable->has_perfect_matching) return false;
-  for (const auto& matches : matchable->matches) {
+  KANON_ASSIGN_OR_RETURN(const MatchableEdgeSets matchable,
+                         ComputeMatchableEdges(graph));
+  if (!matchable.has_perfect_matching) return false;
+  for (const auto& matches : matchable.matches) {
     if (matches.size() < k) return false;
   }
   return true;
 }
 
-bool IsGlobal1KAnonymousNaive(const Dataset& dataset,
-                              const GeneralizedTable& table, size_t k) {
-  KANON_CHECK(k >= 1, "k must be positive");
+Result<bool> IsGlobal1KAnonymousNaive(const Dataset& dataset,
+                                      const GeneralizedTable& table,
+                                      size_t k) {
+  KANON_RETURN_NOT_OK(ValidateVerifyArgs(dataset, table, k));
+  KANON_RETURN_NOT_OK(ValidateSquare(dataset, table));
   const BipartiteGraph graph = BuildConsistencyGraph(dataset, table);
-  const Result<MatchableEdgeSets> matchable =
-      ComputeMatchableEdgesNaive(graph);
-  KANON_CHECK(matchable.ok(), matchable.status().ToString());
-  if (!matchable->has_perfect_matching) return false;
-  for (const auto& matches : matchable->matches) {
+  KANON_ASSIGN_OR_RETURN(const MatchableEdgeSets matchable,
+                         ComputeMatchableEdgesNaive(graph));
+  if (!matchable.has_perfect_matching) return false;
+  for (const auto& matches : matchable.matches) {
     if (matches.size() < k) return false;
   }
   return true;
 }
 
-bool SatisfiesNotion(AnonymityNotion notion, const Dataset& dataset,
-                     const GeneralizedTable& table, size_t k) {
+Result<bool> SatisfiesNotion(AnonymityNotion notion, const Dataset& dataset,
+                             const GeneralizedTable& table, size_t k) {
   switch (notion) {
     case AnonymityNotion::kKAnonymity:
       return IsKAnonymous(table, k);
@@ -110,7 +143,7 @@ bool SatisfiesNotion(AnonymityNotion notion, const Dataset& dataset,
     case AnonymityNotion::kGlobalOneK:
       return IsGlobal1KAnonymous(dataset, table, k);
   }
-  return false;
+  return Status::InvalidArgument("unknown anonymity notion");
 }
 
 std::string AnonymityReport::ToString() const {
@@ -134,9 +167,10 @@ std::string AnonymityReport::ToString() const {
   return out;
 }
 
-AnonymityReport AnalyzeAnonymity(const Dataset& dataset,
-                                 const GeneralizedTable& table, size_t k) {
-  KANON_CHECK(k >= 1, "k must be positive");
+Result<AnonymityReport> AnalyzeAnonymity(const Dataset& dataset,
+                                         const GeneralizedTable& table,
+                                         size_t k) {
+  KANON_RETURN_NOT_OK(ValidateVerifyArgs(dataset, table, k));
   AnonymityReport report;
   report.k = k;
 
@@ -162,11 +196,11 @@ AnonymityReport AnalyzeAnonymity(const Dataset& dataset,
 
   size_t min_matches = 0;
   if (graph.num_left() == graph.num_right() && graph.num_left() > 0) {
-    const Result<MatchableEdgeSets> matchable = ComputeMatchableEdges(graph);
-    KANON_CHECK(matchable.ok(), matchable.status().ToString());
-    if (matchable->has_perfect_matching) {
+    KANON_ASSIGN_OR_RETURN(const MatchableEdgeSets matchable,
+                           ComputeMatchableEdges(graph));
+    if (matchable.has_perfect_matching) {
       min_matches = table.num_rows();
-      for (const auto& matches : matchable->matches) {
+      for (const auto& matches : matchable.matches) {
         min_matches = std::min(min_matches, matches.size());
       }
     }

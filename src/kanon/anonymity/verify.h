@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "kanon/common/result.h"
 #include "kanon/data/dataset.h"
 #include "kanon/generalization/generalized_table.h"
 
@@ -21,38 +22,43 @@ enum class AnonymityNotion {
 
 const char* AnonymityNotionName(AnonymityNotion notion);
 
+/// The verifiers take untrusted (dataset, table, k) triples — e.g. files a
+/// user asks `kanon_cli --verify` about — so argument problems (k = 0,
+/// arity or row-count mismatches) surface as Status::InvalidArgument, never
+/// as process aborts.
+
 /// Definition 4.1: every generalized record is identical to at least k−1
 /// other generalized records.
-bool IsKAnonymous(const GeneralizedTable& table, size_t k);
+Result<bool> IsKAnonymous(const GeneralizedTable& table, size_t k);
 
 /// Definition 4.4: every record of D is consistent with at least k records
 /// of g(D).
-bool Is1KAnonymous(const Dataset& dataset, const GeneralizedTable& table,
-                   size_t k);
+Result<bool> Is1KAnonymous(const Dataset& dataset,
+                           const GeneralizedTable& table, size_t k);
 
 /// Definition 4.4: every record of g(D) is consistent with at least k
 /// records of D.
-bool IsK1Anonymous(const Dataset& dataset, const GeneralizedTable& table,
-                   size_t k);
+Result<bool> IsK1Anonymous(const Dataset& dataset,
+                           const GeneralizedTable& table, size_t k);
 
 /// Definition 4.4: both (1,k) and (k,1).
-bool IsKKAnonymous(const Dataset& dataset, const GeneralizedTable& table,
-                   size_t k);
+Result<bool> IsKKAnonymous(const Dataset& dataset,
+                           const GeneralizedTable& table, size_t k);
 
 /// Definition 4.6: every record of D has at least k matches — neighbors
 /// whose edge extends to a perfect matching of V_{D,g(D)}. Uses the
 /// O(V+E) matchable-edges algorithm.
-bool IsGlobal1KAnonymous(const Dataset& dataset, const GeneralizedTable& table,
-                         size_t k);
+Result<bool> IsGlobal1KAnonymous(const Dataset& dataset,
+                                 const GeneralizedTable& table, size_t k);
 
 /// Same notion, decided with the paper's per-edge Hopcroft–Karp test.
 /// Exponentially slower in practice; kept as a cross-validation oracle.
-bool IsGlobal1KAnonymousNaive(const Dataset& dataset,
-                              const GeneralizedTable& table, size_t k);
+Result<bool> IsGlobal1KAnonymousNaive(const Dataset& dataset,
+                                      const GeneralizedTable& table, size_t k);
 
 /// Checks one notion.
-bool SatisfiesNotion(AnonymityNotion notion, const Dataset& dataset,
-                     const GeneralizedTable& table, size_t k);
+Result<bool> SatisfiesNotion(AnonymityNotion notion, const Dataset& dataset,
+                             const GeneralizedTable& table, size_t k);
 
 /// Degree/match statistics of a (dataset, table) pair — everything the
 /// verifiers decide, in one pass, plus distribution summaries.
@@ -77,8 +83,9 @@ struct AnonymityReport {
 };
 
 /// Full analysis; builds the consistency graph once.
-AnonymityReport AnalyzeAnonymity(const Dataset& dataset,
-                                 const GeneralizedTable& table, size_t k);
+Result<AnonymityReport> AnalyzeAnonymity(const Dataset& dataset,
+                                         const GeneralizedTable& table,
+                                         size_t k);
 
 }  // namespace kanon
 

@@ -1,0 +1,114 @@
+#include "kanon/common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "kanon/common/text.h"
+
+namespace kanon {
+namespace failpoint {
+
+namespace {
+
+struct FailpointState {
+  int skip_remaining = 0;  // Hits to let through before failing.
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, FailpointState> armed;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// Fast gate consulted by the macro before taking the mutex.
+std::atomic<int>& ArmedCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+// Parses KANON_FAILPOINTS ("name[=skip][,name...]") exactly once.
+void EnsureEnvLoaded() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("KANON_FAILPOINTS");
+    if (env == nullptr || env[0] == '\0') return;
+    for (const std::string& entry : Split(env, ',')) {
+      const std::string trimmed(Trim(entry));
+      if (trimmed.empty()) continue;
+      const size_t eq = trimmed.find('=');
+      int after = 0;
+      std::string name = trimmed;
+      if (eq != std::string::npos) {
+        name = trimmed.substr(0, eq);
+        after = std::atoi(trimmed.c_str() + eq + 1);
+        if (after < 0) after = 0;
+      }
+      Arm(name, after);
+    }
+  });
+}
+
+}  // namespace
+
+bool AnyArmed() {
+  EnsureEnvLoaded();
+  return ArmedCount().load(std::memory_order_relaxed) > 0;
+}
+
+Status Check(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.armed.find(name);
+  if (it == registry.armed.end()) return Status::OK();
+  if (it->second.skip_remaining > 0) {
+    --it->second.skip_remaining;
+    return Status::OK();
+  }
+  return Status::Internal(std::string("injected failure at failpoint '") +
+                          name + "'");
+}
+
+void Arm(const std::string& name, int after) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.armed.emplace(name, FailpointState{after}).second) {
+    ArmedCount().fetch_add(1, std::memory_order_relaxed);
+  } else {
+    registry.armed[name].skip_remaining = after;
+  }
+}
+
+void Disarm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.armed.erase(name) > 0) {
+    ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  ArmedCount().fetch_sub(static_cast<int>(registry.armed.size()),
+                         std::memory_order_relaxed);
+  registry.armed.clear();
+}
+
+std::vector<std::string> ArmedNames() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> names;
+  for (const auto& [name, state] : registry.armed) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace failpoint
+}  // namespace kanon

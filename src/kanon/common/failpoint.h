@@ -1,0 +1,67 @@
+#ifndef KANON_COMMON_FAILPOINT_H_
+#define KANON_COMMON_FAILPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "kanon/common/status.h"
+
+namespace kanon {
+namespace failpoint {
+
+/// Deterministic fault-injection registry for robustness tests.
+///
+/// A failpoint is a named site compiled into a fallible code path (CSV/spec
+/// ingestion, cluster-closure loops). When armed, the site returns an
+/// injected non-OK Status instead of proceeding, proving that every failure
+/// on that path surfaces as a Status — no crash, no invalid output.
+///
+/// Arming:
+///   - programmatically: failpoint::Arm("csv.read_row", /*after=*/2);
+///   - via environment:  KANON_FAILPOINTS="csv.read_row=2,spec.line"
+///     (parsed on first use; "=N" skips the first N hits, default 0).
+///
+/// Disarmed failpoints cost one relaxed atomic load; builds with
+/// KANON_DISABLE_FAILPOINTS defined compile the macro to nothing.
+
+/// True when at least one failpoint is armed (fast gate; see the macro).
+bool AnyArmed();
+
+/// Counts a hit of `name`. Returns the injected error when `name` is armed
+/// and its skip-count is exhausted; OK otherwise.
+Status Check(const char* name);
+
+/// Arms `name`: the (after+1)-th Check() hit fails, as do all later hits.
+void Arm(const std::string& name, int after = 0);
+
+/// Disarms one / every failpoint and resets hit counters.
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// Names of currently armed failpoints (for diagnostics).
+std::vector<std::string> ArmedNames();
+
+}  // namespace failpoint
+}  // namespace kanon
+
+/// Drops an injected failure into a function returning Status or Result<T>.
+/// Usage, at the top of a fallible loop body or entry point:
+///   KANON_FAILPOINT("csv.read_row");
+#ifdef KANON_DISABLE_FAILPOINTS
+#define KANON_FAILPOINT(name) \
+  do {                        \
+  } while (false)
+#else
+#define KANON_FAILPOINT(name)                                       \
+  do {                                                              \
+    if (::kanon::failpoint::AnyArmed()) {                           \
+      ::kanon::Status kanon_failpoint_status =                      \
+          ::kanon::failpoint::Check(name);                          \
+      if (!kanon_failpoint_status.ok()) {                           \
+        return kanon_failpoint_status;                              \
+      }                                                             \
+    }                                                               \
+  } while (false)
+#endif
+
+#endif  // KANON_COMMON_FAILPOINT_H_

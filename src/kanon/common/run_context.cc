@@ -1,0 +1,54 @@
+#include "kanon/common/run_context.h"
+
+namespace kanon {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kStepBudget:
+      return "step-budget";
+  }
+  return "unknown";
+}
+
+void RunContext::set_progress_observer(
+    std::function<void(const RunProgress&)> observer, size_t interval_steps) {
+  observer_ = std::move(observer);
+  observer_interval_ = interval_steps == 0 ? 1 : interval_steps;
+}
+
+bool RunContext::CheckPoint(const char* stage) {
+  if (stopped()) return true;
+  const size_t step = stats_.iterations_completed++;
+  if (observer_ && step % observer_interval_ == 0) {
+    observer_(RunProgress{stage, step, timer_.ElapsedSeconds()});
+  }
+  if (cancel_token_ != nullptr && cancel_token_->cancelled()) {
+    stats_.stop_reason = StopReason::kCancelled;
+    return true;
+  }
+  if (step_budget_ != 0 && stats_.iterations_completed > step_budget_) {
+    stats_.stop_reason = StopReason::kStepBudget;
+    return true;
+  }
+  if (deadline_armed_ && (step & kClockCheckMask) == 0 &&
+      timer_.ElapsedSeconds() >= deadline_seconds_) {
+    stats_.stop_reason = StopReason::kDeadline;
+    return true;
+  }
+  return false;
+}
+
+void RunContext::NoteDegraded(const char* stage) {
+  if (!stats_.degraded) {
+    stats_.degraded_stage = stage;
+  }
+  stats_.degraded = true;
+}
+
+}  // namespace kanon

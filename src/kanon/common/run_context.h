@@ -1,0 +1,128 @@
+#ifndef KANON_COMMON_RUN_CONTEXT_H_
+#define KANON_COMMON_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "kanon/common/timer.h"
+
+namespace kanon {
+
+/// Why a run was asked to wind down.
+enum class StopReason {
+  kNone = 0,
+  kDeadline,    // The wall-clock deadline expired.
+  kCancelled,   // The cancellation token was triggered (e.g. SIGINT).
+  kStepBudget,  // The iteration/step budget was exhausted.
+};
+
+/// Short human-readable name ("none", "deadline", ...).
+const char* StopReasonName(StopReason reason);
+
+/// A shared cancellation flag. Cancel() only stores an atomic bool, so it is
+/// async-signal-safe and may be called from a SIGINT handler or another
+/// thread; pipelines observe it through RunContext::CheckPoint().
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Snapshot handed to the progress observer.
+struct RunProgress {
+  const char* stage = "";     // Pipeline stage, e.g. "agglomerative/merge".
+  size_t steps = 0;           // Cooperative checkpoints passed so far.
+  double elapsed_seconds = 0.0;
+};
+
+/// Outcome bookkeeping for one anonymization run.
+struct RunStats {
+  /// True when a pipeline finalized early and used its fallback path. The
+  /// output is still valid for the promised anonymity notion, just lossier.
+  bool degraded = false;
+  StopReason stop_reason = StopReason::kNone;
+  /// Cooperative checkpoints passed (one per merge/expansion iteration).
+  size_t iterations_completed = 0;
+  /// Records coarsened beyond plan by a degradation fallback (pooled into a
+  /// catch-all cluster or fully suppressed).
+  size_t records_suppressed = 0;
+  /// First stage that had to degrade, e.g. "agglomerative/merge".
+  std::string degraded_stage;
+};
+
+/// Execution controls for one anonymization run: an optional wall-clock
+/// deadline, an optional cooperative cancellation token, an optional step
+/// budget, and an optional progress observer. A default-constructed context
+/// is unbounded and adds one predictable branch per iteration.
+///
+/// Pipelines call CheckPoint() once per merge/expansion iteration; once it
+/// returns true (sticky), they must stop refining and *finalize*: emit a
+/// table that still satisfies the promised anonymity notion, typically by
+/// pooling undersized clusters or falling back to suppression, and record
+/// the fact via NoteDegraded(). RunContext is not thread-safe except for the
+/// CancellationToken; one context belongs to one run.
+class RunContext {
+ public:
+  RunContext() = default;
+
+  /// Arms a deadline `seconds` from now. Non-positive values expire
+  /// immediately (useful to exercise the degraded paths).
+  void ArmDeadline(double seconds) {
+    deadline_seconds_ = seconds;
+    deadline_armed_ = true;
+    timer_.Reset();
+  }
+
+  /// Stops the run after `steps` cooperative checkpoints. 0 = unlimited.
+  void set_step_budget(size_t steps) { step_budget_ = steps; }
+
+  void set_cancel_token(std::shared_ptr<CancellationToken> token) {
+    cancel_token_ = std::move(token);
+  }
+
+  /// `observer` fires every `interval_steps` checkpoints (and on the first).
+  void set_progress_observer(std::function<void(const RunProgress&)> observer,
+                             size_t interval_steps = 1024);
+
+  /// One cooperative checkpoint. Counts an iteration, fires the progress
+  /// observer, and returns true once the run must wind down. The result is
+  /// sticky: after the first true, every later call returns true, so a
+  /// multi-stage pipeline degrades every remaining stage promptly.
+  bool CheckPoint(const char* stage);
+
+  bool stopped() const { return stats_.stop_reason != StopReason::kNone; }
+  StopReason stop_reason() const { return stats_.stop_reason; }
+
+  /// Degradation bookkeeping, written by pipelines.
+  void NoteDegraded(const char* stage);
+  void AddRecordsSuppressed(size_t count) {
+    stats_.records_suppressed += count;
+  }
+
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  // How often the (comparatively costly) clock is consulted.
+  static constexpr size_t kClockCheckMask = 63;
+
+  Timer timer_;
+  bool deadline_armed_ = false;
+  double deadline_seconds_ = 0.0;
+  size_t step_budget_ = 0;  // 0 = unlimited.
+  std::shared_ptr<CancellationToken> cancel_token_;
+  std::function<void(const RunProgress&)> observer_;
+  size_t observer_interval_ = 1024;
+  RunStats stats_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_COMMON_RUN_CONTEXT_H_

@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "kanon/common/failpoint.h"
 #include "kanon/common/text.h"
 
 namespace kanon {
@@ -30,14 +31,29 @@ bool HasMissing(const std::vector<std::string>& fields,
 }
 
 // Reads all non-empty, non-skipped data rows; validates/strips the header.
+// `line_numbers` receives the 1-based input line of each returned row, so
+// parse errors can point at the offending line of the file.
 Status ReadRows(std::istream& input, const CsvOptions& options,
                 std::vector<std::string>* header,
-                std::vector<std::vector<std::string>>* rows) {
+                std::vector<std::vector<std::string>>* rows,
+                std::vector<size_t>* line_numbers) {
   std::string line;
   bool saw_header = false;
   size_t line_number = 0;
   while (std::getline(input, line)) {
     ++line_number;
+    KANON_FAILPOINT("csv.read_row");
+    if (line.size() > kMaxCsvLineLength) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + " is " +
+          std::to_string(line.size()) + " bytes long (limit " +
+          std::to_string(kMaxCsvLineLength) + "); is this a text file?");
+    }
+    // Tolerate CRLF endings and a UTF-8 BOM on the first line.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line_number == 1 && line.compare(0, 3, "\xEF\xBB\xBF") == 0) {
+      line.erase(0, 3);
+    }
     if (Trim(line).empty()) continue;
     std::vector<std::string> fields = SplitFields(line, options.delimiter);
     if (options.has_header && !saw_header) {
@@ -47,6 +63,15 @@ Status ReadRows(std::istream& input, const CsvOptions& options,
     }
     if (HasMissing(fields, options)) continue;
     rows->push_back(std::move(fields));
+    line_numbers->push_back(line_number);
+  }
+  // getline() stops on EOF (fine, with or without a trailing newline) or on
+  // a stream error — a truncated or unreadable input must not pass for a
+  // short-but-valid file.
+  if (input.bad()) {
+    return Status::IOError("stream error after line " +
+                           std::to_string(line_number) +
+                           "; input truncated or unreadable");
   }
   if (options.has_header && !saw_header) {
     return Status::IOError("CSV input is empty; expected a header row");
@@ -60,7 +85,8 @@ Result<Dataset> ReadCsv(const Schema& schema, std::istream& input,
                         const CsvOptions& options) {
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
-  KANON_RETURN_NOT_OK(ReadRows(input, options, &header, &rows));
+  std::vector<size_t> line_numbers;
+  KANON_RETURN_NOT_OK(ReadRows(input, options, &header, &rows, &line_numbers));
 
   if (options.has_header) {
     if (header.size() != schema.num_attributes()) {
@@ -79,10 +105,13 @@ Result<Dataset> ReadCsv(const Schema& schema, std::istream& input,
 
   Dataset dataset(schema);
   for (size_t i = 0; i < rows.size(); ++i) {
+    // AppendRowLabels rejects short/long rows and unknown labels, so a
+    // truncated final line cannot slip in as a narrower record.
     Status s = dataset.AppendRowLabels(rows[i]);
     if (!s.ok()) {
       return Status(s.code(),
-                    "row " + std::to_string(i + 1) + ": " + s.message());
+                    "line " + std::to_string(line_numbers[i]) + ": " +
+                        s.message());
     }
   }
   return dataset;
@@ -90,6 +119,7 @@ Result<Dataset> ReadCsv(const Schema& schema, std::istream& input,
 
 Result<Dataset> ReadCsvFile(const Schema& schema, const std::string& path,
                             const CsvOptions& options) {
+  KANON_FAILPOINT("csv.open");
   std::ifstream file(path);
   if (!file) {
     return Status::IOError("cannot open '" + path + "' for reading");
@@ -101,7 +131,8 @@ Result<Dataset> ReadCsvInferSchema(std::istream& input,
                                    const CsvOptions& options) {
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
-  KANON_RETURN_NOT_OK(ReadRows(input, options, &header, &rows));
+  std::vector<size_t> line_numbers;
+  KANON_RETURN_NOT_OK(ReadRows(input, options, &header, &rows, &line_numbers));
   if (rows.empty()) {
     return Status::InvalidArgument("CSV input has no data rows");
   }
@@ -109,10 +140,10 @@ Result<Dataset> ReadCsvInferSchema(std::istream& input,
   const size_t num_cols = rows[0].size();
   for (size_t i = 0; i < rows.size(); ++i) {
     if (rows[i].size() != num_cols) {
-      return Status::InvalidArgument("row " + std::to_string(i + 1) + " has " +
-                                     std::to_string(rows[i].size()) +
-                                     " fields; expected " +
-                                     std::to_string(num_cols));
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_numbers[i]) + " has " +
+          std::to_string(rows[i].size()) + " fields; expected " +
+          std::to_string(num_cols));
     }
   }
   if (options.has_header && header.size() != num_cols) {
@@ -145,6 +176,7 @@ Result<Dataset> ReadCsvInferSchema(std::istream& input,
 
 Result<Dataset> ReadCsvInferSchemaFile(const std::string& path,
                                        const CsvOptions& options) {
+  KANON_FAILPOINT("csv.open");
   std::ifstream file(path);
   if (!file) {
     return Status::IOError("cannot open '" + path + "' for reading");

@@ -9,9 +9,17 @@
 
 namespace kanon {
 
+/// Longest accepted input line, in bytes. A line beyond this is rejected
+/// with InvalidArgument rather than buffered: the UCI-style files this
+/// library targets have short lines, so an over-long one signals a binary
+/// or corrupt input, not data.
+inline constexpr size_t kMaxCsvLineLength = 1 << 20;  // 1 MiB.
+
 /// Options for the CSV reader. The format is plain comma-separated text
 /// without quoting (the UCI files this library targets use none); fields are
-/// trimmed of surrounding whitespace.
+/// trimmed of surrounding whitespace. CRLF line endings, a missing trailing
+/// newline, and a UTF-8 BOM are tolerated; truncated streams (read errors)
+/// and over-long lines are reported as errors.
 struct CsvOptions {
   char delimiter = ',';
   bool has_header = true;

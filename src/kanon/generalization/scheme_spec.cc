@@ -2,14 +2,20 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
+#include "kanon/common/failpoint.h"
 #include "kanon/common/text.h"
 
 namespace kanon {
 
 namespace {
+
+// Longest accepted spec line; anything beyond this is a binary or corrupt
+// file, not a hierarchy description.
+constexpr size_t kMaxSpecLineLength = 1 << 20;  // 1 MiB.
 
 // Whitespace tokenizer (labels must not contain spaces).
 std::vector<std::string> Tokens(std::string_view line) {
@@ -42,6 +48,14 @@ Result<GeneralizationScheme> ParseSchemeSpec(const Schema& schema,
   size_t line_number = 0;
   while (std::getline(input, line)) {
     ++line_number;
+    KANON_FAILPOINT("spec.line");
+    if (line.size() > kMaxSpecLineLength) {
+      return ParseError(line_number,
+                        "line is " + std::to_string(line.size()) +
+                            " bytes long (limit " +
+                            std::to_string(kMaxSpecLineLength) +
+                            "); is this a text file?");
+    }
     const size_t hash = line.find('#');
     if (hash != std::string::npos) {
       line = line.substr(0, hash);
@@ -99,8 +113,12 @@ Result<GeneralizationScheme> ParseSchemeSpec(const Schema& schema,
       }
       for (size_t t = 1; t < tokens.size(); ++t) {
         char* end = nullptr;
+        errno = 0;
         const long width = std::strtol(tokens[t].c_str(), &end, 10);
-        if (end == nullptr || *end != '\0' || width < 1) {
+        // errno catches out-of-range values strtol clamps to LONG_MAX, and
+        // the INT_MAX bound keeps the narrowing cast below exact.
+        if (end == nullptr || *end != '\0' || errno == ERANGE || width < 1 ||
+            width > std::numeric_limits<int>::max()) {
           return ParseError(line_number,
                             "bad interval width '" + tokens[t] + "'");
         }
@@ -114,6 +132,11 @@ Result<GeneralizationScheme> ParseSchemeSpec(const Schema& schema,
     } else {
       return ParseError(line_number, "unknown directive '" + tokens[0] + "'");
     }
+  }
+  if (input.bad()) {
+    return Status::IOError("stream error after spec line " +
+                           std::to_string(line_number) +
+                           "; input truncated or unreadable");
   }
   if (current != kNoBlock) {
     return Status::InvalidArgument("spec ends inside an attribute block");
@@ -151,6 +174,7 @@ Result<GeneralizationScheme> ParseSchemeSpec(const Schema& schema,
 
 Result<GeneralizationScheme> ParseSchemeSpecFile(const Schema& schema,
                                                  const std::string& path) {
+  KANON_FAILPOINT("spec.open");
   std::ifstream file(path);
   if (!file) {
     return Status::IOError("cannot open '" + path + "' for reading");

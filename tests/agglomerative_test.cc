@@ -77,7 +77,7 @@ TEST(AgglomerativeTest, TableIsKAnonymous) {
     AgglomerativeOptions options;
     options.distance = f;
     GeneralizedTable t = Unwrap(AgglomerativeKAnonymize(d, loss, 5, options));
-    EXPECT_TRUE(IsKAnonymous(t, 5)) << DistanceFunctionName(f);
+    EXPECT_TRUE(Unwrap(IsKAnonymous(t, 5))) << DistanceFunctionName(f);
     // Every record is generalized from its original.
     for (size_t i = 0; i < d.num_rows(); ++i) {
       EXPECT_TRUE(t.ConsistentPair(d, i, i));
@@ -151,7 +151,7 @@ TEST(AgglomerativeTest, IdenticalRecordsClusterTogetherForK2) {
   PrecomputedLoss loss(scheme, d, LmMeasure());
   GeneralizedTable t = Unwrap(AgglomerativeKAnonymize(d, loss, 2, {}));
   EXPECT_DOUBLE_EQ(loss.TableLoss(t), 0.0);
-  EXPECT_TRUE(IsKAnonymous(t, 2));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(t, 2)));
 }
 
 TEST(AgglomerativeTest, TailClusterArtifactStaysBounded) {
@@ -165,7 +165,7 @@ TEST(AgglomerativeTest, TailClusterArtifactStaysBounded) {
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(d.AppendRow({7, 1}).ok());
   PrecomputedLoss loss(scheme, d, LmMeasure());
   GeneralizedTable t = Unwrap(AgglomerativeKAnonymize(d, loss, 5, {}));
-  EXPECT_TRUE(IsKAnonymous(t, 5));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(t, 5)));
   // At most 2k-2 = 8 of the 20 rows pay full suppression cost 1.
   EXPECT_LE(loss.TableLoss(t), 8.0 / 20.0 + 1e-12);
 }

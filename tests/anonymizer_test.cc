@@ -57,7 +57,7 @@ TEST(AnonymizerTest, EveryMethodMeetsItsNotion) {
     config.k = 3;
     config.method = c.method;
     AnonymizationResult result = Unwrap(Anonymize(d, loss, config));
-    EXPECT_TRUE(SatisfiesNotion(c.notion, d, result.table, 3))
+    EXPECT_TRUE(Unwrap(SatisfiesNotion(c.notion, d, result.table, 3)))
         << AnonymizationMethodName(c.method);
     EXPECT_NEAR(result.loss, loss.TableLoss(result.table), 1e-12);
     EXPECT_GE(result.elapsed_seconds, 0.0);
@@ -92,8 +92,8 @@ TEST(AnonymizerTest, DistanceFlagReachesAgglomerative) {
   AnonymizationResult ra = Unwrap(Anonymize(d, loss, a));
   AnonymizationResult rb = Unwrap(Anonymize(d, loss, b));
   // Both are valid 3-anonymizations (they may or may not coincide).
-  EXPECT_TRUE(IsKAnonymous(ra.table, 3));
-  EXPECT_TRUE(IsKAnonymous(rb.table, 3));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(ra.table, 3)));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(rb.table, 3)));
 }
 
 TEST(AnonymizerTest, UtilityOrderingAcrossNotions) {

@@ -8,6 +8,7 @@ namespace kanon {
 namespace {
 
 using testing::SmallScheme;
+using testing::Unwrap;
 
 TEST(AttackTest, IdentityTableFullyReidentified) {
   auto scheme = SmallScheme();
@@ -74,10 +75,10 @@ TEST(AttackTest, KKTableCanBeBreached) {
   t.SetRecord(4, {zip.LeafOf(3), sex.FullSetId()});
 
   // The table is (2,2)-anonymous...
-  ASSERT_TRUE(IsKKAnonymous(d, t, 2));
+  ASSERT_TRUE(Unwrap(IsKKAnonymous(d, t, 2)));
   // ...but not 2-anonymous and not globally (1,2)-anonymous.
-  EXPECT_FALSE(IsKAnonymous(t, 2));
-  EXPECT_FALSE(IsGlobal1KAnonymous(d, t, 2));
+  EXPECT_FALSE(Unwrap(IsKAnonymous(t, 2)));
+  EXPECT_FALSE(Unwrap(IsGlobal1KAnonymous(d, t, 2)));
   const AttackResult result = MatchReductionAttack(d, t, 2);
   EXPECT_EQ(result.min_matches(), 1u);
   ASSERT_EQ(result.breached_records.size(), 1u);

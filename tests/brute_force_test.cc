@@ -59,7 +59,7 @@ TEST(BruteForceTest, OptimalK1IsK1Anonymous) {
   Dataset d = SmallRandomDataset(*scheme, 9, 3);
   PrecomputedLoss loss(scheme, d, EntropyMeasure());
   GeneralizedTable t = Unwrap(OptimalK1BruteForce(d, loss, 3));
-  EXPECT_TRUE(IsK1Anonymous(d, t, 3));
+  EXPECT_TRUE(Unwrap(IsK1Anonymous(d, t, 3)));
 }
 
 TEST(BruteForceTest, K1HeuristicsNeverBeatOptimal) {

@@ -9,6 +9,7 @@ namespace {
 
 using testing::SmallRandomDataset;
 using testing::SmallScheme;
+using testing::Unwrap;
 
 TEST(ClusteringTest, Accessors) {
   Clustering c;
@@ -57,7 +58,7 @@ TEST(ClusteringTest, TableFromClusteringUsesClosures) {
   EXPECT_EQ(t.record(2), t.record(3));
   EXPECT_NE(t.record(0), t.record(2));
   EXPECT_EQ(t.record(0), scheme->ClosureOfRows(d, {0, 1}));
-  EXPECT_TRUE(IsKAnonymous(t, 2));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(t, 2)));
 }
 
 TEST(ClusteringTest, ClusterOfSizeKGivesKAnonymity) {
@@ -68,7 +69,7 @@ TEST(ClusteringTest, ClusterOfSizeKGivesKAnonymity) {
     c.clusters.push_back({i, i + 1, i + 2, i + 3, i + 4});
   }
   GeneralizedTable t = TableFromClustering(scheme, d, c);
-  EXPECT_TRUE(IsKAnonymous(t, 5));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(t, 5)));
   for (size_t i = 0; i < d.num_rows(); ++i) {
     EXPECT_TRUE(t.ConsistentPair(d, i, i));
   }

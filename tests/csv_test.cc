@@ -56,7 +56,7 @@ TEST(CsvTest, UnknownLabelFails) {
   std::istringstream input("gender,city\nM,Boston\n");
   Result<Dataset> d = ReadCsv(MakeTestSchema(), input);
   ASSERT_FALSE(d.ok());
-  EXPECT_NE(d.status().message().find("row 1"), std::string::npos);
+  EXPECT_NE(d.status().message().find("line 2"), std::string::npos);
 }
 
 TEST(CsvTest, NoHeaderMode) {

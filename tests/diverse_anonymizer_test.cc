@@ -63,7 +63,7 @@ TEST(DiverseAnonymizerTest, OutputIsKAnonymousAndLDiverse) {
     PrecomputedLoss loss(scheme, d, EntropyMeasure());
     for (size_t l : {2u, 3u}) {
       GeneralizedTable t = Unwrap(LDiverseKAnonymize(d, loss, 3, l, {}));
-      EXPECT_TRUE(IsKAnonymous(t, 3)) << "seed " << seed << " l " << l;
+      EXPECT_TRUE(Unwrap(IsKAnonymous(t, 3))) << "seed " << seed << " l " << l;
       EXPECT_TRUE(IsDistinctLDiverse(d, t, l))
           << "seed " << seed << " l " << l;
     }

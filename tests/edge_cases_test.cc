@@ -39,11 +39,11 @@ TEST(EdgeCasesTest, TwoRowsK2AllAlgorithms) {
     AgglomerativeOptions options;
     options.distance = f;
     GeneralizedTable t = Unwrap(AgglomerativeKAnonymize(d, loss, 2, options));
-    EXPECT_TRUE(IsKAnonymous(t, 2));
+    EXPECT_TRUE(Unwrap(IsKAnonymous(t, 2)));
   }
-  EXPECT_TRUE(IsKAnonymous(Unwrap(ForestKAnonymize(d, loss, 2)), 2));
-  EXPECT_TRUE(IsKKAnonymous(
-      d, Unwrap(KKAnonymize(d, loss, 2, K1Algorithm::kGreedyExpansion)), 2));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(Unwrap(ForestKAnonymize(d, loss, 2)), 2)));
+  EXPECT_TRUE(Unwrap(IsKKAnonymous(
+      d, Unwrap(KKAnonymize(d, loss, 2, K1Algorithm::kGreedyExpansion)), 2)));
 }
 
 TEST(EdgeCasesTest, AllRowsIdentical) {
@@ -92,7 +92,7 @@ TEST(EdgeCasesTest, Make1KWithLargeDeficit) {
   GeneralizedTable identity = GeneralizedTable::Identity(scheme, d);
   for (size_t k : {2u, 4u, 6u}) {
     GeneralizedTable t = Unwrap(Make1KAnonymous(d, loss, k, identity));
-    EXPECT_TRUE(Is1KAnonymous(d, t, k)) << "k=" << k;
+    EXPECT_TRUE(Unwrap(Is1KAnonymous(d, t, k))) << "k=" << k;
     EXPECT_TRUE(t.RowwiseGeneralizes(identity));
   }
 }
@@ -111,7 +111,7 @@ TEST(EdgeCasesTest, AgglomerativeNergizCliftonAsymmetry) {
   options.distance = DistanceFunction::kNergizClifton;
   options.check_exact_merges = true;
   GeneralizedTable t = Unwrap(AgglomerativeKAnonymize(d, loss, 4, options));
-  EXPECT_TRUE(IsKAnonymous(t, 4));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(t, 4)));
 }
 
 TEST(EdgeCasesTest, SingleAttributeScheme) {
@@ -124,7 +124,7 @@ TEST(EdgeCasesTest, SingleAttributeScheme) {
   for (ValueCode v = 0; v < 10; ++v) ASSERT_TRUE(d.AppendRow({v}).ok());
   PrecomputedLoss loss(scheme, d, LmMeasure());
   GeneralizedTable t = Unwrap(AgglomerativeKAnonymize(d, loss, 2, {}));
-  EXPECT_TRUE(IsKAnonymous(t, 2));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(t, 2)));
   // Perfect banding exists: each pair shares a width-2 band, LM = 1/9.
   EXPECT_NEAR(loss.TableLoss(t), 1.0 / 9.0, 1e-12);
 }
@@ -141,8 +141,8 @@ TEST(EdgeCasesTest, SingleValueAttribute) {
   for (ValueCode v = 0; v < 4; ++v) ASSERT_TRUE(d.AppendRow({0, v}).ok());
   PrecomputedLoss loss(scheme, d, EntropyMeasure());
   GeneralizedTable t = Unwrap(AgglomerativeKAnonymize(d, loss, 2, {}));
-  EXPECT_TRUE(IsKAnonymous(t, 2));
-  EXPECT_TRUE(IsGlobal1KAnonymous(d, t, 2));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(t, 2)));
+  EXPECT_TRUE(Unwrap(IsGlobal1KAnonymous(d, t, 2)));
 }
 
 TEST(EdgeCasesTest, KKOnDuplicateHeavyData) {
@@ -158,7 +158,7 @@ TEST(EdgeCasesTest, KKOnDuplicateHeavyData) {
   PrecomputedLoss loss(scheme, d, EntropyMeasure());
   GeneralizedTable t =
       Unwrap(KKAnonymize(d, loss, 6, K1Algorithm::kGreedyExpansion));
-  EXPECT_TRUE(IsKKAnonymous(d, t, 6));
+  EXPECT_TRUE(Unwrap(IsKKAnonymous(d, t, 6)));
   EXPECT_DOUBLE_EQ(loss.TableLoss(t), 0.0);
 }
 

@@ -44,7 +44,7 @@ TEST(ForestTest, TableIsKAnonymous) {
   Dataset d = SmallRandomDataset(*scheme, 40, 4);
   PrecomputedLoss loss(scheme, d, EntropyMeasure());
   GeneralizedTable t = Unwrap(ForestKAnonymize(d, loss, 4));
-  EXPECT_TRUE(IsKAnonymous(t, 4));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(t, 4)));
   for (size_t i = 0; i < d.num_rows(); ++i) {
     EXPECT_TRUE(t.ConsistentPair(d, i, i));
   }

@@ -61,7 +61,7 @@ TEST(GlobalRecodingTest, OutputIsKAnonymousAndUniform) {
     for (size_t k : {2u, 5u}) {
       GlobalRecodingResult result =
           Unwrap(GlobalRecodingKAnonymize(d, loss, k));
-      EXPECT_TRUE(IsKAnonymous(result.table, k)) << "seed " << seed;
+      EXPECT_TRUE(Unwrap(IsKAnonymous(result.table, k))) << "seed " << seed;
       // Uniform recoding: two rows sharing a value share its subset.
       for (size_t j = 0; j < d.num_attributes(); ++j) {
         for (size_t i1 = 0; i1 < d.num_rows(); ++i1) {

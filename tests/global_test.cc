@@ -53,9 +53,9 @@ TEST(GlobalTest, UpgradesKKToGlobal) {
         Unwrap(KKAnonymize(d, loss, k, K1Algorithm::kGreedyExpansion));
     GlobalAnonymizationResult result =
         Unwrap(MakeGlobal1KAnonymous(d, loss, k, kk));
-    EXPECT_TRUE(IsGlobal1KAnonymous(d, result.table, k)) << "seed " << seed;
+    EXPECT_TRUE(Unwrap(IsGlobal1KAnonymous(d, result.table, k))) << "seed " << seed;
     // Global (1,k) implies (k,k) (Figure 1 inclusions).
-    EXPECT_TRUE(IsKKAnonymous(d, result.table, k));
+    EXPECT_TRUE(Unwrap(IsKKAnonymous(d, result.table, k)));
     // The conversion only coarsens records.
     EXPECT_TRUE(result.table.RowwiseGeneralizes(kk));
   }
@@ -98,13 +98,13 @@ TEST(GlobalTest, FixesTheBreachedTable) {
   t.SetRecord(2, {band23, m});
   t.SetRecord(3, {zip.LeafOf(3), sex.FullSetId()});
   t.SetRecord(4, {zip.LeafOf(3), sex.FullSetId()});
-  ASSERT_TRUE(IsKKAnonymous(d, t, 2));
-  ASSERT_FALSE(IsGlobal1KAnonymous(d, t, 2));
+  ASSERT_TRUE(Unwrap(IsKKAnonymous(d, t, 2)));
+  ASSERT_FALSE(Unwrap(IsGlobal1KAnonymous(d, t, 2)));
 
   PrecomputedLoss loss(scheme, d, EntropyMeasure());
   GlobalAnonymizationResult result =
       Unwrap(MakeGlobal1KAnonymous(d, loss, 2, t));
-  EXPECT_TRUE(IsGlobal1KAnonymous(d, result.table, 2));
+  EXPECT_TRUE(Unwrap(IsGlobal1KAnonymous(d, result.table, 2)));
   EXPECT_EQ(result.stats.deficient_records, 1u);
   EXPECT_GE(result.stats.upgrade_steps, 1u);
   const AttackResult attack = MatchReductionAttack(d, result.table, 2);
@@ -133,7 +133,7 @@ TEST(GlobalTest, MatchesNaiveVerifier) {
       Unwrap(KKAnonymize(d, loss, 3, K1Algorithm::kGreedyExpansion));
   GlobalAnonymizationResult result =
       Unwrap(MakeGlobal1KAnonymous(d, loss, 3, kk));
-  EXPECT_TRUE(IsGlobal1KAnonymousNaive(d, result.table, 3));
+  EXPECT_TRUE(Unwrap(IsGlobal1KAnonymousNaive(d, result.table, 3)));
 }
 
 }  // namespace

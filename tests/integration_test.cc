@@ -36,8 +36,8 @@ TEST(IntegrationTest, ArtEndToEnd) {
   config.method = AnonymizationMethod::kKKGreedyExpansion;
   AnonymizationResult kk = Unwrap(Anonymize(w.dataset, em, config));
 
-  EXPECT_TRUE(IsKAnonymous(kanon.table, 5));
-  EXPECT_TRUE(IsKKAnonymous(w.dataset, kk.table, 5));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(kanon.table, 5)));
+  EXPECT_TRUE(Unwrap(IsKKAnonymous(w.dataset, kk.table, 5)));
   // The headline utility ordering on a realistic workload.
   EXPECT_LE(kk.loss, kanon.loss + 1e-9);
 
@@ -54,12 +54,12 @@ TEST(IntegrationTest, AdultKKThenGlobalPipeline) {
 
   GeneralizedTable kk =
       Unwrap(KKAnonymize(w.dataset, em, k, K1Algorithm::kGreedyExpansion));
-  ASSERT_TRUE(IsKKAnonymous(w.dataset, kk, k));
+  ASSERT_TRUE(Unwrap(IsKKAnonymous(w.dataset, kk, k)));
   const double kk_loss = em.TableLoss(kk);
 
   GlobalAnonymizationResult global =
       Unwrap(MakeGlobal1KAnonymous(w.dataset, em, k, kk));
-  EXPECT_TRUE(IsGlobal1KAnonymous(w.dataset, global.table, k));
+  EXPECT_TRUE(Unwrap(IsGlobal1KAnonymous(w.dataset, global.table, k)));
   const double global_loss = em.TableLoss(global.table);
   EXPECT_GE(global_loss, kk_loss - 1e-12);
 
@@ -123,7 +123,7 @@ TEST(IntegrationTest, SubsampledWorkloadStillWorks) {
   config.k = 3;
   config.method = AnonymizationMethod::kGlobal;
   AnonymizationResult result = Unwrap(Anonymize(head, em, config));
-  EXPECT_TRUE(IsGlobal1KAnonymous(head, result.table, 3));
+  EXPECT_TRUE(Unwrap(IsGlobal1KAnonymous(head, result.table, 3)));
 }
 
 TEST(IntegrationTest, ReportAgreesWithIndividualVerifiers) {
@@ -133,13 +133,13 @@ TEST(IntegrationTest, ReportAgreesWithIndividualVerifiers) {
   config.k = 4;
   config.method = AnonymizationMethod::kKKGreedyExpansion;
   AnonymizationResult result = Unwrap(Anonymize(w.dataset, em, config));
-  const AnonymityReport report = AnalyzeAnonymity(w.dataset, result.table, 4);
-  EXPECT_EQ(report.k_anonymous, IsKAnonymous(result.table, 4));
-  EXPECT_EQ(report.one_k, Is1KAnonymous(w.dataset, result.table, 4));
-  EXPECT_EQ(report.k_one, IsK1Anonymous(w.dataset, result.table, 4));
-  EXPECT_EQ(report.kk, IsKKAnonymous(w.dataset, result.table, 4));
+  const AnonymityReport report = Unwrap(AnalyzeAnonymity(w.dataset, result.table, 4));
+  EXPECT_EQ(report.k_anonymous, Unwrap(IsKAnonymous(result.table, 4)));
+  EXPECT_EQ(report.one_k, Unwrap(Is1KAnonymous(w.dataset, result.table, 4)));
+  EXPECT_EQ(report.k_one, Unwrap(IsK1Anonymous(w.dataset, result.table, 4)));
+  EXPECT_EQ(report.kk, Unwrap(IsKKAnonymous(w.dataset, result.table, 4)));
   EXPECT_EQ(report.global_one_k,
-            IsGlobal1KAnonymous(w.dataset, result.table, 4));
+            Unwrap(IsGlobal1KAnonymous(w.dataset, result.table, 4)));
 }
 
 TEST(IntegrationTest, EntropyAndLmAgreeOnOrderingOfExtremes) {

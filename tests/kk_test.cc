@@ -30,7 +30,7 @@ TEST(KKTest, NearestNeighborsIsK1Anonymous) {
     Dataset d = SmallRandomDataset(*scheme, 35, 2);
     PrecomputedLoss loss(scheme, d, EntropyMeasure());
     GeneralizedTable t = Unwrap(K1NearestNeighbors(d, loss, k));
-    EXPECT_TRUE(IsK1Anonymous(d, t, k)) << "k = " << k;
+    EXPECT_TRUE(Unwrap(IsK1Anonymous(d, t, k))) << "k = " << k;
     for (size_t i = 0; i < d.num_rows(); ++i) {
       EXPECT_TRUE(t.ConsistentPair(d, i, i));
     }
@@ -43,7 +43,7 @@ TEST(KKTest, GreedyExpansionIsK1Anonymous) {
     Dataset d = SmallRandomDataset(*scheme, 35, 3);
     PrecomputedLoss loss(scheme, d, EntropyMeasure());
     GeneralizedTable t = Unwrap(K1GreedyExpansion(d, loss, k));
-    EXPECT_TRUE(IsK1Anonymous(d, t, k)) << "k = " << k;
+    EXPECT_TRUE(Unwrap(IsK1Anonymous(d, t, k))) << "k = " << k;
     for (size_t i = 0; i < d.num_rows(); ++i) {
       EXPECT_TRUE(t.ConsistentPair(d, i, i));
     }
@@ -60,7 +60,7 @@ TEST(KKTest, K1TablesAreNotNecessarily1K) {
     Dataset d = SmallRandomDataset(*scheme, 30, 20 + seed);
     PrecomputedLoss loss(scheme, d, EntropyMeasure());
     GeneralizedTable t = Unwrap(K1GreedyExpansion(d, loss, 3));
-    if (!Is1KAnonymous(d, t, 3)) found_gap = true;
+    if (!Unwrap(Is1KAnonymous(d, t, 3))) found_gap = true;
   }
   EXPECT_TRUE(found_gap);
 }
@@ -71,9 +71,9 @@ TEST(KKTest, Make1KAnonymousFixesDeficits) {
   PrecomputedLoss loss(scheme, d, EntropyMeasure());
   GeneralizedTable k1 = Unwrap(K1GreedyExpansion(d, loss, 3));
   GeneralizedTable kk = Unwrap(Make1KAnonymous(d, loss, 3, k1));
-  EXPECT_TRUE(Is1KAnonymous(d, kk, 3));
-  EXPECT_TRUE(IsK1Anonymous(d, kk, 3));
-  EXPECT_TRUE(IsKKAnonymous(d, kk, 3));
+  EXPECT_TRUE(Unwrap(Is1KAnonymous(d, kk, 3)));
+  EXPECT_TRUE(Unwrap(IsK1Anonymous(d, kk, 3)));
+  EXPECT_TRUE(Unwrap(IsKKAnonymous(d, kk, 3)));
 }
 
 TEST(KKTest, Make1KOnlyCoarsens) {
@@ -106,7 +106,7 @@ TEST(KKTest, KKAnonymizeBothVariants) {
   for (K1Algorithm algo :
        {K1Algorithm::kNearestNeighbors, K1Algorithm::kGreedyExpansion}) {
     GeneralizedTable t = Unwrap(KKAnonymize(d, loss, 4, algo));
-    EXPECT_TRUE(IsKKAnonymous(d, t, 4));
+    EXPECT_TRUE(Unwrap(IsKKAnonymous(d, t, 4)));
   }
 }
 

@@ -82,8 +82,8 @@ TEST(LinkageTest, MinLinkageMatchesOneKBound) {
     const size_t min_linkage = MinLinkageSetSize(d, result.table);
     EXPECT_GE(min_linkage, k);
     // The linkage bound is exactly the (1,k) verifier's criterion.
-    EXPECT_TRUE(Is1KAnonymous(d, result.table, min_linkage));
-    EXPECT_FALSE(Is1KAnonymous(d, result.table, min_linkage + 1));
+    EXPECT_TRUE(Unwrap(Is1KAnonymous(d, result.table, min_linkage)));
+    EXPECT_FALSE(Unwrap(Is1KAnonymous(d, result.table, min_linkage + 1)));
   }
 }
 

@@ -57,42 +57,42 @@ TEST_F(Proposition45Test, TwoAnonColumn) {
   // All entries suppressed: in A^2_D, hence in every other class.
   GeneralizedTable t =
       Table({Gen("*", "*"), Gen("*", "*"), Gen("*", "*")});
-  EXPECT_TRUE(IsKAnonymous(t, 2));
-  EXPECT_TRUE(Is1KAnonymous(*dataset_, t, 2));
-  EXPECT_TRUE(IsK1Anonymous(*dataset_, t, 2));
-  EXPECT_TRUE(IsKKAnonymous(*dataset_, t, 2));
-  EXPECT_TRUE(IsGlobal1KAnonymous(*dataset_, t, 2));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(t, 2)));
+  EXPECT_TRUE(Unwrap(Is1KAnonymous(*dataset_, t, 2)));
+  EXPECT_TRUE(Unwrap(IsK1Anonymous(*dataset_, t, 2)));
+  EXPECT_TRUE(Unwrap(IsKKAnonymous(*dataset_, t, 2)));
+  EXPECT_TRUE(Unwrap(IsGlobal1KAnonymous(*dataset_, t, 2)));
 }
 
 TEST_F(Proposition45Test, OneTwoColumnIsNotTwoOne) {
   // (1,2)-anonymization of the proof: (1,3); (*,*); ({1,2},4).
   // The second generalization is in A^(1,2) but not in A^(2,1).
   GeneralizedTable t = Table({Gen("1", "3"), Gen("*", "*"), Gen("*", "4")});
-  EXPECT_TRUE(Is1KAnonymous(*dataset_, t, 2));
-  EXPECT_FALSE(IsK1Anonymous(*dataset_, t, 2));
-  EXPECT_FALSE(IsKKAnonymous(*dataset_, t, 2));
-  EXPECT_FALSE(IsKAnonymous(t, 2));
+  EXPECT_TRUE(Unwrap(Is1KAnonymous(*dataset_, t, 2)));
+  EXPECT_FALSE(Unwrap(IsK1Anonymous(*dataset_, t, 2)));
+  EXPECT_FALSE(Unwrap(IsKKAnonymous(*dataset_, t, 2)));
+  EXPECT_FALSE(Unwrap(IsKAnonymous(t, 2)));
 }
 
 TEST_F(Proposition45Test, TwoOneColumnIsNotOneTwo) {
   // (2,1)-anonymization of the proof: (1,{3,4}); ({1,2},4); ({1,2},4).
   GeneralizedTable t = Table({Gen("1", "*"), Gen("*", "4"), Gen("*", "4")});
-  EXPECT_TRUE(IsK1Anonymous(*dataset_, t, 2));
-  EXPECT_FALSE(Is1KAnonymous(*dataset_, t, 2));
-  EXPECT_FALSE(IsKKAnonymous(*dataset_, t, 2));
+  EXPECT_TRUE(Unwrap(IsK1Anonymous(*dataset_, t, 2)));
+  EXPECT_FALSE(Unwrap(Is1KAnonymous(*dataset_, t, 2)));
+  EXPECT_FALSE(Unwrap(IsKKAnonymous(*dataset_, t, 2)));
 }
 
 TEST_F(Proposition45Test, TwoTwoColumnIsNotTwoAnonymous) {
   // (2,2)-anonymization of the proof: (1,{3,4}); (*,*); ({1,2},4).
   // In A^(2,2) but not in A^2 — the witness of the strict inclusion.
   GeneralizedTable t = Table({Gen("1", "*"), Gen("*", "*"), Gen("*", "4")});
-  EXPECT_TRUE(Is1KAnonymous(*dataset_, t, 2));
-  EXPECT_TRUE(IsK1Anonymous(*dataset_, t, 2));
-  EXPECT_TRUE(IsKKAnonymous(*dataset_, t, 2));
-  EXPECT_FALSE(IsKAnonymous(t, 2));
+  EXPECT_TRUE(Unwrap(Is1KAnonymous(*dataset_, t, 2)));
+  EXPECT_TRUE(Unwrap(IsK1Anonymous(*dataset_, t, 2)));
+  EXPECT_TRUE(Unwrap(IsKKAnonymous(*dataset_, t, 2)));
+  EXPECT_FALSE(Unwrap(IsKAnonymous(t, 2)));
   // Incidentally this particular table is also globally (1,2)-anonymous —
   // each record keeps two matchable neighbors.
-  EXPECT_TRUE(IsGlobal1KAnonymous(*dataset_, t, 2));
+  EXPECT_TRUE(Unwrap(IsGlobal1KAnonymous(*dataset_, t, 2)));
 }
 
 TEST_F(Proposition45Test, InclusionChainOnAllExamples) {
@@ -106,16 +106,16 @@ TEST_F(Proposition45Test, InclusionChainOnAllExamples) {
       Table({Gen("1", "*"), Gen("*", "*"), Gen("*", "4")}),
   };
   for (const GeneralizedTable& t : tables) {
-    if (IsKAnonymous(t, 2)) {
-      EXPECT_TRUE(IsGlobal1KAnonymous(*dataset_, t, 2));
-      EXPECT_TRUE(IsKKAnonymous(*dataset_, t, 2));
+    if (Unwrap(IsKAnonymous(t, 2))) {
+      EXPECT_TRUE(Unwrap(IsGlobal1KAnonymous(*dataset_, t, 2)));
+      EXPECT_TRUE(Unwrap(IsKKAnonymous(*dataset_, t, 2)));
     }
-    if (IsGlobal1KAnonymous(*dataset_, t, 2)) {
-      EXPECT_TRUE(Is1KAnonymous(*dataset_, t, 2));
+    if (Unwrap(IsGlobal1KAnonymous(*dataset_, t, 2))) {
+      EXPECT_TRUE(Unwrap(Is1KAnonymous(*dataset_, t, 2)));
     }
-    if (IsKKAnonymous(*dataset_, t, 2)) {
-      EXPECT_TRUE(Is1KAnonymous(*dataset_, t, 2));
-      EXPECT_TRUE(IsK1Anonymous(*dataset_, t, 2));
+    if (Unwrap(IsKKAnonymous(*dataset_, t, 2))) {
+      EXPECT_TRUE(Unwrap(Is1KAnonymous(*dataset_, t, 2)));
+      EXPECT_TRUE(Unwrap(IsK1Anonymous(*dataset_, t, 2)));
     }
   }
 }
@@ -125,8 +125,8 @@ TEST_F(Proposition45Test, Section4ADegenerateOneK) {
   // and fully suppress the last k. Tiny loss, catastrophic privacy.
   GeneralizedTable t =
       Table({Gen("1", "3"), Gen("*", "*"), Gen("*", "*")});
-  EXPECT_TRUE(Is1KAnonymous(*dataset_, t, 2));
-  EXPECT_FALSE(IsK1Anonymous(*dataset_, t, 2));  // Row 0 covers only R0.
+  EXPECT_TRUE(Unwrap(Is1KAnonymous(*dataset_, t, 2)));
+  EXPECT_FALSE(Unwrap(IsK1Anonymous(*dataset_, t, 2)));  // Row 0 covers only R0.
 }
 
 }  // namespace

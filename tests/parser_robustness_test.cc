@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string>
 
+#include "kanon/common/failpoint.h"
 #include "kanon/common/rng.h"
 #include "kanon/data/csv.h"
 #include "kanon/generalization/generalized_csv.h"
@@ -107,6 +108,141 @@ TEST(ParserRobustnessTest, GeneralizedCsvSurvivesGarbageAndMutations) {
     std::istringstream in(Mutate(valid, &rng));
     ReadGeneralizedCsv(scheme, in);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic malformed corpus: each case is a specific real-world file
+// defect with a pinned expectation (parses fine, or errors with a useful
+// message — never crashes).
+
+TEST(ParserRobustnessTest, CsvToleratesCrlfAndMissingTrailingNewline) {
+  const Schema schema = DemoSchema();
+  {
+    std::istringstream in("gender,city\r\nM,NYC\r\nF,SF\r\n");
+    Dataset d = Unwrap(ReadCsv(schema, in));
+    EXPECT_EQ(d.num_rows(), 2u);
+  }
+  {
+    std::istringstream in("gender,city\nM,NYC\nF,SF");  // No final newline.
+    Dataset d = Unwrap(ReadCsv(schema, in));
+    EXPECT_EQ(d.num_rows(), 2u);
+  }
+}
+
+TEST(ParserRobustnessTest, CsvToleratesUtf8Bom) {
+  const Schema schema = DemoSchema();
+  std::istringstream in("\xEF\xBB\xBFgender,city\nM,NYC\n");
+  Dataset d = Unwrap(ReadCsv(schema, in));
+  EXPECT_EQ(d.num_rows(), 1u);
+}
+
+TEST(ParserRobustnessTest, CsvRejectsShortRowWithLineNumber) {
+  const Schema schema = DemoSchema();
+  // A truncated final line must not slip in as a narrower record.
+  std::istringstream in("gender,city\nM,NYC\nF\n");
+  const Result<Dataset> d = ReadCsv(schema, in);
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("line 3"), std::string::npos)
+      << d.status().ToString();
+}
+
+TEST(ParserRobustnessTest, CsvRejectsOverLongLine) {
+  const Schema schema = DemoSchema();
+  std::string input = "gender,city\nM,";
+  input.append(kMaxCsvLineLength + 1, 'x');
+  input += "\n";
+  std::istringstream in(input);
+  const Result<Dataset> d = ReadCsv(schema, in);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserRobustnessTest, InferSchemaReportsRaggedRowLine) {
+  std::istringstream in("a,b\n1,2\n3,4,5\n");
+  const Result<Dataset> d = ReadCsvInferSchema(in);
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("line 3"), std::string::npos)
+      << d.status().ToString();
+}
+
+TEST(ParserRobustnessTest, SchemeSpecToleratesCrlf) {
+  const Schema schema = DemoSchema();
+  std::istringstream in(
+      "attribute gender {\r\n  suppression-only\r\n}\r\n"
+      "attribute city {\r\n  group NYC LA\r\n}\r\n");
+  EXPECT_TRUE(ParseSchemeSpec(schema, in).ok());
+}
+
+TEST(ParserRobustnessTest, SchemeSpecRejectsOverflowingIntervalWidth) {
+  AttributeDomain zip = AttributeDomain::IntegerRange("zip", 0, 7);
+  const Schema schema = Unwrap(Schema::Create({zip}));
+  // Both values exceed INT_MAX; strtol clamps the second to LONG_MAX.
+  for (const char* width : {"99999999999999999999", "9223372036854775807"}) {
+    std::istringstream in(std::string("attribute zip {\n  intervals ") +
+                          width + "\n}\n");
+    const auto result = ParseSchemeSpec(schema, in);
+    ASSERT_FALSE(result.ok()) << width;
+    EXPECT_NE(result.status().message().find("bad interval width"),
+              std::string::npos)
+        << result.status().ToString();
+  }
+}
+
+TEST(ParserRobustnessTest, SchemeSpecRejectsUnterminatedBlock) {
+  const Schema schema = DemoSchema();
+  std::istringstream in("attribute gender {\n  suppression-only\n");
+  const auto result = ParseSchemeSpec(schema, in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("ends inside"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: every ingestion path must surface an armed failpoint as
+// a Status error, proving I/O failures on those paths cannot crash or
+// produce a half-read dataset.
+
+class IngestionFailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(IngestionFailpointTest, CsvOpenFailureInjected) {
+  failpoint::Arm("csv.open");
+  const Schema schema = DemoSchema();
+  EXPECT_FALSE(ReadCsvFile(schema, "/nonexistent/also-injected.csv").ok());
+  const Result<Dataset> inferred =
+      ReadCsvInferSchemaFile("/nonexistent/also-injected.csv");
+  ASSERT_FALSE(inferred.ok());
+  EXPECT_NE(inferred.status().message().find("csv.open"), std::string::npos);
+}
+
+TEST_F(IngestionFailpointTest, CsvRowReadFailureInjectedMidFile) {
+  const Schema schema = DemoSchema();
+  const std::string input = "gender,city\nM,NYC\nF,SF\nM,LA\n";
+  // Fail on the 3rd physical line: the reader must drop the whole dataset,
+  // not return the first rows as a silently shorter file.
+  failpoint::Arm("csv.read_row", /*after=*/2);
+  std::istringstream in(input);
+  const Result<Dataset> d = ReadCsv(schema, in);
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("csv.read_row"), std::string::npos);
+  failpoint::DisarmAll();
+  std::istringstream in2(input);
+  EXPECT_EQ(Unwrap(ReadCsv(schema, in2)).num_rows(), 3u);
+}
+
+TEST_F(IngestionFailpointTest, SpecOpenAndLineFailuresInjected) {
+  const Schema schema = DemoSchema();
+  failpoint::Arm("spec.open");
+  EXPECT_FALSE(ParseSchemeSpecFile(schema, "/nonexistent/spec").ok());
+  failpoint::DisarmAll();
+
+  failpoint::Arm("spec.line", /*after=*/1);
+  std::istringstream in(
+      "attribute gender {\n  suppression-only\n}\n");
+  const auto result = ParseSchemeSpec(schema, in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("spec.line"), std::string::npos);
 }
 
 TEST(ParserRobustnessTest, ValidInputsStillParseAfterSweeps) {

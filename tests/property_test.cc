@@ -76,26 +76,26 @@ TEST_P(PipelineSweep, UpholdsInvariants) {
     case AnonymizationMethod::kAgglomerative:
     case AnonymizationMethod::kModifiedAgglomerative:
     case AnonymizationMethod::kForest:
-      EXPECT_TRUE(IsKAnonymous(t, k));
-      EXPECT_TRUE(IsGlobal1KAnonymous(d, t, k));
-      EXPECT_TRUE(IsKKAnonymous(d, t, k));
+      EXPECT_TRUE(Unwrap(IsKAnonymous(t, k)));
+      EXPECT_TRUE(Unwrap(IsGlobal1KAnonymous(d, t, k)));
+      EXPECT_TRUE(Unwrap(IsKKAnonymous(d, t, k)));
       break;
     case AnonymizationMethod::kKKNearestNeighbors:
     case AnonymizationMethod::kKKGreedyExpansion:
-      EXPECT_TRUE(IsKKAnonymous(d, t, k));
+      EXPECT_TRUE(Unwrap(IsKKAnonymous(d, t, k)));
       break;
     case AnonymizationMethod::kGlobal:
-      EXPECT_TRUE(IsGlobal1KAnonymous(d, t, k));
-      EXPECT_TRUE(IsKKAnonymous(d, t, k));
+      EXPECT_TRUE(Unwrap(IsGlobal1KAnonymous(d, t, k)));
+      EXPECT_TRUE(Unwrap(IsKKAnonymous(d, t, k)));
       break;
     case AnonymizationMethod::kFullDomain:
-      EXPECT_TRUE(IsKAnonymous(t, k));
+      EXPECT_TRUE(Unwrap(IsKAnonymous(t, k)));
       break;
   }
 
   // Every notion implies (1,k) and (k,1).
-  EXPECT_TRUE(Is1KAnonymous(d, t, k));
-  EXPECT_TRUE(IsK1Anonymous(d, t, k));
+  EXPECT_TRUE(Unwrap(Is1KAnonymous(d, t, k)));
+  EXPECT_TRUE(Unwrap(IsK1Anonymous(d, t, k)));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -143,7 +143,7 @@ TEST_P(DistanceSweep, ValidKAnonymization) {
   EXPECT_TRUE(c.IsPartitionOf(41));
   EXPECT_GE(c.min_cluster_size(), k);
   GeneralizedTable t = TableFromClustering(scheme, d, c);
-  EXPECT_TRUE(IsKAnonymous(t, k));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(t, k)));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -195,9 +195,9 @@ TEST_P(ArtSweep, AllPipelinesValidOnArt) {
     config.k = k;
     config.method = method;
     AnonymizationResult result = Unwrap(Anonymize(w.dataset, loss, config));
-    EXPECT_TRUE(Is1KAnonymous(w.dataset, result.table, k))
+    EXPECT_TRUE(Unwrap(Is1KAnonymous(w.dataset, result.table, k)))
         << AnonymizationMethodName(method);
-    EXPECT_TRUE(IsK1Anonymous(w.dataset, result.table, k))
+    EXPECT_TRUE(Unwrap(IsK1Anonymous(w.dataset, result.table, k)))
         << AnonymizationMethodName(method);
   }
 }

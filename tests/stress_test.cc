@@ -79,10 +79,10 @@ TEST(StressTest, RandomSchemesAllPipelines) {
       config.k = k;
       config.method = method;
       AnonymizationResult result = Unwrap(Anonymize(d, loss, config));
-      ASSERT_TRUE(Is1KAnonymous(d, result.table, k))
+      ASSERT_TRUE(Unwrap(Is1KAnonymous(d, result.table, k)))
           << "round " << round << " method "
           << AnonymizationMethodName(method) << " k " << k;
-      ASSERT_TRUE(IsK1Anonymous(d, result.table, k));
+      ASSERT_TRUE(Unwrap(IsK1Anonymous(d, result.table, k)));
       // Serialization round trip preserves the table exactly.
       std::ostringstream out;
       ASSERT_TRUE(WriteGeneralizedCsv(result.table, out).ok());
@@ -125,7 +125,7 @@ TEST(StressTest, ArtWorkloadFullCycle) {
     config.k = k;
     config.method = AnonymizationMethod::kGlobal;
     AnonymizationResult result = Unwrap(Anonymize(w.dataset, loss, config));
-    ASSERT_TRUE(IsGlobal1KAnonymous(w.dataset, result.table, k));
+    ASSERT_TRUE(Unwrap(IsGlobal1KAnonymous(w.dataset, result.table, k)));
     const AttackResult attack = MatchReductionAttack(w.dataset, result.table, k);
     ASSERT_TRUE(attack.breached_records.empty());
     const UtilityReport report = BuildUtilityReport(w.dataset, result.table);

@@ -37,27 +37,27 @@ TEST(VerifyTest, IdentityTableIsOnlyOneAnonymous) {
   auto scheme = SmallScheme();
   Dataset d = FourRows(*scheme);
   GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
-  EXPECT_TRUE(IsKAnonymous(t, 1));
-  EXPECT_FALSE(IsKAnonymous(t, 2));
-  EXPECT_TRUE(Is1KAnonymous(d, t, 1));
-  EXPECT_FALSE(Is1KAnonymous(d, t, 2));
-  EXPECT_TRUE(IsK1Anonymous(d, t, 1));
-  EXPECT_FALSE(IsK1Anonymous(d, t, 2));
-  EXPECT_TRUE(IsGlobal1KAnonymous(d, t, 1));
-  EXPECT_FALSE(IsGlobal1KAnonymous(d, t, 2));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(t, 1)));
+  EXPECT_FALSE(Unwrap(IsKAnonymous(t, 2)));
+  EXPECT_TRUE(Unwrap(Is1KAnonymous(d, t, 1)));
+  EXPECT_FALSE(Unwrap(Is1KAnonymous(d, t, 2)));
+  EXPECT_TRUE(Unwrap(IsK1Anonymous(d, t, 1)));
+  EXPECT_FALSE(Unwrap(IsK1Anonymous(d, t, 2)));
+  EXPECT_TRUE(Unwrap(IsGlobal1KAnonymous(d, t, 1)));
+  EXPECT_FALSE(Unwrap(IsGlobal1KAnonymous(d, t, 2)));
 }
 
 TEST(VerifyTest, ProperPairingSatisfiesAllNotions) {
   auto scheme = SmallScheme();
   Dataset d = FourRows(*scheme);
   GeneralizedTable t = PairTable(scheme, d);
-  EXPECT_TRUE(IsKAnonymous(t, 2));
-  EXPECT_TRUE(Is1KAnonymous(d, t, 2));
-  EXPECT_TRUE(IsK1Anonymous(d, t, 2));
-  EXPECT_TRUE(IsKKAnonymous(d, t, 2));
-  EXPECT_TRUE(IsGlobal1KAnonymous(d, t, 2));
-  EXPECT_TRUE(IsGlobal1KAnonymousNaive(d, t, 2));
-  EXPECT_FALSE(IsKAnonymous(t, 3));
+  EXPECT_TRUE(Unwrap(IsKAnonymous(t, 2)));
+  EXPECT_TRUE(Unwrap(Is1KAnonymous(d, t, 2)));
+  EXPECT_TRUE(Unwrap(IsK1Anonymous(d, t, 2)));
+  EXPECT_TRUE(Unwrap(IsKKAnonymous(d, t, 2)));
+  EXPECT_TRUE(Unwrap(IsGlobal1KAnonymous(d, t, 2)));
+  EXPECT_TRUE(Unwrap(IsGlobal1KAnonymousNaive(d, t, 2)));
+  EXPECT_FALSE(Unwrap(IsKAnonymous(t, 3)));
 }
 
 TEST(VerifyTest, OneKWithoutKOne) {
@@ -69,9 +69,9 @@ TEST(VerifyTest, OneKWithoutKOne) {
   GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
   t.SetRecord(2, scheme->Suppressed());
   t.SetRecord(3, scheme->Suppressed());
-  EXPECT_TRUE(Is1KAnonymous(d, t, 2));   // Everyone matches the 2 suppressed.
-  EXPECT_FALSE(IsK1Anonymous(d, t, 2));  // Rows 0,1 cover only themselves.
-  EXPECT_FALSE(IsKKAnonymous(d, t, 2));
+  EXPECT_TRUE(Unwrap(Is1KAnonymous(d, t, 2)));   // Everyone matches the 2 suppressed.
+  EXPECT_FALSE(Unwrap(IsK1Anonymous(d, t, 2)));  // Rows 0,1 cover only themselves.
+  EXPECT_FALSE(Unwrap(IsKKAnonymous(d, t, 2)));
 }
 
 TEST(VerifyTest, KOneWithoutOneK) {
@@ -85,9 +85,9 @@ TEST(VerifyTest, KOneWithoutOneK) {
   GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
   const GeneralizedRecord c01 = scheme->ClosureOfRows(d, {0, 1});
   for (size_t i = 0; i < 4; ++i) t.SetRecord(i, c01);
-  EXPECT_TRUE(IsK1Anonymous(d, t, 2));
-  EXPECT_FALSE(Is1KAnonymous(d, t, 2));
-  EXPECT_FALSE(IsKKAnonymous(d, t, 2));
+  EXPECT_TRUE(Unwrap(IsK1Anonymous(d, t, 2)));
+  EXPECT_FALSE(Unwrap(Is1KAnonymous(d, t, 2)));
+  EXPECT_FALSE(Unwrap(IsKKAnonymous(d, t, 2)));
 }
 
 TEST(VerifyTest, NotionNamesAndDispatch) {
@@ -98,7 +98,7 @@ TEST(VerifyTest, NotionNamesAndDispatch) {
        {AnonymityNotion::kKAnonymity, AnonymityNotion::kOneK,
         AnonymityNotion::kKOne, AnonymityNotion::kKK,
         AnonymityNotion::kGlobalOneK}) {
-    EXPECT_TRUE(SatisfiesNotion(notion, d, t, 2))
+    EXPECT_TRUE(Unwrap(SatisfiesNotion(notion, d, t, 2)))
         << AnonymityNotionName(notion);
     EXPECT_NE(std::string(AnonymityNotionName(notion)), "unknown");
   }
@@ -108,7 +108,7 @@ TEST(VerifyTest, ReportOnProperPairing) {
   auto scheme = SmallScheme();
   Dataset d = FourRows(*scheme);
   GeneralizedTable t = PairTable(scheme, d);
-  const AnonymityReport report = AnalyzeAnonymity(d, t, 2);
+  const AnonymityReport report = Unwrap(AnalyzeAnonymity(d, t, 2));
   EXPECT_TRUE(report.k_anonymous);
   EXPECT_TRUE(report.one_k);
   EXPECT_TRUE(report.k_one);
@@ -125,7 +125,7 @@ TEST(VerifyTest, ReportOnIdentity) {
   auto scheme = SmallScheme();
   Dataset d = FourRows(*scheme);
   GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
-  const AnonymityReport report = AnalyzeAnonymity(d, t, 3);
+  const AnonymityReport report = Unwrap(AnalyzeAnonymity(d, t, 3));
   EXPECT_FALSE(report.k_anonymous);
   EXPECT_FALSE(report.kk);
   EXPECT_EQ(report.min_group_size, 1u);
@@ -137,10 +137,10 @@ TEST(VerifyTest, KAnonymityImpliesKK) {
   auto scheme = SmallScheme();
   Dataset d = FourRows(*scheme);
   GeneralizedTable t = PairTable(scheme, d);
-  ASSERT_TRUE(IsKAnonymous(t, 2));
-  EXPECT_TRUE(IsKKAnonymous(d, t, 2));
-  EXPECT_TRUE(Is1KAnonymous(d, t, 2));
-  EXPECT_TRUE(IsK1Anonymous(d, t, 2));
+  ASSERT_TRUE(Unwrap(IsKAnonymous(t, 2)));
+  EXPECT_TRUE(Unwrap(IsKKAnonymous(d, t, 2)));
+  EXPECT_TRUE(Unwrap(Is1KAnonymous(d, t, 2)));
+  EXPECT_TRUE(Unwrap(IsK1Anonymous(d, t, 2)));
 }
 
 
@@ -152,7 +152,7 @@ TEST(VerifyTest, UnbalancedTableNeverGlobal) {
   GeneralizedTable t(scheme);
   t.AppendRecord(scheme->Suppressed());
   t.AppendRecord(scheme->Suppressed());
-  const AnonymityReport report = AnalyzeAnonymity(d, t, 2);
+  const AnonymityReport report = Unwrap(AnalyzeAnonymity(d, t, 2));
   EXPECT_TRUE(report.one_k);        // Everyone matches both records.
   EXPECT_TRUE(report.k_one);
   EXPECT_FALSE(report.global_one_k);
@@ -167,8 +167,8 @@ TEST(VerifyTest, KOneOnEmptyDatasetSide) {
   KANON_CHECK(d.AppendRow({0, 0}).ok());
   GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
   t.AppendRecord(scheme->Identity({7, 1}));  // Covers no original.
-  EXPECT_FALSE(IsK1Anonymous(d, t, 1));
-  EXPECT_TRUE(Is1KAnonymous(d, t, 1));
+  EXPECT_FALSE(Unwrap(IsK1Anonymous(d, t, 1)));
+  EXPECT_TRUE(Unwrap(Is1KAnonymous(d, t, 1)));
 }
 
 }  // namespace

@@ -11,6 +11,18 @@
 //             [--output=anonymized.csv]
 //             [--report]                     # print a utility report
 //             [--print-spec]                 # dump the effective spec
+//             [--timeout-ms=N]               # wall-clock budget; on expiry
+//                                            # the run degrades gracefully
+//             [--max-steps=N]                # iteration budget, same effect
+//
+// SIGINT (Ctrl-C) cancels cooperatively: the pipeline finalizes a valid
+// partial result instead of dying. Exit codes:
+//   0  success
+//   1  failure (I/O, invalid arguments to the pipeline, notion violated)
+//   2  usage error
+//   3  degraded output (deadline or step budget) that still verifies
+//   4  cancelled by SIGINT, with a valid partial table written
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -29,6 +41,14 @@
 
 namespace kanon {
 namespace {
+
+// Written once before the handler is installed; Cancel() only stores a
+// relaxed atomic bool, so the handler is async-signal-safe.
+CancellationToken* g_cancel_token = nullptr;
+
+void HandleSigint(int /*signum*/) {
+  if (g_cancel_token != nullptr) g_cancel_token->Cancel();
+}
 
 Result<AnonymizationMethod> ParseMethod(const std::string& name) {
   if (name == "agglomerative") return AnonymizationMethod::kAgglomerative;
@@ -90,7 +110,8 @@ int RealMain(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: kanon_cli --input=records.csv --k=5 [--spec=...]"
                  " [--method=...] [--measure=EM] [--distance=4]"
-                 " [--output=...] [--print-spec]\n");
+                 " [--output=...] [--print-spec] [--timeout-ms=N]"
+                 " [--max-steps=N]\n");
     return 2;
   }
   const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
@@ -151,6 +172,23 @@ int RealMain(int argc, char** argv) {
   config.k = k;
   config.method = method.value();
   config.distance = distance.value();
+
+  // Execution controls: deadline, step budget, Ctrl-C cancellation.
+  RunContext ctx;
+  auto cancel_token = std::make_shared<CancellationToken>();
+  ctx.set_cancel_token(cancel_token);
+  g_cancel_token = cancel_token.get();
+  std::signal(SIGINT, HandleSigint);
+  const int64_t max_steps = flags.GetInt("max-steps", 0);
+  if (max_steps > 0) {
+    ctx.set_step_budget(static_cast<size_t>(max_steps));
+  }
+  const int64_t timeout_ms = flags.GetInt("timeout-ms", 0);
+  if (timeout_ms > 0) {
+    ctx.ArmDeadline(static_cast<double>(timeout_ms) / 1000.0);
+  }
+  config.run_context = &ctx;
+
   Result<AnonymizationResult> result =
       Anonymize(dataset.value(), loss, config);
   if (!result.ok()) {
@@ -164,17 +202,36 @@ int RealMain(int argc, char** argv) {
                  BuildUtilityReport(dataset.value(), result->table)
                      .ToString()
                      .c_str());
+    std::fprintf(stderr,
+                 "degraded: %s\nstop reason: %s\niterations completed: %zu\n"
+                 "records suppressed by fallback: %zu\n",
+                 result->degraded ? "yes" : "no",
+                 StopReasonName(result->stop_reason),
+                 result->iterations_completed, result->records_suppressed);
   }
 
   const AnonymityNotion notion = PromisedNotion(config.method);
-  const bool holds =
-      SatisfiesNotion(notion, dataset.value(), result->table, k);
+  Result<bool> verified = SatisfiesNotion(notion, dataset.value(),
+                                          result->table, k);
+  if (!verified.ok()) {
+    std::fprintf(stderr, "verification failed: %s\n",
+                 verified.status().ToString().c_str());
+    return 1;
+  }
+  const bool holds = verified.value();
   std::fprintf(stderr,
                "method %s, k=%zu: loss(%s) = %.4f, %.2fs; %s: %s\n",
                AnonymizationMethodName(config.method), k,
                loss.measure_name().c_str(), result->loss,
                result->elapsed_seconds, AnonymityNotionName(notion),
                holds ? "satisfied" : "VIOLATED");
+  if (result->degraded) {
+    std::fprintf(stderr,
+                 "run degraded (%s) after %zu iterations; %zu records"
+                 " coarsened by the fallback — output is valid but lossier\n",
+                 StopReasonName(result->stop_reason),
+                 result->iterations_completed, result->records_suppressed);
+  }
   if (!holds) return 1;
 
   const std::string output = flags.GetString("output", "");
@@ -191,6 +248,9 @@ int RealMain(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;
     }
+  }
+  if (result->degraded) {
+    return result->stop_reason == StopReason::kCancelled ? 4 : 3;
   }
   return 0;
 }
