@@ -5,6 +5,11 @@
 // and the verifier costs.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "kanon/algo/agglomerative.h"
 #include "kanon/algo/forest.h"
 #include "kanon/algo/global_anonymizer.h"
@@ -13,6 +18,8 @@
 #include "kanon/common/check.h"
 #include "kanon/datasets/art.h"
 #include "kanon/graph/consistency_graph.h"
+#include "kanon/common/parallel.h"
+#include "kanon/common/timer.h"
 #include "kanon/graph/matchable_edges.h"
 #include "kanon/loss/entropy_measure.h"
 
@@ -163,7 +170,121 @@ void BM_MatchableEdgesNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_MatchableEdgesNaive)->Arg(250)->Unit(benchmark::kMillisecond);
 
+// Thread-scaling variants of the two heaviest pipelines. arg0 = n,
+// arg1 = worker threads; outputs are byte-identical across arg1 (the
+// determinism suite asserts this), so only the wall clock moves.
+void BM_AgglomerativeThreads(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload w = MakeWorkload(n);
+  const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  AgglomerativeOptions options;
+  options.num_threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    Result<Clustering> c = AgglomerativeCluster(w.dataset, loss, 10, options);
+    KANON_CHECK(c.ok());
+    benchmark::DoNotOptimize(c.value().clusters.size());
+  }
+}
+BENCHMARK(BM_AgglomerativeThreads)
+    ->ArgsProduct({{1000, 2000}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KKPipelineThreads(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Workload w = MakeWorkload(n);
+  const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  const int num_threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    Result<GeneralizedTable> t = KKAnonymize(
+        w.dataset, loss, 10, K1Algorithm::kGreedyExpansion, nullptr,
+        num_threads);
+    KANON_CHECK(t.ok());
+    benchmark::DoNotOptimize(t.value().num_rows());
+  }
+}
+BENCHMARK(BM_KKPipelineThreads)
+    ->ArgsProduct({{1000, 2000}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+// --speedup_json mode: one JSON line per (pipeline, thread count) with the
+// wall time and the speedup over the single-threaded run of the same
+// pipeline — machine-readable scaling data for CI and the docs. Also
+// asserts the determinism contract along the way: every thread count must
+// reproduce the single-threaded table byte for byte.
+int RunSpeedupJson(size_t n) {
+  const Workload w = MakeWorkload(n);
+  const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+  std::vector<int> counts = {1, 2, 4};
+  if (DefaultNumThreads() > 4) counts.push_back(DefaultNumThreads());
+
+  struct Pipeline {
+    const char* name;
+    Result<GeneralizedTable> (*run)(const Workload&, const PrecomputedLoss&,
+                                    int);
+  };
+  const Pipeline pipelines[] = {
+      {"agglomerative",
+       [](const Workload& w, const PrecomputedLoss& loss, int threads) {
+         AgglomerativeOptions options;
+         options.num_threads = threads;
+         return AgglomerativeKAnonymize(w.dataset, loss, 10, options);
+       }},
+      {"kk-greedy",
+       [](const Workload& w, const PrecomputedLoss& loss, int threads) {
+         return KKAnonymize(w.dataset, loss, 10,
+                            K1Algorithm::kGreedyExpansion, nullptr, threads);
+       }},
+  };
+  for (const Pipeline& p : pipelines) {
+    double baseline = 0.0;
+    Result<GeneralizedTable> reference = Status::Internal("unset");
+    for (int threads : counts) {
+      Timer timer;
+      Result<GeneralizedTable> table = p.run(w, loss, threads);
+      const double seconds = timer.ElapsedSeconds();
+      KANON_CHECK(table.ok(), table.status().ToString());
+      if (threads == 1) {
+        baseline = seconds;
+        reference = std::move(table);
+      } else {
+        KANON_CHECK(table.value() == reference.value(),
+                    "thread count changed the output table");
+      }
+      std::printf(
+          "{\"bench\":\"%s\",\"n\":%zu,\"threads\":%d,"
+          "\"seconds\":%.6f,\"speedup\":%.3f}\n",
+          p.name, n, threads, seconds,
+          seconds > 0.0 ? baseline / seconds : 0.0);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace kanon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool speedup = false;
+  size_t speedup_n = 2000;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--speedup_json") == 0) {
+      speedup = true;
+    } else if (std::strncmp(argv[i], "--speedup_n=", 12) == 0) {
+      speedup_n = static_cast<size_t>(std::stoul(argv[i] + 12));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (speedup) {
+    return kanon::RunSpeedupJson(speedup_n);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
+#include "kanon/common/parallel.h"
 
 namespace kanon {
 
@@ -13,6 +14,15 @@ namespace {
 
 constexpr uint32_t kNone = std::numeric_limits<uint32_t>::max();
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Sweeps whose per-item work is only O(r) (a handful of join-table lookups)
+// run inline below this size; the heavy O(n·r)-per-item scans always fan
+// out. Purely an overhead knob — results are identical either way.
+constexpr size_t kCheapSweepSerialBelow = 2048;
+
+// The stale-entry heap rebuild waits for at least this many entries, so
+// small runs never churn.
+constexpr size_t kHeapRebuildMinSize = 64;
 
 struct ClusterState {
   std::vector<uint32_t> members;
@@ -43,6 +53,24 @@ struct CandidatePair {
   double d2 = kInf;
   bool second_valid = true;
 };
+
+// Offers candidate (y, d) to a two-best accumulator with the exact
+// comparisons of an ascending-id serial scan: strict improvement wins, ties
+// go to the smaller id. Used both inside chunk-local scans and to merge
+// chunk results in chunk order, so the combined two-best is byte-identical
+// to the serial scan at every thread count.
+void OfferToTwoBest(CandidatePair* c, uint32_t y, double d) {
+  if (y == kNone || y == c->c1 || y == c->c2) return;
+  if (d < c->d1 || (d == c->d1 && y < c->c1)) {
+    c->c2 = c->c1;
+    c->d2 = c->d1;
+    c->c1 = y;
+    c->d1 = d;
+  } else if (d < c->d2 || (d == c->d2 && y < c->c2)) {
+    c->c2 = y;
+    c->d2 = d;
+  }
+}
 
 struct HeapEntry {
   double dist;
@@ -78,6 +106,9 @@ class Engine {
       FinalizeDegraded();
     } else {
       DistributeLeftover();
+    }
+    if (options_.heap_rebuilds_out != nullptr) {
+      *options_.heap_rebuilds_out = heap_rebuilds_;
     }
     Clustering out;
     for (uint32_t id : final_) {
@@ -120,6 +151,27 @@ class Engine {
 
   bool Alive(uint32_t id) const { return id != kNone && clusters_[id].alive; }
 
+  // Every heap mutation goes through PushEntry/PopTop so the stale-entry
+  // accounting stays exact: entry_refs_[c] counts in-heap entries
+  // referencing c, heap_stale_ counts in-heap references to dead clusters
+  // (each stale entry contributes one or two, so heap_stale_ is between
+  // the stale-entry count and twice it).
+  void PushEntry(double dist, uint32_t a, uint32_t b) {
+    heap_.push(HeapEntry{dist, a, b});
+    ++entry_refs_[a];
+    ++entry_refs_[b];
+  }
+
+  HeapEntry PopTop() {
+    const HeapEntry entry = heap_.top();
+    heap_.pop();
+    --entry_refs_[entry.a];
+    --entry_refs_[entry.b];
+    if (!Alive(entry.a)) --heap_stale_;
+    if (!Alive(entry.b)) --heap_stale_;
+    return entry;
+  }
+
   // Offers alive candidate (y, d) to x's two-best.
   void Offer(uint32_t x, uint32_t y, double d) {
     CandidatePair& c = cands_[x];
@@ -132,7 +184,7 @@ class Engine {
       c.second_valid = true;
       c.c1 = y;
       c.d1 = d;
-      heap_.push(HeapEntry{d, x, y});
+      PushEntry(d, x, y);
     } else if (d < c.d2 || (d == c.d2 && y < c.c2)) {
       // Tightening the second bound keeps invariant B when it held (y is
       // accounted for explicitly, everyone else was >= old d2 > d).
@@ -154,7 +206,7 @@ class Engine {
       // cluster is an exact new minimum. The second bound keeps holding.
       c.c1 = added;
       c.d1 = d_x_added;
-      heap_.push(HeapEntry{d_x_added, x, added});
+      PushEntry(d_x_added, x, added);
       return false;
     }
     if (Alive(c.c2) && c.second_valid) {
@@ -164,32 +216,45 @@ class Engine {
       c.c2 = kNone;
       c.d2 = kInf;
       c.second_valid = false;
-      heap_.push(HeapEntry{c.d1, x, c.c1});
+      PushEntry(c.d1, x, c.c1);
       return false;
     }
     return true;
   }
 
-  // Recomputes x's two-best over every active cluster. O(active · r).
-  void FullRescan(uint32_t x) {
-    CandidatePair& c = cands_[x];
-    c = CandidatePair();
-    for (uint32_t y : active_) {
-      if (y == x || !clusters_[y].alive) continue;
-      const double d = Dist(x, y);
-      if (d < c.d1 || (d == c.d1 && y < c.c1)) {
-        c.c2 = c.c1;
-        c.d2 = c.d1;
-        c.c1 = y;
-        c.d1 = d;
-      } else if (d < c.d2 || (d == c.d2 && y < c.c2)) {
-        c.c2 = y;
-        c.d2 = d;
-      }
+  // Exact two-best of x over every active cluster, O(active · r), spread
+  // over the worker threads: chunk-local two-bests merged in chunk order
+  // reproduce the serial ascending scan exactly.
+  CandidatePair ComputeTwoBest(uint32_t x) const {
+    const size_t m = active_.size();
+    std::vector<CandidatePair> parts(ParallelChunkCount(m));
+    ParallelChunks(
+        m, options_.num_threads, nullptr, "agglomerative/rescan",
+        [&](size_t chunk, size_t begin, size_t end) {
+          CandidatePair local;
+          for (size_t t = begin; t < end; ++t) {
+            const uint32_t y = active_[t];
+            if (y == x || !clusters_[y].alive) continue;
+            OfferToTwoBest(&local, y, Dist(x, y));
+          }
+          parts[chunk] = local;
+        },
+        kCheapSweepSerialBelow);
+    CandidatePair c;
+    for (const CandidatePair& p : parts) {
+      OfferToTwoBest(&c, p.c1, p.d1);
+      OfferToTwoBest(&c, p.c2, p.d2);
     }
     c.second_valid = true;
+    return c;
+  }
+
+  // Recomputes x's two-best over every active cluster.
+  void FullRescan(uint32_t x) {
+    cands_[x] = ComputeTwoBest(x);
+    const CandidatePair& c = cands_[x];
     if (c.c1 != kNone) {
-      heap_.push(HeapEntry{c.d1, x, c.c1});
+      PushEntry(c.d1, x, c.c1);
     }
   }
 
@@ -208,24 +273,54 @@ class Engine {
   Status InitSingletons() {
     const size_t n = dataset_.num_rows();
     clusters_.reserve(2 * n);
-    active_.reserve(n);
+    clusters_.resize(n);
+    active_.resize(n);
     for (uint32_t i = 0; i < n; ++i) {
-      ClusterState c;
-      c.members = {i};
-      c.closure = scheme_.Identity(dataset_.row(i));
-      c.cost = loss_.RecordCost(c.closure);
-      c.alive = true;
-      clusters_.push_back(std::move(c));
-      active_.push_back(i);
+      clusters_[i].members = {i};
+      clusters_[i].alive = true;
+      active_[i] = i;
     }
     num_active_ = n;
-    cands_.resize(n);
+    // Singleton closures and costs, O(n·r); items are disjoint slots.
+    const SweepStatus closures = ParallelFor(
+        n, options_.num_threads, ctx_, "agglomerative/init",
+        [&](size_t i) {
+          clusters_[i].closure = scheme_.Identity(dataset_.row(i));
+          clusters_[i].cost = loss_.RecordCost(clusters_[i].closure);
+        },
+        /*done=*/nullptr, kCheapSweepSerialBelow);
+    // A stop here leaves some closures unset; the degraded wind-down pools
+    // records by membership only, so that is safe.
+    if (!closures.completed) return Status::OK();
+
+    cands_.assign(n, CandidatePair());
+    entry_refs_.assign(n, 0);
+    // The all-pairs two-best scan is the O(n²·r) part of setup; it honors
+    // the same controls as the merge loop so tight deadlines bail early.
+    // Heap pushes happen after the sweep, on one thread, in index order.
+    std::vector<Status> errors(ParallelChunkCount(n));
+    const SweepStatus scan = ParallelChunks(
+        n, options_.num_threads, ctx_, "agglomerative/init",
+        [&](size_t chunk, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            if (failpoint::AnyArmed()) {
+              Status s = failpoint::Check("agglomerative.closure");
+              if (!s.ok()) {
+                errors[chunk] = std::move(s);
+                return;
+              }
+            }
+            cands_[i] = ComputeTwoBest(static_cast<uint32_t>(i));
+          }
+        });
+    for (Status& s : errors) {
+      if (!s.ok()) return std::move(s);
+    }
+    if (!scan.completed) return Status::OK();
     for (uint32_t i = 0; i < n; ++i) {
-      // The initial all-pairs scan is the O(n²) part of setup; it honors the
-      // same controls as the merge loop so tight deadlines bail early.
-      if (CheckPoint("agglomerative/init")) return Status::OK();
-      KANON_FAILPOINT("agglomerative.closure");
-      FullRescan(i);
+      if (cands_[i].c1 != kNone) {
+        PushEntry(cands_[i].d1, i, cands_[i].c1);
+      }
     }
     return Status::OK();
   }
@@ -234,6 +329,8 @@ class Engine {
     clusters_[c].alive = false;
     --num_active_;
     ++num_dead_in_active_;
+    // Every in-heap entry referencing c just went stale.
+    heap_stale_ += entry_refs_[c];
   }
 
   void MaybeCompactActive() {
@@ -247,13 +344,42 @@ class Engine {
     num_dead_in_active_ = 0;
   }
 
+  // Dead-pair entries are only discarded lazily on pop, so adversarial
+  // merge orders (one growing cluster re-offered to everyone each round)
+  // can pile them up without bound. Once the stale-reference counter says
+  // at least half the heap is provably dead, rebuild it from the exact
+  // per-cluster candidates: every alive cluster re-contributes its one
+  // invariant-A entry. Purely an occupancy change — pop order and results
+  // are untouched.
+  void MaybeRebuildHeap() {
+    const bool stale_heavy =
+        options_.aggressive_heap_rebuild
+            ? heap_stale_ > 0
+            : heap_.size() >= kHeapRebuildMinSize &&
+                  heap_stale_ > heap_.size();
+    if (!stale_heavy) return;
+    heap_ = {};
+    std::fill(entry_refs_.begin(), entry_refs_.end(), 0);
+    heap_stale_ = 0;
+    for (uint32_t x : active_) {
+      if (!clusters_[x].alive) continue;
+      const CandidatePair& c = cands_[x];
+      if (c.c1 != kNone && Alive(c.c1)) {
+        PushEntry(c.d1, x, c.c1);
+      }
+    }
+    ++heap_rebuilds_;
+  }
+
   uint32_t NewCluster(ClusterState state) {
     clusters_.push_back(std::move(state));
     const uint32_t id = static_cast<uint32_t>(clusters_.size() - 1);
     if (cands_.size() <= id) {
-      cands_.resize(cands_.size() * 2 + 1);
+      cands_.resize(std::max<size_t>(id + 1, cands_.size() * 2 + 1));
+      entry_refs_.resize(cands_.size(), 0);
     }
     cands_[id] = CandidatePair();
+    entry_refs_[id] = 0;
     return id;
   }
 
@@ -274,26 +400,46 @@ class Engine {
   // One pass over the active set after a merge. When `added` is not kNone
   // it is the freshly created cluster: its two-best is built, it is offered
   // to everyone, and it joins the active set. Clusters whose candidates
-  // were wiped out are rescanned at the end (rare).
+  // were wiped out are rescanned at the end (rare). The pure O(active·r)
+  // distance computations run on the worker threads; the order-sensitive
+  // Offer/Repair bookkeeping replays them serially in active order, so the
+  // outcome matches the single-threaded pass exactly.
   void RepairAndMaybeAdd(uint32_t added) {
-    std::vector<uint32_t> needs_rescan;
     const bool asymmetric =
         options_.distance == DistanceFunction::kNergizClifton;
-    for (uint32_t x : active_) {
+    const size_t m = active_.size();
+    std::vector<double> d_added_x;
+    std::vector<double> d_x_added;
+    if (added != kNone) {
+      d_added_x.assign(m, kInf);
+      d_x_added.assign(m, kInf);
+      ParallelChunks(
+          m, options_.num_threads, nullptr, "agglomerative/repair",
+          [&](size_t /*chunk*/, size_t begin, size_t end) {
+            for (size_t t = begin; t < end; ++t) {
+              const uint32_t x = active_[t];
+              if (!clusters_[x].alive) continue;
+              const double d_union =
+                  UnionCost(clusters_[added], clusters_[x]);
+              d_added_x[t] = DistFromUnionCost(added, x, d_union);
+              d_x_added[t] = asymmetric
+                                 ? DistFromUnionCost(x, added, d_union)
+                                 : d_added_x[t];
+            }
+          },
+          kCheapSweepSerialBelow);
+    }
+    std::vector<uint32_t> needs_rescan;
+    for (size_t t = 0; t < m; ++t) {
+      const uint32_t x = active_[t];
       if (!clusters_[x].alive) continue;
-      double d_added_x = kInf;
-      double d_x_added = kInf;
       if (added != kNone) {
-        const double d_union = UnionCost(clusters_[added], clusters_[x]);
-        d_added_x = DistFromUnionCost(added, x, d_union);
-        d_x_added =
-            asymmetric ? DistFromUnionCost(x, added, d_union) : d_added_x;
-        Offer(added, x, d_added_x);
+        Offer(added, x, d_added_x[t]);
       }
-      if (Repair(x, added, d_x_added)) {
+      if (Repair(x, added, added != kNone ? d_x_added[t] : kInf)) {
         needs_rescan.push_back(x);
       } else if (added != kNone) {
-        Offer(x, added, d_x_added);
+        Offer(x, added, d_x_added[t]);
       }
     }
     if (added != kNone) {
@@ -308,44 +454,33 @@ class Engine {
   }
 
   // Algorithm 2: shrinks a ripe cluster to exactly k records; ejected
-  // records are returned (they re-enter the pool as singletons).
+  // records are returned (they re-enter the pool as singletons). Each pass
+  // gets every leave-one-out closure from one prefix/suffix join sweep —
+  // O(len·r) per ejection instead of O(len²·r).
   std::vector<uint32_t> ShrinkToK(uint32_t id) {
     std::vector<uint32_t> ejected;
     ClusterState& c = clusters_[id];
     while (c.members.size() > k_) {
       const size_t len = c.members.size();
+      std::vector<GeneralizedRecord> loo =
+          LeaveOneOutClosures(dataset_, scheme_, c.members);
       size_t eject_pos = 0;
       double best_di = -kInf;
-      GeneralizedRecord best_closure;
       for (size_t pos = 0; pos < len; ++pos) {
-        // Closure and cost of Ŝ ∖ {R̂_pos}.
-        GeneralizedRecord closure(num_attrs_);
-        bool first = true;
-        for (size_t q = 0; q < len; ++q) {
-          if (q == pos) continue;
-          const uint32_t row = c.members[q];
-          for (size_t j = 0; j < num_attrs_; ++j) {
-            const SetId leaf = scheme_.hierarchy(j).LeafOf(dataset_.at(row, j));
-            closure[j] =
-                first ? leaf : scheme_.hierarchy(j).Join(closure[j], leaf);
-          }
-          first = false;
-        }
-        const double d_minus = loss_.RecordCost(closure);
-        // dist(Ŝ, Ŝ ∖ {R̂_pos}): the union is Ŝ itself.
+        // d(Ŝ ∖ {R̂_pos}); dist(Ŝ, Ŝ ∖ {R̂_pos}) has union Ŝ itself.
+        const double d_minus = loss_.RecordCost(loo[pos]);
         const double di =
             EvalDistance(options_.distance, options_.params, len, len - 1,
                          len, c.cost, d_minus, c.cost);
         if (di > best_di) {
           best_di = di;
           eject_pos = pos;
-          best_closure = std::move(closure);
         }
       }
       ejected.push_back(c.members[eject_pos]);
       c.members.erase(c.members.begin() +
                       static_cast<ptrdiff_t>(eject_pos));
-      c.closure = std::move(best_closure);
+      c.closure = std::move(loo[eject_pos]);
       c.cost = loss_.RecordCost(c.closure);
     }
     return ejected;
@@ -356,9 +491,9 @@ class Engine {
     while (num_active_ > 1) {
       if (CheckPoint("agglomerative/merge")) return Status::OK();
       KANON_FAILPOINT("agglomerative.closure");
+      MaybeRebuildHeap();
       KANON_CHECK(!heap_.empty(), "active clusters must have heap entries");
-      const HeapEntry entry = heap_.top();
-      heap_.pop();
+      const HeapEntry entry = PopTop();
       // Distances are immutable per pair, so an entry is valid iff both
       // endpoints are alive; invariant A guarantees the first valid pop is
       // a globally closest pair.
@@ -499,16 +634,53 @@ class Engine {
   const size_t num_attrs_;
 
   std::vector<ClusterState> clusters_;
-  std::vector<uint32_t> active_;  // Ids; may contain dead entries.
+  std::vector<uint32_t> active_;  // Ids, ascending; may contain dead entries.
   size_t num_active_ = 0;
   size_t num_dead_in_active_ = 0;
   std::vector<uint32_t> final_;
   std::vector<CandidatePair> cands_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapEntryGreater>
       heap_;
+  std::vector<uint32_t> entry_refs_;  // In-heap entries per cluster id.
+  size_t heap_stale_ = 0;             // In-heap references to dead clusters.
+  size_t heap_rebuilds_ = 0;
 };
 
 }  // namespace
+
+std::vector<GeneralizedRecord> LeaveOneOutClosures(
+    const Dataset& dataset, const GeneralizationScheme& scheme,
+    const std::vector<uint32_t>& rows) {
+  const size_t len = rows.size();
+  const size_t r = scheme.num_attributes();
+  KANON_CHECK(len >= 2, "leave-one-out needs at least two rows");
+  // prefix[q] = closure of rows[0..q), suffix[q] = closure of rows[q..len).
+  std::vector<GeneralizedRecord> prefix(len);
+  std::vector<GeneralizedRecord> suffix(len + 1);
+  prefix[1] = scheme.Identity(dataset.row(rows[0]));
+  for (size_t q = 2; q < len; ++q) {
+    prefix[q] = prefix[q - 1];
+    for (size_t j = 0; j < r; ++j) {
+      prefix[q][j] = scheme.hierarchy(j).JoinValue(
+          prefix[q][j], dataset.at(rows[q - 1], j));
+    }
+  }
+  suffix[len - 1] = scheme.Identity(dataset.row(rows[len - 1]));
+  for (size_t q = len - 1; q-- > 1;) {
+    suffix[q] = suffix[q + 1];
+    for (size_t j = 0; j < r; ++j) {
+      suffix[q][j] =
+          scheme.hierarchy(j).JoinValue(suffix[q][j], dataset.at(rows[q], j));
+    }
+  }
+  std::vector<GeneralizedRecord> out(len);
+  out[0] = suffix[1];
+  out[len - 1] = prefix[len - 1];
+  for (size_t p = 1; p + 1 < len; ++p) {
+    out[p] = scheme.JoinRecords(prefix[p], suffix[p + 1]);
+  }
+  return out;
+}
 
 Result<Clustering> AgglomerativeCluster(const Dataset& dataset,
                                         const PrecomputedLoss& loss, size_t k,

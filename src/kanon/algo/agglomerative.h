@@ -24,6 +24,16 @@ struct AgglomerativeOptions {
   /// that the merged pair attains the global minimum distance. Quadratic
   /// per merge — only for tests.
   bool check_exact_merges = false;
+  /// Worker threads for the O(n²·r) scans (all-pairs init, post-merge
+  /// repair, full rescans). <= 0 resolves to the hardware concurrency;
+  /// 1 runs single-threaded. The clustering is byte-identical at every
+  /// thread count (see docs/parallelism.md).
+  int num_threads = 1;
+  /// Testing hooks for the stale-entry heap maintenance: check for a
+  /// rebuild on every stale entry instead of waiting for the half-stale
+  /// threshold, and observe how many rebuilds happened.
+  bool aggressive_heap_rebuild = false;
+  size_t* heap_rebuilds_out = nullptr;
   /// Optional execution controls (deadline, cancellation, step budget). Not
   /// owned. On stop the engine finalizes the partial clustering: records of
   /// still-undersized clusters are pooled into one catch-all cluster (or
@@ -48,6 +58,16 @@ Result<Clustering> AgglomerativeCluster(const Dataset& dataset,
 Result<GeneralizedTable> AgglomerativeKAnonymize(
     const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
     const AgglomerativeOptions& options);
+
+/// All leave-one-out closures of `rows` at once: element p is the closure
+/// of rows ∖ {rows[p]}, computed with prefix/suffix closure joins in
+/// O(len·r) total instead of O(len²·r). Requires len >= 2. Joins form a
+/// semilattice (Hierarchy::Build verifies unique minimal supersets), so
+/// each result is identical to folding the leaves one by one. This is the
+/// inner step of Algorithm 2's ejection scan; exposed for tests.
+std::vector<GeneralizedRecord> LeaveOneOutClosures(
+    const Dataset& dataset, const GeneralizationScheme& scheme,
+    const std::vector<uint32_t>& rows);
 
 }  // namespace kanon
 

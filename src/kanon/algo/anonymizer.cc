@@ -46,6 +46,7 @@ Result<AnonymizationResult> Anonymize(const Dataset& dataset,
       options.modified =
           config.method == AnonymizationMethod::kModifiedAgglomerative;
       options.run_context = ctx;
+      options.num_threads = config.num_threads;
       table = AgglomerativeKAnonymize(dataset, loss, config.k, options);
       break;
     }
@@ -54,15 +55,18 @@ Result<AnonymizationResult> Anonymize(const Dataset& dataset,
       break;
     case AnonymizationMethod::kKKNearestNeighbors:
       table = KKAnonymize(dataset, loss, config.k,
-                          K1Algorithm::kNearestNeighbors, ctx);
+                          K1Algorithm::kNearestNeighbors, ctx,
+                          config.num_threads);
       break;
     case AnonymizationMethod::kKKGreedyExpansion:
       table = KKAnonymize(dataset, loss, config.k,
-                          K1Algorithm::kGreedyExpansion, ctx);
+                          K1Algorithm::kGreedyExpansion, ctx,
+                          config.num_threads);
       break;
     case AnonymizationMethod::kGlobal: {
       Result<GeneralizedTable> kk = KKAnonymize(
-          dataset, loss, config.k, K1Algorithm::kGreedyExpansion, ctx);
+          dataset, loss, config.k, K1Algorithm::kGreedyExpansion, ctx,
+          config.num_threads);
       if (!kk.ok()) return kk.status();
       Result<GlobalAnonymizationResult> global = MakeGlobal1KAnonymous(
           dataset, loss, config.k, std::move(kk).value(), ctx);
@@ -71,8 +75,8 @@ Result<AnonymizationResult> Anonymize(const Dataset& dataset,
       break;
     }
     case AnonymizationMethod::kFullDomain: {
-      Result<GlobalRecodingResult> recoded =
-          GlobalRecodingKAnonymize(dataset, loss, config.k, ctx);
+      Result<GlobalRecodingResult> recoded = GlobalRecodingKAnonymize(
+          dataset, loss, config.k, ctx, config.num_threads);
       if (!recoded.ok()) return recoded.status();
       table = std::move(recoded->table);
       break;

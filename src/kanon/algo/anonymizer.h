@@ -39,6 +39,12 @@ struct AnonymizerConfig {
   /// Used by the agglomerative methods only.
   DistanceFunction distance = DistanceFunction::kLogWeighted;
   DistanceParams params;
+  /// Worker threads for the O(n²·r) scans of the agglomerative, (k,k), and
+  /// full-domain pipelines (the forest baseline stays single-threaded).
+  /// <= 0 resolves to the hardware concurrency; 1 (the default) runs
+  /// single-threaded. Results are byte-identical at every thread count
+  /// (see docs/parallelism.md).
+  int num_threads = 1;
   /// Optional execution controls (deadline, cancellation, step budget,
   /// progress observer). Not owned; must outlive the Anonymize() call. When
   /// the context stops the run, the pipeline finalizes a degraded — but

@@ -1,6 +1,7 @@
 #include "kanon/algo/distance.h"
 
 #include <cmath>
+#include <limits>
 
 #include "kanon/common/check.h"
 
@@ -36,8 +37,18 @@ double EvalDistance(DistanceFunction f, const DistanceParams& params,
     case DistanceFunction::kLogWeighted:
       return (d_union - d_a - d_b) /
              std::log2(static_cast<double>(size_union));
-    case DistanceFunction::kRatio:
-      return d_union / (d_a + d_b + params.epsilon);
+    case DistanceFunction::kRatio: {
+      // Two zero-cost closures (e.g. identical singleton records) with
+      // epsilon = 0 would divide by zero and poison the merge heap with
+      // inf/NaN. A zero-cost union is a perfect merge (distance 0); a
+      // costly union over zero-cost parts is maximally unattractive.
+      const double denom = d_a + d_b + params.epsilon;
+      if (denom <= 0.0) {
+        return d_union <= 0.0 ? 0.0
+                              : std::numeric_limits<double>::infinity();
+      }
+      return d_union / denom;
+    }
     case DistanceFunction::kNergizClifton:
       return d_union - d_b;
   }

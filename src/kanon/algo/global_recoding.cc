@@ -6,6 +6,7 @@
 
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
+#include "kanon/common/parallel.h"
 
 namespace kanon {
 
@@ -97,7 +98,7 @@ SetId LevelAncestor(const Hierarchy& hierarchy, ValueCode value,
 
 Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
     const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
-    RunContext* ctx) {
+    RunContext* ctx, int num_threads) {
   const size_t n = dataset.num_rows();
   const size_t r = dataset.num_attributes();
   if (k < 1) {
@@ -136,27 +137,26 @@ Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
       return GlobalRecodingResult{std::move(current), std::move(levels)};
     }
     KANON_FAILPOINT("full_domain.step");
-    // Raise the attribute whose bump loses the least information.
-    size_t best_attr = SIZE_MAX;
-    double best_loss = std::numeric_limits<double>::infinity();
-    GeneralizedTable best_table(loss.scheme_ptr());
-    for (size_t j = 0; j < r; ++j) {
-      if (levels[j] + 1 >= tables[j].size()) continue;
-      std::vector<uint32_t> trial = levels;
-      ++trial[j];
-      GeneralizedTable table =
-          ApplyLevels(dataset, loss.scheme_ptr(), tables, trial);
-      const double pi = loss.TableLoss(table);
-      if (pi < best_loss) {
-        best_loss = pi;
-        best_attr = j;
-        best_table = std::move(table);
-      }
-    }
-    KANON_CHECK(best_attr != SIZE_MAX,
+    // Raise the attribute whose bump loses the least information. Each
+    // trial applies one candidate level vector to the whole table — the
+    // O(r·n·r) inner cost of the ascent — so the trials run as a parallel
+    // argmin; maxed-out attributes opt out with +infinity. Smallest index
+    // wins ties, exactly like the serial strict-< scan this replaces.
+    const ArgminResult best = ParallelArgmin(
+        r, num_threads, nullptr, "full-domain/ascent", [&](size_t j) {
+          if (levels[j] + 1 >= tables[j].size()) {
+            return std::numeric_limits<double>::infinity();
+          }
+          std::vector<uint32_t> trial = levels;
+          ++trial[j];
+          return loss.TableLoss(
+              ApplyLevels(dataset, loss.scheme_ptr(), tables, trial));
+        });
+    KANON_CHECK(best.valid &&
+                    best.value < std::numeric_limits<double>::infinity(),
                 "all attributes fully suppressed must be k-anonymous");
-    ++levels[best_attr];
-    current = std::move(best_table);
+    ++levels[best.index];
+    current = ApplyLevels(dataset, loss.scheme_ptr(), tables, levels);
   }
   return GlobalRecodingResult{std::move(current), std::move(levels)};
 }

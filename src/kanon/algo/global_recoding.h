@@ -37,10 +37,13 @@ struct GlobalRecodingResult {
 };
 
 /// When `ctx` stops the ascent, every attribute jumps to its top level
-/// (all records identical — k-anonymous for every k ≤ n).
+/// (all records identical — k-anonymous for every k ≤ n). The per-attribute
+/// trial tables of each ascent are evaluated across `num_threads` threads
+/// (<= 0: hardware concurrency); the chosen levels are byte-identical at
+/// every thread count.
 Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
     const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
-    RunContext* ctx = nullptr);
+    RunContext* ctx = nullptr, int num_threads = 1);
 
 /// The per-attribute level count (level 0 .. NumLevels-1); exposed for
 /// tests and for reporting.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
+#include "kanon/common/parallel.h"
 
 namespace kanon {
 
@@ -40,25 +42,47 @@ double JoinedCost(const GeneralizationScheme& scheme,
   return total / static_cast<double>(r);
 }
 
-// (k,1) degradation: records not yet processed ship fully suppressed. R*
-// covers every one of the n >= k originals, so the promise holds for them;
-// already-emitted records are untouched.
-void AppendSuppressedTail(const GeneralizationScheme& scheme, size_t n,
-                          const char* stage, RunContext* ctx,
-                          GeneralizedTable* table) {
-  const size_t emitted = table->num_rows();
-  ctx->NoteDegraded(stage);
-  ctx->AddRecordsSuppressed(n - emitted);
+// Emits the rows an interrupted (k,1) sweep produced and fully suppresses
+// the rest. R* covers every one of the n >= k originals, so (k,1) holds for
+// the suppressed records; finished rows are proper k-closures. Each record's
+// content depends only on its own row, so the survivors of a partial sweep
+// are exactly the single-threaded records — only the surviving *set* varies.
+GeneralizedTable EmitWithSuppressedHoles(
+    const GeneralizationScheme& scheme, const char* stage, RunContext* ctx,
+    std::vector<GeneralizedRecord> rows, const std::vector<uint8_t>& done,
+    GeneralizedTable table) {
   const GeneralizedRecord star = scheme.Suppressed();
-  for (size_t t = emitted; t < n; ++t) {
-    table->AppendRecord(star);
+  size_t suppressed = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (done[i]) {
+      table.AppendRecord(std::move(rows[i]));
+    } else {
+      table.AppendRecord(star);
+      ++suppressed;
+    }
   }
+  if (suppressed > 0 && ctx != nullptr) {
+    ctx->NoteDegraded(stage);
+    ctx->AddRecordsSuppressed(suppressed);
+  }
+  return table;
+}
+
+// Returns the first injected failure in chunk order (matching the row order
+// a single-threaded run hits first), or OK.
+Status FirstError(std::vector<Status> errors) {
+  for (Status& s : errors) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::OK();
 }
 
 // (1,k) degradation: restores the property wholesale by fully suppressing
 // the k most-general rows (the cheapest to coarsen, since c(R*) is the same
 // for all). Every original is then consistent with those k rows, and rows
-// only coarsen, so (k,1) and row-wise generalization are preserved.
+// only coarsen, so (k,1) and row-wise generalization are preserved. When
+// `table` already carries k fully suppressed rows the property holds as-is:
+// nothing changes and the run is NOT marked degraded.
 GeneralizedTable SuppressKRows(const PrecomputedLoss& loss, size_t k,
                                GeneralizedTable table, RunContext* ctx) {
   const GeneralizedRecord star = loss.scheme().Suppressed();
@@ -73,8 +97,8 @@ GeneralizedTable SuppressKRows(const PrecomputedLoss& loss, size_t k,
       order.emplace_back(-loss.RecordCost(rec), t);
     }
   }
-  ctx->NoteDegraded("kk/repair");
   if (already >= k) return table;  // Enough suppressed rows exist.
+  ctx->NoteDegraded("kk/repair");
   const size_t need = k - already;
   std::partial_sort(order.begin(),
                     order.begin() + static_cast<ptrdiff_t>(need), order.end());
@@ -89,119 +113,166 @@ GeneralizedTable SuppressKRows(const PrecomputedLoss& loss, size_t k,
 
 Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
                                             const PrecomputedLoss& loss,
-                                            size_t k, RunContext* ctx) {
+                                            size_t k, RunContext* ctx,
+                                            int num_threads) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
   const GeneralizationScheme& scheme = loss.scheme();
   const size_t n = dataset.num_rows();
 
+  // Row i's output — the closure of R_i and its k−1 nearest records by
+  // pairwise closure cost d({R_i, R_j}) — depends only on i, so the O(n²·r)
+  // scan fans out row-wise. Failpoints cannot early-return across a lambda;
+  // each chunk records the first injected failure in its slot instead.
+  std::vector<GeneralizedRecord> rows(n);
+  std::vector<uint8_t> done(n, 0);
+  std::vector<Status> errors(ParallelChunkCount(n));
+  const SweepStatus sweep = ParallelChunks(
+      n, num_threads, ctx, "kk/k1-nn",
+      [&](size_t chunk, size_t begin, size_t end) {
+        std::vector<std::pair<double, uint32_t>> candidates;
+        candidates.reserve(n);
+        for (size_t i = begin; i < end; ++i) {
+          if (failpoint::AnyArmed()) {
+            Status s = failpoint::Check("kk.closure");
+            if (!s.ok()) {
+              errors[chunk] = std::move(s);
+              return;
+            }
+          }
+          const GeneralizedRecord self =
+              scheme.Identity(dataset.row(static_cast<uint32_t>(i)));
+          candidates.clear();
+          for (uint32_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            candidates.emplace_back(JoinedCost(scheme, loss, dataset, self, j),
+                                    j);
+          }
+          std::partial_sort(candidates.begin(),
+                            candidates.begin() + static_cast<ptrdiff_t>(k - 1),
+                            candidates.end());
+          std::vector<uint32_t> cluster = {static_cast<uint32_t>(i)};
+          for (size_t t = 0; t + 1 < k; ++t) {
+            cluster.push_back(candidates[t].second);
+          }
+          rows[i] = scheme.ClosureOfRows(dataset, cluster);
+          done[i] = 1;
+        }
+      });
+  KANON_RETURN_NOT_OK(FirstError(std::move(errors)));
+
   GeneralizedTable table(loss.scheme_ptr());
-  std::vector<std::pair<double, uint32_t>> candidates;
-  candidates.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    if (ctx != nullptr && ctx->CheckPoint("kk/k1-nn")) {
-      AppendSuppressedTail(scheme, n, "kk/k1-nn", ctx, &table);
-      return table;
+  if (sweep.completed) {
+    for (size_t i = 0; i < n; ++i) {
+      table.AppendRecord(std::move(rows[i]));
     }
-    KANON_FAILPOINT("kk.closure");
-    const GeneralizedRecord self = scheme.Identity(dataset.row(i));
-    candidates.clear();
-    for (uint32_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      candidates.emplace_back(JoinedCost(scheme, loss, dataset, self, j), j);
-    }
-    // The k−1 nearest records by pairwise closure cost d({R_i, R_j}).
-    std::partial_sort(candidates.begin(),
-                      candidates.begin() + static_cast<ptrdiff_t>(k - 1),
-                      candidates.end());
-    std::vector<uint32_t> cluster = {i};
-    for (size_t t = 0; t + 1 < k; ++t) {
-      cluster.push_back(candidates[t].second);
-    }
-    table.AppendRecord(scheme.ClosureOfRows(dataset, cluster));
+    return table;
   }
-  return table;
+  return EmitWithSuppressedHoles(scheme, "kk/k1-nn", ctx, std::move(rows),
+                                 done, std::move(table));
 }
 
 Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
                                            const PrecomputedLoss& loss,
-                                           size_t k, RunContext* ctx) {
+                                           size_t k, RunContext* ctx,
+                                           int num_threads) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
   const GeneralizationScheme& scheme = loss.scheme();
   const size_t n = dataset.num_rows();
   const size_t r = dataset.num_attributes();
 
-  GeneralizedTable table(loss.scheme_ptr());
-  std::vector<bool> in_cluster(n, false);
-  for (uint32_t i = 0; i < n; ++i) {
-    if (ctx != nullptr && ctx->CheckPoint("kk/k1-greedy")) {
-      AppendSuppressedTail(scheme, n, "kk/k1-greedy", ctx, &table);
-      return table;
-    }
-    KANON_FAILPOINT("kk.closure");
-    GeneralizedRecord closure = scheme.Identity(dataset.row(i));
-    double closure_cost = loss.RecordCost(closure);
-    size_t cluster_size = 1;
-    std::vector<uint32_t> members = {i};
-    in_cluster.assign(n, false);
-    in_cluster[i] = true;
-
-    while (cluster_size < k) {
-      // One scan per closure change. Records already inside the closure
-      // cost nothing to add; absorb them greedily up to size k.
-      uint32_t best = std::numeric_limits<uint32_t>::max();
-      double best_delta = std::numeric_limits<double>::infinity();
-      bool absorbed_free = false;
-      for (uint32_t j = 0; j < n && cluster_size < k; ++j) {
-        if (in_cluster[j]) continue;
-        bool covered = true;
-        for (size_t a = 0; a < r; ++a) {
-          if (!scheme.hierarchy(a).Contains(closure[a], dataset.at(j, a))) {
-            covered = false;
-            break;
+  // Like K1NearestNeighbors, each record grows its cluster independently;
+  // the whole greedy expansion of record i is one parallel item.
+  std::vector<GeneralizedRecord> rows(n);
+  std::vector<uint8_t> done(n, 0);
+  std::vector<Status> errors(ParallelChunkCount(n));
+  const SweepStatus sweep = ParallelChunks(
+      n, num_threads, ctx, "kk/k1-greedy",
+      [&](size_t chunk, size_t begin, size_t end) {
+        std::vector<bool> in_cluster(n, false);
+        for (size_t i = begin; i < end; ++i) {
+          if (failpoint::AnyArmed()) {
+            Status s = failpoint::Check("kk.closure");
+            if (!s.ok()) {
+              errors[chunk] = std::move(s);
+              return;
+            }
           }
+          GeneralizedRecord closure =
+              scheme.Identity(dataset.row(static_cast<uint32_t>(i)));
+          double closure_cost = loss.RecordCost(closure);
+          size_t cluster_size = 1;
+          in_cluster.assign(n, false);
+          in_cluster[i] = true;
+
+          while (cluster_size < k) {
+            // One scan per closure change. Records already inside the
+            // closure cost nothing to add; absorb them greedily up to k.
+            uint32_t best = std::numeric_limits<uint32_t>::max();
+            double best_delta = std::numeric_limits<double>::infinity();
+            bool absorbed_free = false;
+            for (uint32_t j = 0; j < n && cluster_size < k; ++j) {
+              if (in_cluster[j]) continue;
+              bool covered = true;
+              for (size_t a = 0; a < r; ++a) {
+                if (!scheme.hierarchy(a).Contains(closure[a],
+                                                  dataset.at(j, a))) {
+                  covered = false;
+                  break;
+                }
+              }
+              if (covered) {
+                // dist(S_i, R_j) = d(S_i ∪ {R_j}) − d(S_i) = 0: minimal.
+                in_cluster[j] = true;
+                ++cluster_size;
+                absorbed_free = true;
+                continue;
+              }
+              const double delta =
+                  JoinedCost(scheme, loss, dataset, closure, j) - closure_cost;
+              if (delta < best_delta) {
+                best_delta = delta;
+                best = j;
+              }
+            }
+            if (cluster_size >= k) break;
+            if (absorbed_free) {
+              // Cluster grew without changing the closure; candidates from
+              // this scan remain valid, but rescanning keeps the code simple
+              // and the work is bounded by k scans per record.
+              continue;
+            }
+            KANON_CHECK(
+                best != std::numeric_limits<uint32_t>::max(),
+                "expansion must find a record while cluster_size < k <= n");
+            in_cluster[best] = true;
+            ++cluster_size;
+            for (size_t a = 0; a < r; ++a) {
+              closure[a] = scheme.hierarchy(a).JoinValue(closure[a],
+                                                         dataset.at(best, a));
+            }
+            closure_cost = loss.RecordCost(closure);
+          }
+          rows[i] = std::move(closure);
+          done[i] = 1;
         }
-        if (covered) {
-          // dist(S_i, R_j) = d(S_i ∪ {R_j}) − d(S_i) = 0: minimal.
-          in_cluster[j] = true;
-          members.push_back(j);
-          ++cluster_size;
-          absorbed_free = true;
-          continue;
-        }
-        const double delta =
-            JoinedCost(scheme, loss, dataset, closure, j) - closure_cost;
-        if (delta < best_delta) {
-          best_delta = delta;
-          best = j;
-        }
-      }
-      if (cluster_size >= k) break;
-      if (absorbed_free) {
-        // Cluster grew without changing the closure; candidates computed in
-        // this scan remain valid, but rescanning keeps the code simple and
-        // the work is bounded by k scans per record.
-        continue;
-      }
-      KANON_CHECK(best != std::numeric_limits<uint32_t>::max(),
-                  "expansion must find a record while cluster_size < k <= n");
-      in_cluster[best] = true;
-      members.push_back(best);
-      ++cluster_size;
-      for (size_t a = 0; a < r; ++a) {
-        closure[a] =
-            scheme.hierarchy(a).JoinValue(closure[a], dataset.at(best, a));
-      }
-      closure_cost = loss.RecordCost(closure);
+      });
+  KANON_RETURN_NOT_OK(FirstError(std::move(errors)));
+
+  GeneralizedTable table(loss.scheme_ptr());
+  if (sweep.completed) {
+    for (size_t i = 0; i < n; ++i) {
+      table.AppendRecord(std::move(rows[i]));
     }
-    table.AppendRecord(closure);
+    return table;
   }
-  return table;
+  return EmitWithSuppressedHoles(scheme, "kk/k1-greedy", ctx, std::move(rows),
+                                 done, std::move(table));
 }
 
 Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
                                          const PrecomputedLoss& loss, size_t k,
                                          GeneralizedTable table,
-                                         RunContext* ctx) {
+                                         RunContext* ctx, int num_threads) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
   if (table.num_rows() != dataset.num_rows()) {
     return Status::InvalidArgument(
@@ -209,8 +280,18 @@ Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
   }
   const GeneralizationScheme& scheme = loss.scheme();
   const size_t n = dataset.num_rows();
-
   const size_t r = dataset.num_attributes();
+
+  // Upgrades applied for record i change what later records see, so the
+  // outer loop stays sequential (and keeps its per-record checkpoint); only
+  // the read-only consistency/price scan over the table fans out. Chunk
+  // results concatenated in chunk order rebuild the ascending-t candidate
+  // list of a serial scan, so the partial_sort below picks identical rows.
+  struct ScanPart {
+    size_t consistent = 0;
+    std::vector<std::pair<double, uint32_t>> candidates;
+  };
+  std::vector<ScanPart> parts(ParallelChunkCount(n));
   std::vector<std::pair<double, uint32_t>> candidates;
   for (uint32_t i = 0; i < n; ++i) {
     if (ctx != nullptr && ctx->CheckPoint("kk/repair")) {
@@ -218,24 +299,37 @@ Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
     }
     KANON_FAILPOINT("kk.upgrade");
     const Record record = dataset.row(i);
+    ParallelChunks(
+        n, num_threads, nullptr, "kk/repair",
+        [&](size_t chunk, size_t begin, size_t end) {
+          ScanPart& part = parts[chunk];
+          part.consistent = 0;
+          part.candidates.clear();
+          for (size_t t = begin; t < end; ++t) {
+            if (table.ConsistentPair(dataset, i, static_cast<uint32_t>(t))) {
+              ++part.consistent;
+            } else {
+              // Price of upgrading R̄_t to cover R_i: c(R_i + R̄_t) − c(R̄_t),
+              // computed attribute-wise to stay allocation-free.
+              double delta = 0.0;
+              for (size_t j = 0; j < r; ++j) {
+                const SetId current = table.at(t, j);
+                const SetId joined =
+                    scheme.hierarchy(j).JoinValue(current, record[j]);
+                delta += loss.EntryCost(j, joined) - loss.EntryCost(j, current);
+              }
+              part.candidates.emplace_back(delta / static_cast<double>(r),
+                                           static_cast<uint32_t>(t));
+            }
+          }
+        });
     // ℓ = #generalized records consistent with R_i.
     size_t consistent = 0;
     candidates.clear();
-    for (uint32_t t = 0; t < n; ++t) {
-      if (table.ConsistentPair(dataset, i, t)) {
-        ++consistent;
-      } else {
-        // Price of upgrading R̄_t to cover R_i: c(R_i + R̄_t) − c(R̄_t),
-        // computed attribute-wise to stay allocation-free.
-        double delta = 0.0;
-        for (size_t j = 0; j < r; ++j) {
-          const SetId current = table.at(t, j);
-          const SetId joined =
-              scheme.hierarchy(j).JoinValue(current, record[j]);
-          delta += loss.EntryCost(j, joined) - loss.EntryCost(j, current);
-        }
-        candidates.emplace_back(delta / static_cast<double>(r), t);
-      }
+    for (size_t chunk = 0; chunk < ParallelChunkCount(n); ++chunk) {
+      consistent += parts[chunk].consistent;
+      candidates.insert(candidates.end(), parts[chunk].candidates.begin(),
+                        parts[chunk].candidates.end());
     }
     if (consistent >= k) continue;
     const size_t deficit = k - consistent;
@@ -253,17 +347,18 @@ Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
 
 Result<GeneralizedTable> KKAnonymize(const Dataset& dataset,
                                      const PrecomputedLoss& loss, size_t k,
-                                     K1Algorithm k1_algorithm,
-                                     RunContext* ctx) {
+                                     K1Algorithm k1_algorithm, RunContext* ctx,
+                                     int num_threads) {
   Result<GeneralizedTable> k1 =
       k1_algorithm == K1Algorithm::kNearestNeighbors
-          ? K1NearestNeighbors(dataset, loss, k, ctx)
-          : K1GreedyExpansion(dataset, loss, k, ctx);
+          ? K1NearestNeighbors(dataset, loss, k, ctx, num_threads)
+          : K1GreedyExpansion(dataset, loss, k, ctx, num_threads);
   if (!k1.ok()) return k1.status();
-  // A stopped context keeps returning true from CheckPoint(), so a (k,1)
-  // stage cut short flows into the repair stage's wholesale fallback — the
-  // final table is (k,k)-anonymous either way.
-  return Make1KAnonymous(dataset, loss, k, std::move(k1).value(), ctx);
+  // A stopped context keeps reporting stopped, so a (k,1) stage cut short
+  // flows into the repair stage's wholesale fallback — the final table is
+  // (k,k)-anonymous either way.
+  return Make1KAnonymous(dataset, loss, k, std::move(k1).value(), ctx,
+                         num_threads);
 }
 
 }  // namespace kanon

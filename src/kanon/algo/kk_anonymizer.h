@@ -16,10 +16,15 @@ namespace kanon {
 /// When `ctx` stops the run, records not yet processed are emitted fully
 /// suppressed — every suppressed record covers all n ≥ k originals, so
 /// (k,1)-anonymity is preserved.
+///
+/// All functions here take `num_threads` (<= 0 resolves to the hardware
+/// concurrency) for the row-wise O(n²·r) scans; results are byte-identical
+/// at every thread count (see docs/parallelism.md).
 Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
                                             const PrecomputedLoss& loss,
                                             size_t k,
-                                            RunContext* ctx = nullptr);
+                                            RunContext* ctx = nullptr,
+                                            int num_threads = 1);
 
 /// Algorithm 4: (k,1)-anonymization by greedy expansion. Each record grows
 /// a cluster of size k by repeatedly adding the record whose inclusion
@@ -29,7 +34,8 @@ Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
 Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
                                            const PrecomputedLoss& loss,
                                            size_t k,
-                                           RunContext* ctx = nullptr);
+                                           RunContext* ctx = nullptr,
+                                           int num_threads = 1);
 
 /// Algorithm 5: the (1,k)-anonymizer. Further generalizes records of
 /// `table` until every record of `dataset` is consistent with at least k of
@@ -44,7 +50,8 @@ Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
 Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
                                          const PrecomputedLoss& loss, size_t k,
                                          GeneralizedTable table,
-                                         RunContext* ctx = nullptr);
+                                         RunContext* ctx = nullptr,
+                                         int num_threads = 1);
 
 /// Which (k,1) algorithm seeds the (k,k) pipeline.
 enum class K1Algorithm {
@@ -58,7 +65,8 @@ enum class K1Algorithm {
 Result<GeneralizedTable> KKAnonymize(const Dataset& dataset,
                                      const PrecomputedLoss& loss, size_t k,
                                      K1Algorithm k1_algorithm,
-                                     RunContext* ctx = nullptr);
+                                     RunContext* ctx = nullptr,
+                                     int num_threads = 1);
 
 }  // namespace kanon
 

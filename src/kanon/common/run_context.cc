@@ -44,6 +44,23 @@ bool RunContext::CheckPoint(const char* stage) {
   return false;
 }
 
+StopReason RunContext::StopRequested() const {
+  if (stats_.stop_reason != StopReason::kNone) return stats_.stop_reason;
+  if (cancel_token_ != nullptr && cancel_token_->cancelled()) {
+    return StopReason::kCancelled;
+  }
+  if (deadline_armed_ && timer_.ElapsedSeconds() >= deadline_seconds_) {
+    return StopReason::kDeadline;
+  }
+  return StopReason::kNone;
+}
+
+void RunContext::NoteStop(StopReason reason) {
+  if (!stopped() && reason != StopReason::kNone) {
+    stats_.stop_reason = reason;
+  }
+}
+
 void RunContext::NoteDegraded(const char* stage) {
   if (!stats_.degraded) {
     stats_.degraded_stage = stage;

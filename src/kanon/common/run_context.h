@@ -101,6 +101,20 @@ class RunContext {
   bool stopped() const { return stats_.stop_reason != StopReason::kNone; }
   StopReason stop_reason() const { return stats_.stop_reason; }
 
+  /// Thread-safe peek used by parallel sweep workers: reports the stop the
+  /// run would take at its next checkpoint — the sticky stop, cancellation,
+  /// and the deadline — without mutating any state. The step budget is not
+  /// consulted here; it is charged by the sweep's coordinating thread (one
+  /// CheckPoint per sweep). Safe to call concurrently as long as nothing
+  /// mutates the context, which holds during a sweep: the owning thread is
+  /// blocked inside it.
+  StopReason StopRequested() const;
+
+  /// Registers a stop observed outside CheckPoint (e.g. a parallel sweep
+  /// saw the deadline expire mid-flight). Sticky, like a CheckPoint stop;
+  /// a no-op when the run is already stopped. Owning thread only.
+  void NoteStop(StopReason reason);
+
   /// Degradation bookkeeping, written by pipelines.
   void NoteDegraded(const char* stage);
   void AddRecordsSuppressed(size_t count) {

@@ -77,6 +77,18 @@ class GeneralizedTable {
   /// `other` (used to assert that an anonymizer only coarsens a table).
   bool RowwiseGeneralizes(const GeneralizedTable& other) const;
 
+  /// Cell-wise equality (set ids compared row-major). This is the
+  /// determinism contract's notion of "byte-identical": two runs agree iff
+  /// they publish exactly the same subset for every cell.
+  friend bool operator==(const GeneralizedTable& a,
+                         const GeneralizedTable& b) {
+    return a.cells_ == b.cells_;
+  }
+  friend bool operator!=(const GeneralizedTable& a,
+                         const GeneralizedTable& b) {
+    return !(a == b);
+  }
+
   /// Renders the table with labels, one formatted record per line.
   std::string ToString() const;
 

@@ -5,11 +5,13 @@
 #include <set>
 
 #include "kanon/common/check.h"
+#include "kanon/common/parallel.h"
 
 namespace kanon {
 
 Result<Hierarchy> Hierarchy::Build(size_t domain_size,
-                                   std::vector<ValueSet> subsets) {
+                                   std::vector<ValueSet> subsets,
+                                   int num_threads) {
   if (domain_size == 0) {
     return Status::InvalidArgument("hierarchy domain must be non-empty");
   }
@@ -58,33 +60,54 @@ Result<Hierarchy> Hierarchy::Build(size_t domain_size,
   // Join table: for each pair, the unique minimal permissible superset of
   // the union. Sets are sorted by size, so the first superset found has
   // minimum cardinality; it is the join iff it is contained in every other
-  // superset of the union.
+  // superset of the union. Precomputing all O(num²) pairs is the hierarchy
+  // construction hot spot, so rows of the upper triangle fan out over the
+  // worker threads (each row a writes only cells [a][b], b > a); the lower
+  // triangle is mirrored serially afterwards. Ambiguity findings land in
+  // per-row slots and the smallest offending row is reported, matching the
+  // serial scan's first error.
   h.join_.assign(num * num, 0);
+  std::vector<std::string> ambiguous(num);
+  ParallelChunks(
+      num, num_threads, nullptr, "hierarchy/join-table",
+      [&](size_t /*chunk*/, size_t begin, size_t end) {
+        for (size_t a = begin; a < end; ++a) {
+          h.join_[a * num + a] = static_cast<SetId>(a);
+          for (size_t b = a + 1; b < num; ++b) {
+            const ValueSet u = h.sets_[a].Union(h.sets_[b]);
+            SetId join_id = h.full_set_id_;
+            bool found = false;
+            for (size_t c = 0; c < num && !found; ++c) {
+              if (u.IsSubsetOf(h.sets_[c])) {
+                join_id = static_cast<SetId>(c);
+                found = true;
+              }
+            }
+            KANON_CHECK(found, "full set must contain every union");
+            // Verify uniqueness of the minimal superset (join-consistency).
+            for (size_t c = join_id + 1; c < num; ++c) {
+              if (u.IsSubsetOf(h.sets_[c]) &&
+                  !h.sets_[join_id].IsSubsetOf(h.sets_[c])) {
+                ambiguous[a] = "ambiguous closure: subsets " +
+                               h.sets_[join_id].ToString() + " and " +
+                               h.sets_[c].ToString() +
+                               " are incomparable minimal supersets of " +
+                               u.ToString();
+                return;
+              }
+            }
+            h.join_[a * num + b] = join_id;
+          }
+        }
+      });
+  for (const std::string& message : ambiguous) {
+    if (!message.empty()) {
+      return Status::InvalidArgument(message);
+    }
+  }
   for (size_t a = 0; a < num; ++a) {
-    h.join_[a * num + a] = static_cast<SetId>(a);
     for (size_t b = a + 1; b < num; ++b) {
-      const ValueSet u = h.sets_[a].Union(h.sets_[b]);
-      SetId join_id = h.full_set_id_;
-      bool found = false;
-      for (size_t c = 0; c < num && !found; ++c) {
-        if (u.IsSubsetOf(h.sets_[c])) {
-          join_id = static_cast<SetId>(c);
-          found = true;
-        }
-      }
-      KANON_CHECK(found, "full set must contain every union");
-      // Verify uniqueness of the minimal superset (join-consistency).
-      for (size_t c = join_id + 1; c < num; ++c) {
-        if (u.IsSubsetOf(h.sets_[c]) &&
-            !h.sets_[join_id].IsSubsetOf(h.sets_[c])) {
-          return Status::InvalidArgument(
-              "ambiguous closure: subsets " + h.sets_[join_id].ToString() +
-              " and " + h.sets_[c].ToString() +
-              " are incomparable minimal supersets of " + u.ToString());
-        }
-      }
-      h.join_[a * num + b] = join_id;
-      h.join_[b * num + a] = join_id;
+      h.join_[b * num + a] = h.join_[a * num + b];
     }
   }
   return h;

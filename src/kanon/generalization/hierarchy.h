@@ -31,8 +31,12 @@ class Hierarchy {
  public:
   /// Builds a hierarchy over a domain of `domain_size` values from the given
   /// subsets (duplicates are dropped; singletons and the full set added).
+  /// The O(num²) join-table precomputation spreads its rows over
+  /// `num_threads` threads (<= 0: hardware concurrency; the table is
+  /// byte-identical at every thread count).
   static Result<Hierarchy> Build(size_t domain_size,
-                                 std::vector<ValueSet> subsets);
+                                 std::vector<ValueSet> subsets,
+                                 int num_threads = 0);
 
   /// Builds from value-code groups: each group becomes one subset.
   static Result<Hierarchy> FromGroups(

@@ -1,12 +1,13 @@
 #include "kanon/loss/precomputed_loss.h"
 
 #include "kanon/common/check.h"
+#include "kanon/common/parallel.h"
 
 namespace kanon {
 
 PrecomputedLoss::PrecomputedLoss(
     std::shared_ptr<const GeneralizationScheme> scheme, const Dataset& dataset,
-    const LossMeasure& measure)
+    const LossMeasure& measure, int num_threads)
     : scheme_(std::move(scheme)), measure_name_(measure.name()) {
   KANON_CHECK(scheme_ != nullptr, "scheme must not be null");
   KANON_CHECK(dataset.num_attributes() == scheme_->num_attributes(),
@@ -17,9 +18,14 @@ PrecomputedLoss::PrecomputedLoss(
     const Hierarchy& h = scheme_->hierarchy(j);
     const std::vector<uint32_t> counts = dataset.ValueCounts(j);
     costs_[j].resize(h.num_sets());
-    for (size_t s = 0; s < h.num_sets(); ++s) {
-      costs_[j][s] = measure.SetCost(h, counts, static_cast<SetId>(s));
-    }
+    // SetCost is a pure function of (hierarchy, counts, set): the table
+    // fills set-wise across the worker threads, one disjoint slot each.
+    ParallelFor(
+        h.num_sets(), num_threads, nullptr, "loss/precompute",
+        [&](size_t s) {
+          costs_[j][s] = measure.SetCost(h, counts, static_cast<SetId>(s));
+        },
+        /*done=*/nullptr, /*serial_below=*/1024);
   }
   inv_num_attributes_ = 1.0 / static_cast<double>(r);
 }

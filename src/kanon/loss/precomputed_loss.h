@@ -20,8 +20,11 @@ class PrecomputedLoss {
  public:
   /// Precomputes cost[attr][set] = measure.SetCost(...) for every attribute
   /// and permissible subset. The measure is only used during construction.
+  /// Each attribute's cost table fills across `num_threads` threads (<= 0:
+  /// hardware concurrency); the tables are identical at every thread count.
   PrecomputedLoss(std::shared_ptr<const GeneralizationScheme> scheme,
-                  const Dataset& dataset, const LossMeasure& measure);
+                  const Dataset& dataset, const LossMeasure& measure,
+                  int num_threads = 1);
 
   const GeneralizationScheme& scheme() const { return *scheme_; }
   std::shared_ptr<const GeneralizationScheme> scheme_ptr() const {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "kanon/algo/agglomerative.h"
 #include "kanon/anonymity/verify.h"
 #include "kanon/loss/entropy_measure.h"
@@ -182,6 +184,89 @@ TEST(AgglomerativeTest, LossGrowsWithK) {
     EXPECT_GE(pi, previous - 0.02) << "k = " << k;
     previous = pi;
   }
+}
+
+TEST(AgglomerativeTest, RatioDistanceSurvivesIdenticalRecordsWithZeroEpsilon) {
+  // Regression: identical singleton records have zero-cost closures, so
+  // dist4's denominator d(A)+d(B)+ε was exactly 0 with ε = 0 and the NaN
+  // poisoned the merge heap (comparisons with NaN are all false, so the
+  // heap order fell apart). The guard makes such merges distance 0.
+  auto scheme = SmallScheme();
+  Dataset d(scheme->schema());
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(d.AppendRow({0, 0}).ok());
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(d.AppendRow({7, 1}).ok());
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  AgglomerativeOptions options;
+  options.distance = DistanceFunction::kRatio;
+  options.params.epsilon = 0.0;
+  options.check_exact_merges = true;
+  Clustering c = Unwrap(AgglomerativeCluster(d, loss, 3, options));
+  EXPECT_TRUE(c.IsPartitionOf(12));
+  EXPECT_GE(c.min_cluster_size(), 3u);
+  // Identical records are at distance 0 from each other and far from the
+  // opposite block, so no cluster may mix the two blocks.
+  GeneralizedTable t = Unwrap(AgglomerativeKAnonymize(d, loss, 3, options));
+  EXPECT_LE(loss.TableLoss(t), 1e-12);
+}
+
+TEST(LeaveOneOutClosuresTest, MatchesNaiveRecomputation) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 30, 21);
+  for (size_t len : {2u, 3u, 7u, 18u}) {
+    std::vector<uint32_t> rows;
+    for (uint32_t i = 0; i < len; ++i) rows.push_back(i * 30 / len % 30);
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    if (rows.size() < 2) continue;
+    const std::vector<GeneralizedRecord> fast =
+        LeaveOneOutClosures(d, *scheme, rows);
+    ASSERT_EQ(fast.size(), rows.size());
+    for (size_t p = 0; p < rows.size(); ++p) {
+      std::vector<uint32_t> rest = rows;
+      rest.erase(rest.begin() + static_cast<ptrdiff_t>(p));
+      const GeneralizedRecord naive = scheme->ClosureOfRows(d, rest);
+      EXPECT_EQ(fast[p], naive) << "len=" << rows.size() << " p=" << p;
+    }
+  }
+}
+
+TEST(AgglomerativeHeapTest, RebuildKeepsOutputIdentical) {
+  // The stale-entry rebuild is pure occupancy maintenance: with the
+  // aggressive test hook the heap rebuilds at every opportunity, and the
+  // clustering must not move at all.
+  auto scheme = SmallScheme();
+  for (uint64_t seed : {31u, 32u}) {
+    Dataset d = SmallRandomDataset(*scheme, 120, seed);
+    PrecomputedLoss loss(scheme, d, EntropyMeasure());
+    AgglomerativeOptions options;
+    const Clustering reference =
+        Unwrap(AgglomerativeCluster(d, loss, 5, options));
+    size_t rebuilds = 0;
+    options.aggressive_heap_rebuild = true;
+    options.heap_rebuilds_out = &rebuilds;
+    const Clustering rebuilt = Unwrap(AgglomerativeCluster(d, loss, 5, options));
+    EXPECT_EQ(rebuilt.clusters, reference.clusters) << "seed " << seed;
+    // The hook forces a rebuild whenever any stale reference exists; a run
+    // of 120 merges certainly produces some.
+    EXPECT_GT(rebuilds, 0u) << "seed " << seed;
+  }
+}
+
+TEST(AgglomerativeHeapTest, ModifiedVariantUnchangedByAggressiveRebuilds) {
+  auto scheme = SmallScheme();
+  Dataset d = SmallRandomDataset(*scheme, 100, 33);
+  PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  AgglomerativeOptions options;
+  options.modified = true;
+  const Clustering reference =
+      Unwrap(AgglomerativeCluster(d, loss, 4, options));
+  size_t rebuilds = 0;
+  options.aggressive_heap_rebuild = true;
+  options.heap_rebuilds_out = &rebuilds;
+  const Clustering rebuilt =
+      Unwrap(AgglomerativeCluster(d, loss, 4, options));
+  EXPECT_EQ(rebuilt.clusters, reference.clusters);
+  EXPECT_GT(rebuilds, 0u);
 }
 
 }  // namespace

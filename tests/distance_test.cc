@@ -45,6 +45,31 @@ TEST(DistanceTest, RatioEpsilonConfigurable) {
       0.3 / 0.5);
 }
 
+TEST(DistanceTest, RatioGuardsZeroDenominator) {
+  // Regression: two identical singleton records have zero-cost closures, so
+  // with ε = 0 the denominator of (11) is exactly 0. The old code returned
+  // inf (d_union > 0) or NaN (d_union = 0) — and a NaN poisons every heap
+  // comparison it touches. A zero-cost union is now a perfect merge.
+  DistanceParams params;
+  params.epsilon = 0.0;
+  EXPECT_EQ(
+      EvalDistance(DistanceFunction::kRatio, params, 1, 1, 2, 0.0, 0.0, 0.0),
+      0.0);
+  // A costly union over zero-cost parts is maximally unattractive — an
+  // ordered value, never NaN.
+  const double d =
+      EvalDistance(DistanceFunction::kRatio, params, 1, 1, 2, 0.0, 0.0, 0.3);
+  EXPECT_TRUE(std::isinf(d) && d > 0.0);
+  EXPECT_FALSE(std::isnan(
+      EvalDistance(DistanceFunction::kRatio, params, 1, 1, 2, 0.0, 0.0, 0.0)));
+}
+
+TEST(DistanceTest, RatioPositiveEpsilonUnchangedByGuard) {
+  EXPECT_DOUBLE_EQ(
+      EvalDistance(DistanceFunction::kRatio, kParams, 2, 2, 4, 0.1, 0.2, 0.6),
+      0.6 / (0.1 + 0.2 + kParams.epsilon));
+}
+
 TEST(DistanceTest, NergizCliftonIsAsymmetric) {
   const double ab = EvalDistance(DistanceFunction::kNergizClifton, kParams, 2,
                                  3, 5, 0.2, 0.4, 0.7);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "kanon/algo/anonymizer.h"
+#include "kanon/algo/kk_anonymizer.h"
 #include "kanon/anonymity/verify.h"
 #include "kanon/common/failpoint.h"
 #include "kanon/common/run_context.h"
@@ -262,6 +263,50 @@ TEST_F(ClosureFailpointTest, SkipCountDelaysInjection) {
   // Skip past every hit and the run succeeds.
   failpoint::Arm("agglomerative.closure", /*after=*/1000000);
   EXPECT_TRUE(Anonymize(d, loss, config).ok());
+}
+
+// Regression for the degraded-accounting bug: the wholesale (1,k) fallback
+// used to mark the run degraded (and only then notice that the table already
+// carried k fully suppressed rows), reporting degraded = true with zero
+// records actually suppressed. The no-op path must leave the stats clean.
+TEST(RunContextTest, SuppressionFallbackAccountingMatchesWorkDone) {
+  auto scheme = SmallScheme();
+  const size_t k = 3;
+  const Dataset d = SmallRandomDataset(*scheme, 12, 29);
+  const PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  const GeneralizedRecord star = scheme->Suppressed();
+
+  // (a) The table already carries k fully suppressed rows: the fallback is a
+  // no-op, so the run is NOT degraded and suppresses nothing.
+  {
+    GeneralizedTable table = GeneralizedTable::Identity(scheme, d);
+    for (size_t t = 0; t < k; ++t) table.SetRecord(t, star);
+    RunContext ctx;
+    ctx.ArmDeadline(0.0);  // Stop before any repair work happens.
+    const GeneralizedTable out =
+        Unwrap(Make1KAnonymous(d, loss, k, table, &ctx));
+    EXPECT_FALSE(ctx.stats().degraded);
+    EXPECT_EQ(ctx.stats().records_suppressed, 0u);
+    EXPECT_TRUE(out == table);  // Untouched.
+  }
+
+  // (b) No suppressed rows yet: the fallback genuinely degrades, and the
+  // accounting matches the k rows it suppressed.
+  {
+    GeneralizedTable table = GeneralizedTable::Identity(scheme, d);
+    RunContext ctx;
+    ctx.ArmDeadline(0.0);
+    const GeneralizedTable out =
+        Unwrap(Make1KAnonymous(d, loss, k, table, &ctx));
+    EXPECT_TRUE(ctx.stats().degraded);
+    EXPECT_EQ(ctx.stats().degraded_stage, "kk/repair");
+    EXPECT_EQ(ctx.stats().records_suppressed, k);
+    size_t suppressed = 0;
+    for (size_t t = 0; t < out.num_rows(); ++t) {
+      if (out.record(t) == star) ++suppressed;
+    }
+    EXPECT_EQ(suppressed, k);
+  }
 }
 
 }  // namespace

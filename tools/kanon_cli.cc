@@ -14,6 +14,9 @@
 //             [--timeout-ms=N]               # wall-clock budget; on expiry
 //                                            # the run degrades gracefully
 //             [--max-steps=N]                # iteration budget, same effect
+//             [--threads=N]                  # worker threads for the O(n^2)
+//                                            # scans; 0 = all cores; output
+//                                            # is identical for every N
 //
 // SIGINT (Ctrl-C) cancels cooperatively: the pipeline finalizes a valid
 // partial result instead of dying. Exit codes:
@@ -30,6 +33,7 @@
 #include "kanon/algo/anonymizer.h"
 #include "kanon/anonymity/verify.h"
 #include "kanon/common/flags.h"
+#include "kanon/common/parallel.h"
 #include "kanon/data/csv.h"
 #include "kanon/generalization/generalized_csv.h"
 #include "kanon/generalization/scheme_spec.h"
@@ -111,10 +115,13 @@ int RealMain(int argc, char** argv) {
                  "usage: kanon_cli --input=records.csv --k=5 [--spec=...]"
                  " [--method=...] [--measure=EM] [--distance=4]"
                  " [--output=...] [--print-spec] [--timeout-ms=N]"
-                 " [--max-steps=N]\n");
+                 " [--max-steps=N] [--threads=N]\n");
     return 2;
   }
   const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
+  // 0 (the default) uses every core; the output does not depend on this.
+  const int num_threads =
+      ResolveNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
 
   Result<Dataset> dataset = ReadCsvInferSchemaFile(input);
   if (!dataset.ok()) {
@@ -167,11 +174,13 @@ int RealMain(int argc, char** argv) {
     return 2;
   }
 
-  PrecomputedLoss loss(scheme_ptr, dataset.value(), *measure.value());
+  PrecomputedLoss loss(scheme_ptr, dataset.value(), *measure.value(),
+                       num_threads);
   AnonymizerConfig config;
   config.k = k;
   config.method = method.value();
   config.distance = distance.value();
+  config.num_threads = num_threads;
 
   // Execution controls: deadline, step budget, Ctrl-C cancellation.
   RunContext ctx;
