@@ -42,11 +42,10 @@ int Run(const BenchConfig& config) {
   PrintHeader("Anytime behavior — loss vs. iteration budget, per pipeline",
               config);
 
-  Result<Workload> workload = GetWorkload("CMC", config);
-  KANON_CHECK(workload.ok(), workload.status().ToString());
-  const Dataset& dataset = workload->dataset;
+  const Workload workload = MustWorkload("CMC", config);
+  const Dataset& dataset = workload.dataset;
   std::unique_ptr<LossMeasure> measure = MakeMeasure("EM");
-  const PrecomputedLoss loss(workload->scheme, dataset, *measure);
+  const PrecomputedLoss loss(workload.scheme, dataset, *measure);
   const size_t k = 10;
 
   // 0 = unbounded (the reference run), then powers of two.

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <utility>
 
 #include "kanon/algo/agglomerative.h"
 #include "kanon/algo/forest.h"
@@ -63,6 +64,18 @@ Result<Workload> GetWorkload(const std::string& name,
     return MakeCmcWorkload(config.cmc_n, config.seed + 2);
   }
   return Status::InvalidArgument("unknown workload '" + name + "'");
+}
+
+Workload MustWorkload(const std::string& name, const BenchConfig& config) {
+  Result<Workload> workload = GetWorkload(name, config);
+  KANON_CHECK(workload.ok(), workload.status().ToString());
+  return std::move(workload).value();
+}
+
+Workload MustArtWorkload(size_t n, uint64_t seed) {
+  Result<Workload> workload = MakeArtWorkload(n, seed);
+  KANON_CHECK(workload.ok(), workload.status().ToString());
+  return std::move(workload).value();
 }
 
 std::unique_ptr<LossMeasure> MakeMeasure(const std::string& name) {

@@ -39,6 +39,14 @@ struct BenchConfig {
 Result<Workload> GetWorkload(const std::string& name,
                              const BenchConfig& config);
 
+/// GetWorkload that aborts with the status message instead of returning an
+/// error — the unwrap every harness main wants (a bench without data has
+/// nothing to measure).
+Workload MustWorkload(const std::string& name, const BenchConfig& config);
+
+/// MakeArtWorkload unwrap for the microbenchmarks that scale n directly.
+Workload MustArtWorkload(size_t n, uint64_t seed);
+
 /// Measure factory: "EM" (entropy), "LM", "TM" (tree).
 std::unique_ptr<LossMeasure> MakeMeasure(const std::string& name);
 

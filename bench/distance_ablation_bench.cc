@@ -22,11 +22,10 @@ int Run(const BenchConfig& config) {
   std::map<DistanceFunction, int> wins;
 
   for (const char* dataset_name : {"ART", "ADT", "CMC"}) {
-    Result<Workload> workload = GetWorkload(dataset_name, config);
-    KANON_CHECK(workload.ok(), workload.status().ToString());
+    const Workload workload = MustWorkload(dataset_name, config);
     for (const char* measure_name : {"EM", "LM"}) {
       std::unique_ptr<LossMeasure> measure = MakeMeasure(measure_name);
-      PrecomputedLoss loss(workload->scheme, workload->dataset, *measure);
+      PrecomputedLoss loss(workload.scheme, workload.dataset, *measure);
 
       std::printf("%s / %s\n", dataset_name, measure_name);
       TablePrinter t;
@@ -38,7 +37,7 @@ int Run(const BenchConfig& config) {
         std::vector<std::string> cells = {DistanceFunctionName(f)};
         for (size_t k : kPaperKs) {
           Result<GeneralizedTable> table =
-              AgglomerativeKAnonymize(workload->dataset, loss, k, options);
+              AgglomerativeKAnonymize(workload.dataset, loss, k, options);
           KANON_CHECK(table.ok(), table.status().ToString());
           const double pi = loss.TableLoss(table.value());
           losses[f].push_back(pi);

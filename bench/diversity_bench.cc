@@ -21,14 +21,13 @@ int Run(const BenchConfig& config) {
   // ADT (income: 2 classes) and CMC (method: 3 classes) have class
   // columns; ART does not.
   for (const char* dataset_name : {"ADT", "CMC"}) {
-    Result<Workload> workload = GetWorkload(dataset_name, config);
-    KANON_CHECK(workload.ok(), workload.status().ToString());
-    const size_t num_classes = workload->dataset.class_domain().size();
+    const Workload workload = MustWorkload(dataset_name, config);
+    const size_t num_classes = workload.dataset.class_domain().size();
     std::unique_ptr<LossMeasure> measure = MakeMeasure("EM");
-    PrecomputedLoss loss(workload->scheme, workload->dataset, *measure);
+    PrecomputedLoss loss(workload.scheme, workload.dataset, *measure);
 
     std::printf("%s (class column '%s', %zu classes)\n", dataset_name,
-                workload->dataset.class_domain().name().c_str(), num_classes);
+                workload.dataset.class_domain().name().c_str(), num_classes);
     TablePrinter t;
     t.SetHeader({"k", "plain loss", "plain diversity", "l", "diverse loss",
                  "extra%", "clusters merged"});
@@ -36,22 +35,22 @@ int Run(const BenchConfig& config) {
       AgglomerativeOptions options;
       options.distance = DistanceFunction::kRatio;
       Result<Clustering> plain =
-          AgglomerativeCluster(workload->dataset, loss, k, options);
+          AgglomerativeCluster(workload.dataset, loss, k, options);
       KANON_CHECK(plain.ok(), plain.status().ToString());
       GeneralizedTable plain_table = TableFromClustering(
-          workload->scheme, workload->dataset, plain.value());
+          workload.scheme, workload.dataset, plain.value());
       const double plain_loss = loss.TableLoss(plain_table);
       const size_t plain_diversity =
-          DistinctDiversity(workload->dataset, plain_table);
+          DistinctDiversity(workload.dataset, plain_table);
 
       for (size_t l = 2; l <= num_classes; ++l) {
         Result<Clustering> diverse =
-            LDiverseCluster(workload->dataset, loss, k, l, options);
+            LDiverseCluster(workload.dataset, loss, k, l, options);
         KANON_CHECK(diverse.ok(), diverse.status().ToString());
         GeneralizedTable diverse_table = TableFromClustering(
-            workload->scheme, workload->dataset, diverse.value());
+            workload.scheme, workload.dataset, diverse.value());
         KANON_CHECK(
-            IsDistinctLDiverse(workload->dataset, diverse_table, l),
+            IsDistinctLDiverse(workload.dataset, diverse_table, l),
             "repair pass must produce an ℓ-diverse table");
         const double diverse_loss = loss.TableLoss(diverse_table);
         t.AddRow({std::to_string(k), Cell(plain_loss),

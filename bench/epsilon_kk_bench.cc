@@ -36,21 +36,20 @@ int Run(BenchConfig config) {
   t.SetHeader({"dataset", "k", "eps", "(1+eps)k", "loss", "deficient",
                "min matches", "global(1,k)?"});
   for (const char* dataset_name : {"ART", "ADT", "CMC"}) {
-    Result<Workload> workload = GetWorkload(dataset_name, config);
-    KANON_CHECK(workload.ok(), workload.status().ToString());
+    const Workload workload = MustWorkload(dataset_name, config);
     std::unique_ptr<LossMeasure> measure = MakeMeasure("EM");
-    PrecomputedLoss loss(workload->scheme, workload->dataset, *measure);
+    PrecomputedLoss loss(workload.scheme, workload.dataset, *measure);
     for (size_t k : {5u, 10u}) {
       double sufficient_eps = -1.0;
       for (double eps : kEpsilons) {
         const size_t inflated =
             static_cast<size_t>(static_cast<double>(k) * (1.0 + eps) + 0.5);
         Result<GeneralizedTable> kk = KKAnonymize(
-            workload->dataset, loss, inflated, K1Algorithm::kGreedyExpansion);
+            workload.dataset, loss, inflated, K1Algorithm::kGreedyExpansion);
         KANON_CHECK(kk.ok(), kk.status().ToString());
         // The attack counts matches w.r.t. the *original* privacy target k.
         const AttackResult attack =
-            MatchReductionAttack(workload->dataset, kk.value(), k);
+            MatchReductionAttack(workload.dataset, kk.value(), k);
         const bool global_ok = attack.breached_records.empty();
         if (global_ok && sufficient_eps < 0) sufficient_eps = eps;
         t.AddRow({dataset_name, std::to_string(k), FormatDouble(eps, 1),

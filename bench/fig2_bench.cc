@@ -55,19 +55,18 @@ int Run(const BenchConfig& config) {
               " (Adult)",
               config);
 
-  Result<Workload> workload = GetWorkload("ADT", config);
-  KANON_CHECK(workload.ok(), workload.status().ToString());
+  const Workload workload = MustWorkload("ADT", config);
   std::unique_ptr<LossMeasure> measure = MakeMeasure("EM");
-  PrecomputedLoss loss(workload->scheme, workload->dataset, *measure);
+  PrecomputedLoss loss(workload.scheme, workload.dataset, *measure);
 
   double kanon[4];
   double forest[4];
   double kk[4];
   for (size_t i = 0; i < kPaperKs.size(); ++i) {
     const size_t k = kPaperKs[i];
-    kanon[i] = BestKAnonLoss(workload->dataset, loss, k, nullptr);
-    forest[i] = ForestLoss(workload->dataset, loss, k);
-    kk[i] = BestKKLoss(workload->dataset, loss, k, nullptr);
+    kanon[i] = BestKAnonLoss(workload.dataset, loss, k, nullptr);
+    forest[i] = ForestLoss(workload.dataset, loss, k);
+    kk[i] = BestKKLoss(workload.dataset, loss, k, nullptr);
   }
 
   TablePrinter t;

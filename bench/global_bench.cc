@@ -41,29 +41,28 @@ int Run(BenchConfig config) {
   t.SetHeader({"dataset", "k", "kk loss", "global loss", "extra%",
                "breached", "deficient", "steps", "max steps", "time"});
   for (const char* dataset_name : {"ART", "ADT", "CMC"}) {
-    Result<Workload> workload = GetWorkload(dataset_name, config);
-    KANON_CHECK(workload.ok(), workload.status().ToString());
+    const Workload workload = MustWorkload(dataset_name, config);
     std::unique_ptr<LossMeasure> measure = MakeMeasure("EM");
-    PrecomputedLoss loss(workload->scheme, workload->dataset, *measure);
+    PrecomputedLoss loss(workload.scheme, workload.dataset, *measure);
     for (size_t k : {5u, 10u}) {
       Result<GeneralizedTable> kk = KKAnonymize(
-          workload->dataset, loss, k, K1Algorithm::kGreedyExpansion);
+          workload.dataset, loss, k, K1Algorithm::kGreedyExpansion);
       KANON_CHECK(kk.ok(), kk.status().ToString());
       const double kk_loss = loss.TableLoss(kk.value());
       const AttackResult attack =
-          MatchReductionAttack(workload->dataset, kk.value(), k);
+          MatchReductionAttack(workload.dataset, kk.value(), k);
 
       Timer timer;
       Result<GlobalAnonymizationResult> global =
-          MakeGlobal1KAnonymous(workload->dataset, loss, k, kk.value());
+          MakeGlobal1KAnonymous(workload.dataset, loss, k, kk.value());
       KANON_CHECK(global.ok(), global.status().ToString());
       const double global_loss = loss.TableLoss(global->table);
       const Result<bool> global_1k =
-          IsGlobal1KAnonymous(workload->dataset, global->table, k);
+          IsGlobal1KAnonymous(workload.dataset, global->table, k);
       KANON_CHECK(global_1k.ok() && global_1k.value(),
                   "Algorithm 6 must produce a global (1,k)-anonymization");
       const AttackResult after =
-          MatchReductionAttack(workload->dataset, global->table, k);
+          MatchReductionAttack(workload.dataset, global->table, k);
       KANON_CHECK(after.breached_records.empty(),
                   "no record may remain breached after Algorithm 6");
 
@@ -89,15 +88,14 @@ int Run(BenchConfig config) {
   {
     BenchConfig small = config;
     small.art_n = std::min<size_t>(config.art_n, 300);
-    Result<Workload> workload = GetWorkload("ART", small);
-    KANON_CHECK(workload.ok(), workload.status().ToString());
+    const Workload workload = MustWorkload("ART", small);
     std::unique_ptr<LossMeasure> measure = MakeMeasure("EM");
-    PrecomputedLoss loss(workload->scheme, workload->dataset, *measure);
+    PrecomputedLoss loss(workload.scheme, workload.dataset, *measure);
     Result<GeneralizedTable> kk = KKAnonymize(
-        workload->dataset, loss, 5, K1Algorithm::kGreedyExpansion);
+        workload.dataset, loss, 5, K1Algorithm::kGreedyExpansion);
     KANON_CHECK(kk.ok(), kk.status().ToString());
     const BipartiteGraph graph =
-        BuildConsistencyGraph(workload->dataset, kk.value());
+        BuildConsistencyGraph(workload.dataset, kk.value());
 
     Timer naive_timer;
     Result<MatchableEdgeSets> naive = ComputeMatchableEdgesNaive(graph);

@@ -21,11 +21,10 @@ int Run(const BenchConfig& config) {
   int greedy_wins = 0;
   int cells = 0;
   for (const char* dataset_name : {"ART", "ADT", "CMC"}) {
-    Result<Workload> workload = GetWorkload(dataset_name, config);
-    KANON_CHECK(workload.ok(), workload.status().ToString());
+    const Workload workload = MustWorkload(dataset_name, config);
     for (const char* measure_name : {"EM", "LM"}) {
       std::unique_ptr<LossMeasure> measure = MakeMeasure(measure_name);
-      PrecomputedLoss loss(workload->scheme, workload->dataset, *measure);
+      PrecomputedLoss loss(workload.scheme, workload.dataset, *measure);
 
       std::printf("%s / %s\n", dataset_name, measure_name);
       TablePrinter t;
@@ -41,7 +40,7 @@ int Run(const BenchConfig& config) {
         Timer timer;
         for (size_t i = 0; i < kPaperKs.size(); ++i) {
           Result<GeneralizedTable> table =
-              KKAnonymize(workload->dataset, loss, kPaperKs[i], algo);
+              KKAnonymize(workload.dataset, loss, kPaperKs[i], algo);
           KANON_CHECK(table.ok(), table.status().ToString());
           const double pi = loss.TableLoss(table.value());
           (variant == 0 ? nn_losses : greedy_losses)[i] = pi;

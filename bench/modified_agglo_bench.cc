@@ -23,10 +23,9 @@ int Run(const BenchConfig& config) {
   int cells_1011 = 0;
 
   for (const char* dataset_name : {"ART", "CMC"}) {
-    Result<Workload> workload = GetWorkload(dataset_name, config);
-    KANON_CHECK(workload.ok(), workload.status().ToString());
+    const Workload workload = MustWorkload(dataset_name, config);
     std::unique_ptr<LossMeasure> measure = MakeMeasure("EM");
-    PrecomputedLoss loss(workload->scheme, workload->dataset, *measure);
+    PrecomputedLoss loss(workload.scheme, workload.dataset, *measure);
 
     std::printf("%s / EM\n", dataset_name);
     TablePrinter t;
@@ -45,7 +44,7 @@ int Run(const BenchConfig& config) {
             variant == 0 ? "basic" : "modified"};
         for (size_t i = 0; i < kPaperKs.size(); ++i) {
           Result<GeneralizedTable> table = AgglomerativeKAnonymize(
-              workload->dataset, loss, kPaperKs[i], options);
+              workload.dataset, loss, kPaperKs[i], options);
           KANON_CHECK(table.ok(), table.status().ToString());
           const double pi = loss.TableLoss(table.value());
           (variant == 0 ? basic : modified)[i] = pi;

@@ -21,10 +21,9 @@ int Run(const BenchConfig& config) {
   int local_wins = 0;
   int cells = 0;
   for (const char* dataset_name : {"ART", "ADT", "CMC"}) {
-    Result<Workload> workload = GetWorkload(dataset_name, config);
-    KANON_CHECK(workload.ok(), workload.status().ToString());
+    const Workload workload = MustWorkload(dataset_name, config);
     std::unique_ptr<LossMeasure> measure = MakeMeasure("EM");
-    PrecomputedLoss loss(workload->scheme, workload->dataset, *measure);
+    PrecomputedLoss loss(workload.scheme, workload.dataset, *measure);
 
     std::printf("%s / EM\n", dataset_name);
     TablePrinter t;
@@ -34,19 +33,19 @@ int Run(const BenchConfig& config) {
     std::vector<std::string> kk_row = {"local relaxed ((k,k), Alg4+5)"};
     for (size_t k : kPaperKs) {
       Result<GlobalRecodingResult> global =
-          GlobalRecodingKAnonymize(workload->dataset, loss, k);
+          GlobalRecodingKAnonymize(workload.dataset, loss, k);
       KANON_CHECK(global.ok(), global.status().ToString());
       const double global_loss = loss.TableLoss(global->table);
 
       AgglomerativeOptions options;
       options.distance = DistanceFunction::kRatio;
       Result<GeneralizedTable> local =
-          AgglomerativeKAnonymize(workload->dataset, loss, k, options);
+          AgglomerativeKAnonymize(workload.dataset, loss, k, options);
       KANON_CHECK(local.ok(), local.status().ToString());
       const double local_loss = loss.TableLoss(local.value());
 
       Result<GeneralizedTable> kk = KKAnonymize(
-          workload->dataset, loss, k, K1Algorithm::kGreedyExpansion);
+          workload.dataset, loss, k, K1Algorithm::kGreedyExpansion);
       KANON_CHECK(kk.ok(), kk.status().ToString());
 
       global_row.push_back(Cell(global_loss));

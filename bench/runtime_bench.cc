@@ -10,13 +10,13 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "kanon/algo/agglomerative.h"
 #include "kanon/algo/forest.h"
 #include "kanon/algo/global_anonymizer.h"
 #include "kanon/algo/kk_anonymizer.h"
 #include "kanon/anonymity/verify.h"
 #include "kanon/common/check.h"
-#include "kanon/datasets/art.h"
 #include "kanon/graph/consistency_graph.h"
 #include "kanon/common/parallel.h"
 #include "kanon/common/timer.h"
@@ -26,15 +26,9 @@
 namespace kanon {
 namespace {
 
-Workload MakeWorkload(size_t n) {
-  Result<Workload> w = MakeArtWorkload(n, 99);
-  KANON_CHECK(w.ok(), w.status().ToString());
-  return std::move(w).value();
-}
-
 void BM_Agglomerative(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const Workload w = MakeWorkload(n);
+  const Workload w = bench::MustArtWorkload(n, 99);
   const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
   AgglomerativeOptions options;
   options.distance = static_cast<DistanceFunction>(state.range(1));
@@ -54,7 +48,7 @@ BENCHMARK(BM_Agglomerative)
 
 void BM_ModifiedAgglomerative(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const Workload w = MakeWorkload(n);
+  const Workload w = bench::MustArtWorkload(n, 99);
   const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
   AgglomerativeOptions options;
   options.modified = true;
@@ -71,7 +65,7 @@ BENCHMARK(BM_ModifiedAgglomerative)
 
 void BM_Forest(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const Workload w = MakeWorkload(n);
+  const Workload w = bench::MustArtWorkload(n, 99);
   const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
   for (auto _ : state) {
     Result<Clustering> c = ForestCluster(w.dataset, loss, 10);
@@ -91,7 +85,7 @@ BENCHMARK(BM_Forest)
 void BM_KKPipeline(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const size_t k = static_cast<size_t>(state.range(1));
-  const Workload w = MakeWorkload(n);
+  const Workload w = bench::MustArtWorkload(n, 99);
   const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
   for (auto _ : state) {
     Result<GeneralizedTable> t =
@@ -106,7 +100,7 @@ BENCHMARK(BM_KKPipeline)
 
 void BM_Global1K(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const Workload w = MakeWorkload(n);
+  const Workload w = bench::MustArtWorkload(n, 99);
   const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
   Result<GeneralizedTable> kk =
       KKAnonymize(w.dataset, loss, 5, K1Algorithm::kGreedyExpansion);
@@ -123,7 +117,7 @@ BENCHMARK(BM_Global1K)->Arg(250)->Arg(500)->Arg(1000)->Unit(
 
 void BM_VerifyKK(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const Workload w = MakeWorkload(n);
+  const Workload w = bench::MustArtWorkload(n, 99);
   const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
   Result<GeneralizedTable> kk =
       KKAnonymize(w.dataset, loss, 5, K1Algorithm::kGreedyExpansion);
@@ -139,7 +133,7 @@ BENCHMARK(BM_VerifyKK)->Arg(500)->Arg(1000)->Arg(2000)->Unit(
 
 void BM_MatchableEdgesFast(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const Workload w = MakeWorkload(n);
+  const Workload w = bench::MustArtWorkload(n, 99);
   const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
   Result<GeneralizedTable> kk =
       KKAnonymize(w.dataset, loss, 5, K1Algorithm::kGreedyExpansion);
@@ -156,7 +150,7 @@ BENCHMARK(BM_MatchableEdgesFast)->Arg(250)->Arg(1000)->Unit(
 
 void BM_MatchableEdgesNaive(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const Workload w = MakeWorkload(n);
+  const Workload w = bench::MustArtWorkload(n, 99);
   const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
   Result<GeneralizedTable> kk =
       KKAnonymize(w.dataset, loss, 5, K1Algorithm::kGreedyExpansion);
@@ -175,7 +169,7 @@ BENCHMARK(BM_MatchableEdgesNaive)->Arg(250)->Unit(benchmark::kMillisecond);
 // determinism suite asserts this), so only the wall clock moves.
 void BM_AgglomerativeThreads(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const Workload w = MakeWorkload(n);
+  const Workload w = bench::MustArtWorkload(n, 99);
   const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
   AgglomerativeOptions options;
   options.num_threads = static_cast<int>(state.range(1));
@@ -191,7 +185,7 @@ BENCHMARK(BM_AgglomerativeThreads)
 
 void BM_KKPipelineThreads(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const Workload w = MakeWorkload(n);
+  const Workload w = bench::MustArtWorkload(n, 99);
   const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
   const int num_threads = static_cast<int>(state.range(1));
   for (auto _ : state) {
@@ -212,7 +206,7 @@ BENCHMARK(BM_KKPipelineThreads)
 // asserts the determinism contract along the way: every thread count must
 // reproduce the single-threaded table byte for byte.
 int RunSpeedupJson(size_t n) {
-  const Workload w = MakeWorkload(n);
+  const Workload w = bench::MustArtWorkload(n, 99);
   const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
   std::vector<int> counts = {1, 2, 4};
   if (DefaultNumThreads() > 4) counts.push_back(DefaultNumThreads());

@@ -57,10 +57,9 @@ int Run(const BenchConfig& config) {
   PrintHeader("Table I — summary of results", config);
 
   for (const PaperBlock& block : kPaperTable1) {
-    Result<Workload> workload = GetWorkload(block.dataset, config);
-    KANON_CHECK(workload.ok(), workload.status().ToString());
+    const Workload workload = MustWorkload(block.dataset, config);
     std::unique_ptr<LossMeasure> measure = MakeMeasure(block.measure);
-    PrecomputedLoss loss(workload->scheme, workload->dataset, *measure);
+    PrecomputedLoss loss(workload.scheme, workload.dataset, *measure);
 
     double kanon[4];
     double forest[4];
@@ -68,13 +67,13 @@ int Run(const BenchConfig& config) {
     Timer timer;
     for (size_t i = 0; i < kPaperKs.size(); ++i) {
       const size_t k = kPaperKs[i];
-      kanon[i] = BestKAnonLoss(workload->dataset, loss, k, nullptr);
-      forest[i] = ForestLoss(workload->dataset, loss, k);
-      kk[i] = BestKKLoss(workload->dataset, loss, k, nullptr);
+      kanon[i] = BestKAnonLoss(workload.dataset, loss, k, nullptr);
+      forest[i] = ForestLoss(workload.dataset, loss, k);
+      kk[i] = BestKKLoss(workload.dataset, loss, k, nullptr);
     }
 
     std::printf("%s / %s  (n=%zu, %.1fs)\n", block.dataset, block.measure,
-                workload->dataset.num_rows(), timer.ElapsedSeconds());
+                workload.dataset.num_rows(), timer.ElapsedSeconds());
     TablePrinter t;
     t.SetHeader({"k", "5", "10", "15", "20"});
     auto row = [&t](const char* name, const double* measured,

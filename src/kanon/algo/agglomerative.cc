@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
+#include "kanon/algo/core/closure_store.h"
+#include "kanon/algo/core/cluster_set.h"
+#include "kanon/algo/core/merge_heap.h"
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
 #include "kanon/common/parallel.h"
@@ -12,81 +14,15 @@ namespace kanon {
 
 namespace {
 
-constexpr uint32_t kNone = std::numeric_limits<uint32_t>::max();
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
 // Sweeps whose per-item work is only O(r) (a handful of join-table lookups)
 // run inline below this size; the heavy O(n·r)-per-item scans always fan
 // out. Purely an overhead knob — results are identical either way.
 constexpr size_t kCheapSweepSerialBelow = 2048;
 
-// The stale-entry heap rebuild waits for at least this many entries, so
-// small runs never churn.
-constexpr size_t kHeapRebuildMinSize = 64;
-
-struct ClusterState {
-  std::vector<uint32_t> members;
-  GeneralizedRecord closure;
-  double cost = 0.0;  // d(S) = c(closure of S).
-  bool alive = false;
-};
-
-// Nearest-neighbor bookkeeping for one cluster x. Cluster contents are
-// immutable (merges create fresh clusters), so pair distances never change
-// and the engine can maintain, with O(1) repairs in the common case:
-//
-//   invariant A: c1 is alive and d1 = min over alive y≠x of dist(x, y)
-//                (exact), whenever c1 != kNone;
-//   invariant B: when second_valid, every alive y ∉ {c1} has
-//                dist(x, y) >= d2 (c2 itself may meanwhile be dead; d2
-//                then still bounds everyone else).
-//
-// A cluster that loses c1 promotes c2 when invariant B allows it, adopts
-// the freshly merged cluster when that is provably at least as close, and
-// only falls back to a full rescan otherwise. This keeps the engine exact
-// while avoiding the O(n³) blow-up of naive repair in the "one growing
-// cluster" regime that distance functions (10) and (11) induce.
-struct CandidatePair {
-  uint32_t c1 = kNone;
-  double d1 = kInf;
-  uint32_t c2 = kNone;
-  double d2 = kInf;
-  bool second_valid = true;
-};
-
-// Offers candidate (y, d) to a two-best accumulator with the exact
-// comparisons of an ascending-id serial scan: strict improvement wins, ties
-// go to the smaller id. Used both inside chunk-local scans and to merge
-// chunk results in chunk order, so the combined two-best is byte-identical
-// to the serial scan at every thread count.
-void OfferToTwoBest(CandidatePair* c, uint32_t y, double d) {
-  if (y == kNone || y == c->c1 || y == c->c2) return;
-  if (d < c->d1 || (d == c->d1 && y < c->c1)) {
-    c->c2 = c->c1;
-    c->d2 = c->d1;
-    c->c1 = y;
-    c->d1 = d;
-  } else if (d < c->d2 || (d == c->d2 && y < c->c2)) {
-    c->c2 = y;
-    c->d2 = d;
-  }
-}
-
-struct HeapEntry {
-  double dist;
-  uint32_t a;  // First argument of dist(A, B).
-  uint32_t b;  // Second argument.
-};
-
-struct HeapEntryGreater {
-  bool operator()(const HeapEntry& x, const HeapEntry& y) const {
-    if (x.dist != y.dist) return x.dist > y.dist;
-    if (x.a != y.a) return x.a > y.a;
-    return x.b > y.b;
-  }
-};
-
-// Engine shared by the basic and modified variants of Algorithm 1.
+// The basic and modified variants of Algorithm 1, rewritten on the shared
+// clustering core: ClusterSet owns the alive/dead bookkeeping, ClosureStore
+// hash-conses every cluster closure (and memoizes its cost), and MergeHeap
+// carries the two-best candidates with the stale-entry heap maintenance.
 class Engine {
  public:
   Engine(const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
@@ -97,7 +33,9 @@ class Engine {
         k_(k),
         options_(options),
         ctx_(options.run_context),
-        num_attrs_(dataset.num_attributes()) {}
+        num_attrs_(dataset.num_attributes()),
+        store_(loss),
+        heap_(&clusters_, options.aggressive_heap_rebuild, options.counters) {}
 
   Result<Clustering> Run() {
     KANON_RETURN_NOT_OK(InitSingletons());
@@ -108,11 +46,12 @@ class Engine {
       DistributeLeftover();
     }
     if (options_.heap_rebuilds_out != nullptr) {
-      *options_.heap_rebuilds_out = heap_rebuilds_;
+      *options_.heap_rebuilds_out = heap_.rebuilds();
     }
+    store_.ExportCounters(options_.counters);
     Clustering out;
     for (uint32_t id : final_) {
-      out.clusters.push_back(std::move(clusters_[id].members));
+      out.clusters.push_back(std::move(clusters_.cluster(id).members));
     }
     return out;
   }
@@ -125,20 +64,27 @@ class Engine {
 
   bool Stopped() const { return ctx_ != nullptr && ctx_->stopped(); }
 
+  void CountChunks(size_t n) {
+    if (options_.counters != nullptr) {
+      options_.counters->parallel_chunks += ParallelChunkCount(n);
+    }
+  }
+
   // d(A ∪ B) computed attribute-wise through the join tables; O(r).
-  double UnionCost(const ClusterState& a, const ClusterState& b) const {
+  double UnionCost(const ClusterData& a, const ClusterData& b) const {
+    const GeneralizedRecord& ca = store_.record(a.closure);
+    const GeneralizedRecord& cb = store_.record(b.closure);
     double total = 0.0;
     for (size_t j = 0; j < num_attrs_; ++j) {
-      const SetId joined =
-          scheme_.hierarchy(j).Join(a.closure[j], b.closure[j]);
+      const SetId joined = scheme_.hierarchy(j).Join(ca[j], cb[j]);
       total += loss_.EntryCost(j, joined);
     }
     return total / static_cast<double>(num_attrs_);
   }
 
   double DistFromUnionCost(uint32_t a, uint32_t b, double d_union) const {
-    const ClusterState& ca = clusters_[a];
-    const ClusterState& cb = clusters_[b];
+    const ClusterData& ca = clusters_.cluster(a);
+    const ClusterData& cb = clusters_.cluster(b);
     return EvalDistance(options_.distance, options_.params,
                         ca.members.size(), cb.members.size(),
                         ca.members.size() + cb.members.size(), ca.cost,
@@ -146,95 +92,29 @@ class Engine {
   }
 
   double Dist(uint32_t a, uint32_t b) const {
-    return DistFromUnionCost(a, b, UnionCost(clusters_[a], clusters_[b]));
+    return DistFromUnionCost(
+        a, b, UnionCost(clusters_.cluster(a), clusters_.cluster(b)));
   }
 
-  bool Alive(uint32_t id) const { return id != kNone && clusters_[id].alive; }
-
-  // Every heap mutation goes through PushEntry/PopTop so the stale-entry
-  // accounting stays exact: entry_refs_[c] counts in-heap entries
-  // referencing c, heap_stale_ counts in-heap references to dead clusters
-  // (each stale entry contributes one or two, so heap_stale_ is between
-  // the stale-entry count and twice it).
-  void PushEntry(double dist, uint32_t a, uint32_t b) {
-    heap_.push(HeapEntry{dist, a, b});
-    ++entry_refs_[a];
-    ++entry_refs_[b];
-  }
-
-  HeapEntry PopTop() {
-    const HeapEntry entry = heap_.top();
-    heap_.pop();
-    --entry_refs_[entry.a];
-    --entry_refs_[entry.b];
-    if (!Alive(entry.a)) --heap_stale_;
-    if (!Alive(entry.b)) --heap_stale_;
-    return entry;
-  }
-
-  // Offers alive candidate (y, d) to x's two-best.
-  void Offer(uint32_t x, uint32_t y, double d) {
-    CandidatePair& c = cands_[x];
-    if (y == c.c1 || y == c.c2) return;
-    if (d < c.d1 || (d == c.d1 && y < c.c1)) {
-      // The displaced c1 was the exact minimum over the other alive
-      // clusters, so it is a correct second bound.
-      c.c2 = c.c1;
-      c.d2 = c.d1;
-      c.second_valid = true;
-      c.c1 = y;
-      c.d1 = d;
-      PushEntry(d, x, y);
-    } else if (d < c.d2 || (d == c.d2 && y < c.c2)) {
-      // Tightening the second bound keeps invariant B when it held (y is
-      // accounted for explicitly, everyone else was >= old d2 > d).
-      c.c2 = y;
-      c.d2 = d;
-    }
-  }
-
-  // Fixes x after the deaths of the just-merged pair. `added` (kNone for a
-  // ripe merge) is the freshly created cluster and `d_x_added` its distance
-  // from x. Returns true when x needs a full rescan.
-  bool Repair(uint32_t x, uint32_t added, double d_x_added) {
-    CandidatePair& c = cands_[x];
-    if (c.c1 == kNone || Alive(c.c1)) {
-      return false;  // Nearest intact (a dead c2 stays as a bound).
-    }
-    if (added != kNone && d_x_added <= c.d1) {
-      // Everyone alive was at distance >= d1 before the merge, so the new
-      // cluster is an exact new minimum. The second bound keeps holding.
-      c.c1 = added;
-      c.d1 = d_x_added;
-      PushEntry(d_x_added, x, added);
-      return false;
-    }
-    if (Alive(c.c2) && c.second_valid) {
-      // Invariant B: nothing alive beats d2, so c2 is the exact minimum.
-      c.c1 = c.c2;
-      c.d1 = c.d2;
-      c.c2 = kNone;
-      c.d2 = kInf;
-      c.second_valid = false;
-      PushEntry(c.d1, x, c.c1);
-      return false;
-    }
-    return true;
+  // Interns a closure and mirrors its memoized cost into the cluster.
+  void SetClosure(ClusterData* c, const GeneralizedRecord& closure) {
+    c->closure = store_.Intern(closure);
+    c->cost = store_.cost(c->closure);
   }
 
   // Exact two-best of x over every active cluster, O(active · r), spread
   // over the worker threads: chunk-local two-bests merged in chunk order
   // reproduce the serial ascending scan exactly.
   CandidatePair ComputeTwoBest(uint32_t x) const {
-    const size_t m = active_.size();
+    const size_t m = clusters_.active().size();
     std::vector<CandidatePair> parts(ParallelChunkCount(m));
     ParallelChunks(
         m, options_.num_threads, nullptr, "agglomerative/rescan",
         [&](size_t chunk, size_t begin, size_t end) {
           CandidatePair local;
           for (size_t t = begin; t < end; ++t) {
-            const uint32_t y = active_[t];
-            if (y == x || !clusters_[y].alive) continue;
+            const uint32_t y = clusters_.active()[t];
+            if (y == x || !clusters_.Alive(y)) continue;
             OfferToTwoBest(&local, y, Dist(x, y));
           }
           parts[chunk] = local;
@@ -251,19 +131,18 @@ class Engine {
 
   // Recomputes x's two-best over every active cluster.
   void FullRescan(uint32_t x) {
-    cands_[x] = ComputeTwoBest(x);
-    const CandidatePair& c = cands_[x];
-    if (c.c1 != kNone) {
-      PushEntry(c.d1, x, c.c1);
-    }
+    if (options_.counters != nullptr) ++options_.counters->rescans;
+    CountChunks(clusters_.active().size());
+    heap_.candidate(x) = ComputeTwoBest(x);
+    heap_.PushCandidate(x);
   }
 
   // Exhaustively checks that `dist` is the minimum over all alive pairs.
   void VerifyGlobalMinimum(double dist) const {
-    for (uint32_t a : active_) {
-      if (!clusters_[a].alive) continue;
-      for (uint32_t b : active_) {
-        if (a == b || !clusters_[b].alive) continue;
+    for (uint32_t a : clusters_.active()) {
+      if (!clusters_.Alive(a)) continue;
+      for (uint32_t b : clusters_.active()) {
+        if (a == b || !clusters_.Alive(b)) continue;
         KANON_CHECK(Dist(a, b) >= dist - 1e-12,
                     "engine merged a non-minimal pair");
       }
@@ -272,32 +151,38 @@ class Engine {
 
   Status InitSingletons() {
     const size_t n = dataset_.num_rows();
-    clusters_.reserve(2 * n);
-    clusters_.resize(n);
-    active_.resize(n);
+    clusters_.Reserve(2 * n);
     for (uint32_t i = 0; i < n; ++i) {
-      clusters_[i].members = {i};
-      clusters_[i].alive = true;
-      active_[i] = i;
+      ClusterData single;
+      single.members = {i};
+      clusters_.Activate(clusters_.Add(std::move(single)));
     }
-    num_active_ = n;
-    // Singleton closures and costs, O(n·r); items are disjoint slots.
+    // Singleton closures, O(n·r); items are disjoint slots. The raw
+    // closures land in a scratch array and intern serially after the
+    // barrier — ClosureStore is single-threaded by design, and the serial
+    // pass prices each distinct closure exactly once.
+    std::vector<GeneralizedRecord> raw(n);
+    CountChunks(n);
     const SweepStatus closures = ParallelFor(
         n, options_.num_threads, ctx_, "agglomerative/init",
         [&](size_t i) {
-          clusters_[i].closure = scheme_.Identity(dataset_.row(i));
-          clusters_[i].cost = loss_.RecordCost(clusters_[i].closure);
+          raw[i] = scheme_.Identity(dataset_.row(static_cast<uint32_t>(i)));
         },
         /*done=*/nullptr, kCheapSweepSerialBelow);
-    // A stop here leaves some closures unset; the degraded wind-down pools
+    // A stop here leaves the closures unset; the degraded wind-down pools
     // records by membership only, so that is safe.
     if (!closures.completed) return Status::OK();
+    for (uint32_t i = 0; i < n; ++i) {
+      SetClosure(&clusters_.cluster(i), raw[i]);
+    }
+    raw.clear();
+    raw.shrink_to_fit();
 
-    cands_.assign(n, CandidatePair());
-    entry_refs_.assign(n, 0);
+    heap_.EnsureSize(n);
     // The all-pairs two-best scan is the O(n²·r) part of setup; it honors
     // the same controls as the merge loop so tight deadlines bail early.
     // Heap pushes happen after the sweep, on one thread, in index order.
+    CountChunks(n);
     std::vector<Status> errors(ParallelChunkCount(n));
     const SweepStatus scan = ParallelChunks(
         n, options_.num_threads, ctx_, "agglomerative/init",
@@ -310,7 +195,8 @@ class Engine {
                 return;
               }
             }
-            cands_[i] = ComputeTwoBest(static_cast<uint32_t>(i));
+            heap_.candidate(static_cast<uint32_t>(i)) =
+                ComputeTwoBest(static_cast<uint32_t>(i));
           }
         });
     for (Status& s : errors) {
@@ -318,109 +204,66 @@ class Engine {
     }
     if (!scan.completed) return Status::OK();
     for (uint32_t i = 0; i < n; ++i) {
-      if (cands_[i].c1 != kNone) {
-        PushEntry(cands_[i].d1, i, cands_[i].c1);
-      }
+      heap_.PushCandidate(i);
     }
     return Status::OK();
   }
 
   void Deactivate(uint32_t c) {
-    clusters_[c].alive = false;
-    --num_active_;
-    ++num_dead_in_active_;
-    // Every in-heap entry referencing c just went stale.
-    heap_stale_ += entry_refs_[c];
+    clusters_.Deactivate(c);
+    heap_.NoteDeactivated(c);
   }
 
-  void MaybeCompactActive() {
-    if (num_dead_in_active_ * 2 < active_.size()) return;
-    std::vector<uint32_t> compacted;
-    compacted.reserve(num_active_);
-    for (uint32_t id : active_) {
-      if (clusters_[id].alive) compacted.push_back(id);
-    }
-    active_ = std::move(compacted);
-    num_dead_in_active_ = 0;
-  }
-
-  // Dead-pair entries are only discarded lazily on pop, so adversarial
-  // merge orders (one growing cluster re-offered to everyone each round)
-  // can pile them up without bound. Once the stale-reference counter says
-  // at least half the heap is provably dead, rebuild it from the exact
-  // per-cluster candidates: every alive cluster re-contributes its one
-  // invariant-A entry. Purely an occupancy change — pop order and results
-  // are untouched.
-  void MaybeRebuildHeap() {
-    const bool stale_heavy =
-        options_.aggressive_heap_rebuild
-            ? heap_stale_ > 0
-            : heap_.size() >= kHeapRebuildMinSize &&
-                  heap_stale_ > heap_.size();
-    if (!stale_heavy) return;
-    heap_ = {};
-    std::fill(entry_refs_.begin(), entry_refs_.end(), 0);
-    heap_stale_ = 0;
-    for (uint32_t x : active_) {
-      if (!clusters_[x].alive) continue;
-      const CandidatePair& c = cands_[x];
-      if (c.c1 != kNone && Alive(c.c1)) {
-        PushEntry(c.d1, x, c.c1);
-      }
-    }
-    ++heap_rebuilds_;
-  }
-
-  uint32_t NewCluster(ClusterState state) {
-    clusters_.push_back(std::move(state));
-    const uint32_t id = static_cast<uint32_t>(clusters_.size() - 1);
-    if (cands_.size() <= id) {
-      cands_.resize(std::max<size_t>(id + 1, cands_.size() * 2 + 1));
-      entry_refs_.resize(cands_.size(), 0);
-    }
-    cands_[id] = CandidatePair();
-    entry_refs_[id] = 0;
+  uint32_t NewCluster(ClusterData data) {
+    const uint32_t id = clusters_.Add(std::move(data));
+    heap_.EnsureSize(id + 1);
+    heap_.ResetCandidate(id);
     return id;
   }
 
   uint32_t Merge(uint32_t a, uint32_t b) {
-    ClusterState merged;
-    merged.members = clusters_[a].members;
-    merged.members.insert(merged.members.end(), clusters_[b].members.begin(),
-                          clusters_[b].members.end());
+    ClusterData merged;
+    merged.members = clusters_.cluster(a).members;
+    merged.members.insert(merged.members.end(),
+                          clusters_.cluster(b).members.begin(),
+                          clusters_.cluster(b).members.end());
     std::sort(merged.members.begin(), merged.members.end());
     merged.closure =
-        scheme_.JoinRecords(clusters_[a].closure, clusters_[b].closure);
-    merged.cost = loss_.RecordCost(merged.closure);
+        store_.InternJoin(clusters_.cluster(a).closure,
+                          clusters_.cluster(b).closure);
+    merged.cost = store_.cost(merged.closure);
     Deactivate(a);
     Deactivate(b);
+    if (options_.counters != nullptr) ++options_.counters->merges;
     return NewCluster(std::move(merged));
   }
 
-  // One pass over the active set after a merge. When `added` is not kNone
-  // it is the freshly created cluster: its two-best is built, it is offered
-  // to everyone, and it joins the active set. Clusters whose candidates
-  // were wiped out are rescanned at the end (rare). The pure O(active·r)
-  // distance computations run on the worker threads; the order-sensitive
-  // Offer/Repair bookkeeping replays them serially in active order, so the
-  // outcome matches the single-threaded pass exactly.
+  // One pass over the active set after a merge. When `added` is not
+  // kNoCluster it is the freshly created cluster: its two-best is built, it
+  // is offered to everyone, and it joins the active set. Clusters whose
+  // candidates were wiped out are rescanned at the end (rare). The pure
+  // O(active·r) distance computations run on the worker threads; the
+  // order-sensitive Offer/Repair bookkeeping replays them serially in
+  // active order, so the outcome matches the single-threaded pass exactly.
   void RepairAndMaybeAdd(uint32_t added) {
     const bool asymmetric =
         options_.distance == DistanceFunction::kNergizClifton;
-    const size_t m = active_.size();
+    const std::vector<uint32_t>& active = clusters_.active();
+    const size_t m = active.size();
     std::vector<double> d_added_x;
     std::vector<double> d_x_added;
-    if (added != kNone) {
-      d_added_x.assign(m, kInf);
-      d_x_added.assign(m, kInf);
+    if (added != kNoCluster) {
+      d_added_x.assign(m, kInfDist);
+      d_x_added.assign(m, kInfDist);
+      CountChunks(m);
       ParallelChunks(
           m, options_.num_threads, nullptr, "agglomerative/repair",
           [&](size_t /*chunk*/, size_t begin, size_t end) {
             for (size_t t = begin; t < end; ++t) {
-              const uint32_t x = active_[t];
-              if (!clusters_[x].alive) continue;
-              const double d_union =
-                  UnionCost(clusters_[added], clusters_[x]);
+              const uint32_t x = active[t];
+              if (!clusters_.Alive(x)) continue;
+              const double d_union = UnionCost(clusters_.cluster(added),
+                                               clusters_.cluster(x));
               d_added_x[t] = DistFromUnionCost(added, x, d_union);
               d_x_added[t] = asymmetric
                                  ? DistFromUnionCost(x, added, d_union)
@@ -431,25 +274,24 @@ class Engine {
     }
     std::vector<uint32_t> needs_rescan;
     for (size_t t = 0; t < m; ++t) {
-      const uint32_t x = active_[t];
-      if (!clusters_[x].alive) continue;
-      if (added != kNone) {
-        Offer(added, x, d_added_x[t]);
+      const uint32_t x = active[t];
+      if (!clusters_.Alive(x)) continue;
+      if (added != kNoCluster) {
+        heap_.Offer(added, x, d_added_x[t]);
       }
-      if (Repair(x, added, added != kNone ? d_x_added[t] : kInf)) {
+      if (heap_.Repair(x, added,
+                       added != kNoCluster ? d_x_added[t] : kInfDist)) {
         needs_rescan.push_back(x);
-      } else if (added != kNone) {
-        Offer(x, added, d_x_added[t]);
+      } else if (added != kNoCluster) {
+        heap_.Offer(x, added, d_x_added[t]);
       }
     }
-    if (added != kNone) {
-      clusters_[added].alive = true;
-      ++num_active_;
-      active_.push_back(added);
+    if (added != kNoCluster) {
+      clusters_.Activate(added);
     }
-    MaybeCompactActive();
+    clusters_.MaybeCompactActive();
     for (uint32_t x : needs_rescan) {
-      if (clusters_[x].alive) FullRescan(x);
+      if (clusters_.Alive(x)) FullRescan(x);
     }
   }
 
@@ -459,13 +301,13 @@ class Engine {
   // O(len·r) per ejection instead of O(len²·r).
   std::vector<uint32_t> ShrinkToK(uint32_t id) {
     std::vector<uint32_t> ejected;
-    ClusterState& c = clusters_[id];
+    ClusterData& c = clusters_.cluster(id);
     while (c.members.size() > k_) {
       const size_t len = c.members.size();
       std::vector<GeneralizedRecord> loo =
           LeaveOneOutClosures(dataset_, scheme_, c.members);
       size_t eject_pos = 0;
-      double best_di = -kInf;
+      double best_di = -kInfDist;
       for (size_t pos = 0; pos < len; ++pos) {
         // d(Ŝ ∖ {R̂_pos}); dist(Ŝ, Ŝ ∖ {R̂_pos}) has union Ŝ itself.
         const double d_minus = loss_.RecordCost(loo[pos]);
@@ -480,44 +322,47 @@ class Engine {
       ejected.push_back(c.members[eject_pos]);
       c.members.erase(c.members.begin() +
                       static_cast<ptrdiff_t>(eject_pos));
-      c.closure = std::move(loo[eject_pos]);
-      c.cost = loss_.RecordCost(c.closure);
+      SetClosure(&c, loo[eject_pos]);
     }
     return ejected;
   }
 
+  uint32_t NewSingleton(uint32_t row) {
+    ClusterData single;
+    single.members = {row};
+    const uint32_t id = NewCluster(std::move(single));
+    SetClosure(&clusters_.cluster(id), scheme_.Identity(dataset_.row(row)));
+    return id;
+  }
+
   Status MainLoop() {
     if (Stopped()) return Status::OK();  // Init was interrupted.
-    while (num_active_ > 1) {
+    while (clusters_.num_active() > 1) {
       if (CheckPoint("agglomerative/merge")) return Status::OK();
       KANON_FAILPOINT("agglomerative.closure");
-      MaybeRebuildHeap();
+      heap_.MaybeRebuild();
       KANON_CHECK(!heap_.empty(), "active clusters must have heap entries");
-      const HeapEntry entry = PopTop();
+      const MergeCandidate entry = heap_.PopTop();
       // Distances are immutable per pair, so an entry is valid iff both
       // endpoints are alive; invariant A guarantees the first valid pop is
       // a globally closest pair.
-      if (!Alive(entry.a) || !Alive(entry.b)) continue;
+      if (!clusters_.Alive(entry.a) || !clusters_.Alive(entry.b)) continue;
       if (options_.check_exact_merges) {
         VerifyGlobalMinimum(entry.dist);
       }
       const uint32_t merged = Merge(entry.a, entry.b);
-      if (clusters_[merged].members.size() >= k_) {
-        if (options_.modified && clusters_[merged].members.size() > k_) {
+      if (clusters_.cluster(merged).members.size() >= k_) {
+        if (options_.modified &&
+            clusters_.cluster(merged).members.size() > k_) {
           const std::vector<uint32_t> ejected = ShrinkToK(merged);
           final_.push_back(merged);
-          RepairAndMaybeAdd(kNone);
+          RepairAndMaybeAdd(kNoCluster);
           for (uint32_t row : ejected) {
-            ClusterState single;
-            single.members = {row};
-            single.closure = scheme_.Identity(dataset_.row(row));
-            single.cost = loss_.RecordCost(single.closure);
-            const uint32_t sid = NewCluster(std::move(single));
-            RepairAndMaybeAdd(sid);
+            RepairAndMaybeAdd(NewSingleton(row));
           }
         } else {
           final_.push_back(merged);
-          RepairAndMaybeAdd(kNone);
+          RepairAndMaybeAdd(kNoCluster);
         }
       } else {
         RepairAndMaybeAdd(merged);
@@ -526,20 +371,43 @@ class Engine {
     return Status::OK();
   }
 
+  // Every record of `leftover` joins the final cluster minimizing
+  // dist({R}, S) — line 10 of Algorithm 1, shared with the degraded
+  // wind-down's straggler path.
+  void AttachToNearestFinal(const std::vector<uint32_t>& leftover) {
+    for (uint32_t row : leftover) {
+      ClusterData single;
+      single.members = {row};
+      SetClosure(&single, scheme_.Identity(dataset_.row(row)));
+      size_t best_pos = 0;
+      double best_dist = kInfDist;
+      for (size_t pos = 0; pos < final_.size(); ++pos) {
+        const ClusterData& target = clusters_.cluster(final_[pos]);
+        const double d_union = UnionCost(single, target);
+        const double d =
+            EvalDistance(options_.distance, options_.params, 1,
+                         target.members.size(), target.members.size() + 1,
+                         single.cost, target.cost, d_union);
+        if (d < best_dist) {
+          best_dist = d;
+          best_pos = pos;
+        }
+      }
+      ClusterData& target = clusters_.cluster(final_[best_pos]);
+      target.members.push_back(row);
+      std::sort(target.members.begin(), target.members.end());
+      target.closure = store_.InternJoin(target.closure, single.closure);
+      target.cost = store_.cost(target.closure);
+    }
+  }
+
   // Graceful wind-down after an interruption (deadline, cancel, budget):
   // records still in undersized clusters are pooled into one catch-all
   // cluster when they number at least k, and otherwise attached to their
   // nearest finished cluster — so the result is k-anonymous either way.
   void FinalizeDegraded() {
-    std::vector<uint32_t> leftover;
-    for (uint32_t x : active_) {
-      if (!clusters_[x].alive) continue;
-      leftover.insert(leftover.end(), clusters_[x].members.begin(),
-                      clusters_[x].members.end());
-      clusters_[x].alive = false;
-    }
+    std::vector<uint32_t> leftover = clusters_.DrainAliveMembers();
     if (leftover.empty()) return;  // Interrupted after the last ripening.
-    std::sort(leftover.begin(), leftover.end());
     if (ctx_ != nullptr) {
       ctx_->NoteDegraded("agglomerative/merge");
       ctx_->AddRecordsSuppressed(leftover.size());
@@ -547,82 +415,26 @@ class Engine {
     if (final_.empty() || leftover.size() >= k_) {
       // One catch-all cluster. When no cluster ripened yet the pool is the
       // whole dataset, and k <= n makes it valid.
-      ClusterState pool;
+      ClusterData pool;
       pool.members = std::move(leftover);
-      pool.closure = scheme_.ClosureOfRows(dataset_, pool.members);
-      pool.cost = loss_.RecordCost(pool.closure);
-      final_.push_back(NewCluster(std::move(pool)));
+      const uint32_t id = NewCluster(std::move(pool));
+      ClusterData& c = clusters_.cluster(id);
+      c.closure = store_.InternClosureOfRows(dataset_, c.members);
+      c.cost = store_.cost(c.closure);
+      final_.push_back(id);
       return;
     }
     // Fewer than k stragglers: nearest-final attachment, as in the normal
     // leftover pass (one cheap scan per record).
-    for (uint32_t row : leftover) {
-      ClusterState single;
-      single.members = {row};
-      single.closure = scheme_.Identity(dataset_.row(row));
-      single.cost = loss_.RecordCost(single.closure);
-      size_t best_pos = 0;
-      double best_dist = kInf;
-      for (size_t pos = 0; pos < final_.size(); ++pos) {
-        const ClusterState& target = clusters_[final_[pos]];
-        const double d_union = UnionCost(single, target);
-        const double d =
-            EvalDistance(options_.distance, options_.params, 1,
-                         target.members.size(), target.members.size() + 1,
-                         single.cost, target.cost, d_union);
-        if (d < best_dist) {
-          best_dist = d;
-          best_pos = pos;
-        }
-      }
-      ClusterState& target = clusters_[final_[best_pos]];
-      target.members.push_back(row);
-      std::sort(target.members.begin(), target.members.end());
-      target.closure = scheme_.JoinRecords(target.closure, single.closure);
-      target.cost = loss_.RecordCost(target.closure);
-    }
+    AttachToNearestFinal(leftover);
   }
 
-  // Line 10 of Algorithm 1: every record of the leftover (<k) cluster joins
-  // the final cluster minimizing dist({R}, S).
   void DistributeLeftover() {
-    std::vector<uint32_t> leftover;
-    for (uint32_t x : active_) {
-      if (!clusters_[x].alive) continue;
-      leftover.insert(leftover.end(), clusters_[x].members.begin(),
-                      clusters_[x].members.end());
-      clusters_[x].alive = false;
-    }
+    std::vector<uint32_t> leftover = clusters_.DrainAliveMembers();
     if (leftover.empty()) return;
     KANON_CHECK(!final_.empty(),
                 "no ripe cluster to absorb leftover records (k > n?)");
-    std::sort(leftover.begin(), leftover.end());
-    for (uint32_t row : leftover) {
-      ClusterState single;
-      single.members = {row};
-      single.closure = scheme_.Identity(dataset_.row(row));
-      single.cost = loss_.RecordCost(single.closure);
-
-      size_t best_pos = 0;
-      double best_dist = kInf;
-      for (size_t pos = 0; pos < final_.size(); ++pos) {
-        const ClusterState& target = clusters_[final_[pos]];
-        const double d_union = UnionCost(single, target);
-        const double d =
-            EvalDistance(options_.distance, options_.params, 1,
-                         target.members.size(), target.members.size() + 1,
-                         single.cost, target.cost, d_union);
-        if (d < best_dist) {
-          best_dist = d;
-          best_pos = pos;
-        }
-      }
-      ClusterState& target = clusters_[final_[best_pos]];
-      target.members.push_back(row);
-      std::sort(target.members.begin(), target.members.end());
-      target.closure = scheme_.JoinRecords(target.closure, single.closure);
-      target.cost = loss_.RecordCost(target.closure);
-    }
+    AttachToNearestFinal(leftover);
   }
 
   const Dataset& dataset_;
@@ -633,17 +445,10 @@ class Engine {
   RunContext* const ctx_;
   const size_t num_attrs_;
 
-  std::vector<ClusterState> clusters_;
-  std::vector<uint32_t> active_;  // Ids, ascending; may contain dead entries.
-  size_t num_active_ = 0;
-  size_t num_dead_in_active_ = 0;
+  ClosureStore store_;
+  ClusterSet clusters_;
+  MergeHeap heap_;
   std::vector<uint32_t> final_;
-  std::vector<CandidatePair> cands_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapEntryGreater>
-      heap_;
-  std::vector<uint32_t> entry_refs_;  // In-heap entries per cluster id.
-  size_t heap_stale_ = 0;             // In-heap references to dead clusters.
-  size_t heap_rebuilds_ = 0;
 };
 
 }  // namespace

@@ -2,6 +2,7 @@
 #define KANON_ALGO_AGGLOMERATIVE_H_
 
 #include "kanon/algo/clustering.h"
+#include "kanon/algo/core/engine_counters.h"
 #include "kanon/algo/distance.h"
 #include "kanon/common/result.h"
 #include "kanon/common/run_context.h"
@@ -34,6 +35,10 @@ struct AgglomerativeOptions {
   /// threshold, and observe how many rebuilds happened.
   bool aggressive_heap_rebuild = false;
   size_t* heap_rebuilds_out = nullptr;
+  /// Optional engine telemetry (merges, rescans, heap rebuilds, closure
+  /// cache hits, parallel chunks). Not owned; accumulated into, never reset.
+  /// Deterministic at every thread count.
+  EngineCounters* counters = nullptr;
   /// Optional execution controls (deadline, cancellation, step budget). Not
   /// owned. On stop the engine finalizes the partial clustering: records of
   /// still-undersized clusters are pooled into one catch-all cluster (or

@@ -36,6 +36,7 @@ Result<AnonymizationResult> Anonymize(const Dataset& dataset,
                                       const AnonymizerConfig& config) {
   Timer timer;
   RunContext* const ctx = config.run_context;
+  EngineCounters counters;
   Result<GeneralizedTable> table = Status::Internal("unreachable");
   switch (config.method) {
     case AnonymizationMethod::kAgglomerative:
@@ -47,36 +48,37 @@ Result<AnonymizationResult> Anonymize(const Dataset& dataset,
           config.method == AnonymizationMethod::kModifiedAgglomerative;
       options.run_context = ctx;
       options.num_threads = config.num_threads;
+      options.counters = &counters;
       table = AgglomerativeKAnonymize(dataset, loss, config.k, options);
       break;
     }
     case AnonymizationMethod::kForest:
-      table = ForestKAnonymize(dataset, loss, config.k, ctx);
+      table = ForestKAnonymize(dataset, loss, config.k, ctx, &counters);
       break;
     case AnonymizationMethod::kKKNearestNeighbors:
       table = KKAnonymize(dataset, loss, config.k,
                           K1Algorithm::kNearestNeighbors, ctx,
-                          config.num_threads);
+                          config.num_threads, &counters);
       break;
     case AnonymizationMethod::kKKGreedyExpansion:
       table = KKAnonymize(dataset, loss, config.k,
                           K1Algorithm::kGreedyExpansion, ctx,
-                          config.num_threads);
+                          config.num_threads, &counters);
       break;
     case AnonymizationMethod::kGlobal: {
       Result<GeneralizedTable> kk = KKAnonymize(
           dataset, loss, config.k, K1Algorithm::kGreedyExpansion, ctx,
-          config.num_threads);
+          config.num_threads, &counters);
       if (!kk.ok()) return kk.status();
       Result<GlobalAnonymizationResult> global = MakeGlobal1KAnonymous(
-          dataset, loss, config.k, std::move(kk).value(), ctx);
+          dataset, loss, config.k, std::move(kk).value(), ctx, &counters);
       if (!global.ok()) return global.status();
       table = std::move(global->table);
       break;
     }
     case AnonymizationMethod::kFullDomain: {
       Result<GlobalRecodingResult> recoded = GlobalRecodingKAnonymize(
-          dataset, loss, config.k, ctx, config.num_threads);
+          dataset, loss, config.k, ctx, config.num_threads, &counters);
       if (!recoded.ok()) return recoded.status();
       table = std::move(recoded->table);
       break;
@@ -84,7 +86,10 @@ Result<AnonymizationResult> Anonymize(const Dataset& dataset,
   }
   if (!table.ok()) return table.status();
 
-  AnonymizationResult result{std::move(table).value(), 0.0, 0.0};
+  AnonymizationResult result{std::move(table).value(), 0.0,  0.0,
+                             false,                    StopReason::kNone,
+                             0,                        0,
+                             counters};
   result.loss = loss.TableLoss(result.table);
   result.elapsed_seconds = timer.ElapsedSeconds();
   if (ctx != nullptr) {

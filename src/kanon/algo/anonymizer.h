@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "kanon/algo/core/engine_counters.h"
 #include "kanon/algo/distance.h"
 #include "kanon/common/result.h"
 #include "kanon/common/run_context.h"
@@ -68,6 +69,10 @@ struct AnonymizationResult {
   size_t iterations_completed = 0;
   /// Records coarsened beyond plan by the fallback (pooled or suppressed).
   size_t records_suppressed = 0;
+  /// Engine telemetry from the algo/core components (merges, rescans, heap
+  /// rebuilds, closure-cache hit rate, parallel-sweep chunks). Deterministic
+  /// at every thread count; surfaced by `kanon_cli --stats-json`.
+  EngineCounters counters;
 };
 
 /// Runs the configured pipeline on `dataset`, optimizing `loss`.

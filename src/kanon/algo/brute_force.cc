@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "kanon/algo/core/closure_store.h"
 #include "kanon/common/check.h"
 
 namespace kanon {
@@ -49,16 +50,23 @@ bool NextCombination(std::vector<size_t>* pick, size_t m) {
 // Enumerates partitions of {0..n-1} into parts of size >= k, tracking the
 // cheapest. Rows are assigned in order; each row either joins an existing
 // part or opens a new one (canonical form prevents duplicate partitions).
+// Part costs go through an interned ClosureStore: the same part recurs in
+// many partitions, so each distinct part is closed and priced exactly once.
 class PartitionSearch {
  public:
   PartitionSearch(const Dataset& dataset, const PrecomputedLoss& loss,
-                  size_t k)
-      : dataset_(dataset), loss_(loss), k_(k), n_(dataset.num_rows()) {}
+                  size_t k, EngineCounters* counters)
+      : dataset_(dataset),
+        k_(k),
+        n_(dataset.num_rows()),
+        counters_(counters),
+        store_(loss) {}
 
   Clustering Run() {
     best_loss_ = std::numeric_limits<double>::infinity();
     parts_.clear();
     Recurse(0);
+    store_.ExportCounters(counters_);
     Clustering out;
     out.clusters = best_parts_;
     return out;
@@ -97,19 +105,20 @@ class PartitionSearch {
     parts_.pop_back();
   }
 
-  double CurrentLoss() const {
+  double CurrentLoss() {
     double total = 0.0;
     for (const auto& part : parts_) {
       total += static_cast<double>(part.size()) *
-               loss_.ClosureCost(dataset_, part);
+               store_.cost(store_.InternClosureOfRows(dataset_, part));
     }
     return total / static_cast<double>(n_);
   }
 
   const Dataset& dataset_;
-  const PrecomputedLoss& loss_;
   const size_t k_;
   const uint32_t n_;
+  EngineCounters* const counters_;
+  ClosureStore store_;
 
   std::vector<std::vector<uint32_t>> parts_;
   std::vector<std::vector<uint32_t>> best_parts_;
@@ -120,18 +129,23 @@ class PartitionSearch {
 
 Result<Clustering> OptimalKAnonymityBruteForce(const Dataset& dataset,
                                                const PrecomputedLoss& loss,
-                                               size_t k) {
+                                               size_t k,
+                                               EngineCounters* counters) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k, /*max_n=*/12));
-  return PartitionSearch(dataset, loss, k).Run();
+  return PartitionSearch(dataset, loss, k, counters).Run();
 }
 
 Result<GeneralizedTable> OptimalK1BruteForce(const Dataset& dataset,
                                              const PrecomputedLoss& loss,
-                                             size_t k) {
+                                             size_t k,
+                                             EngineCounters* counters) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k, /*max_n=*/16));
   const GeneralizationScheme& scheme = loss.scheme();
   const uint32_t n = static_cast<uint32_t>(dataset.num_rows());
 
+  // Different companion subsets often close to the same record; interning
+  // prices each distinct closure once across the whole enumeration.
+  ClosureStore store(loss);
   GeneralizedTable table(loss.scheme_ptr());
   for (uint32_t i = 0; i < n; ++i) {
     // Enumerate (k-1)-subsets of {0..n-1} \ {i} via combination stepping.
@@ -152,16 +166,17 @@ Result<GeneralizedTable> OptimalK1BruteForce(const Dataset& dataset,
     do {
       std::vector<uint32_t> cluster = {i};
       for (size_t t : pick) cluster.push_back(others[t]);
-      const GeneralizedRecord closure =
-          scheme.ClosureOfRows(dataset, cluster);
-      const double cost = loss.RecordCost(closure);
+      const ClosureStore::Id closure =
+          store.InternClosureOfRows(dataset, cluster);
+      const double cost = store.cost(closure);
       if (cost < best_cost) {
         best_cost = cost;
-        best_closure = closure;
+        best_closure = store.record(closure);
       }
     } while (NextCombination(&pick, m));
     table.AppendRecord(best_closure);
   }
+  store.ExportCounters(counters);
   return table;
 }
 

@@ -1,0 +1,43 @@
+#include "kanon/algo/core/closure_store.h"
+
+#include <utility>
+
+namespace kanon {
+
+ClosureStore::Id ClosureStore::Intern(const GeneralizedRecord& record) {
+  const auto it = index_.find(record);
+  if (it != index_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  const Id id = static_cast<Id>(records_.size());
+  KANON_CHECK(id != kInvalidId, "closure store exhausted its id space");
+  // Price before publishing: a failed RecordCost (DCHECK) must not leave a
+  // half-installed entry behind.
+  const double cost = loss_.RecordCost(record);
+  const auto inserted = index_.emplace(record, id);
+  records_.push_back(&inserted.first->first);
+  costs_.push_back(cost);
+  return id;
+}
+
+ClosureStore::Id ClosureStore::InternJoin(Id a, Id b) {
+  return Intern(loss_.scheme().JoinRecords(record(a), record(b)));
+}
+
+ClosureStore::Id ClosureStore::InternClosureOfRows(
+    const Dataset& dataset, const std::vector<uint32_t>& rows) {
+  return Intern(loss_.scheme().ClosureOfRows(dataset, rows));
+}
+
+std::vector<ClosureStore::Id> ClosureStore::InternTable(
+    const GeneralizedTable& table) {
+  std::vector<Id> ids;
+  ids.reserve(table.num_rows());
+  for (size_t t = 0; t < table.num_rows(); ++t) {
+    ids.push_back(Intern(table.record(t)));
+  }
+  return ids;
+}
+
+}  // namespace kanon

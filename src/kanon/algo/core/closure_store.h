@@ -1,0 +1,103 @@
+#ifndef KANON_ALGO_CORE_CLOSURE_STORE_H_
+#define KANON_ALGO_CORE_CLOSURE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kanon/algo/core/engine_counters.h"
+#include "kanon/generalization/generalized_table.h"
+#include "kanon/generalization/scheme.h"
+#include "kanon/loss/precomputed_loss.h"
+
+namespace kanon {
+
+/// Hash-consed store of GeneralizedRecord closures with memoized
+/// generalization cost. Every engine that materializes closures routes them
+/// through one store per run: identical closures are kept (and priced via
+/// PrecomputedLoss::RecordCost) exactly once, and the id is a dense handle
+/// that is cheaper to copy and compare than the record itself.
+///
+/// Intern() is atomic — it either returns an existing id or fully installs
+/// the new closure before returning — so a run wound down by a RunContext
+/// stop between interns always leaves the store consistent:
+/// hits() + misses() == total Intern() calls and size() == misses().
+/// Not thread-safe; engines intern from their coordinating thread only
+/// (parallel sweeps compute raw closures and intern after the barrier).
+class ClosureStore {
+ public:
+  using Id = uint32_t;
+  static constexpr Id kInvalidId = UINT32_MAX;
+
+  /// The loss binds the store to one (scheme, dataset) pair; it must
+  /// outlive the store.
+  explicit ClosureStore(const PrecomputedLoss& loss) : loss_(loss) {}
+
+  ClosureStore(const ClosureStore&) = delete;
+  ClosureStore& operator=(const ClosureStore&) = delete;
+
+  /// Returns the id of `record`, installing (and pricing) it on first sight.
+  Id Intern(const GeneralizedRecord& record);
+
+  /// Convenience: interns the attribute-wise join of two stored closures.
+  Id InternJoin(Id a, Id b);
+
+  /// Convenience: interns the closure of a set of dataset rows.
+  Id InternClosureOfRows(const Dataset& dataset,
+                         const std::vector<uint32_t>& rows);
+
+  /// Interns every row of a generalized table; the result has one id per
+  /// row. This is the dedup-accounting hook the table-producing pipelines
+  /// ((k,k), global, full-domain) use to surface closure reuse.
+  std::vector<Id> InternTable(const GeneralizedTable& table);
+
+  const GeneralizedRecord& record(Id id) const {
+    KANON_DCHECK(id < records_.size());
+    return *records_[id];
+  }
+
+  /// Memoized c(R̄) of a stored closure.
+  double cost(Id id) const {
+    KANON_DCHECK(id < costs_.size());
+    return costs_[id];
+  }
+
+  const PrecomputedLoss& loss() const { return loss_; }
+
+  /// Distinct closures stored (== misses()).
+  size_t size() const { return records_.size(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return records_.size(); }
+
+  /// Copies the store's cache statistics into shared engine counters.
+  void ExportCounters(EngineCounters* counters) const {
+    if (counters == nullptr) return;
+    counters->closure_hits += hits();
+    counters->closure_misses += misses();
+  }
+
+ private:
+  struct RecordHash {
+    size_t operator()(const GeneralizedRecord& record) const {
+      // FNV-1a over the set ids; closures are short (one id per attribute).
+      size_t h = 1469598103934665603ull;
+      for (SetId id : record) {
+        h ^= static_cast<size_t>(id);
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  };
+
+  const PrecomputedLoss& loss_;
+  // Node-based map: rehashing never moves the keys, so records_ may hold
+  // stable pointers into it instead of duplicating every closure.
+  std::unordered_map<GeneralizedRecord, Id, RecordHash> index_;
+  std::vector<const GeneralizedRecord*> records_;
+  std::vector<double> costs_;
+  size_t hits_ = 0;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_CORE_CLOSURE_STORE_H_

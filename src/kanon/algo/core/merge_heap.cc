@@ -1,0 +1,104 @@
+#include "kanon/algo/core/merge_heap.h"
+
+#include <algorithm>
+
+namespace kanon {
+
+void OfferToTwoBest(CandidatePair* c, uint32_t y, double d) {
+  if (y == kNoCluster || y == c->c1 || y == c->c2) return;
+  if (c->c1 == kNoCluster) {
+    // Empty accumulator: y becomes the first-best outright (the second slot
+    // stays unset — there is nothing to displace into it).
+    c->c1 = y;
+    c->d1 = d;
+    return;
+  }
+  if (d < c->d1 || (d == c->d1 && y < c->c1)) {
+    c->c2 = c->c1;
+    c->d2 = c->d1;
+    c->c1 = y;
+    c->d1 = d;
+  } else if (c->c2 == kNoCluster || d < c->d2 ||
+             (d == c->d2 && y < c->c2)) {
+    c->c2 = y;
+    c->d2 = d;
+  }
+}
+
+void MergeHeap::Offer(uint32_t x, uint32_t y, double d) {
+  CandidatePair& c = cands_[x];
+  if (y == c.c1 || y == c.c2) return;
+  if (d < c.d1 || (d == c.d1 && y < c.c1)) {
+    // The displaced c1 was the exact minimum over the other alive clusters,
+    // so it is a correct second bound.
+    c.c2 = c.c1;
+    c.d2 = c.d1;
+    c.second_valid = true;
+    c.c1 = y;
+    c.d1 = d;
+    PushEntry(d, x, y);
+  } else if (d < c.d2 || (d == c.d2 && y < c.c2)) {
+    // Tightening the second bound keeps invariant B when it held (y is
+    // accounted for explicitly, everyone else was >= old d2 > d).
+    c.c2 = y;
+    c.d2 = d;
+  }
+}
+
+bool MergeHeap::Repair(uint32_t x, uint32_t added, double d_x_added) {
+  CandidatePair& c = cands_[x];
+  if (c.c1 == kNoCluster || clusters_->Alive(c.c1)) {
+    return false;  // Nearest intact (a dead c2 stays as a bound).
+  }
+  if (added != kNoCluster && d_x_added <= c.d1) {
+    // Everyone alive was at distance >= d1 before the merge, so the new
+    // cluster is an exact new minimum. The second bound keeps holding.
+    c.c1 = added;
+    c.d1 = d_x_added;
+    PushEntry(d_x_added, x, added);
+    return false;
+  }
+  if (clusters_->Alive(c.c2) && c.second_valid) {
+    // Invariant B: nothing alive beats d2, so c2 is the exact minimum.
+    c.c1 = c.c2;
+    c.d1 = c.d2;
+    c.c2 = kNoCluster;
+    c.d2 = kInfDist;
+    c.second_valid = false;
+    PushEntry(c.d1, x, c.c1);
+    return false;
+  }
+  return true;
+}
+
+void MergeHeap::MaybeRebuild() {
+  const bool stale_heavy =
+      aggressive_rebuild_
+          ? stale_ > 0
+          : heap_.size() >= kRebuildMinSize && stale_ > heap_.size();
+  if (!stale_heavy) return;
+  heap_ = {};
+  std::fill(entry_refs_.begin(), entry_refs_.end(), 0);
+  stale_ = 0;
+  for (uint32_t x : clusters_->active()) {
+    if (!clusters_->Alive(x)) continue;
+    const CandidatePair& c = cands_[x];
+    if (c.c1 != kNoCluster && clusters_->Alive(c.c1)) {
+      PushEntry(c.d1, x, c.c1);
+    }
+  }
+  ++rebuilds_;
+  if (counters_ != nullptr) ++counters_->heap_rebuilds;
+}
+
+MergeCandidate MergeHeap::PopTop() {
+  const MergeCandidate entry = heap_.top();
+  heap_.pop();
+  --entry_refs_[entry.a];
+  --entry_refs_[entry.b];
+  if (!clusters_->Alive(entry.a)) --stale_;
+  if (!clusters_->Alive(entry.b)) --stale_;
+  return entry;
+}
+
+}  // namespace kanon

@@ -1,0 +1,49 @@
+#ifndef KANON_ALGO_CORE_UNION_FIND_H_
+#define KANON_ALGO_CORE_UNION_FIND_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "kanon/common/check.h"
+
+namespace kanon {
+
+/// Union-find with path halving and union by size — the record-level
+/// component bookkeeping of the forest baseline, and the natural seam for
+/// future partition/shard merging.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns the new root.
+  uint32_t Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    KANON_CHECK(a != b, "union of the same component");
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return a;
+  }
+
+  size_t SizeOf(uint32_t x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_CORE_UNION_FIND_H_

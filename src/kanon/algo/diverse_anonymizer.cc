@@ -4,6 +4,7 @@
 #include <limits>
 #include <set>
 
+#include "kanon/algo/core/closure_store.h"
 #include "kanon/common/check.h"
 
 namespace kanon {
@@ -51,6 +52,10 @@ Result<Clustering> LDiverseCluster(const Dataset& dataset,
   // Repair pass: merge non-diverse clusters into the cheapest partner.
   // Each merge removes one cluster, so this terminates; a single cluster
   // holding the whole dataset is ℓ-diverse by the feasibility check.
+  // Candidate-union costs go through an interned ClosureStore: different
+  // unions often close to the same generalized record, which is then
+  // priced once across the whole repair.
+  ClosureStore store(loss);
   for (;;) {
     size_t violator = SIZE_MAX;
     for (size_t c = 0; c < clustering.clusters.size(); ++c) {
@@ -71,7 +76,7 @@ Result<Clustering> LDiverseCluster(const Dataset& dataset,
       std::vector<uint32_t> merged = clustering.clusters[violator];
       merged.insert(merged.end(), clustering.clusters[c].begin(),
                     clustering.clusters[c].end());
-      const double cost = loss.ClosureCost(dataset, merged);
+      const double cost = store.cost(store.InternClosureOfRows(dataset, merged));
       if (cost < best_cost) {
         best_cost = cost;
         best = c;
@@ -84,6 +89,7 @@ Result<Clustering> LDiverseCluster(const Dataset& dataset,
     clustering.clusters.erase(clustering.clusters.begin() +
                               static_cast<ptrdiff_t>(violator));
   }
+  store.ExportCounters(options.counters);
   return clustering;
 }
 

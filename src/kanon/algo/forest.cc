@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "kanon/algo/core/union_find.h"
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
 
@@ -12,43 +13,10 @@ namespace {
 
 constexpr uint32_t kNone = std::numeric_limits<uint32_t>::max();
 
-// Union-find with path halving and union by size.
-class UnionFind {
- public:
-  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
-    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
-  }
-
-  uint32_t Find(uint32_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-
-  // Returns the new root.
-  uint32_t Union(uint32_t a, uint32_t b) {
-    a = Find(a);
-    b = Find(b);
-    KANON_CHECK(a != b, "union of the same component");
-    if (size_[a] < size_[b]) std::swap(a, b);
-    parent_[b] = a;
-    size_[a] += size_[b];
-    return a;
-  }
-
-  size_t SizeOf(uint32_t x) { return size_[Find(x)]; }
-
- private:
-  std::vector<uint32_t> parent_;
-  std::vector<uint32_t> size_;
-};
-
 class ForestBuilder {
  public:
   ForestBuilder(const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
-                RunContext* ctx)
+                RunContext* ctx, EngineCounters* counters)
       : dataset_(dataset),
         loss_(loss),
         scheme_(loss.scheme()),
@@ -56,6 +24,7 @@ class ForestBuilder {
         n_(dataset.num_rows()),
         r_(dataset.num_attributes()),
         ctx_(ctx),
+        counters_(counters),
         uf_(dataset.num_rows()) {}
 
   Result<Clustering> Run() {
@@ -90,6 +59,7 @@ class ForestBuilder {
 
   // Refreshes record u's cached nearest out-of-component record.
   void RecomputeBest(uint32_t u) {
+    if (counters_ != nullptr) ++counters_->rescans;
     const uint32_t root = uf_.Find(u);
     best_v_[u] = kNone;
     best_w_[u] = std::numeric_limits<double>::infinity();
@@ -148,6 +118,7 @@ class ForestBuilder {
       adjacency_[v].push_back(u);
       const uint32_t other_root = uf_.Find(v);
       const uint32_t merged_root = uf_.Union(root, other_root);
+      if (counters_ != nullptr) ++counters_->merges;
       const uint32_t losing_root = merged_root == root ? other_root : root;
       members_[merged_root].insert(members_[merged_root].end(),
                                    members_[losing_root].begin(),
@@ -327,6 +298,7 @@ class ForestBuilder {
   const size_t n_;
   const size_t r_;
   RunContext* const ctx_;
+  EngineCounters* const counters_;
 
   UnionFind uf_;
   std::vector<uint32_t> best_v_;
@@ -339,7 +311,7 @@ class ForestBuilder {
 
 Result<Clustering> ForestCluster(const Dataset& dataset,
                                  const PrecomputedLoss& loss, size_t k,
-                                 RunContext* ctx) {
+                                 RunContext* ctx, EngineCounters* counters) {
   const size_t n = dataset.num_rows();
   if (k < 1) {
     return Status::InvalidArgument("k must be at least 1");
@@ -352,14 +324,15 @@ Result<Clustering> ForestCluster(const Dataset& dataset,
   if (dataset.num_attributes() != loss.scheme().num_attributes()) {
     return Status::InvalidArgument("dataset/loss arity mismatch");
   }
-  return ForestBuilder(dataset, loss, k, ctx).Run();
+  return ForestBuilder(dataset, loss, k, ctx, counters).Run();
 }
 
 Result<GeneralizedTable> ForestKAnonymize(const Dataset& dataset,
                                           const PrecomputedLoss& loss,
-                                          size_t k, RunContext* ctx) {
+                                          size_t k, RunContext* ctx,
+                                          EngineCounters* counters) {
   KANON_ASSIGN_OR_RETURN(Clustering clustering,
-                         ForestCluster(dataset, loss, k, ctx));
+                         ForestCluster(dataset, loss, k, ctx, counters));
   return TableFromClustering(loss.scheme_ptr(), dataset, clustering);
 }
 

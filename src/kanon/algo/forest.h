@@ -2,6 +2,7 @@
 #define KANON_ALGO_FOREST_H_
 
 #include "kanon/algo/clustering.h"
+#include "kanon/algo/core/engine_counters.h"
 #include "kanon/common/result.h"
 #include "kanon/common/run_context.h"
 #include "kanon/data/dataset.h"
@@ -26,14 +27,17 @@ namespace kanon {
 /// When `ctx` stops the run, phase 1 pools the records of still-undersized
 /// components (attaching a < k pool to an already-grown tree) and phase 2's
 /// utility-only splitting is skipped, so the output stays k-anonymous.
+/// The optional `counters` (not owned) accumulates engine telemetry:
+/// component merges and nearest-neighbor rescans.
 Result<Clustering> ForestCluster(const Dataset& dataset,
                                  const PrecomputedLoss& loss, size_t k,
-                                 RunContext* ctx = nullptr);
+                                 RunContext* ctx = nullptr,
+                                 EngineCounters* counters = nullptr);
 
 /// Convenience: cluster and translate to a generalized table.
-Result<GeneralizedTable> ForestKAnonymize(const Dataset& dataset,
-                                          const PrecomputedLoss& loss,
-                                          size_t k, RunContext* ctx = nullptr);
+Result<GeneralizedTable> ForestKAnonymize(
+    const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
+    RunContext* ctx = nullptr, EngineCounters* counters = nullptr);
 
 }  // namespace kanon
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "kanon/algo/core/closure_store.h"
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
 #include "kanon/graph/consistency_graph.h"
@@ -11,6 +12,18 @@
 namespace kanon {
 
 namespace {
+
+// Telemetry at every exit: the upgrade-step count plus one interning pass
+// over the final table (hits = duplicate rows — for a global anonymization
+// the group structure itself). Pure accounting; the table is untouched.
+void AccountRun(const PrecomputedLoss& loss, const GeneralizedTable& table,
+                const GlobalAnonymizerStats& stats, EngineCounters* counters) {
+  if (counters == nullptr) return;
+  counters->upgrade_steps += stats.upgrade_steps;
+  ClosureStore store(loss);
+  store.InternTable(table);
+  store.ExportCounters(counters);
+}
 
 // Global-(1,k) degradation: every record jumps to the common closure of the
 // whole table — one identical group of n >= k rows. That group is globally
@@ -41,7 +54,7 @@ void CollapseToCommonClosure(const GeneralizationScheme& scheme,
 
 Result<GlobalAnonymizationResult> MakeGlobal1KAnonymous(
     const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
-    GeneralizedTable table, RunContext* ctx) {
+    GeneralizedTable table, RunContext* ctx, EngineCounters* counters) {
   const size_t n = dataset.num_rows();
   const size_t r = dataset.num_attributes();
   if (k < 1) {
@@ -72,6 +85,7 @@ Result<GlobalAnonymizationResult> MakeGlobal1KAnonymous(
   // graph entirely and collapse right away.
   if (ctx != nullptr && ctx->stopped()) {
     CollapseToCommonClosure(scheme, ctx, &table);
+    AccountRun(loss, table, GlobalAnonymizerStats{}, counters);
     return GlobalAnonymizationResult{std::move(table), GlobalAnonymizerStats{}};
   }
 
@@ -92,6 +106,7 @@ Result<GlobalAnonymizationResult> MakeGlobal1KAnonymous(
       // edges, so this is the expensive unit of Algorithm 6.
       if (ctx != nullptr && ctx->CheckPoint("global/upgrade")) {
         CollapseToCommonClosure(scheme, ctx, &table);
+        AccountRun(loss, table, stats, counters);
         return GlobalAnonymizationResult{std::move(table), stats};
       }
       KANON_FAILPOINT("global.closure");
@@ -139,6 +154,7 @@ Result<GlobalAnonymizationResult> MakeGlobal1KAnonymous(
     stats.max_steps_per_record =
         std::max(stats.max_steps_per_record, steps_for_record);
   }
+  AccountRun(loss, table, stats, counters);
   return GlobalAnonymizationResult{std::move(table), stats};
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "kanon/algo/core/engine_counters.h"
 #include "kanon/common/result.h"
 #include "kanon/common/run_context.h"
 #include "kanon/data/dataset.h"
@@ -43,9 +44,12 @@ struct GlobalAnonymizationResult {
 /// When `ctx` stops the run mid-upgrade, every record is generalized to the
 /// common closure of the whole table — one identical group of n ≥ k rows,
 /// which is globally (1,k)-anonymous outright.
+/// The optional `counters` (not owned) accumulates engine telemetry: upgrade
+/// steps and the closure-interning statistics of the final table.
 Result<GlobalAnonymizationResult> MakeGlobal1KAnonymous(
     const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
-    GeneralizedTable table, RunContext* ctx = nullptr);
+    GeneralizedTable table, RunContext* ctx = nullptr,
+    EngineCounters* counters = nullptr);
 
 }  // namespace kanon
 

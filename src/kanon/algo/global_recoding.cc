@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 
+#include "kanon/algo/core/closure_store.h"
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
 #include "kanon/common/parallel.h"
@@ -68,13 +68,17 @@ GeneralizedTable ApplyLevels(
   return table;
 }
 
-bool TableIsKAnonymous(const GeneralizedTable& table, size_t k) {
-  std::map<GeneralizedRecord, size_t> counts;
-  for (size_t i = 0; i < table.num_rows(); ++i) {
-    ++counts[table.record(i)];
-  }
-  for (const auto& [record, count] : counts) {
-    if (count < k) return false;
+// Group-size check through the interned closure ids: one hash lookup per
+// row (duplicate rows are cache hits) instead of lexicographic map compares.
+// The store persists across ascent rounds, so ids stay dense and rows seen
+// in earlier rounds are already priced.
+bool TableIsKAnonymous(ClosureStore* store, const GeneralizedTable& table,
+                       size_t k) {
+  const std::vector<ClosureStore::Id> ids = store->InternTable(table);
+  std::vector<size_t> counts(store->size(), 0);
+  for (ClosureStore::Id id : ids) ++counts[id];
+  for (ClosureStore::Id id : ids) {
+    if (counts[id] < k) return false;
   }
   return true;
 }
@@ -98,7 +102,7 @@ SetId LevelAncestor(const Hierarchy& hierarchy, ValueCode value,
 
 Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
     const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
-    RunContext* ctx, int num_threads) {
+    RunContext* ctx, int num_threads, EngineCounters* counters) {
   const size_t n = dataset.num_rows();
   const size_t r = dataset.num_attributes();
   if (k < 1) {
@@ -122,9 +126,10 @@ Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
   const auto tables = BuildLevelTables(scheme);
   std::vector<uint32_t> levels(r, 0);
 
+  ClosureStore store(loss);
   GeneralizedTable current = ApplyLevels(dataset, loss.scheme_ptr(), tables,
                                          levels);
-  while (!TableIsKAnonymous(current, k)) {
+  while (!TableIsKAnonymous(&store, current, k)) {
     if (ctx != nullptr && ctx->CheckPoint("full-domain/ascent")) {
       // Degradation: jump every attribute to its top level. All records
       // become identical — k-anonymous for every k <= n.
@@ -134,6 +139,7 @@ Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
       ctx->NoteDegraded("full-domain/ascent");
       ctx->AddRecordsSuppressed(n);
       current = ApplyLevels(dataset, loss.scheme_ptr(), tables, levels);
+      store.ExportCounters(counters);
       return GlobalRecodingResult{std::move(current), std::move(levels)};
     }
     KANON_FAILPOINT("full_domain.step");
@@ -142,6 +148,9 @@ Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
     // O(r·n·r) inner cost of the ascent — so the trials run as a parallel
     // argmin; maxed-out attributes opt out with +infinity. Smallest index
     // wins ties, exactly like the serial strict-< scan this replaces.
+    if (counters != nullptr) {
+      counters->parallel_chunks += ParallelChunkCount(r);
+    }
     const ArgminResult best = ParallelArgmin(
         r, num_threads, nullptr, "full-domain/ascent", [&](size_t j) {
           if (levels[j] + 1 >= tables[j].size()) {
@@ -156,8 +165,10 @@ Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
                     best.value < std::numeric_limits<double>::infinity(),
                 "all attributes fully suppressed must be k-anonymous");
     ++levels[best.index];
+    if (counters != nullptr) ++counters->upgrade_steps;
     current = ApplyLevels(dataset, loss.scheme_ptr(), tables, levels);
   }
+  store.ExportCounters(counters);
   return GlobalRecodingResult{std::move(current), std::move(levels)};
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "kanon/algo/core/engine_counters.h"
 #include "kanon/common/result.h"
 #include "kanon/common/run_context.h"
 #include "kanon/data/dataset.h"
@@ -40,10 +41,13 @@ struct GlobalRecodingResult {
 /// (all records identical — k-anonymous for every k ≤ n). The per-attribute
 /// trial tables of each ascent are evaluated across `num_threads` threads
 /// (<= 0: hardware concurrency); the chosen levels are byte-identical at
-/// every thread count.
+/// every thread count. The optional `counters` (not owned) accumulates
+/// engine telemetry: level bumps (upgrade_steps), trial-sweep chunks, and
+/// the closure-interning statistics of the k-anonymity checks.
 Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
     const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
-    RunContext* ctx = nullptr, int num_threads = 1);
+    RunContext* ctx = nullptr, int num_threads = 1,
+    EngineCounters* counters = nullptr);
 
 /// The per-attribute level count (level 0 .. NumLevels-1); exposed for
 /// tests and for reporting.

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "kanon/algo/core/closure_store.h"
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
 #include "kanon/common/parallel.h"
@@ -82,11 +83,14 @@ Status FirstError(std::vector<Status> errors) {
 // for all). Every original is then consistent with those k rows, and rows
 // only coarsen, so (k,1) and row-wise generalization are preserved. When
 // `table` already carries k fully suppressed rows the property holds as-is:
-// nothing changes and the run is NOT marked degraded.
+// nothing changes and the run is NOT marked degraded. Row costs go through
+// an interned ClosureStore so duplicate rows are priced once.
 GeneralizedTable SuppressKRows(const PrecomputedLoss& loss, size_t k,
-                               GeneralizedTable table, RunContext* ctx) {
+                               GeneralizedTable table, RunContext* ctx,
+                               EngineCounters* counters) {
   const GeneralizedRecord star = loss.scheme().Suppressed();
   const size_t n = table.num_rows();
+  ClosureStore store(loss);
   std::vector<std::pair<double, uint32_t>> order;  // (−cost, row).
   size_t already = 0;
   for (uint32_t t = 0; t < n; ++t) {
@@ -94,9 +98,10 @@ GeneralizedTable SuppressKRows(const PrecomputedLoss& loss, size_t k,
     if (rec == star) {
       ++already;
     } else {
-      order.emplace_back(-loss.RecordCost(rec), t);
+      order.emplace_back(-store.cost(store.Intern(rec)), t);
     }
   }
+  store.ExportCounters(counters);
   if (already >= k) return table;  // Enough suppressed rows exist.
   ctx->NoteDegraded("kk/repair");
   const size_t need = k - already;
@@ -109,12 +114,26 @@ GeneralizedTable SuppressKRows(const PrecomputedLoss& loss, size_t k,
   return table;
 }
 
+// Post-emit telemetry shared by the (k,1) sweeps: one interning pass over
+// the finished table counts its distinct closures (hits = duplicate rows,
+// deterministic at every thread count because the rows are), plus the sweep
+// geometry. Pure accounting — the table is returned untouched.
+void AccountSweep(const PrecomputedLoss& loss, const GeneralizedTable& table,
+                  size_t sweep_items, EngineCounters* counters) {
+  if (counters == nullptr) return;
+  counters->parallel_chunks += ParallelChunkCount(sweep_items);
+  ClosureStore store(loss);
+  store.InternTable(table);
+  store.ExportCounters(counters);
+}
+
 }  // namespace
 
 Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
                                             const PrecomputedLoss& loss,
                                             size_t k, RunContext* ctx,
-                                            int num_threads) {
+                                            int num_threads,
+                                            EngineCounters* counters) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
   const GeneralizationScheme& scheme = loss.scheme();
   const size_t n = dataset.num_rows();
@@ -165,16 +184,19 @@ Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
     for (size_t i = 0; i < n; ++i) {
       table.AppendRecord(std::move(rows[i]));
     }
-    return table;
+  } else {
+    table = EmitWithSuppressedHoles(scheme, "kk/k1-nn", ctx, std::move(rows),
+                                    done, std::move(table));
   }
-  return EmitWithSuppressedHoles(scheme, "kk/k1-nn", ctx, std::move(rows),
-                                 done, std::move(table));
+  AccountSweep(loss, table, n, counters);
+  return table;
 }
 
 Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
                                            const PrecomputedLoss& loss,
                                            size_t k, RunContext* ctx,
-                                           int num_threads) {
+                                           int num_threads,
+                                           EngineCounters* counters) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
   const GeneralizationScheme& scheme = loss.scheme();
   const size_t n = dataset.num_rows();
@@ -263,16 +285,19 @@ Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
     for (size_t i = 0; i < n; ++i) {
       table.AppendRecord(std::move(rows[i]));
     }
-    return table;
+  } else {
+    table = EmitWithSuppressedHoles(scheme, "kk/k1-greedy", ctx,
+                                    std::move(rows), done, std::move(table));
   }
-  return EmitWithSuppressedHoles(scheme, "kk/k1-greedy", ctx, std::move(rows),
-                                 done, std::move(table));
+  AccountSweep(loss, table, n, counters);
+  return table;
 }
 
 Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
                                          const PrecomputedLoss& loss, size_t k,
                                          GeneralizedTable table,
-                                         RunContext* ctx, int num_threads) {
+                                         RunContext* ctx, int num_threads,
+                                         EngineCounters* counters) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
   if (table.num_rows() != dataset.num_rows()) {
     return Status::InvalidArgument(
@@ -295,10 +320,13 @@ Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
   std::vector<std::pair<double, uint32_t>> candidates;
   for (uint32_t i = 0; i < n; ++i) {
     if (ctx != nullptr && ctx->CheckPoint("kk/repair")) {
-      return SuppressKRows(loss, k, std::move(table), ctx);
+      return SuppressKRows(loss, k, std::move(table), ctx, counters);
     }
     KANON_FAILPOINT("kk.upgrade");
     const Record record = dataset.row(i);
+    if (counters != nullptr) {
+      counters->parallel_chunks += ParallelChunkCount(n);
+    }
     ParallelChunks(
         n, num_threads, nullptr, "kk/repair",
         [&](size_t chunk, size_t begin, size_t end) {
@@ -333,6 +361,7 @@ Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
     }
     if (consistent >= k) continue;
     const size_t deficit = k - consistent;
+    if (counters != nullptr) counters->upgrade_steps += deficit;
     KANON_CHECK(candidates.size() >= deficit,
                 "not enough records to generalize (k > n?)");
     std::partial_sort(candidates.begin(),
@@ -348,17 +377,18 @@ Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
 Result<GeneralizedTable> KKAnonymize(const Dataset& dataset,
                                      const PrecomputedLoss& loss, size_t k,
                                      K1Algorithm k1_algorithm, RunContext* ctx,
-                                     int num_threads) {
+                                     int num_threads,
+                                     EngineCounters* counters) {
   Result<GeneralizedTable> k1 =
       k1_algorithm == K1Algorithm::kNearestNeighbors
-          ? K1NearestNeighbors(dataset, loss, k, ctx, num_threads)
-          : K1GreedyExpansion(dataset, loss, k, ctx, num_threads);
+          ? K1NearestNeighbors(dataset, loss, k, ctx, num_threads, counters)
+          : K1GreedyExpansion(dataset, loss, k, ctx, num_threads, counters);
   if (!k1.ok()) return k1.status();
   // A stopped context keeps reporting stopped, so a (k,1) stage cut short
   // flows into the repair stage's wholesale fallback — the final table is
   // (k,k)-anonymous either way.
   return Make1KAnonymous(dataset, loss, k, std::move(k1).value(), ctx,
-                         num_threads);
+                         num_threads, counters);
 }
 
 }  // namespace kanon

@@ -1,6 +1,7 @@
 #ifndef KANON_ALGO_KK_ANONYMIZER_H_
 #define KANON_ALGO_KK_ANONYMIZER_H_
 
+#include "kanon/algo/core/engine_counters.h"
 #include "kanon/common/result.h"
 #include "kanon/common/run_context.h"
 #include "kanon/data/dataset.h"
@@ -19,12 +20,15 @@ namespace kanon {
 ///
 /// All functions here take `num_threads` (<= 0 resolves to the hardware
 /// concurrency) for the row-wise O(n²·r) scans; results are byte-identical
-/// at every thread count (see docs/parallelism.md).
+/// at every thread count (see docs/parallelism.md). The optional `counters`
+/// (not owned) accumulates engine telemetry — closure interning hit rates,
+/// upgrade steps, sweep chunks — also deterministic at every thread count.
 Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
                                             const PrecomputedLoss& loss,
                                             size_t k,
                                             RunContext* ctx = nullptr,
-                                            int num_threads = 1);
+                                            int num_threads = 1,
+                                            EngineCounters* counters = nullptr);
 
 /// Algorithm 4: (k,1)-anonymization by greedy expansion. Each record grows
 /// a cluster of size k by repeatedly adding the record whose inclusion
@@ -35,7 +39,8 @@ Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
                                            const PrecomputedLoss& loss,
                                            size_t k,
                                            RunContext* ctx = nullptr,
-                                           int num_threads = 1);
+                                           int num_threads = 1,
+                                           EngineCounters* counters = nullptr);
 
 /// Algorithm 5: the (1,k)-anonymizer. Further generalizes records of
 /// `table` until every record of `dataset` is consistent with at least k of
@@ -51,7 +56,8 @@ Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
                                          const PrecomputedLoss& loss, size_t k,
                                          GeneralizedTable table,
                                          RunContext* ctx = nullptr,
-                                         int num_threads = 1);
+                                         int num_threads = 1,
+                                         EngineCounters* counters = nullptr);
 
 /// Which (k,1) algorithm seeds the (k,k) pipeline.
 enum class K1Algorithm {
@@ -66,7 +72,8 @@ Result<GeneralizedTable> KKAnonymize(const Dataset& dataset,
                                      const PrecomputedLoss& loss, size_t k,
                                      K1Algorithm k1_algorithm,
                                      RunContext* ctx = nullptr,
-                                     int num_threads = 1);
+                                     int num_threads = 1,
+                                     EngineCounters* counters = nullptr);
 
 }  // namespace kanon
 

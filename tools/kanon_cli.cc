@@ -17,6 +17,9 @@
 //             [--threads=N]                  # worker threads for the O(n^2)
 //                                            # scans; 0 = all cores; output
 //                                            # is identical for every N
+//             [--stats-json=PATH]            # write one JSON object with the
+//                                            # loss, timing, and the engine
+//                                            # counters ("-" = stdout)
 //
 // SIGINT (Ctrl-C) cancels cooperatively: the pipeline finalizes a valid
 // partial result instead of dying. Exit codes:
@@ -27,8 +30,10 @@
 //   4  cancelled by SIGINT, with a valid partial table written
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "kanon/algo/anonymizer.h"
 #include "kanon/anonymity/verify.h"
@@ -86,6 +91,37 @@ Result<std::unique_ptr<LossMeasure>> ParseMeasure(const std::string& name) {
   return measure;
 }
 
+// One JSON object with the run's outcome and the algo/core engine counters.
+// The counters are deterministic at every thread count, so this output is a
+// stable regression surface (the cli_stats_json test pins it).
+std::string StatsJson(const AnonymizerConfig& config,
+                      const std::string& measure_name,
+                      const AnonymizationResult& result) {
+  std::ostringstream out;
+  out.precision(17);
+  const EngineCounters& c = result.counters;
+  out << "{";
+  out << "\"method\":\"" << AnonymizationMethodName(config.method) << "\",";
+  out << "\"k\":" << config.k << ",";
+  out << "\"measure\":\"" << measure_name << "\",";
+  out << "\"loss\":" << result.loss << ",";
+  out << "\"elapsed_seconds\":" << result.elapsed_seconds << ",";
+  out << "\"degraded\":" << (result.degraded ? "true" : "false") << ",";
+  out << "\"iterations_completed\":" << result.iterations_completed << ",";
+  out << "\"records_suppressed\":" << result.records_suppressed << ",";
+  out << "\"counters\":{";
+  out << "\"merges\":" << c.merges << ",";
+  out << "\"rescans\":" << c.rescans << ",";
+  out << "\"heap_rebuilds\":" << c.heap_rebuilds << ",";
+  out << "\"closure_hits\":" << c.closure_hits << ",";
+  out << "\"closure_misses\":" << c.closure_misses << ",";
+  out << "\"closure_hit_rate\":" << c.closure_hit_rate() << ",";
+  out << "\"upgrade_steps\":" << c.upgrade_steps << ",";
+  out << "\"parallel_chunks\":" << c.parallel_chunks;
+  out << "}}\n";
+  return out.str();
+}
+
 AnonymityNotion PromisedNotion(AnonymizationMethod method) {
   switch (method) {
     case AnonymizationMethod::kAgglomerative:
@@ -115,7 +151,7 @@ int RealMain(int argc, char** argv) {
                  "usage: kanon_cli --input=records.csv --k=5 [--spec=...]"
                  " [--method=...] [--measure=EM] [--distance=4]"
                  " [--output=...] [--print-spec] [--timeout-ms=N]"
-                 " [--max-steps=N] [--threads=N]\n");
+                 " [--max-steps=N] [--threads=N] [--stats-json=PATH]\n");
     return 2;
   }
   const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
@@ -217,6 +253,22 @@ int RealMain(int argc, char** argv) {
                  result->degraded ? "yes" : "no",
                  StopReasonName(result->stop_reason),
                  result->iterations_completed, result->records_suppressed);
+  }
+
+  const std::string stats_path = flags.GetString("stats-json", "");
+  if (!stats_path.empty()) {
+    const std::string json =
+        StatsJson(config, loss.measure_name(), result.value());
+    if (stats_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(stats_path);
+      out << json;
+      if (!out) {
+        std::fprintf(stderr, "error writing %s\n", stats_path.c_str());
+        return 1;
+      }
+    }
   }
 
   const AnonymityNotion notion = PromisedNotion(config.method);
