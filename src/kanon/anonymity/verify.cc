@@ -55,63 +55,188 @@ Status ValidateSquare(const Dataset& dataset, const GeneralizedTable& table) {
   return Status::OK();
 }
 
+// A satisfied witness for `notion`.
+NotionWitness Satisfied(AnonymityNotion notion) {
+  NotionWitness witness;
+  witness.notion = notion;
+  return witness;
+}
+
+// A violation of `notion` at `row` with `observed` < k.
+NotionWitness Violation(AnonymityNotion notion, size_t row, bool in_table,
+                        size_t observed, size_t cluster) {
+  NotionWitness witness;
+  witness.satisfied = false;
+  witness.notion = notion;
+  witness.row = row;
+  witness.row_in_table = in_table;
+  witness.observed = observed;
+  witness.cluster = cluster;
+  return witness;
+}
+
 }  // namespace
 
-Result<bool> IsKAnonymous(const GeneralizedTable& table, size_t k) {
+std::string NotionWitness::ToString(size_t k) const {
+  if (satisfied) {
+    return std::string(AnonymityNotionName(notion)) + " satisfied";
+  }
+  std::string out = std::string(AnonymityNotionName(notion)) + " violated: " +
+                    (row_in_table ? "table row " : "dataset row ") +
+                    std::to_string(row);
+  switch (notion) {
+    case AnonymityNotion::kKAnonymity:
+      out += " is in an identical-record group of " + std::to_string(observed);
+      out += " < " + std::to_string(k) + " (group of table row " +
+             std::to_string(cluster) + ")";
+      break;
+    case AnonymityNotion::kOneK:
+    case AnonymityNotion::kKK:
+      if (!row_in_table) {
+        out += " is consistent with " + std::to_string(observed) + " < " +
+               std::to_string(k) + " generalized records";
+        break;
+      }
+      [[fallthrough]];
+    case AnonymityNotion::kKOne:
+      out += " covers " + std::to_string(observed) + " < " +
+             std::to_string(k) + " originals";
+      break;
+    case AnonymityNotion::kGlobalOneK:
+      out += " has " + std::to_string(observed) + " < " + std::to_string(k) +
+             " matches";
+      break;
+  }
+  return out;
+}
+
+Result<NotionWitness> WitnessKAnonymity(const GeneralizedTable& table,
+                                        size_t k) {
   if (k < 1) {
     return Status::InvalidArgument("k must be positive");
   }
   for (const auto& group : GroupIdenticalRecords(table)) {
-    if (group.size() < k) return false;
+    if (group.size() < k) {
+      // Groups hold ascending row indices; the smallest is the cluster id.
+      return Violation(AnonymityNotion::kKAnonymity, group.front(),
+                       /*in_table=*/true, group.size(), group.front());
+    }
   }
-  return true;
+  return Satisfied(AnonymityNotion::kKAnonymity);
 }
 
-Result<bool> Is1KAnonymous(const Dataset& dataset,
-                           const GeneralizedTable& table, size_t k) {
+Result<NotionWitness> Witness1K(const Dataset& dataset,
+                                const GeneralizedTable& table, size_t k) {
   KANON_RETURN_NOT_OK(ValidateVerifyArgs(dataset, table, k));
   for (uint32_t i = 0; i < dataset.num_rows(); ++i) {
     size_t degree = 0;
     for (uint32_t t = 0; t < table.num_rows() && degree < k; ++t) {
       if (table.ConsistentPair(dataset, i, t)) ++degree;
     }
-    if (degree < k) return false;
+    if (degree < k) {
+      return Violation(AnonymityNotion::kOneK, i, /*in_table=*/false, degree,
+                       i);
+    }
   }
-  return true;
+  return Satisfied(AnonymityNotion::kOneK);
 }
 
-Result<bool> IsK1Anonymous(const Dataset& dataset,
-                           const GeneralizedTable& table, size_t k) {
+Result<NotionWitness> WitnessK1(const Dataset& dataset,
+                                const GeneralizedTable& table, size_t k) {
   KANON_RETURN_NOT_OK(ValidateVerifyArgs(dataset, table, k));
   for (uint32_t t = 0; t < table.num_rows(); ++t) {
     size_t degree = 0;
     for (uint32_t i = 0; i < dataset.num_rows() && degree < k; ++i) {
       if (table.ConsistentPair(dataset, i, t)) ++degree;
     }
-    if (degree < k) return false;
+    if (degree < k) {
+      return Violation(AnonymityNotion::kKOne, t, /*in_table=*/true, degree,
+                       t);
+    }
   }
-  return true;
+  return Satisfied(AnonymityNotion::kKOne);
 }
 
-Result<bool> IsKKAnonymous(const Dataset& dataset,
-                           const GeneralizedTable& table, size_t k) {
-  KANON_ASSIGN_OR_RETURN(const bool one_k, Is1KAnonymous(dataset, table, k));
-  if (!one_k) return false;
-  return IsK1Anonymous(dataset, table, k);
+Result<NotionWitness> WitnessKK(const Dataset& dataset,
+                                const GeneralizedTable& table, size_t k) {
+  KANON_ASSIGN_OR_RETURN(NotionWitness one_k, Witness1K(dataset, table, k));
+  if (!one_k.satisfied) {
+    one_k.notion = AnonymityNotion::kKK;
+    return one_k;
+  }
+  KANON_ASSIGN_OR_RETURN(NotionWitness k_one, WitnessK1(dataset, table, k));
+  k_one.notion = AnonymityNotion::kKK;
+  return k_one;
 }
 
-Result<bool> IsGlobal1KAnonymous(const Dataset& dataset,
-                                 const GeneralizedTable& table, size_t k) {
+Result<NotionWitness> WitnessGlobal1K(const Dataset& dataset,
+                                      const GeneralizedTable& table,
+                                      size_t k) {
   KANON_RETURN_NOT_OK(ValidateVerifyArgs(dataset, table, k));
   KANON_RETURN_NOT_OK(ValidateSquare(dataset, table));
   const BipartiteGraph graph = BuildConsistencyGraph(dataset, table);
   KANON_ASSIGN_OR_RETURN(const MatchableEdgeSets matchable,
                          ComputeMatchableEdges(graph));
-  if (!matchable.has_perfect_matching) return false;
-  for (const auto& matches : matchable.matches) {
-    if (matches.size() < k) return false;
+  if (!matchable.has_perfect_matching) {
+    // No perfect matching: every original has zero matches; name the first.
+    return Violation(AnonymityNotion::kGlobalOneK, 0, /*in_table=*/false, 0,
+                     0);
   }
-  return true;
+  for (size_t i = 0; i < matchable.matches.size(); ++i) {
+    if (matchable.matches[i].size() < k) {
+      return Violation(AnonymityNotion::kGlobalOneK, i, /*in_table=*/false,
+                       matchable.matches[i].size(), i);
+    }
+  }
+  return Satisfied(AnonymityNotion::kGlobalOneK);
+}
+
+Result<NotionWitness> WitnessNotion(AnonymityNotion notion,
+                                    const Dataset& dataset,
+                                    const GeneralizedTable& table, size_t k) {
+  switch (notion) {
+    case AnonymityNotion::kKAnonymity:
+      return WitnessKAnonymity(table, k);
+    case AnonymityNotion::kOneK:
+      return Witness1K(dataset, table, k);
+    case AnonymityNotion::kKOne:
+      return WitnessK1(dataset, table, k);
+    case AnonymityNotion::kKK:
+      return WitnessKK(dataset, table, k);
+    case AnonymityNotion::kGlobalOneK:
+      return WitnessGlobal1K(dataset, table, k);
+  }
+  return Status::InvalidArgument("unknown anonymity notion");
+}
+
+Result<bool> IsKAnonymous(const GeneralizedTable& table, size_t k) {
+  KANON_ASSIGN_OR_RETURN(const NotionWitness w, WitnessKAnonymity(table, k));
+  return w.satisfied;
+}
+
+Result<bool> Is1KAnonymous(const Dataset& dataset,
+                           const GeneralizedTable& table, size_t k) {
+  KANON_ASSIGN_OR_RETURN(const NotionWitness w, Witness1K(dataset, table, k));
+  return w.satisfied;
+}
+
+Result<bool> IsK1Anonymous(const Dataset& dataset,
+                           const GeneralizedTable& table, size_t k) {
+  KANON_ASSIGN_OR_RETURN(const NotionWitness w, WitnessK1(dataset, table, k));
+  return w.satisfied;
+}
+
+Result<bool> IsKKAnonymous(const Dataset& dataset,
+                           const GeneralizedTable& table, size_t k) {
+  KANON_ASSIGN_OR_RETURN(const NotionWitness w, WitnessKK(dataset, table, k));
+  return w.satisfied;
+}
+
+Result<bool> IsGlobal1KAnonymous(const Dataset& dataset,
+                                 const GeneralizedTable& table, size_t k) {
+  KANON_ASSIGN_OR_RETURN(const NotionWitness w,
+                         WitnessGlobal1K(dataset, table, k));
+  return w.satisfied;
 }
 
 Result<bool> IsGlobal1KAnonymousNaive(const Dataset& dataset,

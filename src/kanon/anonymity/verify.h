@@ -60,6 +60,51 @@ Result<bool> IsGlobal1KAnonymousNaive(const Dataset& dataset,
 Result<bool> SatisfiesNotion(AnonymityNotion notion, const Dataset& dataset,
                              const GeneralizedTable& table, size_t k);
 
+/// Where an anonymity notion first fails. Beyond the plain yes/no of the
+/// Is* verifiers, a witness names the offending row and the count that fell
+/// short of k — what an oracle failure message needs, and what the
+/// check/ shrinker uses to keep a reproducer failing while it drops rows.
+struct NotionWitness {
+  bool satisfied = true;
+  AnonymityNotion notion = AnonymityNotion::kKAnonymity;
+  /// The first violating row (scan order): a *table* row for k-anonymity
+  /// and (k,1); a *dataset* row for (1,k) and global (1,k). For (k,k),
+  /// whichever side failed first ((1,k) is checked before (k,1)).
+  size_t row = 0;
+  /// True when `row` indexes the generalized table, false for the dataset.
+  bool row_in_table = false;
+  /// The count that should have reached k: the identical-record group size
+  /// for k-anonymity, the consistency degree for (1,k)/(k,1), the number of
+  /// matches for global (1,k).
+  size_t observed = 0;
+  /// Cluster id of the violation for k-anonymity: the smallest table row
+  /// with the same generalized record as `row`. Equal to `row` for the
+  /// other notions.
+  size_t cluster = 0;
+
+  /// e.g. "(k,1) violated: table row 3 covers 1 < 2 originals".
+  std::string ToString(size_t k) const;
+};
+
+/// Witness-returning counterparts of the Is* verifiers. Same validation,
+/// same scan order, same cost (both stop at the first violation); the Is*
+/// functions are implemented on top of these.
+Result<NotionWitness> WitnessKAnonymity(const GeneralizedTable& table,
+                                        size_t k);
+Result<NotionWitness> Witness1K(const Dataset& dataset,
+                                const GeneralizedTable& table, size_t k);
+Result<NotionWitness> WitnessK1(const Dataset& dataset,
+                                const GeneralizedTable& table, size_t k);
+Result<NotionWitness> WitnessKK(const Dataset& dataset,
+                                const GeneralizedTable& table, size_t k);
+Result<NotionWitness> WitnessGlobal1K(const Dataset& dataset,
+                                      const GeneralizedTable& table, size_t k);
+
+/// Witness for one notion (the k-anonymity case ignores `dataset`).
+Result<NotionWitness> WitnessNotion(AnonymityNotion notion,
+                                    const Dataset& dataset,
+                                    const GeneralizedTable& table, size_t k);
+
 /// Degree/match statistics of a (dataset, table) pair — everything the
 /// verifiers decide, in one pass, plus distribution summaries.
 struct AnonymityReport {

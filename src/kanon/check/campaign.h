@@ -1,0 +1,72 @@
+#ifndef KANON_CHECK_CAMPAIGN_H_
+#define KANON_CHECK_CAMPAIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "kanon/check/generators.h"
+#include "kanon/check/properties.h"
+#include "kanon/common/result.h"
+
+namespace kanon {
+namespace check {
+
+struct CampaignOptions {
+  uint64_t seed = 0;
+  size_t trials = 100;
+  /// Threads the trials fan out over (<= 0: hardware concurrency). Reports
+  /// are byte-identical at every thread count: trial i is always
+  /// Rng(seed).Fork(i) regardless of which worker runs it, and results are
+  /// assembled in trial order.
+  int threads = 1;
+  /// Comma-separated property filter ("" or "all": the whole catalog).
+  std::string props;
+  GeneratorOptions generator;
+  /// Minimize failing trials before reporting them.
+  bool shrink = true;
+  size_t shrink_max_evaluations = 500;
+};
+
+/// One property failure, minimized (when shrinking is on) and packaged as a
+/// replayable reproducer.
+struct CampaignFailure {
+  size_t trial = 0;
+  std::string property;
+  std::string kind;
+  std::string message;
+  size_t original_rows = 0;
+  size_t rows = 0;        // After shrinking.
+  size_t attributes = 0;  // After shrinking.
+  /// FormatRepro() text of the minimized instance (expect fail). Failpoints
+  /// armed via KANON_FAILPOINTS when the campaign ran are recorded so the
+  /// reproducer replays the same injection.
+  std::string repro;
+};
+
+struct CampaignReport {
+  uint64_t seed = 0;
+  size_t trials = 0;
+  std::vector<std::string> properties;
+  /// Property evaluations that ran (trials × selected properties).
+  size_t evaluations = 0;
+  size_t passed = 0;
+  /// Ordered by (trial, property catalog position).
+  std::vector<CampaignFailure> failures;
+  /// Trials whose generator failed outright (always a harness bug).
+  std::vector<std::string> generator_errors;
+
+  bool ok() const { return failures.empty() && generator_errors.empty(); }
+
+  /// Stable JSON: depends only on (seed, trials, props, generator options
+  /// and outcomes) — never on thread count, timing, or machine.
+  std::string ToJson() const;
+};
+
+/// Runs `trials` independent trials, each evaluating every selected
+/// property, fanned over `threads` worker threads.
+Result<CampaignReport> RunCampaign(const CampaignOptions& options);
+
+}  // namespace check
+}  // namespace kanon
+
+#endif  // KANON_CHECK_CAMPAIGN_H_

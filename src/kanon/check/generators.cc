@@ -1,0 +1,183 @@
+#include "kanon/check/generators.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kanon/generalization/hierarchy.h"
+
+namespace kanon {
+namespace check {
+
+namespace {
+
+Result<AttributeDomain> GenerateDomain(size_t index,
+                                       const GeneratorOptions& options,
+                                       Rng* rng) {
+  const size_t size = static_cast<size_t>(
+      rng->NextInt(2, static_cast<int64_t>(options.max_domain_size)));
+  std::string name = "a";
+  name += std::to_string(index);
+  if (rng->NextDouble() < 0.7) {
+    return AttributeDomain::IntegerRange(name, 0,
+                                         static_cast<int>(size) - 1);
+  }
+  std::vector<std::string> labels;
+  labels.reserve(size);
+  for (size_t v = 0; v < size; ++v) {
+    std::string label = "v";
+    label += std::to_string(v);
+    labels.push_back(std::move(label));
+  }
+  return AttributeDomain::Create(name, std::move(labels));
+}
+
+// A random laminar grouping: a fine partition of the (shuffled) domain into
+// consecutive chunks, plus a coarse partition merging adjacent fine chunks.
+// Aligned nested partitions are laminar, so Hierarchy::Build always accepts.
+Result<Hierarchy> RandomLaminarHierarchy(size_t domain_size, Rng* rng) {
+  std::vector<ValueCode> order(domain_size);
+  for (size_t v = 0; v < domain_size; ++v) {
+    order[v] = static_cast<ValueCode>(v);
+  }
+  rng->Shuffle(&order);
+
+  std::vector<std::vector<ValueCode>> fine;
+  size_t at = 0;
+  while (at < domain_size) {
+    const size_t chunk = static_cast<size_t>(rng->NextInt(
+        1, std::min<int64_t>(4, static_cast<int64_t>(domain_size - at))));
+    fine.emplace_back(order.begin() + at, order.begin() + at + chunk);
+    at += chunk;
+  }
+
+  std::vector<std::vector<ValueCode>> groups = fine;
+  if (fine.size() > 2 && rng->NextDouble() < 0.6) {
+    // Coarse level: merge runs of 2-3 adjacent fine chunks.
+    size_t g = 0;
+    while (g + 2 <= fine.size()) {
+      const size_t merge = static_cast<size_t>(rng->NextInt(
+          2, std::min<int64_t>(3, static_cast<int64_t>(fine.size() - g))));
+      std::vector<ValueCode> coarse;
+      for (size_t j = g; j < g + merge; ++j) {
+        coarse.insert(coarse.end(), fine[j].begin(), fine[j].end());
+      }
+      groups.push_back(std::move(coarse));
+      g += merge;
+    }
+  }
+  return Hierarchy::FromGroups(domain_size, groups);
+}
+
+Result<Hierarchy> GenerateHierarchy(const AttributeDomain& domain, Rng* rng) {
+  const size_t size = domain.size();
+  const double pick = rng->NextDouble();
+  if (pick < 0.3 || size < 4) {
+    return Hierarchy::SuppressionOnly(size);
+  }
+  if (pick < 0.65) {
+    // Nested aligned bands; ragged last bands are fine for Intervals.
+    std::vector<int> widths = {2};
+    if (size >= 8 && rng->NextDouble() < 0.7) widths.push_back(4);
+    if (size >= 16 && rng->NextDouble() < 0.5) widths.push_back(8);
+    return Hierarchy::Intervals(size, widths);
+  }
+  return RandomLaminarHierarchy(size, rng);
+}
+
+}  // namespace
+
+Result<Schema> GenerateSchema(const GeneratorOptions& options, Rng* rng) {
+  size_t num_attributes = static_cast<size_t>(
+      rng->NextInt(1, static_cast<int64_t>(std::max<size_t>(
+                          1, options.max_attributes))));
+  if (options.allow_degenerate && rng->NextDouble() < 0.15) {
+    num_attributes = 1;  // Single-attribute shape, forced occasionally.
+  }
+  std::vector<AttributeDomain> attributes;
+  for (size_t j = 0; j < num_attributes; ++j) {
+    KANON_ASSIGN_OR_RETURN(AttributeDomain domain,
+                           GenerateDomain(j, options, rng));
+    attributes.push_back(std::move(domain));
+  }
+  return Schema::Create(std::move(attributes));
+}
+
+Result<GeneralizationScheme> GenerateScheme(const Schema& schema, Rng* rng) {
+  std::vector<Hierarchy> hierarchies;
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    KANON_ASSIGN_OR_RETURN(Hierarchy h,
+                           GenerateHierarchy(schema.attribute(j), rng));
+    hierarchies.push_back(std::move(h));
+  }
+  return GeneralizationScheme::Create(schema, std::move(hierarchies));
+}
+
+Result<Dataset> GenerateDataset(const GeneralizationScheme& scheme,
+                                const GeneratorOptions& options, size_t rows,
+                                Rng* rng) {
+  const Schema& schema = scheme.schema();
+  std::vector<AliasSampler> samplers;
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    std::vector<double> weights(schema.attribute(j).size());
+    double w = 1.0;
+    for (size_t v = 0; v < weights.size(); ++v) {
+      weights[v] = w;
+      w /= std::max(1.0, options.skew);
+    }
+    samplers.emplace_back(weights);
+  }
+
+  Dataset dataset(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    if (i > 0 && rng->NextDouble() < options.duplicate_fraction) {
+      const size_t source =
+          static_cast<size_t>(rng->NextBounded(dataset.num_rows()));
+      KANON_RETURN_NOT_OK(dataset.AppendRow(dataset.row(source)));
+      continue;
+    }
+    Record record(schema.num_attributes());
+    for (size_t j = 0; j < record.size(); ++j) {
+      record[j] = static_cast<ValueCode>(samplers[j].Sample(rng));
+    }
+    KANON_RETURN_NOT_OK(dataset.AppendRow(record));
+  }
+  return dataset;
+}
+
+Result<GeneratedInstance> GenerateInstance(const GeneratorOptions& options,
+                                           Rng* rng) {
+  KANON_ASSIGN_OR_RETURN(Schema schema, GenerateSchema(options, rng));
+  KANON_ASSIGN_OR_RETURN(GeneralizationScheme scheme,
+                         GenerateScheme(schema, rng));
+  auto scheme_ptr =
+      std::make_shared<const GeneralizationScheme>(std::move(scheme));
+
+  size_t rows = static_cast<size_t>(rng->NextInt(
+      1, static_cast<int64_t>(std::max<size_t>(1, options.max_rows))));
+  const double shape = rng->NextDouble();
+  bool all_identical = false;
+  if (options.allow_degenerate) {
+    if (shape < 0.08) {
+      rows = static_cast<size_t>(rng->NextInt(1, 3));  // Likely n < k.
+    } else if (shape < 0.16) {
+      all_identical = true;
+    }
+  }
+
+  KANON_ASSIGN_OR_RETURN(Dataset dataset,
+                         GenerateDataset(*scheme_ptr, options, rows, rng));
+  if (all_identical && dataset.num_rows() > 1) {
+    const Record first = dataset.row(0);
+    Dataset identical(scheme_ptr->schema());
+    for (size_t i = 0; i < dataset.num_rows(); ++i) {
+      KANON_RETURN_NOT_OK(identical.AppendRow(first));
+    }
+    dataset = std::move(identical);
+  }
+  return GeneratedInstance{std::move(scheme_ptr), std::move(dataset)};
+}
+
+}  // namespace check
+}  // namespace kanon

@@ -1,0 +1,68 @@
+#ifndef KANON_CHECK_GENERATORS_H_
+#define KANON_CHECK_GENERATORS_H_
+
+#include <memory>
+
+#include "kanon/common/result.h"
+#include "kanon/common/rng.h"
+#include "kanon/data/dataset.h"
+#include "kanon/data/schema.h"
+#include "kanon/generalization/scheme.h"
+
+namespace kanon {
+namespace check {
+
+/// Knobs for the randomized instance generators. Everything is drawn from
+/// the caller's Rng, so identical (options, rng state) yields an identical
+/// instance on every platform — the campaign's reproducibility contract.
+struct GeneratorOptions {
+  /// Attribute count is uniform in [1, max_attributes].
+  size_t max_attributes = 3;
+  /// Domain sizes are uniform in [2, max_domain_size].
+  size_t max_domain_size = 12;
+  /// Row counts are uniform in [1, max_rows] (degenerate shapes below may
+  /// override with smaller counts).
+  size_t max_rows = 48;
+  /// Chance that a generated row duplicates an earlier row verbatim —
+  /// anonymity algorithms hit very different paths on duplicate-heavy data.
+  double duplicate_fraction = 0.3;
+  /// Geometric decay of per-value sampling weights: value v gets weight
+  /// skew^-v. 1.0 = uniform; larger = heavier head.
+  double skew = 1.6;
+  /// Mix in degenerate shapes: single-attribute schemas, all-identical
+  /// datasets, and row counts smaller than any realistic k.
+  bool allow_degenerate = true;
+};
+
+/// One generated problem instance.
+struct GeneratedInstance {
+  std::shared_ptr<const GeneralizationScheme> scheme;
+  Dataset dataset;
+};
+
+/// Random schema: 1..max_attributes attributes, each either an integer
+/// domain (labels "0".."m-1") or a categorical one (labels "a0".."a<m-1>").
+/// Labels never contain whitespace, commas, or '|', so they round-trip
+/// through the .repro and scheme-spec formats.
+Result<Schema> GenerateSchema(const GeneratorOptions& options, Rng* rng);
+
+/// Random generalization scheme over `schema`: per attribute one of
+/// suppression-only, nested aligned interval bands, or a random laminar
+/// two-level grouping. Always join-consistent (Hierarchy::Build verifies).
+Result<GeneralizationScheme> GenerateScheme(const Schema& schema, Rng* rng);
+
+/// Random dataset of `rows` rows over the scheme's schema, with per-value
+/// skew and verbatim duplicates per `options`.
+Result<Dataset> GenerateDataset(const GeneralizationScheme& scheme,
+                                const GeneratorOptions& options, size_t rows,
+                                Rng* rng);
+
+/// Schema + scheme + dataset in one draw, including the degenerate shapes
+/// when options.allow_degenerate.
+Result<GeneratedInstance> GenerateInstance(const GeneratorOptions& options,
+                                           Rng* rng);
+
+}  // namespace check
+}  // namespace kanon
+
+#endif  // KANON_CHECK_GENERATORS_H_

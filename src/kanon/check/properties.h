@@ -1,0 +1,55 @@
+#ifndef KANON_CHECK_PROPERTIES_H_
+#define KANON_CHECK_PROPERTIES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kanon/check/trial.h"
+#include "kanon/common/result.h"
+
+namespace kanon {
+namespace check {
+
+/// Outcome of one property evaluation on one trial.
+struct PropertyResult {
+  bool passed = true;
+  /// Stable failure class, e.g. "notion-violated:kk-greedy" or
+  /// "pipeline-error:Internal:agglomerative". The shrinker only accepts a
+  /// smaller instance when it fails with the *same* kind, so a shrunk
+  /// reproducer reproduces the original failure, not some new one its
+  /// mutations introduced.
+  std::string kind;
+  /// Human-readable details (may name specific rows; not stable across
+  /// shrinking).
+  std::string message;
+};
+
+PropertyResult Pass();
+PropertyResult Fail(std::string kind, std::string message);
+
+/// One named, independently runnable correctness property. Each encodes a
+/// theorem or accounting invariant; `paper_ref` names its source. `run` is
+/// deterministic: all randomness comes from the trial's seed substreams.
+struct Property {
+  const char* name;
+  /// The paper theorem/equation (or engineering contract) encoded.
+  const char* paper_ref;
+  const char* description;
+  PropertyResult (*run)(const TrialData& data);
+};
+
+/// The full catalog, in canonical order (the order of campaign reports).
+const std::vector<Property>& PropertyCatalog();
+
+/// Looks up one property by name; null when unknown.
+const Property* FindProperty(std::string_view name);
+
+/// Resolves a comma-separated --props filter ("" or "all" = whole catalog).
+Result<std::vector<const Property*>> SelectProperties(
+    const std::string& comma_list);
+
+}  // namespace check
+}  // namespace kanon
+
+#endif  // KANON_CHECK_PROPERTIES_H_

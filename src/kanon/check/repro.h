@@ -1,0 +1,74 @@
+#ifndef KANON_CHECK_REPRO_H_
+#define KANON_CHECK_REPRO_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kanon/check/properties.h"
+#include "kanon/check/trial.h"
+#include "kanon/common/result.h"
+
+namespace kanon {
+namespace check {
+
+/// One replayable reproducer: a fully materialized trial (the instance is
+/// stored verbatim — replay does not re-run the generator, so reproducers
+/// survive generator changes), the property it exercises, the expected
+/// outcome, and any failpoints that must be armed during replay.
+///
+/// Serialized as a line-based text file (see docs/checking.md):
+///
+///   kanon-repro v1
+///   property pipeline-verifies
+///   expect fail
+///   kind pipeline-error:Internal:agglomerative
+///   seed 4
+///   trial 17
+///   k 2
+///   measure EM
+///   distance 4
+///   method agglomerative
+///   failpoint agglomerative.closure 3
+///   attr a0 0 1 2 3
+///   hier a0 groups 0,1|2,3
+///   row 0 2
+///   end
+///
+/// `attr` lines list the domain labels (whitespace-free); `hier` lines are
+/// `suppression-only` or `groups` of comma-separated labels joined by `|`;
+/// `row` lines give one label per attribute. `kind` is required iff
+/// `expect fail`. Campaigns write `expect fail` reproducers; flipping the
+/// line to `expect pass` turns a fixed one into a regression fixture.
+struct ReproCase {
+  std::string property;
+  bool expect_fail = true;
+  /// The failure kind replay must reproduce (when expect_fail).
+  std::string kind;
+  /// (failpoint name, skip count) pairs armed for the duration of replay.
+  std::vector<std::pair<std::string, int>> failpoints;
+  TrialData data;
+};
+
+/// Result of replaying a reproducer.
+struct ReproOutcome {
+  /// Whether the replay matched the recorded expectation.
+  bool matched = false;
+  /// What the property actually reported.
+  PropertyResult actual;
+  std::string Describe(const ReproCase& repro) const;
+};
+
+std::string FormatRepro(const ReproCase& repro);
+Result<ReproCase> ParseRepro(const std::string& text);
+
+/// Runs the recorded property on the recorded instance, with the recorded
+/// failpoints armed (and disarmed again before returning). Matches the
+/// outcome against the expectation: `expect fail` requires a failure of the
+/// recorded kind; `expect pass` requires a pass.
+Result<ReproOutcome> ReplayRepro(const ReproCase& repro);
+
+}  // namespace check
+}  // namespace kanon
+
+#endif  // KANON_CHECK_REPRO_H_

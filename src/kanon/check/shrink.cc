@@ -1,0 +1,296 @@
+#include "kanon/check/shrink.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace kanon {
+namespace check {
+
+namespace {
+
+// The non-trivial subsets of a hierarchy (1 < |B| < |A_j|) as value-code
+// groups: exactly what Hierarchy::FromGroups needs to rebuild it, since
+// singletons and the full set are implicit.
+std::vector<std::vector<ValueCode>> NontrivialGroups(const Hierarchy& h) {
+  std::vector<std::vector<ValueCode>> groups;
+  for (size_t id = 0; id < h.num_sets(); ++id) {
+    const size_t size = h.SizeOf(static_cast<SetId>(id));
+    if (size <= 1 || size >= h.domain_size()) continue;
+    std::vector<ValueCode> group;
+    for (size_t v = 0; v < h.domain_size(); ++v) {
+      if (h.Contains(static_cast<SetId>(id), static_cast<ValueCode>(v))) {
+        group.push_back(static_cast<ValueCode>(v));
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+Result<TrialData> WithRowsDropped(const TrialData& data, size_t begin,
+                                  size_t count) {
+  TrialData candidate = data;
+  Dataset kept(data.dataset.schema());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    if (i >= begin && i < begin + count) continue;
+    KANON_RETURN_NOT_OK(kept.AppendRow(data.dataset.row(i)));
+  }
+  candidate.dataset = std::move(kept);
+  return candidate;
+}
+
+Result<TrialData> WithAttributeDropped(const TrialData& data, size_t drop) {
+  std::vector<AttributeDomain> domains;
+  std::vector<Hierarchy> hierarchies;
+  for (size_t j = 0; j < data.num_attributes(); ++j) {
+    if (j == drop) continue;
+    domains.push_back(data.dataset.schema().attribute(j));
+    hierarchies.push_back(data.scheme->hierarchy(j));
+  }
+  KANON_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(domains)));
+  KANON_ASSIGN_OR_RETURN(
+      GeneralizationScheme scheme,
+      GeneralizationScheme::Create(schema, std::move(hierarchies)));
+
+  Dataset projected(schema);
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    const Record full = data.dataset.row(i);
+    Record record;
+    for (size_t j = 0; j < full.size(); ++j) {
+      if (j != drop) record.push_back(full[j]);
+    }
+    KANON_RETURN_NOT_OK(projected.AppendRow(record));
+  }
+  TrialData candidate = data;
+  candidate.scheme =
+      std::make_shared<const GeneralizationScheme>(std::move(scheme));
+  candidate.dataset = std::move(projected);
+  return candidate;
+}
+
+Result<TrialData> WithSuppressionOnlyHierarchy(const TrialData& data,
+                                               size_t attr) {
+  std::vector<Hierarchy> hierarchies;
+  for (size_t j = 0; j < data.num_attributes(); ++j) {
+    if (j == attr) {
+      KANON_ASSIGN_OR_RETURN(
+          Hierarchy trivial,
+          Hierarchy::SuppressionOnly(data.scheme->hierarchy(j).domain_size()));
+      hierarchies.push_back(std::move(trivial));
+    } else {
+      hierarchies.push_back(data.scheme->hierarchy(j));
+    }
+  }
+  KANON_ASSIGN_OR_RETURN(GeneralizationScheme scheme,
+                         GeneralizationScheme::Create(data.dataset.schema(),
+                                                      std::move(hierarchies)));
+  TrialData candidate = data;
+  candidate.scheme =
+      std::make_shared<const GeneralizationScheme>(std::move(scheme));
+  return candidate;
+}
+
+// Clamps attribute `attr` to the values the dataset actually uses: keeps
+// their labels (in code order), remaps the rows, and restricts the
+// hierarchy's groups to the surviving values. A restriction of a laminar
+// family is laminar, so the rebuild succeeds; if the hierarchy resists,
+// falls back to suppression-only for that attribute.
+Result<TrialData> WithDomainClamped(const TrialData& data, size_t attr) {
+  const AttributeDomain& domain = data.dataset.schema().attribute(attr);
+  std::vector<bool> used(domain.size(), false);
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    used[data.dataset.at(i, attr)] = true;
+  }
+  std::vector<ValueCode> remap(domain.size(), 0);
+  std::vector<std::string> labels;
+  for (size_t v = 0; v < domain.size(); ++v) {
+    if (!used[v]) continue;
+    remap[v] = static_cast<ValueCode>(labels.size());
+    labels.push_back(domain.label(static_cast<ValueCode>(v)));
+  }
+  if (labels.size() >= domain.size()) {
+    return Status::FailedPrecondition("domain already clamped");
+  }
+
+  KANON_ASSIGN_OR_RETURN(AttributeDomain clamped,
+                         AttributeDomain::Create(domain.name(), labels));
+  std::vector<std::vector<ValueCode>> groups;
+  for (const std::vector<ValueCode>& group :
+       NontrivialGroups(data.scheme->hierarchy(attr))) {
+    std::vector<ValueCode> restricted;
+    for (ValueCode v : group) {
+      if (used[v]) restricted.push_back(remap[v]);
+    }
+    if (restricted.size() >= 2 && restricted.size() < labels.size()) {
+      groups.push_back(std::move(restricted));
+    }
+  }
+  Result<Hierarchy> rebuilt = Hierarchy::FromGroups(labels.size(), groups);
+  if (!rebuilt.ok()) rebuilt = Hierarchy::SuppressionOnly(labels.size());
+  KANON_RETURN_NOT_OK(rebuilt.status());
+
+  std::vector<AttributeDomain> domains;
+  std::vector<Hierarchy> hierarchies;
+  for (size_t j = 0; j < data.num_attributes(); ++j) {
+    if (j == attr) {
+      domains.push_back(clamped);
+      hierarchies.push_back(std::move(rebuilt).value());
+    } else {
+      domains.push_back(data.dataset.schema().attribute(j));
+      hierarchies.push_back(data.scheme->hierarchy(j));
+    }
+  }
+  KANON_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(domains)));
+  Dataset remapped(schema);
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    Record record = data.dataset.row(i);
+    record[attr] = remap[record[attr]];
+    KANON_RETURN_NOT_OK(remapped.AppendRow(record));
+  }
+  KANON_ASSIGN_OR_RETURN(
+      GeneralizationScheme scheme,
+      GeneralizationScheme::Create(schema, std::move(hierarchies)));
+  TrialData candidate = data;
+  candidate.scheme =
+      std::make_shared<const GeneralizationScheme>(std::move(scheme));
+  candidate.dataset = std::move(remapped);
+  return candidate;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const TrialData& original, const Property& property,
+           const PropertyResult& original_failure,
+           const ShrinkOptions& options)
+      : property_(property),
+        options_(options),
+        best_{original, original_failure, 0} {}
+
+  ShrinkOutcome Run() {
+    bool progress = true;
+    while (progress && !Exhausted()) {
+      progress = false;
+      progress |= NarrowMethods();
+      progress |= DropRowChunks();
+      progress |= DropAttributes();
+      progress |= LowerK();
+      progress |= SimplifyHierarchies();
+      progress |= ClampDomains();
+    }
+    return std::move(best_);
+  }
+
+ private:
+  bool Exhausted() const {
+    return best_.evaluations >= options_.max_evaluations;
+  }
+
+  // Accepts `candidate` iff it fails with the original kind. Candidates
+  // whose construction fails are simply skipped: a shrink transform that
+  // does not apply is not an error.
+  bool Accept(const Result<TrialData>& candidate) {
+    if (Exhausted() || !candidate.ok()) return false;
+    ++best_.evaluations;
+    PropertyResult result = property_.run(candidate.value());
+    if (result.passed || result.kind != best_.failure.kind) return false;
+    best_.data = candidate.value();
+    best_.failure = std::move(result);
+    return true;
+  }
+
+  bool NarrowMethods() {
+    if (best_.data.config.methods.size() <= 1) return false;
+    for (AnonymizationMethod method : best_.data.config.methods) {
+      TrialData candidate = best_.data;
+      candidate.config.methods = {method};
+      if (Accept(candidate)) return true;
+      if (Exhausted()) return false;
+    }
+    return false;
+  }
+
+  // ddmin-style: try dropping chunks of n/2, n/4, ..., 1 rows.
+  bool DropRowChunks() {
+    bool changed = false;
+    size_t chunk = std::max<size_t>(1, best_.data.num_rows() / 2);
+    while (chunk >= 1 && !Exhausted()) {
+      bool dropped = false;
+      for (size_t begin = 0; begin < best_.data.num_rows();) {
+        if (best_.data.num_rows() <= 1) break;
+        const size_t count =
+            std::min(chunk, best_.data.num_rows() - begin);
+        if (Accept(WithRowsDropped(best_.data, begin, count))) {
+          dropped = changed = true;  // Same `begin` now names fresh rows.
+        } else {
+          begin += count;
+        }
+        if (Exhausted()) break;
+      }
+      if (chunk == 1 && !dropped) break;
+      chunk = dropped ? chunk : chunk / 2;
+    }
+    return changed;
+  }
+
+  bool DropAttributes() {
+    bool changed = false;
+    for (size_t j = 0; j < best_.data.num_attributes() && !Exhausted();) {
+      if (best_.data.num_attributes() <= 1) break;
+      if (Accept(WithAttributeDropped(best_.data, j))) {
+        changed = true;  // Attribute j is now a different column.
+      } else {
+        ++j;
+      }
+    }
+    return changed;
+  }
+
+  bool LowerK() {
+    bool changed = false;
+    while (best_.data.config.k > 1 && !Exhausted()) {
+      TrialData candidate = best_.data;
+      candidate.config.k = best_.data.config.k - 1;
+      if (!Accept(candidate)) break;
+      changed = true;
+    }
+    return changed;
+  }
+
+  bool SimplifyHierarchies() {
+    bool changed = false;
+    for (size_t j = 0; j < best_.data.num_attributes() && !Exhausted(); ++j) {
+      const Hierarchy& h = best_.data.scheme->hierarchy(j);
+      if (NontrivialGroups(h).empty()) continue;  // Already trivial.
+      changed |= Accept(WithSuppressionOnlyHierarchy(best_.data, j));
+    }
+    return changed;
+  }
+
+  bool ClampDomains() {
+    bool changed = false;
+    for (size_t j = 0; j < best_.data.num_attributes() && !Exhausted(); ++j) {
+      changed |= Accept(WithDomainClamped(best_.data, j));
+    }
+    return changed;
+  }
+
+  const Property& property_;
+  const ShrinkOptions& options_;
+  ShrinkOutcome best_;
+};
+
+}  // namespace
+
+Result<ShrinkOutcome> Shrink(const TrialData& original,
+                             const Property& property,
+                             const PropertyResult& original_failure,
+                             const ShrinkOptions& options) {
+  if (original_failure.passed) {
+    return Status::InvalidArgument("cannot shrink a passing trial");
+  }
+  return Shrinker(original, property, original_failure, options).Run();
+}
+
+}  // namespace check
+}  // namespace kanon

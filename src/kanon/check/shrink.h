@@ -1,0 +1,41 @@
+#ifndef KANON_CHECK_SHRINK_H_
+#define KANON_CHECK_SHRINK_H_
+
+#include "kanon/check/properties.h"
+#include "kanon/check/trial.h"
+#include "kanon/common/result.h"
+
+namespace kanon {
+namespace check {
+
+struct ShrinkOptions {
+  /// Upper bound on property evaluations across all shrink passes. Each
+  /// evaluation re-runs the property on a candidate instance, so this caps
+  /// shrinking cost at roughly max_evaluations trial costs.
+  size_t max_evaluations = 500;
+};
+
+/// A minimized failing trial. `failure.kind` always equals the kind the
+/// shrink started from: candidates that fail *differently* are rejected, so
+/// the reproducer reproduces the original bug.
+struct ShrinkOutcome {
+  TrialData data;
+  PropertyResult failure;
+  size_t evaluations = 0;
+};
+
+/// Greedily minimizes `original` (which fails `property` with
+/// `original_failure`) while preserving the failure kind. Passes, repeated
+/// to fixpoint: narrow the method list to the failing pipeline, drop row
+/// chunks (ddmin-style halving), drop attributes, lower k, replace
+/// hierarchies with suppression-only ones, and clamp each attribute domain
+/// to the values the remaining rows use.
+Result<ShrinkOutcome> Shrink(const TrialData& original,
+                             const Property& property,
+                             const PropertyResult& original_failure,
+                             const ShrinkOptions& options);
+
+}  // namespace check
+}  // namespace kanon
+
+#endif  // KANON_CHECK_SHRINK_H_

@@ -101,6 +101,7 @@ void DisarmAll() {
 }
 
 std::vector<std::string> ArmedNames() {
+  EnsureEnvLoaded();
   Registry& registry = GetRegistry();
   std::lock_guard<std::mutex> lock(registry.mutex);
   std::vector<std::string> names;

@@ -4,6 +4,35 @@
 
 namespace kanon {
 
+namespace {
+
+// splitmix64 finalizer: a bijective avalanche mix.
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng Rng::Fork(uint64_t label) const {
+  // Two rounds of mixing with distinct additive constants decorrelate the
+  // substream from both the parent stream (which steps by the same golden
+  // ratio) and from sibling labels. Depends only on root_, never on state_.
+  const uint64_t mixed_label = Mix64(label + 0x632be59bd9b4e019ULL);
+  return Rng(Mix64(root_ ^ mixed_label ^ 0x9e3779b97f4a7c15ULL));
+}
+
+Rng Rng::Fork(std::string_view label) const {
+  // FNV-1a over the label bytes, then the integer fork path.
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : label) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return Fork(hash);
+}
+
 size_t Rng::NextWeighted(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) {

@@ -2,6 +2,7 @@
 #define KANON_COMMON_RNG_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "kanon/common/check.h"
@@ -15,7 +16,7 @@ namespace kanon {
 /// across platforms and standard-library implementations.
 class Rng {
  public:
-  explicit Rng(uint64_t seed) : state_(seed) {}
+  explicit Rng(uint64_t seed) : state_(seed), root_(seed) {}
 
   /// Next raw 64-bit value.
   uint64_t Next() {
@@ -54,6 +55,21 @@ class Rng {
   /// Samples an index according to `weights` (non-negative, not all zero).
   size_t NextWeighted(const std::vector<double>& weights);
 
+  /// Independent substream for `label`: a new Rng whose stream is a pure
+  /// function of this Rng's *construction seed* and the label — never of how
+  /// much of this stream has already been consumed. Forking the same label
+  /// before or after any number of Next() calls yields the same substream,
+  /// so work items seeded via Fork(item_index) draw identical randomness
+  /// whether they run serially, in parallel, or in any order (the campaign
+  /// reproducibility contract of check/).
+  ///
+  /// Forks of forks are fine: the child's construction seed becomes its own
+  /// root, so Fork(a).Fork(b) is a well-defined two-level substream.
+  Rng Fork(uint64_t label) const;
+
+  /// Fork keyed by a string label (FNV-1a hash of the bytes).
+  Rng Fork(std::string_view label) const;
+
   /// Fisher–Yates shuffle.
   template <typename T>
   void Shuffle(std::vector<T>* items) {
@@ -66,6 +82,7 @@ class Rng {
 
  private:
   uint64_t state_;
+  uint64_t root_;  // The construction seed; the base of Fork() substreams.
 };
 
 /// Draws from a fixed categorical distribution with O(1) sampling

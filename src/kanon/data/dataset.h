@@ -24,6 +24,10 @@ using Record = std::vector<ValueCode>;
 /// the anonymization algorithms.
 class Dataset {
  public:
+  /// Empty placeholder (empty schema, no rows) — for default-constructed
+  /// holders that are assigned a real dataset before use.
+  Dataset() = default;
+
   explicit Dataset(Schema schema) : schema_(std::move(schema)) {}
 
   const Schema& schema() const { return schema_; }

@@ -12,6 +12,11 @@ namespace kanon {
 /// The public (quasi-identifier) attributes A_1, ..., A_r of a table.
 class Schema {
  public:
+  /// Empty placeholder schema (no attributes) — for default-constructed
+  /// holders that are assigned a real schema before use. Create() never
+  /// returns one.
+  Schema() = default;
+
   /// Attribute names must be distinct and there must be at least one.
   static Result<Schema> Create(std::vector<AttributeDomain> attributes);
 

@@ -11,6 +11,7 @@
 
 #include "kanon/algo/anonymizer.h"
 #include "kanon/anonymity/verify.h"
+#include "kanon/check/campaign.h"
 #include "kanon/common/run_context.h"
 #include "kanon/generalization/hierarchy.h"
 #include "kanon/loss/entropy_measure.h"
@@ -173,6 +174,30 @@ TEST(DeterminismTest, StepBudgetUnderThreadsStillYieldsValidTable) {
       EXPECT_EQ(result.table.num_rows(), d.num_rows())
           << AnonymizationMethodName(method) << " budget " << budget;
     }
+  }
+}
+
+// The determinism contract extends to the checking subsystem: a campaign's
+// JSON report is a pure function of (seed, trials, props) — replaying it
+// with the trial fan-out spread over 1, 2, and 4 worker threads must yield
+// the identical document, because trial i is always Rng(seed).Fork(i) and
+// results are assembled in trial order.
+TEST(DeterminismTest, CampaignReportIdenticalAcrossThreadCounts) {
+  check::CampaignOptions options;
+  options.seed = 4;
+  options.trials = 40;
+  options.threads = 1;
+  const check::CampaignReport baseline =
+      Unwrap(check::RunCampaign(options));
+  const std::string baseline_json = baseline.ToJson();
+  EXPECT_EQ(baseline.evaluations,
+            options.trials * check::PropertyCatalog().size());
+
+  for (int threads : {2, 4}) {
+    options.threads = threads;
+    const check::CampaignReport report =
+        Unwrap(check::RunCampaign(options));
+    EXPECT_EQ(report.ToJson(), baseline_json) << "threads=" << threads;
   }
 }
 

@@ -1,0 +1,91 @@
+// Replays every committed reproducer under tests/testdata/repro/.
+//
+// The corpus is the regression memory of the checking subsystem: each
+// `expect fail` file is a minimized instance that once exposed a bug (or
+// exercises fault injection end to end), and each `expect pass` file pins
+// an instance that must keep verifying. `kanon_check --replay FILE` runs
+// the same check interactively.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "kanon/check/repro.h"
+
+#ifndef KANON_TESTDATA_DIR
+#error "KANON_TESTDATA_DIR must point at tests/testdata"
+#endif
+
+namespace kanon {
+namespace check {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  const std::filesystem::path dir =
+      std::filesystem::path(KANON_TESTDATA_DIR) / "repro";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".repro") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ReproCorpusTest, CorpusIsNonEmpty) {
+  EXPECT_GE(CorpusFiles().size(), 3u);
+}
+
+TEST(ReproCorpusTest, EveryReproducerReplaysToItsRecordedOutcome) {
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    Result<ReproCase> repro = ParseRepro(text.str());
+    ASSERT_TRUE(repro.ok()) << repro.status().ToString();
+    Result<ReproOutcome> outcome = ReplayRepro(*repro);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_TRUE(outcome->matched) << outcome->Describe(*repro);
+  }
+}
+
+TEST(ReproCorpusTest, CorpusFilesRoundTripThroughTheParser) {
+  // FormatRepro(ParseRepro(x)) need not equal x byte-for-byte (comments and
+  // defaults are normalized away), but it must be a fixpoint: parsing the
+  // formatted text and formatting again is identity.
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<ReproCase> repro = ParseRepro(text.str());
+    ASSERT_TRUE(repro.ok()) << repro.status().ToString();
+
+    const std::string formatted = FormatRepro(*repro);
+    Result<ReproCase> reparsed = ParseRepro(formatted);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_EQ(FormatRepro(*reparsed), formatted);
+  }
+}
+
+TEST(ReproCorpusTest, ShrunkFailureReproducersAreTiny) {
+  // The campaign's shrinker must keep committed failure instances small
+  // enough to debug by eye.
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<ReproCase> repro = ParseRepro(text.str());
+    ASSERT_TRUE(repro.ok()) << repro.status().ToString();
+    if (!repro->expect_fail) continue;
+    SCOPED_TRACE(path.filename().string());
+    EXPECT_LE(repro->data.num_rows(), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace kanon

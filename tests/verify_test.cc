@@ -90,6 +90,111 @@ TEST(VerifyTest, KOneWithoutOneK) {
   EXPECT_FALSE(Unwrap(IsKKAnonymous(d, t, 2)));
 }
 
+TEST(VerifyTest, WitnessNamesViolatingGroupForKAnonymity) {
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  GeneralizedTable t = PairTable(scheme, d);
+  // Break the {2,3} group: row 3 becomes fully suppressed, so rows 2 and 3
+  // each sit in singleton groups.
+  t.SetRecord(3, scheme->Suppressed());
+  const NotionWitness w = Unwrap(WitnessKAnonymity(t, 2));
+  ASSERT_FALSE(w.satisfied);
+  EXPECT_EQ(w.notion, AnonymityNotion::kKAnonymity);
+  EXPECT_TRUE(w.row_in_table);
+  EXPECT_EQ(w.observed, 1u);
+  // The named row really is in a singleton group, and is its own cluster id.
+  EXPECT_TRUE(w.row == 2 || w.row == 3);
+  EXPECT_EQ(w.cluster, w.row);
+  EXPECT_NE(w.ToString(2).find("identical-record group of 1"),
+            std::string::npos);
+}
+
+TEST(VerifyTest, WitnessNamesUncoveredDatasetRowForOneK) {
+  // The OneKWithoutKOne table flipped around: identity on rows 0,1 and
+  // suppression on 2,3 makes dataset rows 2,3 consistent with exactly the
+  // two suppressed records, while table rows 0,1 cover only themselves.
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  t.SetRecord(2, scheme->Suppressed());
+  t.SetRecord(3, scheme->Suppressed());
+  // Dataset rows 0,1 match their identity record plus the two suppressed
+  // ones (degree 3); rows 2,3 match only the suppressed pair (degree 2).
+  // So (1,2) holds and (1,3) first fails at dataset row 2.
+  EXPECT_TRUE(Unwrap(Witness1K(d, t, 2)).satisfied);
+  const NotionWitness one_k = Unwrap(Witness1K(d, t, 3));
+  ASSERT_FALSE(one_k.satisfied);
+  EXPECT_FALSE(one_k.row_in_table);
+  EXPECT_EQ(one_k.row, 2u);
+  EXPECT_EQ(one_k.observed, 2u);
+  const NotionWitness k_one = Unwrap(WitnessK1(d, t, 2));
+  ASSERT_FALSE(k_one.satisfied);
+  EXPECT_TRUE(k_one.row_in_table);
+  EXPECT_EQ(k_one.row, 0u);   // Table row 0 covers only dataset row 0.
+  EXPECT_EQ(k_one.observed, 1u);
+}
+
+TEST(VerifyTest, WitnessKKReportsFirstFailingSide) {
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  // (1,k) side holds, (k,1) side fails: the witness must carry the (k,1)
+  // violation but report the (k,k) notion.
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  t.SetRecord(2, scheme->Suppressed());
+  t.SetRecord(3, scheme->Suppressed());
+  const NotionWitness w = Unwrap(WitnessKK(d, t, 2));
+  ASSERT_FALSE(w.satisfied);
+  EXPECT_EQ(w.notion, AnonymityNotion::kKK);
+  EXPECT_TRUE(w.row_in_table);
+  EXPECT_EQ(w.row, 0u);
+}
+
+TEST(VerifyTest, WitnessGlobalNamesShortMatchRow) {
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  GeneralizedTable t = GeneralizedTable::Identity(scheme, d);
+  const NotionWitness w = Unwrap(WitnessGlobal1K(d, t, 2));
+  ASSERT_FALSE(w.satisfied);
+  EXPECT_FALSE(w.row_in_table);
+  EXPECT_EQ(w.observed, 1u);  // Identity: each row matches only itself.
+  EXPECT_EQ(w.row, 0u);
+}
+
+TEST(VerifyTest, WitnessAgreesWithBooleanVerifiers) {
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  const GeneralizedTable tables[] = {
+      GeneralizedTable::Identity(scheme, d),
+      PairTable(scheme, d),
+  };
+  for (const auto& t : tables) {
+    for (size_t k = 1; k <= 3; ++k) {
+      for (AnonymityNotion notion :
+           {AnonymityNotion::kKAnonymity, AnonymityNotion::kOneK,
+            AnonymityNotion::kKOne, AnonymityNotion::kKK,
+            AnonymityNotion::kGlobalOneK}) {
+        const NotionWitness w = Unwrap(WitnessNotion(notion, d, t, k));
+        EXPECT_EQ(w.satisfied, Unwrap(SatisfiesNotion(notion, d, t, k)))
+            << AnonymityNotionName(notion) << " k=" << k;
+        if (!w.satisfied) {
+          EXPECT_LT(w.observed, k);
+        }
+      }
+    }
+  }
+}
+
+TEST(VerifyTest, WitnessRejectsBadArguments) {
+  auto scheme = SmallScheme();
+  Dataset d = FourRows(*scheme);
+  GeneralizedTable t = PairTable(scheme, d);
+  EXPECT_FALSE(WitnessKAnonymity(t, 0).ok());
+  EXPECT_FALSE(WitnessKK(d, t, 0).ok());
+  GeneralizedTable short_table(scheme);
+  short_table.AppendRecord(scheme->Suppressed());
+  EXPECT_FALSE(WitnessGlobal1K(d, short_table, 2).ok());
+}
+
 TEST(VerifyTest, NotionNamesAndDispatch) {
   auto scheme = SmallScheme();
   Dataset d = FourRows(*scheme);
