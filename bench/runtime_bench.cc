@@ -7,11 +7,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "kanon/algo/agglomerative.h"
+#include "kanon/algo/anonymizer.h"
 #include "kanon/algo/forest.h"
 #include "kanon/algo/global_anonymizer.h"
 #include "kanon/algo/kk_anonymizer.h"
@@ -22,6 +24,7 @@
 #include "kanon/common/timer.h"
 #include "kanon/graph/matchable_edges.h"
 #include "kanon/loss/entropy_measure.h"
+#include "kanon/telemetry/tracer.h"
 
 namespace kanon {
 namespace {
@@ -254,21 +257,98 @@ int RunSpeedupJson(size_t n) {
   return 0;
 }
 
+// --phase_json mode: runs each pipeline once under a telemetry Tracer and
+// prints one JSON line per lane-0 engine phase with its inclusive wall
+// time, span count, item payload, and share of the pipeline total — the
+// machine-readable "where does the time go" breakdown behind the
+// complexity claims. Phases nest (e.g. agglomerative/rescan runs inside
+// agglomerative/heap-drain), so fractions need not sum to 1.
+int RunPhaseJson(size_t n) {
+  const Workload w = bench::MustArtWorkload(n, 99);
+  const PrecomputedLoss loss(w.scheme, w.dataset, EntropyMeasure());
+
+  struct Mode {
+    const char* name;
+    AnonymizationMethod method;
+  };
+  const Mode modes[] = {
+      {"agglomerative", AnonymizationMethod::kAgglomerative},
+      {"kk-greedy", AnonymizationMethod::kKKGreedyExpansion},
+      {"global", AnonymizationMethod::kGlobal},
+  };
+  for (const Mode& mode : modes) {
+    Tracer tracer;
+    AnonymizerConfig config;
+    config.k = 10;
+    config.method = mode.method;
+    config.num_threads = DefaultNumThreads();
+    config.tracer = &tracer;
+    const Result<AnonymizationResult> result =
+        Anonymize(w.dataset, loss, config);
+    KANON_CHECK(result.ok(), result.status().ToString());
+
+    struct PhaseAgg {
+      double seconds = 0.0;
+      uint64_t spans = 0;
+      uint64_t items = 0;
+    };
+    std::map<std::string, PhaseAgg> phases;  // Sorted, stable output order.
+    double total_seconds = 0.0;
+    for (const SpanEvent& event : tracer.lane_events(0)) {
+      if (std::strcmp(event.category, "phase") != 0) continue;
+      const double seconds =
+          (event.wall_end_us - event.wall_begin_us) * 1e-6;
+      if (std::strncmp(event.name, "pipeline/", 9) == 0) {
+        total_seconds = seconds;
+        continue;
+      }
+      PhaseAgg& agg = phases[event.name];
+      agg.seconds += seconds;
+      ++agg.spans;
+      agg.items += event.items;
+    }
+    for (const auto& [phase, agg] : phases) {
+      std::printf(
+          "{\"bench\":\"%s\",\"n\":%zu,\"phase\":\"%s\","
+          "\"spans\":%llu,\"seconds\":%.6f,\"fraction\":%.3f,"
+          "\"items\":%llu}\n",
+          mode.name, n, phase.c_str(),
+          static_cast<unsigned long long>(agg.spans), agg.seconds,
+          total_seconds > 0.0 ? agg.seconds / total_seconds : 0.0,
+          static_cast<unsigned long long>(agg.items));
+    }
+    std::printf(
+        "{\"bench\":\"%s\",\"n\":%zu,\"phase\":\"total\",\"spans\":1,"
+        "\"seconds\":%.6f,\"fraction\":1.000,\"items\":%llu}\n",
+        mode.name, n, total_seconds, static_cast<unsigned long long>(n));
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace kanon
 
 int main(int argc, char** argv) {
   bool speedup = false;
+  bool phase = false;
   size_t speedup_n = 2000;
+  size_t phase_n = 1000;
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--speedup_json") == 0) {
       speedup = true;
     } else if (std::strncmp(argv[i], "--speedup_n=", 12) == 0) {
       speedup_n = static_cast<size_t>(std::stoul(argv[i] + 12));
+    } else if (std::strcmp(argv[i], "--phase_json") == 0) {
+      phase = true;
+    } else if (std::strncmp(argv[i], "--phase_n=", 10) == 0) {
+      phase_n = static_cast<size_t>(std::stoul(argv[i] + 10));
     } else {
       passthrough.push_back(argv[i]);
     }
+  }
+  if (phase) {
+    return kanon::RunPhaseJson(phase_n);
   }
   if (speedup) {
     return kanon::RunSpeedupJson(speedup_n);

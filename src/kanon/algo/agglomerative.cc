@@ -9,6 +9,8 @@
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
 #include "kanon/common/parallel.h"
+#include "kanon/telemetry/metrics.h"
+#include "kanon/telemetry/tracer.h"
 
 namespace kanon {
 
@@ -34,12 +36,25 @@ class Engine {
         options_(options),
         ctx_(options.run_context),
         num_attrs_(dataset.num_attributes()),
+        tracer_(CurrentTracer()),
+        merge_cost_(CurrentMetrics() == nullptr
+                        ? nullptr
+                        : CurrentMetrics()->GetHistogram(
+                              "merge.cost", {0.05, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                             0.6, 0.7, 0.8, 0.9, 1.0})),
         store_(loss),
         heap_(&clusters_, options.aggressive_heap_rebuild, options.counters) {}
 
   Result<Clustering> Run() {
-    KANON_RETURN_NOT_OK(InitSingletons());
-    KANON_RETURN_NOT_OK(MainLoop());
+    {
+      PhaseSpan span(tracer_, "agglomerative/init");
+      KANON_RETURN_NOT_OK(InitSingletons());
+    }
+    {
+      PhaseSpan span(tracer_, "agglomerative/heap-drain");
+      KANON_RETURN_NOT_OK(MainLoop());
+    }
+    PhaseSpan span(tracer_, "agglomerative/finalize");
     if (Stopped()) {
       FinalizeDegraded();
     } else {
@@ -131,6 +146,7 @@ class Engine {
 
   // Recomputes x's two-best over every active cluster.
   void FullRescan(uint32_t x) {
+    PhaseSpan span(tracer_, "agglomerative/rescan");
     if (options_.counters != nullptr) ++options_.counters->rescans;
     CountChunks(clusters_.active().size());
     heap_.candidate(x) = ComputeTwoBest(x);
@@ -172,8 +188,12 @@ class Engine {
     // A stop here leaves the closures unset; the degraded wind-down pools
     // records by membership only, so that is safe.
     if (!closures.completed) return Status::OK();
-    for (uint32_t i = 0; i < n; ++i) {
-      SetClosure(&clusters_.cluster(i), raw[i]);
+    {
+      PhaseSpan intern_span(tracer_, "agglomerative/closure-intern");
+      intern_span.set_items(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        SetClosure(&clusters_.cluster(i), raw[i]);
+      }
     }
     raw.clear();
     raw.shrink_to_fit();
@@ -246,6 +266,7 @@ class Engine {
   // order-sensitive Offer/Repair bookkeeping replays them serially in
   // active order, so the outcome matches the single-threaded pass exactly.
   void RepairAndMaybeAdd(uint32_t added) {
+    PhaseSpan span(tracer_, "agglomerative/repair");
     const bool asymmetric =
         options_.distance == DistanceFunction::kNergizClifton;
     const std::vector<uint32_t>& active = clusters_.active();
@@ -300,6 +321,7 @@ class Engine {
   // gets every leave-one-out closure from one prefix/suffix join sweep —
   // O(len·r) per ejection instead of O(len²·r).
   std::vector<uint32_t> ShrinkToK(uint32_t id) {
+    PhaseSpan span(tracer_, "agglomerative/shrink");
     std::vector<uint32_t> ejected;
     ClusterData& c = clusters_.cluster(id);
     while (c.members.size() > k_) {
@@ -350,6 +372,7 @@ class Engine {
       if (options_.check_exact_merges) {
         VerifyGlobalMinimum(entry.dist);
       }
+      if (merge_cost_ != nullptr) merge_cost_->Observe(entry.dist);
       const uint32_t merged = Merge(entry.a, entry.b);
       if (clusters_.cluster(merged).members.size() >= k_) {
         if (options_.modified &&
@@ -444,6 +467,10 @@ class Engine {
   const AgglomerativeOptions& options_;
   RunContext* const ctx_;
   const size_t num_attrs_;
+  // Telemetry sinks of the enclosing run (null when telemetry is off);
+  // resolved once at construction, on the run's coordinating thread.
+  Tracer* const tracer_;
+  Histogram* const merge_cost_;
 
   ClosureStore store_;
   ClusterSet clusters_;

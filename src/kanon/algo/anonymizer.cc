@@ -1,6 +1,8 @@
 #include "kanon/algo/anonymizer.h"
 
+#include <map>
 #include <utility>
+#include <vector>
 
 #include "kanon/algo/agglomerative.h"
 #include "kanon/algo/forest.h"
@@ -10,6 +12,31 @@
 #include "kanon/common/timer.h"
 
 namespace kanon {
+
+namespace {
+
+// Root-span labels: one literal per method (SpanEvent stores const char*).
+const char* PipelineSpanName(AnonymizationMethod method) {
+  switch (method) {
+    case AnonymizationMethod::kAgglomerative:
+      return "pipeline/agglomerative";
+    case AnonymizationMethod::kModifiedAgglomerative:
+      return "pipeline/modified-agglomerative";
+    case AnonymizationMethod::kForest:
+      return "pipeline/forest";
+    case AnonymizationMethod::kKKNearestNeighbors:
+      return "pipeline/kk-nearest-neighbors";
+    case AnonymizationMethod::kKKGreedyExpansion:
+      return "pipeline/kk-greedy-expansion";
+    case AnonymizationMethod::kGlobal:
+      return "pipeline/global-1k";
+    case AnonymizationMethod::kFullDomain:
+      return "pipeline/full-domain";
+  }
+  return "pipeline/unknown";
+}
+
+}  // namespace
 
 const char* AnonymizationMethodName(AnonymizationMethod method) {
   switch (method) {
@@ -31,11 +58,53 @@ const char* AnonymizationMethodName(AnonymizationMethod method) {
   return "unknown";
 }
 
+void PublishCounters(const EngineCounters& counters, MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("engine.merges")->Set(counters.merges);
+  metrics->GetCounter("engine.rescans")->Set(counters.rescans);
+  metrics->GetCounter("engine.heap_rebuilds")->Set(counters.heap_rebuilds);
+  metrics->GetCounter("engine.closure_hits")->Set(counters.closure_hits);
+  metrics->GetCounter("engine.closure_misses")->Set(counters.closure_misses);
+  metrics->GetCounter("engine.upgrade_steps")->Set(counters.upgrade_steps);
+  metrics->GetCounter("engine.parallel_chunks")->Set(counters.parallel_chunks);
+  metrics->GetGauge("engine.closure_hit_rate")
+      ->Set(counters.closure_hit_rate());
+}
+
+void PublishResultMetrics(const AnonymizationResult& result,
+                          MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("run.rows")->Set(result.table.num_rows());
+  metrics->GetCounter("run.iterations_completed")
+      ->Set(result.iterations_completed);
+  metrics->GetCounter("run.records_suppressed")
+      ->Set(result.records_suppressed);
+  metrics->GetCounter("run.degraded")->Set(result.degraded ? 1 : 0);
+  metrics->GetGauge("run.loss")->Set(result.loss);
+  metrics->GetGauge("run.elapsed_seconds", /*deterministic=*/false)
+      ->Set(result.elapsed_seconds);
+  // Equivalence-class (cluster) size distribution of the published table.
+  std::map<GeneralizedRecord, size_t> classes;
+  for (size_t row = 0; row < result.table.num_rows(); ++row) {
+    ++classes[result.table.record(row)];
+  }
+  Histogram* const sizes = metrics->GetHistogram(
+      "cluster.size", {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 128, 256});
+  for (const auto& [record, size] : classes) {
+    sizes->Observe(static_cast<double>(size));
+  }
+  metrics->GetCounter("run.clusters")->Set(classes.size());
+}
+
 Result<AnonymizationResult> Anonymize(const Dataset& dataset,
                                       const PrecomputedLoss& loss,
                                       const AnonymizerConfig& config) {
   Timer timer;
   RunContext* const ctx = config.run_context;
+  // Install the run's telemetry sinks for this thread: engines and the
+  // parallel sweep issuer pick them up via CurrentTracer()/CurrentMetrics().
+  const ScopedTelemetry telemetry(config.tracer, config.metrics);
+  PhaseSpan pipeline_span(config.tracer, PipelineSpanName(config.method));
   EngineCounters counters;
   Result<GeneralizedTable> table = Status::Internal("unreachable");
   switch (config.method) {
@@ -86,9 +155,14 @@ Result<AnonymizationResult> Anonymize(const Dataset& dataset,
   }
   if (!table.ok()) return table.status();
 
-  AnonymizationResult result{std::move(table).value(), 0.0,  0.0,
-                             false,                    StopReason::kNone,
-                             0,                        0,
+  AnonymizationResult result{std::move(table).value(),
+                             0.0,
+                             0.0,
+                             false,
+                             StopReason::kNone,
+                             0,
+                             0,
+                             std::string(),
                              counters};
   result.loss = loss.TableLoss(result.table);
   result.elapsed_seconds = timer.ElapsedSeconds();
@@ -98,7 +172,10 @@ Result<AnonymizationResult> Anonymize(const Dataset& dataset,
     result.stop_reason = stats.stop_reason;
     result.iterations_completed = stats.iterations_completed;
     result.records_suppressed = stats.records_suppressed;
+    result.degraded_stage = stats.degraded_stage;
   }
+  PublishCounters(counters, config.metrics);
+  PublishResultMetrics(result, config.metrics);
   return result;
 }
 

@@ -10,6 +10,8 @@
 #include "kanon/data/dataset.h"
 #include "kanon/generalization/generalized_table.h"
 #include "kanon/loss/precomputed_loss.h"
+#include "kanon/telemetry/metrics.h"
+#include "kanon/telemetry/tracer.h"
 
 namespace kanon {
 
@@ -52,6 +54,14 @@ struct AnonymizerConfig {
   /// still valid — table instead of aborting; the outcome is reported in
   /// AnonymizationResult. See docs/robustness.md.
   RunContext* run_context = nullptr;
+  /// Optional telemetry sinks (docs/observability.md). Not owned; must
+  /// outlive the Anonymize() call. With a tracer, every engine phase and
+  /// parallel sweep records a span (export via WriteChromeTrace); with a
+  /// metrics registry, the run publishes the engine.* / run.* catalog and
+  /// the cluster-size and merge-cost histograms. Null (the default) keeps
+  /// every instrumentation point a no-op.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct AnonymizationResult {
@@ -69,11 +79,26 @@ struct AnonymizationResult {
   size_t iterations_completed = 0;
   /// Records coarsened beyond plan by the fallback (pooled or suppressed).
   size_t records_suppressed = 0;
+  /// First stage that had to degrade ("" when the run completed), e.g.
+  /// "agglomerative/merge".
+  std::string degraded_stage;
   /// Engine telemetry from the algo/core components (merges, rescans, heap
   /// rebuilds, closure-cache hit rate, parallel-sweep chunks). Deterministic
   /// at every thread count; surfaced by `kanon_cli --stats-json`.
   EngineCounters counters;
 };
+
+/// Publishes the engine counters into `metrics` as typed metrics: one
+/// `engine.<field>` counter per EngineCounters field plus the
+/// `engine.closure_hit_rate` gauge. All deterministic. Null registry = no-op.
+void PublishCounters(const EngineCounters& counters, MetricsRegistry* metrics);
+
+/// Publishes run-level outcome metrics (`run.*` counters/gauges — loss,
+/// iterations, suppression, degradation; `run.elapsed_seconds` is flagged
+/// nondeterministic) and the `cluster.size` histogram of equivalence-class
+/// sizes in the final table. Null registry = no-op.
+void PublishResultMetrics(const AnonymizationResult& result,
+                          MetricsRegistry* metrics);
 
 /// Runs the configured pipeline on `dataset`, optimizing `loss`.
 /// This is the recommended entry point for library users; the individual

@@ -5,6 +5,7 @@
 
 #include "kanon/algo/core/closure_store.h"
 #include "kanon/common/check.h"
+#include "kanon/telemetry/tracer.h"
 
 namespace kanon {
 
@@ -63,6 +64,8 @@ class PartitionSearch {
         store_(loss) {}
 
   Clustering Run() {
+    PhaseSpan span(CurrentTracer(), "brute-force/search");
+    span.set_items(n_);
     best_loss_ = std::numeric_limits<double>::infinity();
     parts_.clear();
     Recurse(0);
@@ -140,6 +143,7 @@ Result<GeneralizedTable> OptimalK1BruteForce(const Dataset& dataset,
                                              size_t k,
                                              EngineCounters* counters) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k, /*max_n=*/16));
+  PhaseSpan span(CurrentTracer(), "brute-force/search");
   const GeneralizationScheme& scheme = loss.scheme();
   const uint32_t n = static_cast<uint32_t>(dataset.num_rows());
 

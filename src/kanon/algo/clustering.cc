@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kanon/common/check.h"
+#include "kanon/telemetry/tracer.h"
 
 namespace kanon {
 
@@ -41,6 +42,7 @@ GeneralizedTable TableFromClustering(
   KANON_CHECK(scheme != nullptr, "scheme must not be null");
   KANON_CHECK(clustering.IsPartitionOf(dataset.num_rows()),
               "clustering must partition the dataset rows");
+  PhaseSpan span(CurrentTracer(), "table-from-clustering");
   GeneralizedTable table =
       GeneralizedTable::Identity(scheme, dataset);
   for (const auto& cluster : clustering.clusters) {

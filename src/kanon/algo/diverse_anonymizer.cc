@@ -6,6 +6,7 @@
 
 #include "kanon/algo/core/closure_store.h"
 #include "kanon/common/check.h"
+#include "kanon/telemetry/tracer.h"
 
 namespace kanon {
 
@@ -55,6 +56,7 @@ Result<Clustering> LDiverseCluster(const Dataset& dataset,
   // Candidate-union costs go through an interned ClosureStore: different
   // unions often close to the same generalized record, which is then
   // priced once across the whole repair.
+  PhaseSpan repair_span(CurrentTracer(), "diverse/repair");
   ClosureStore store(loss);
   for (;;) {
     size_t violator = SIZE_MAX;

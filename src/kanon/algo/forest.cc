@@ -6,6 +6,7 @@
 #include "kanon/algo/core/union_find.h"
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
+#include "kanon/telemetry/tracer.h"
 
 namespace kanon {
 
@@ -34,6 +35,7 @@ class ForestBuilder {
       FinalizeDegraded(&out);
       return out;
     }
+    PhaseSpan split_span(CurrentTracer(), "forest/split");
     for (const std::vector<uint32_t>& tree : Trees()) {
       SplitTree(tree, &out);
     }
@@ -75,19 +77,24 @@ class ForestBuilder {
 
   // Phase 1: every component reaches size >= k.
   Status GrowForest() {
-    best_v_.assign(n_, kNone);
-    best_w_.assign(n_, std::numeric_limits<double>::infinity());
-    members_.assign(n_, {});
-    adjacency_.assign(n_, {});
-    for (uint32_t i = 0; i < n_; ++i) members_[i] = {i};
-    for (uint32_t i = 0; i < n_; ++i) {
-      // The all-pairs nearest-neighbor scan is the O(n²) part of setup; it
-      // honors the same controls as the growth loop.
-      if (CheckPoint("forest/init")) return Status::OK();
-      KANON_FAILPOINT("forest.closure");
-      RecomputeBest(i);
+    {
+      PhaseSpan init_span(CurrentTracer(), "forest/init");
+      init_span.set_items(n_);
+      best_v_.assign(n_, kNone);
+      best_w_.assign(n_, std::numeric_limits<double>::infinity());
+      members_.assign(n_, {});
+      adjacency_.assign(n_, {});
+      for (uint32_t i = 0; i < n_; ++i) members_[i] = {i};
+      for (uint32_t i = 0; i < n_; ++i) {
+        // The all-pairs nearest-neighbor scan is the O(n²) part of setup; it
+        // honors the same controls as the growth loop.
+        if (CheckPoint("forest/init")) return Status::OK();
+        KANON_FAILPOINT("forest.closure");
+        RecomputeBest(i);
+      }
     }
 
+    PhaseSpan grow_span(CurrentTracer(), "forest/grow");
     std::vector<uint32_t> pending;  // Roots that may still be small.
     for (uint32_t i = 0; i < n_; ++i) pending.push_back(i);
 

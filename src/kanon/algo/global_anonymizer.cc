@@ -8,6 +8,7 @@
 #include "kanon/common/failpoint.h"
 #include "kanon/graph/consistency_graph.h"
 #include "kanon/graph/matchable_edges.h"
+#include "kanon/telemetry/tracer.h"
 
 namespace kanon {
 
@@ -89,12 +90,19 @@ Result<GlobalAnonymizationResult> MakeGlobal1KAnonymous(
     return GlobalAnonymizationResult{std::move(table), GlobalAnonymizerStats{}};
   }
 
-  BipartiteGraph graph = BuildConsistencyGraph(dataset, table);
-  Result<MatchableEdgeSets> matchable = ComputeMatchableEdges(graph);
-  KANON_RETURN_NOT_OK(matchable.status());
-  KANON_CHECK(matchable->has_perfect_matching,
-              "identity edges guarantee a perfect matching");
+  Result<MatchableEdgeSets> matchable = Status::Internal("unset");
+  BipartiteGraph graph(0, 0);
+  {
+    PhaseSpan span(CurrentTracer(), "global/graph");
+    span.set_items(n);
+    graph = BuildConsistencyGraph(dataset, table);
+    matchable = ComputeMatchableEdges(graph);
+    KANON_RETURN_NOT_OK(matchable.status());
+    KANON_CHECK(matchable->has_perfect_matching,
+                "identity edges guarantee a perfect matching");
+  }
 
+  PhaseSpan upgrade_span(CurrentTracer(), "global/upgrade");
   GlobalAnonymizerStats stats;
   for (uint32_t i = 0; i < n; ++i) {
     size_t steps_for_record = 0;

@@ -7,6 +7,7 @@
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
 #include "kanon/common/parallel.h"
+#include "kanon/telemetry/tracer.h"
 
 namespace kanon {
 
@@ -129,6 +130,7 @@ Result<GlobalRecodingResult> GlobalRecodingKAnonymize(
   ClosureStore store(loss);
   GeneralizedTable current = ApplyLevels(dataset, loss.scheme_ptr(), tables,
                                          levels);
+  PhaseSpan ascent_span(CurrentTracer(), "full-domain/ascent");
   while (!TableIsKAnonymous(&store, current, k)) {
     if (ctx != nullptr && ctx->CheckPoint("full-domain/ascent")) {
       // Degradation: jump every attribute to its top level. All records

@@ -8,6 +8,7 @@
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
 #include "kanon/common/parallel.h"
+#include "kanon/telemetry/tracer.h"
 
 namespace kanon {
 
@@ -122,6 +123,8 @@ void AccountSweep(const PrecomputedLoss& loss, const GeneralizedTable& table,
                   size_t sweep_items, EngineCounters* counters) {
   if (counters == nullptr) return;
   counters->parallel_chunks += ParallelChunkCount(sweep_items);
+  PhaseSpan span(CurrentTracer(), "kk/closure-intern");
+  span.set_items(table.num_rows());
   ClosureStore store(loss);
   store.InternTable(table);
   store.ExportCounters(counters);
@@ -135,6 +138,7 @@ Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
                                             int num_threads,
                                             EngineCounters* counters) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
+  PhaseSpan phase(CurrentTracer(), "kk/k1-nn");
   const GeneralizationScheme& scheme = loss.scheme();
   const size_t n = dataset.num_rows();
 
@@ -198,6 +202,7 @@ Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
                                            int num_threads,
                                            EngineCounters* counters) {
   KANON_RETURN_NOT_OK(ValidateArgs(dataset, loss, k));
+  PhaseSpan phase(CurrentTracer(), "kk/k1-greedy");
   const GeneralizationScheme& scheme = loss.scheme();
   const size_t n = dataset.num_rows();
   const size_t r = dataset.num_attributes();
@@ -303,6 +308,7 @@ Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
     return Status::InvalidArgument(
         "table must have one generalized record per dataset row");
   }
+  PhaseSpan phase(CurrentTracer(), "kk/repair");
   const GeneralizationScheme& scheme = loss.scheme();
   const size_t n = dataset.num_rows();
   const size_t r = dataset.num_attributes();

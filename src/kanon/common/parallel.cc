@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "kanon/telemetry/tracer.h"
+
 namespace kanon {
 
 int DefaultNumThreads() {
@@ -39,19 +41,23 @@ struct Job {
   size_t n = 0;
   size_t num_chunks = 0;
   RunContext* ctx = nullptr;
+  Tracer* tracer = nullptr;              // Sweep's tracer; workers record
+  const char* stage = "";                // their participation against it.
   std::atomic<size_t> next{0};           // Next chunk to claim.
   std::atomic<int> stop{0};              // First StopReason observed, or 0.
   std::atomic<int> seats{0};             // Extra workers still allowed in.
 };
 
-// Claims and runs chunks until the sweep is exhausted or stopped. Shared by
-// pool workers and the calling thread.
-void DrainChunks(Job& job) {
+// Claims and runs chunks until the sweep is exhausted or stopped; returns
+// the number of chunks this thread ran. Shared by pool workers and the
+// calling thread.
+size_t DrainChunks(Job& job) {
   // Save/restore rather than set/clear: a nested (inline) sweep must not
   // clear the flag while the enclosing sweep is still running, or the next
   // nested call would take the pool path and self-deadlock on region_mu_.
   const bool was_in_sweep = t_in_sweep;
   t_in_sweep = true;
+  size_t ran = 0;
   for (;;) {
     if (job.stop.load(std::memory_order_relaxed) != 0) break;
     if (job.ctx != nullptr) {
@@ -67,8 +73,10 @@ void DrainChunks(Job& job) {
     if (chunk >= job.num_chunks) break;
     const auto [begin, end] = ParallelChunkRange(job.n, chunk);
     (*job.body)(chunk, begin, end);
+    ++ran;
   }
   t_in_sweep = was_in_sweep;
+  return ran;
 }
 
 // A lazily started pool of DrainChunks workers. One sweep runs at a time
@@ -137,7 +145,18 @@ class ThreadPool {
         job = current_;
         ++active_workers_;
       }
-      DrainChunks(*job);
+      {
+        // Worker-lane span: when the sweep is traced, each participating
+        // pool worker records one "worker" span covering its DrainChunks
+        // stint. Which worker claims which chunks is scheduling-dependent,
+        // so these lanes are outside the determinism contract (lane 0's
+        // "sweep" span is the deterministic record); a stint that claimed
+        // zero chunks is suppressed entirely.
+        PhaseSpan span(job->tracer, job->stage, "worker");
+        const size_t ran = DrainChunks(*job);
+        span.set_items(ran);
+        if (ran == 0) span.Cancel();
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (--active_workers_ == 0) done_cv_.notify_all();
@@ -182,6 +201,18 @@ SweepStatus ParallelChunks(
   job->n = n;
   job->num_chunks = num_chunks;
   job->ctx = ctx;
+  // Sweep span + step accounting. Only top-level sweeps are traced (nested
+  // sweeps run inline inside an already-traced chunk); lane 0 records
+  // exactly one "sweep" span per sweep and the step clock advances by the
+  // chunk count — both pure functions of n, never of the thread count.
+  Tracer* const tracer = t_in_sweep ? nullptr : CurrentTracer();
+  PhaseSpan sweep_span(tracer, stage, "sweep");
+  if (tracer != nullptr) {
+    sweep_span.set_items(num_chunks);
+    tracer->AdvanceSteps(num_chunks);
+    job->tracer = tracer;
+    job->stage = stage;
+  }
   const size_t threads = std::min<size_t>(
       static_cast<size_t>(ResolveNumThreads(num_threads)), num_chunks);
   if (threads <= 1 || t_in_sweep || n < serial_below) {

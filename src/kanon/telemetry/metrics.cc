@@ -1,0 +1,165 @@
+#include "kanon/telemetry/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace kanon {
+
+namespace {
+
+// Shortest round-trip-ish formatting that is identical for identical
+// doubles, with integral values printed without an exponent or trailing
+// zeros ("4" not "4.000000"). Used for both gauge values and histogram
+// bounds, so deterministic metrics fingerprint byte-identically.
+std::string FormatDouble(double value) {
+  if (std::isfinite(value) && value == static_cast<long long>(value) &&
+      std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void AppendQuoted(std::ostringstream& out, const std::string& text) {
+  out << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds, bool deterministic)
+    : bounds_(std::move(bounds)),
+      deterministic_(deterministic),
+      counts_(bounds_.size() + 1, 0) {}
+
+void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bucket = bounds_.size();  // Overflow bucket by default.
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     bool deterministic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>(deterministic);
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, bool deterministic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>(deterministic);
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         bool deterministic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds), deterministic);
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson(bool include_nondeterministic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!include_nondeterministic && !counter->deterministic()) continue;
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(out, name);
+    out << ": " << counter->value();
+  }
+  out << (first ? "}" : "\n  }");
+  out << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!include_nondeterministic && !gauge->deterministic()) continue;
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(out, name);
+    out << ": " << FormatDouble(gauge->value());
+  }
+  out << (first ? "}" : "\n  }");
+  out << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!include_nondeterministic && !histogram->deterministic()) continue;
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(out, name);
+    out << ": {\"count\": " << histogram->count()
+        << ", \"sum\": " << FormatDouble(histogram->sum())
+        << ", \"buckets\": [";
+    const std::vector<double>& bounds = histogram->bounds();
+    const std::vector<uint64_t> counts = histogram->bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"le\": ";
+      if (i < bounds.size()) {
+        out << FormatDouble(bounds[i]);
+      } else {
+        out << "\"inf\"";
+      }
+      out << ", \"count\": " << counts[i] << "}";
+    }
+    out << "]}";
+  }
+  out << (first ? "}" : "\n  }");
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace kanon

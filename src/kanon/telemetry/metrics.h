@@ -1,0 +1,104 @@
+#ifndef KANON_TELEMETRY_METRICS_H_
+#define KANON_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kanon {
+
+/// A monotonically increasing integer metric, e.g. "engine.merges".
+class Counter {
+ public:
+  explicit Counter(bool deterministic) : deterministic_(deterministic) {}
+
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Whether the value is part of the determinism contract: identical at
+  /// every --threads setting for the same input and configuration.
+  bool deterministic() const { return deterministic_; }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+  const bool deterministic_;
+};
+
+/// A last-write-wins floating-point metric, e.g. "run.elapsed_seconds".
+class Gauge {
+ public:
+  explicit Gauge(bool deterministic) : deterministic_(deterministic) {}
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  bool deterministic() const { return deterministic_; }
+
+ private:
+  std::atomic<double> value_{0.0};
+  const bool deterministic_;
+};
+
+/// A fixed-bucket histogram. Bucket i counts observations <= bounds[i];
+/// one implicit overflow bucket counts the rest. Bounds are fixed at
+/// registration so distributions stay comparable across runs.
+class Histogram {
+ public:
+  Histogram(std::vector<double> bounds, bool deterministic);
+
+  void Observe(double value);
+
+  uint64_t count() const;
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  bool deterministic() const { return deterministic_; }
+
+ private:
+  const std::vector<double> bounds_;
+  const bool deterministic_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// A registry of named metrics for one anonymization run. Registration
+/// returns stable pointers, so hot paths look a metric up once and then
+/// update it lock-free (counters/gauges) or under the histogram's own
+/// mutex. Names use a dotted "subsystem.metric" convention; iteration
+/// (and therefore JSON output) is in lexicographic name order.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates. The `deterministic` flag (and histogram bounds) of
+  /// the first registration win.
+  Counter* GetCounter(const std::string& name, bool deterministic = true);
+  Gauge* GetGauge(const std::string& name, bool deterministic = true);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          bool deterministic = true);
+
+  /// Flat metrics JSON: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// With include_nondeterministic=false only metrics under the determinism
+  /// contract are emitted — that string must be byte-identical at every
+  /// thread count, which is what the determinism tests fingerprint.
+  std::string ToJson(bool include_nondeterministic = true) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_TELEMETRY_METRICS_H_

@@ -1,0 +1,28 @@
+#include "kanon/telemetry/progress.h"
+
+namespace kanon {
+
+void ProgressReporter::Report(const RunProgress& progress) {
+  last_stage_ = progress.stage;
+  last_steps_ = progress.steps;
+  if (last_emit_seconds_ >= 0.0 &&
+      progress.elapsed_seconds - last_emit_seconds_ < min_interval_seconds_) {
+    return;
+  }
+  last_emit_seconds_ = progress.elapsed_seconds;
+  emitted_ = true;
+  std::fprintf(stream_, "\r[%8.2fs] %-32s %12zu steps",
+               progress.elapsed_seconds, progress.stage, progress.steps);
+  std::fflush(stream_);
+}
+
+std::string ProgressReporter::Finish() {
+  if (emitted_) {
+    std::fputc('\n', stream_);
+    std::fflush(stream_);
+    emitted_ = false;
+  }
+  return last_stage_;
+}
+
+}  // namespace kanon

@@ -1,0 +1,53 @@
+#ifndef KANON_TELEMETRY_PROGRESS_H_
+#define KANON_TELEMETRY_PROGRESS_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "kanon/common/run_context.h"
+
+namespace kanon {
+
+/// A throttled stderr progress line fed by the RunContext progress
+/// observer. Install with:
+///
+///   ProgressReporter reporter;
+///   ctx.set_progress_observer(reporter.AsObserver());
+///
+/// Emission is wall-clock throttled (default: at most one line per 200 ms)
+/// on top of the observer's own step interval, so tight runs stay quiet
+/// and long runs show steady movement. Finish() terminates the line and
+/// reports the last stage seen, which is exactly the stage a deadline or
+/// budget stop landed in.
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(FILE* stream = stderr,
+                            double min_interval_seconds = 0.2)
+      : stream_(stream), min_interval_seconds_(min_interval_seconds) {}
+
+  /// The callback to hand to RunContext::set_progress_observer.
+  std::function<void(const RunProgress&)> AsObserver() {
+    return [this](const RunProgress& progress) { Report(progress); };
+  }
+
+  void Report(const RunProgress& progress);
+
+  /// Ends the progress line (if any was printed) and returns the last
+  /// stage observed ("" when the observer never fired).
+  std::string Finish();
+
+  const std::string& last_stage() const { return last_stage_; }
+
+ private:
+  FILE* stream_;
+  const double min_interval_seconds_;
+  double last_emit_seconds_ = -1.0;
+  bool emitted_ = false;
+  std::string last_stage_;
+  size_t last_steps_ = 0;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_TELEMETRY_PROGRESS_H_

@@ -1,0 +1,90 @@
+#include "kanon/telemetry/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace kanon {
+
+namespace {
+
+// Microsecond timestamps with sub-microsecond precision preserved.
+std::string FormatMicros(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+Status WriteText(const std::string& text, const std::string& path,
+                 const char* what) {
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return Status::OK();
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError(std::string("cannot open ") + what + " output: " +
+                           path);
+  }
+  out << text;
+  out.flush();
+  if (!out) {
+    return Status::IOError(std::string("short write to ") + what +
+                           " output: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  const size_t lanes = tracer.num_lanes();
+  // Metadata: name the process and each lane's trace thread.
+  out << "  {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+         "\"name\": \"process_name\", \"args\": {\"name\": \"kanon\"}}";
+  first = false;
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    out << ",\n  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << lane
+        << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+        << (lane == 0 ? std::string("coordinator")
+                      : "worker " + std::to_string(lane))
+        << "\"}}";
+  }
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    for (const SpanEvent& event : tracer.lane_events(lane)) {
+      out << (first ? "  " : ",\n  ");
+      first = false;
+      out << "{\"ph\": \"X\", \"pid\": 1, \"tid\": " << event.lane
+          << ", \"name\": \"" << event.name << "\", \"cat\": \""
+          << event.category
+          << "\", \"ts\": " << FormatMicros(event.wall_begin_us)
+          << ", \"dur\": "
+          << FormatMicros(event.wall_end_us - event.wall_begin_us)
+          << ", \"args\": {\"steps_begin\": " << event.steps_begin
+          << ", \"steps_end\": " << event.steps_end
+          << ", \"items\": " << event.items << ", \"depth\": " << event.depth
+          << "}}";
+    }
+  }
+  out << "\n]";
+  if (tracer.dropped_spans() > 0) {
+    out << ", \"kanonDroppedSpans\": " << tracer.dropped_spans();
+  }
+  out << "}\n";
+  return out.str();
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  return WriteText(ChromeTraceJson(tracer), path, "trace");
+}
+
+Status WriteMetricsJson(const MetricsRegistry& metrics,
+                        const std::string& path) {
+  return WriteText(metrics.ToJson(/*include_nondeterministic=*/true), path,
+                   "metrics");
+}
+
+}  // namespace kanon

@@ -1,0 +1,29 @@
+#ifndef KANON_TELEMETRY_TRACE_EXPORT_H_
+#define KANON_TELEMETRY_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "kanon/common/status.h"
+#include "kanon/telemetry/metrics.h"
+#include "kanon/telemetry/tracer.h"
+
+namespace kanon {
+
+/// Renders the tracer's spans as Chrome trace-event JSON (the "JSON Array
+/// Format" with a traceEvents wrapper), loadable in chrome://tracing and
+/// https://ui.perfetto.dev. One trace process ("kanon"), one trace thread
+/// per lane; lane 0 is named "coordinator", lanes >= 1 "worker N". Every
+/// span becomes a complete ("ph":"X") event carrying the deterministic
+/// step-clock interval and the item payload in its args.
+std::string ChromeTraceJson(const Tracer& tracer);
+
+/// ChromeTraceJson written to `path` ("-" = stdout).
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+/// MetricsRegistry::ToJson(true) written to `path` ("-" = stdout).
+Status WriteMetricsJson(const MetricsRegistry& metrics,
+                        const std::string& path);
+
+}  // namespace kanon
+
+#endif  // KANON_TELEMETRY_TRACE_EXPORT_H_

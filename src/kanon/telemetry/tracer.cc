@@ -1,0 +1,123 @@
+#include "kanon/telemetry/tracer.h"
+
+namespace kanon {
+
+namespace {
+
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+// Per-thread lane cache: valid for one tracer id at a time. Re-resolving
+// through the tracer's mutex only happens on the first span a thread
+// records against a given tracer.
+struct LaneCache {
+  uint64_t tracer_id = 0;
+  uint32_t lane = 0;
+  uint32_t depth = 0;
+};
+thread_local LaneCache t_lane_cache;
+
+struct CurrentTelemetry {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
+thread_local CurrentTelemetry t_current;
+
+}  // namespace
+
+Tracer::Tracer(size_t max_spans)
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      max_spans_(max_spans),
+      start_(std::chrono::steady_clock::now()) {
+  // The constructing thread is the run's coordinating thread: lane 0.
+  lane_threads_.push_back(std::this_thread::get_id());
+  lanes_.emplace_back();
+  t_lane_cache = LaneCache{id_, 0, 0};
+}
+
+double Tracer::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+uint32_t Tracer::ThisThreadLane() {
+  if (t_lane_cache.tracer_id == id_) return t_lane_cache.lane;
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t lane = 0; lane < lane_threads_.size(); ++lane) {
+    if (lane_threads_[lane] == self) {
+      t_lane_cache = LaneCache{id_, static_cast<uint32_t>(lane), 0};
+      return static_cast<uint32_t>(lane);
+    }
+  }
+  const uint32_t lane = static_cast<uint32_t>(lane_threads_.size());
+  lane_threads_.push_back(self);
+  lanes_.emplace_back();
+  t_lane_cache = LaneCache{id_, lane, 0};
+  return lane;
+}
+
+void Tracer::Record(const SpanEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stored_ >= max_spans_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  lanes_[event.lane].push_back(event);
+  ++stored_;
+}
+
+size_t Tracer::num_lanes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_.size();
+}
+
+const std::vector<SpanEvent>& Tracer::lane_events(size_t lane) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_[lane];
+}
+
+size_t Tracer::total_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stored_;
+}
+
+PhaseSpan::PhaseSpan(Tracer* tracer, const char* name, const char* category)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  event_.name = name;
+  event_.category = category;
+  event_.lane = tracer_->ThisThreadLane();
+  event_.depth = t_lane_cache.depth++;
+  event_.wall_begin_us = tracer_->NowMicros();
+  if (event_.lane == 0) tracer_->AdvanceSteps(1);
+  event_.steps_begin = tracer_->steps();
+}
+
+PhaseSpan::~PhaseSpan() {
+  if (tracer_ == nullptr) return;
+  // The cache cannot have moved to another tracer mid-span: a thread
+  // records against one tracer at a time (one run owns one coordinating
+  // thread, and a pool worker participates in one sweep at a time).
+  --t_lane_cache.depth;
+  if (event_.lane == 0) tracer_->AdvanceSteps(1);
+  event_.steps_end = tracer_->steps();
+  event_.wall_end_us = tracer_->NowMicros();
+  tracer_->Record(event_);
+}
+
+Tracer* CurrentTracer() { return t_current.tracer; }
+MetricsRegistry* CurrentMetrics() { return t_current.metrics; }
+
+ScopedTelemetry::ScopedTelemetry(Tracer* tracer, MetricsRegistry* metrics)
+    : saved_tracer_(t_current.tracer), saved_metrics_(t_current.metrics) {
+  t_current.tracer = tracer;
+  t_current.metrics = metrics;
+}
+
+ScopedTelemetry::~ScopedTelemetry() {
+  t_current.tracer = saved_tracer_;
+  t_current.metrics = saved_metrics_;
+}
+
+}  // namespace kanon

@@ -1,0 +1,155 @@
+#ifndef KANON_TELEMETRY_TRACER_H_
+#define KANON_TELEMETRY_TRACER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kanon {
+
+class MetricsRegistry;
+
+/// One finished phase scope. `name` and `category` must be string literals
+/// (or otherwise outlive the tracer): spans are recorded on hot paths and
+/// never copy their labels.
+///
+/// Determinism contract (docs/observability.md): on lane 0 — the run's
+/// coordinating thread — the sequence of (name, category, depth,
+/// steps_begin, steps_end, items) tuples is a pure function of the input
+/// and the configuration, identical at every --threads value. Only the
+/// wall-clock fields (wall_begin_us, wall_end_us) may differ between runs.
+/// Spans on worker lanes (lane >= 1) carry no such guarantee: which pool
+/// worker claims which chunks is scheduling-dependent.
+struct SpanEvent {
+  const char* name = "";
+  const char* category = "phase";  // "phase", "sweep", or "worker".
+  uint32_t lane = 0;               // 0 = coordinating thread.
+  uint32_t depth = 0;              // Nesting depth on the opening thread.
+  uint64_t steps_begin = 0;        // Deterministic step clock at open.
+  uint64_t steps_end = 0;          // ... and at close.
+  uint64_t items = 0;              // Optional payload size (e.g. chunks).
+  double wall_begin_us = 0.0;      // Wall clock, microseconds since the
+  double wall_end_us = 0.0;        // tracer was constructed. NOT deterministic.
+};
+
+/// Collects phase-scoped spans from one anonymization run, with one lane
+/// per participating thread. Disabled tracing is simply a null Tracer*:
+/// every recording entry point (PhaseSpan, CurrentTracer()) is a no-op —
+/// no allocation, no lock, one predictable branch.
+///
+/// Recording (PhaseSpan open/close, AdvanceSteps) is thread-safe; the
+/// read accessors (lanes(), lane_events()) must only be called after the
+/// traced run finished.
+class Tracer {
+ public:
+  /// `max_spans` bounds memory: spans past the cap are counted in
+  /// dropped_spans() instead of stored.
+  explicit Tracer(size_t max_spans = kDefaultMaxSpans);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The deterministic step clock. It advances only on lane 0: one tick
+  /// per span open, one per close, plus explicit AdvanceSteps() calls from
+  /// engine code at points that are pure functions of the input (e.g. one
+  /// tick per parallel chunk issued — chunk geometry never depends on the
+  /// thread count). Worker lanes snapshot the clock without advancing it.
+  uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+  void AdvanceSteps(uint64_t n) {
+    steps_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Microseconds since construction (wall clock; not deterministic).
+  double NowMicros() const;
+
+  /// Lane of the calling thread, assigned on first use: the thread that
+  /// constructed the tracer is lane 0.
+  uint32_t ThisThreadLane();
+
+  /// Appends a finished span to its lane. Thread-safe.
+  void Record(const SpanEvent& event);
+
+  /// Number of lanes that recorded at least one span (or were registered).
+  size_t num_lanes() const;
+  /// Spans of one lane, in close order. Run must be finished.
+  const std::vector<SpanEvent>& lane_events(size_t lane) const;
+  /// Total spans stored across lanes.
+  size_t total_spans() const;
+  size_t dropped_spans() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t id() const { return id_; }
+
+ private:
+  static constexpr size_t kDefaultMaxSpans = 1u << 20;
+
+  const uint64_t id_;  // Process-unique; keys the thread-local lane cache.
+  const size_t max_spans_;
+  std::atomic<uint64_t> steps_{0};
+  std::atomic<size_t> dropped_{0};
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::vector<std::thread::id> lane_threads_;
+  std::vector<std::vector<SpanEvent>> lanes_;
+  size_t stored_ = 0;
+};
+
+/// RAII phase scope. A null tracer makes every member a no-op, so
+/// instrumented code needs no branches of its own:
+///
+///   PhaseSpan span(CurrentTracer(), "agglomerative/init");
+///
+/// Opening reads the clocks; closing (the destructor) records the span.
+/// On lane 0 the step clock ticks once at open and once at close, which
+/// makes the lane-0 step values a deterministic structural clock.
+class PhaseSpan {
+ public:
+  PhaseSpan(Tracer* tracer, const char* name, const char* category = "phase");
+  ~PhaseSpan();
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  /// Optional payload recorded with the span (e.g. chunks swept).
+  void set_items(uint64_t items) { event_.items = items; }
+  /// Suppresses recording (used for zero-work worker participations).
+  void Cancel() { tracer_ = nullptr; }
+
+ private:
+  Tracer* tracer_;
+  SpanEvent event_;
+};
+
+/// The telemetry sinks installed for the current run, read through
+/// thread-local pointers so instrumented code deep in the engines (and the
+/// parallel sweep issuer) needs no plumbed-through arguments. Both are null
+/// unless a ScopedTelemetry is live on this thread.
+Tracer* CurrentTracer();
+MetricsRegistry* CurrentMetrics();
+
+/// Installs tracer/metrics as the calling thread's current telemetry for
+/// the scope's lifetime (saving and restoring whatever was installed
+/// before). Install on the thread that owns the run; parallel sweeps
+/// propagate the tracer to their pool workers by hand.
+class ScopedTelemetry {
+ public:
+  ScopedTelemetry(Tracer* tracer, MetricsRegistry* metrics);
+  ~ScopedTelemetry();
+
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+ private:
+  Tracer* saved_tracer_;
+  MetricsRegistry* saved_metrics_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_TELEMETRY_TRACER_H_

@@ -1,0 +1,446 @@
+// The telemetry subsystem's three contracts (docs/observability.md):
+//  1. Determinism — lane-0 span structure (names, categories, depths, step
+//     clock, items) and the deterministic metrics fingerprint are pure
+//     functions of the input, identical at every --threads value; only
+//     wall-clock fields and worker lanes may differ.
+//  2. Export — ChromeTraceJson emits well-formed trace-event JSON carrying
+//     the coordinator/worker lane metadata and the engine phase spans.
+//  3. Zero overhead when disabled — with no tracer installed, a PhaseSpan
+//     is a no-op: no allocation, no lock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kanon/algo/anonymizer.h"
+#include "kanon/loss/entropy_measure.h"
+#include "kanon/telemetry/metrics.h"
+#include "kanon/telemetry/trace_export.h"
+#include "kanon/telemetry/tracer.h"
+#include "test_util.h"
+
+// Sanitizer builds replace the global allocator; skip the allocation-count
+// override (and its test) there rather than fight the interceptors.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define KANON_TEST_SANITIZED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define KANON_TEST_SANITIZED 1
+#endif
+#endif
+
+#ifndef KANON_TEST_SANITIZED
+
+// The replacement operator new/delete below are malloc/free-backed on
+// purpose (they only count); GCC's heuristic flags every inlined
+// delete-after-new in the TU as a new/free mismatch.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<size_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // KANON_TEST_SANITIZED
+
+namespace kanon {
+namespace {
+
+using testing::SmallRandomDataset;
+using testing::SmallScheme;
+using testing::Unwrap;
+
+// --- A minimal recursive-descent JSON well-formedness checker. ---------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!ParseValue()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool ParseValue() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseObject() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) return true;
+    for (;;) {
+      SkipWs();
+      if (!ParseString()) return false;
+      SkipWs();
+      if (!Expect(':')) return false;
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Peek('}')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) return true;
+    for (;;) {
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Peek(']')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+
+  bool ParseString() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        ++pos_;
+      }
+    }
+    return false;
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Expect(char c) { return Peek(c); }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// --- Tracer unit behavior. ---------------------------------------------
+
+TEST(TracerTest, LaneZeroSpansTickTheStepClockAndNest) {
+  Tracer tracer;
+  {
+    PhaseSpan outer(&tracer, "outer");
+    {
+      PhaseSpan inner(&tracer, "inner");
+      inner.set_items(7);
+    }
+  }
+  ASSERT_EQ(tracer.num_lanes(), 1u);
+  const std::vector<SpanEvent>& events = tracer.lane_events(0);
+  ASSERT_EQ(events.size(), 2u);  // Close order: inner first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[0].items, 7u);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  // One tick per open + one per close: outer opens at 1, inner at 2,
+  // inner closes at 3, outer at 4.
+  EXPECT_EQ(events[1].steps_begin, 1u);
+  EXPECT_EQ(events[0].steps_begin, 2u);
+  EXPECT_EQ(events[0].steps_end, 3u);
+  EXPECT_EQ(events[1].steps_end, 4u);
+  EXPECT_GE(events[0].wall_end_us, events[0].wall_begin_us);
+}
+
+TEST(TracerTest, CancelSuppressesRecording) {
+  Tracer tracer;
+  {
+    PhaseSpan span(&tracer, "cancelled");
+    span.Cancel();
+  }
+  EXPECT_EQ(tracer.total_spans(), 0u);
+}
+
+TEST(TracerTest, SpanCapDropsInsteadOfGrowing) {
+  Tracer tracer(/*max_spans=*/2);
+  for (int i = 0; i < 5; ++i) {
+    PhaseSpan span(&tracer, "probe");
+  }
+  EXPECT_EQ(tracer.total_spans(), 2u);
+  EXPECT_EQ(tracer.dropped_spans(), 3u);
+}
+
+TEST(TracerTest, ScopedTelemetryInstallsAndRestores) {
+  EXPECT_EQ(CurrentTracer(), nullptr);
+  EXPECT_EQ(CurrentMetrics(), nullptr);
+  Tracer tracer;
+  MetricsRegistry metrics;
+  {
+    const ScopedTelemetry scope(&tracer, &metrics);
+    EXPECT_EQ(CurrentTracer(), &tracer);
+    EXPECT_EQ(CurrentMetrics(), &metrics);
+    {
+      const ScopedTelemetry inner(nullptr, nullptr);
+      EXPECT_EQ(CurrentTracer(), nullptr);
+    }
+    EXPECT_EQ(CurrentTracer(), &tracer);
+  }
+  EXPECT_EQ(CurrentTracer(), nullptr);
+  EXPECT_EQ(CurrentMetrics(), nullptr);
+}
+
+// --- Metrics unit behavior. --------------------------------------------
+
+TEST(MetricsTest, CounterGaugeHistogramRoundTrip) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("engine.merges");
+  c->Add(3);
+  c->Add(2);
+  EXPECT_EQ(c->value(), 5u);
+  EXPECT_EQ(registry.GetCounter("engine.merges"), c);
+
+  Gauge* g = registry.GetGauge("run.loss");
+  g->Set(0.25);
+  EXPECT_DOUBLE_EQ(g->value(), 0.25);
+
+  Histogram* h = registry.GetHistogram("cluster.size", {2.0, 4.0, 8.0});
+  h->Observe(1.0);   // bucket le=2
+  h->Observe(4.0);   // le=4 (inclusive upper bound)
+  h->Observe(100.0); // overflow
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->sum(), 105.0);
+  const std::vector<uint64_t> buckets = h->bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+  // First registration's bounds win; re-requesting returns the same object.
+  EXPECT_EQ(registry.GetHistogram("cluster.size", {1.0}), h);
+}
+
+TEST(MetricsTest, NondeterministicMetricsExcludedFromFingerprint) {
+  MetricsRegistry registry;
+  registry.GetCounter("run.rows")->Set(100);
+  registry.GetGauge("run.elapsed_seconds", /*deterministic=*/false)
+      ->Set(1.23);
+  const std::string full = registry.ToJson(true);
+  const std::string fingerprint = registry.ToJson(false);
+  EXPECT_NE(full.find("run.elapsed_seconds"), std::string::npos);
+  EXPECT_EQ(fingerprint.find("run.elapsed_seconds"), std::string::npos);
+  EXPECT_NE(fingerprint.find("run.rows"), std::string::npos);
+  EXPECT_TRUE(JsonValidator(full).Valid());
+  EXPECT_TRUE(JsonValidator(fingerprint).Valid());
+}
+
+// --- The determinism contract across thread counts. --------------------
+
+// The lane-0 structural fingerprint: everything except wall clock.
+std::string LaneZeroFingerprint(const Tracer& tracer) {
+  std::ostringstream out;
+  for (const SpanEvent& event : tracer.lane_events(0)) {
+    out << event.name << '|' << event.category << '|' << event.depth << '|'
+        << event.steps_begin << '|' << event.steps_end << '|' << event.items
+        << '\n';
+  }
+  return out.str();
+}
+
+TEST(TelemetryDeterminismTest, LaneZeroSpansAndMetricsIdenticalAcrossThreads) {
+  const auto scheme = SmallScheme();
+  const Dataset d = SmallRandomDataset(*scheme, 150, 20260807);
+  const PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  const AnonymizationMethod methods[] = {
+      AnonymizationMethod::kAgglomerative,
+      AnonymizationMethod::kModifiedAgglomerative,
+      AnonymizationMethod::kKKGreedyExpansion,
+      AnonymizationMethod::kKKNearestNeighbors,
+      AnonymizationMethod::kGlobal,
+      AnonymizationMethod::kFullDomain,
+  };
+  for (AnonymizationMethod method : methods) {
+    std::string baseline_spans;
+    std::string baseline_metrics;
+    for (int threads : {1, 2, 4}) {
+      Tracer tracer;
+      MetricsRegistry metrics;
+      AnonymizerConfig config;
+      config.k = 5;
+      config.method = method;
+      config.num_threads = threads;
+      config.tracer = &tracer;
+      config.metrics = &metrics;
+      Unwrap(Anonymize(d, loss, config));
+      ASSERT_GT(tracer.total_spans(), 0u)
+          << AnonymizationMethodName(method);
+      const std::string spans = LaneZeroFingerprint(tracer);
+      const std::string fingerprint =
+          metrics.ToJson(/*include_nondeterministic=*/false);
+      if (threads == 1) {
+        baseline_spans = spans;
+        baseline_metrics = fingerprint;
+      } else {
+        EXPECT_EQ(spans, baseline_spans)
+            << AnonymizationMethodName(method)
+            << " lane-0 spans diverged at --threads " << threads;
+        EXPECT_EQ(fingerprint, baseline_metrics)
+            << AnonymizationMethodName(method)
+            << " metrics fingerprint diverged at --threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(TelemetryDeterminismTest, WorkerLanesAppearUnderParallelRuns) {
+  const auto scheme = SmallScheme();
+  const Dataset d = SmallRandomDataset(*scheme, 200, 11);
+  const PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  Tracer tracer;
+  AnonymizerConfig config;
+  config.k = 5;
+  config.method = AnonymizationMethod::kAgglomerative;
+  config.num_threads = 4;
+  config.tracer = &tracer;
+  Unwrap(Anonymize(d, loss, config));
+  // Lane 0 is the coordinator; the pool contributes at least one more lane
+  // (scheduling decides how many workers actually claim chunks).
+  EXPECT_GE(tracer.num_lanes(), 2u);
+  bool saw_sweep = false;
+  for (const SpanEvent& event : tracer.lane_events(0)) {
+    if (std::string(event.category) == "sweep") saw_sweep = true;
+  }
+  EXPECT_TRUE(saw_sweep);
+}
+
+// --- Chrome trace export schema. ---------------------------------------
+
+TEST(TraceExportTest, ChromeTraceJsonIsWellFormedAndCarriesThePhases) {
+  const auto scheme = SmallScheme();
+  const Dataset d = SmallRandomDataset(*scheme, 120, 3);
+  const PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  Tracer tracer;
+  AnonymizerConfig config;
+  config.k = 4;
+  config.method = AnonymizationMethod::kAgglomerative;
+  config.num_threads = 2;
+  config.tracer = &tracer;
+  Unwrap(Anonymize(d, loss, config));
+
+  const std::string json = ChromeTraceJson(tracer);
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"coordinator\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("pipeline/agglomerative"), std::string::npos);
+  EXPECT_NE(json.find("agglomerative/heap-drain"), std::string::npos);
+  EXPECT_NE(json.find("\"steps_begin\""), std::string::npos);
+  EXPECT_EQ(json.find("kanonDroppedSpans"), std::string::npos);
+}
+
+TEST(TraceExportTest, MetricsJsonIsWellFormed) {
+  const auto scheme = SmallScheme();
+  const Dataset d = SmallRandomDataset(*scheme, 100, 5);
+  const PrecomputedLoss loss(scheme, d, EntropyMeasure());
+  MetricsRegistry metrics;
+  AnonymizerConfig config;
+  config.k = 4;
+  config.method = AnonymizationMethod::kKKGreedyExpansion;
+  config.metrics = &metrics;
+  Unwrap(Anonymize(d, loss, config));
+  const std::string json = metrics.ToJson(true);
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"engine.closure_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"run.loss\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster.size\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\""), std::string::npos);
+}
+
+// --- Disabled mode: no allocation, no recording. -----------------------
+
+TEST(TelemetryOffTest, NullTracerSpansAllocateNothing) {
+#ifdef KANON_TEST_SANITIZED
+  GTEST_SKIP() << "allocation counting is disabled under sanitizers";
+#else
+  ASSERT_EQ(CurrentTracer(), nullptr);
+  const size_t before = g_allocation_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    PhaseSpan span(CurrentTracer(), "telemetry-off-probe");
+    span.set_items(static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(g_allocation_count.load(std::memory_order_relaxed), before);
+#endif
+}
+
+}  // namespace
+}  // namespace kanon

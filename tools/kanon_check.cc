@@ -9,6 +9,8 @@
 //                                   # for every N (0 = all cores)
 //               [--report=PATH]     # write the JSON report ("-" = stdout,
 //                                   # the default)
+//               [--metrics-json=PATH] # write the campaign outcome as a flat
+//                                   # telemetry metrics document ("-" = stdout)
 //               [--repro-dir=DIR]   # write one .repro file per failure
 //               [--no-shrink]       # report failures unminimized
 //               [--shrink-evals=N]  # shrink budget per failure (default 500)
@@ -35,6 +37,8 @@
 #include "kanon/check/properties.h"
 #include "kanon/check/repro.h"
 #include "kanon/common/flags.h"
+#include "kanon/telemetry/metrics.h"
+#include "kanon/telemetry/trace_export.h"
 
 namespace kanon {
 namespace {
@@ -43,8 +47,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: kanon_check --campaign --seed=S --trials=N "
                "[--props=a,b] [--threads=T]\n"
-               "                   [--report=PATH] [--repro-dir=DIR] "
-               "[--no-shrink]\n"
+               "                   [--report=PATH] [--metrics-json=PATH] "
+               "[--repro-dir=DIR] [--no-shrink]\n"
                "       kanon_check --replay FILE.repro [...]\n"
                "       kanon_check --list-props\n");
   return 2;
@@ -127,6 +131,30 @@ int Campaign(const FlagParser& flags) {
       return 2;
     }
     out << json;
+  }
+
+  // The campaign outcome as a flat metrics document — same schema as
+  // `kanon_cli --metrics-json`, so CI dashboards consume one format.
+  const std::string metrics_path = flags.GetString("metrics-json", "");
+  if (!metrics_path.empty()) {
+    MetricsRegistry metrics;
+    metrics.GetCounter("check.seed")->Set(options.seed);
+    metrics.GetCounter("check.trials")->Set(report->trials);
+    metrics.GetCounter("check.evaluations")->Set(report->evaluations);
+    metrics.GetCounter("check.passed")->Set(report->passed);
+    metrics.GetCounter("check.failed")->Set(report->failures.size());
+    metrics.GetCounter("check.generator_errors")
+        ->Set(report->generator_errors.size());
+    metrics.GetGauge("check.pass_rate")
+        ->Set(report->evaluations == 0
+                  ? 1.0
+                  : static_cast<double>(report->passed) /
+                        static_cast<double>(report->evaluations));
+    const Status written = WriteMetricsJson(metrics, metrics_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "kanon_check: %s\n", written.ToString().c_str());
+      return 2;
+    }
   }
 
   const std::string repro_dir = flags.GetString("repro-dir", "");

@@ -18,8 +18,17 @@
 //                                            # scans; 0 = all cores; output
 //                                            # is identical for every N
 //             [--stats-json=PATH]            # write one JSON object with the
-//                                            # loss, timing, and the engine
-//                                            # counters ("-" = stdout)
+//                                            # loss, timing, the engine
+//                                            # counters, and the full metrics
+//                                            # registry ("-" = stdout)
+//             [--trace-json=PATH]            # write a Chrome trace-event
+//                                            # JSON of the run's phase spans
+//                                            # (open in chrome://tracing or
+//                                            # ui.perfetto.dev)
+//             [--metrics-json=PATH]          # write the metrics registry as
+//                                            # flat JSON ("-" = stdout)
+//             [--progress]                   # throttled progress line on
+//                                            # stderr while the run advances
 //
 // SIGINT (Ctrl-C) cancels cooperatively: the pipeline finalizes a valid
 // partial result instead of dying. Exit codes:
@@ -47,6 +56,8 @@
 #include "kanon/loss/suppression_measure.h"
 #include "kanon/loss/tree_measure.h"
 #include "kanon/loss/utility_report.h"
+#include "kanon/telemetry/progress.h"
+#include "kanon/telemetry/trace_export.h"
 
 namespace kanon {
 namespace {
@@ -96,7 +107,8 @@ Result<std::unique_ptr<LossMeasure>> ParseMeasure(const std::string& name) {
 // stable regression surface (the cli_stats_json test pins it).
 std::string StatsJson(const AnonymizerConfig& config,
                       const std::string& measure_name,
-                      const AnonymizationResult& result) {
+                      const AnonymizationResult& result,
+                      const MetricsRegistry* metrics) {
   std::ostringstream out;
   out.precision(17);
   const EngineCounters& c = result.counters;
@@ -107,6 +119,7 @@ std::string StatsJson(const AnonymizerConfig& config,
   out << "\"loss\":" << result.loss << ",";
   out << "\"elapsed_seconds\":" << result.elapsed_seconds << ",";
   out << "\"degraded\":" << (result.degraded ? "true" : "false") << ",";
+  out << "\"degraded_stage\":\"" << result.degraded_stage << "\",";
   out << "\"iterations_completed\":" << result.iterations_completed << ",";
   out << "\"records_suppressed\":" << result.records_suppressed << ",";
   out << "\"counters\":{";
@@ -118,7 +131,15 @@ std::string StatsJson(const AnonymizerConfig& config,
   out << "\"closure_hit_rate\":" << c.closure_hit_rate() << ",";
   out << "\"upgrade_steps\":" << c.upgrade_steps << ",";
   out << "\"parallel_chunks\":" << c.parallel_chunks;
-  out << "}}\n";
+  out << "}";
+  if (metrics != nullptr) {
+    // The full registry (superset of the counters above, plus the run.*
+    // gauges and histograms), embedded as a sub-object.
+    std::string registry = metrics->ToJson(/*include_nondeterministic=*/true);
+    while (!registry.empty() && registry.back() == '\n') registry.pop_back();
+    out << ",\"metrics\":" << registry;
+  }
+  out << "}\n";
   return out.str();
 }
 
@@ -151,7 +172,8 @@ int RealMain(int argc, char** argv) {
                  "usage: kanon_cli --input=records.csv --k=5 [--spec=...]"
                  " [--method=...] [--measure=EM] [--distance=4]"
                  " [--output=...] [--print-spec] [--timeout-ms=N]"
-                 " [--max-steps=N] [--threads=N] [--stats-json=PATH]\n");
+                 " [--max-steps=N] [--threads=N] [--stats-json=PATH]"
+                 " [--trace-json=PATH] [--metrics-json=PATH] [--progress]\n");
     return 2;
   }
   const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
@@ -234,12 +256,52 @@ int RealMain(int argc, char** argv) {
   }
   config.run_context = &ctx;
 
+  // Telemetry (docs/observability.md): the tracer exists only when a trace
+  // was asked for; the metrics registry whenever any JSON output wants it.
+  const std::string trace_path = flags.GetString("trace-json", "");
+  const std::string metrics_path = flags.GetString("metrics-json", "");
+  const std::string stats_path = flags.GetString("stats-json", "");
+  std::unique_ptr<Tracer> tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<Tracer>();
+    config.tracer = tracer.get();
+  }
+  std::unique_ptr<MetricsRegistry> metrics;
+  if (!metrics_path.empty() || !stats_path.empty()) {
+    metrics = std::make_unique<MetricsRegistry>();
+    config.metrics = metrics.get();
+  }
+  ProgressReporter progress_reporter;
+  if (flags.GetBool("progress", false)) {
+    ctx.set_progress_observer(progress_reporter.AsObserver());
+  }
+
   Result<AnonymizationResult> result =
       Anonymize(dataset.value(), loss, config);
+  progress_reporter.Finish();
   if (!result.ok()) {
     std::fprintf(stderr, "anonymization failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
+  }
+
+  if (tracer != nullptr) {
+    if (Status s = WriteChromeTrace(*tracer, trace_path); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace %s (%zu spans, %zu lanes)\n",
+                 trace_path.c_str(), tracer->total_spans(),
+                 tracer->num_lanes());
+  }
+  if (metrics != nullptr && !metrics_path.empty()) {
+    if (Status s = WriteMetricsJson(*metrics, metrics_path); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (metrics_path != "-") {
+      std::fprintf(stderr, "wrote metrics %s\n", metrics_path.c_str());
+    }
   }
 
   if (flags.GetBool("report", false)) {
@@ -255,10 +317,9 @@ int RealMain(int argc, char** argv) {
                  result->iterations_completed, result->records_suppressed);
   }
 
-  const std::string stats_path = flags.GetString("stats-json", "");
   if (!stats_path.empty()) {
     const std::string json =
-        StatsJson(config, loss.measure_name(), result.value());
+        StatsJson(config, loss.measure_name(), result.value(), metrics.get());
     if (stats_path == "-") {
       std::fputs(json.c_str(), stdout);
     } else {
@@ -288,9 +349,12 @@ int RealMain(int argc, char** argv) {
                holds ? "satisfied" : "VIOLATED");
   if (result->degraded) {
     std::fprintf(stderr,
-                 "run degraded (%s) after %zu iterations; %zu records"
-                 " coarsened by the fallback — output is valid but lossier\n",
+                 "run degraded (%s) in stage %s after %zu iterations; %zu"
+                 " records coarsened by the fallback — output is valid but"
+                 " lossier\n",
                  StopReasonName(result->stop_reason),
+                 result->degraded_stage.empty() ? "unknown"
+                                                : result->degraded_stage.c_str(),
                  result->iterations_completed, result->records_suppressed);
   }
   if (!holds) return 1;
