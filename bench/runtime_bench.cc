@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "kanon/common/timer.h"
 #include "kanon/graph/matchable_edges.h"
 #include "kanon/loss/entropy_measure.h"
+#include "kanon/shard/driver.h"
 #include "kanon/telemetry/tracer.h"
 
 namespace kanon {
@@ -325,14 +327,57 @@ int RunPhaseJson(size_t n) {
   return 0;
 }
 
+// --shard_json mode: sweeps the out-of-core sharded driver over shard
+// counts on one ART workload and prints one JSON line per count with the
+// wall time, the global loss (the utility price of partitioning), and the
+// robustness counters — the data behind docs/sharding.md's scaling notes.
+// shards=1 is the in-core baseline; larger counts trade loss for a
+// working set that shrinks quadratically per shard.
+int RunShardJson(size_t n) {
+  const Workload w = bench::MustArtWorkload(n, 99);
+  namespace fs = std::filesystem;
+  const fs::path scratch =
+      fs::temp_directory_path() / ("kanon_shard_bench_" + std::to_string(n));
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8},
+                              size_t{16}}) {
+    AnonymizerConfig config;
+    config.k = 10;
+    config.method = AnonymizationMethod::kAgglomerative;
+    shard::ShardOptions options;
+    options.num_shards = shards;
+    options.work_dir = (scratch / std::to_string(shards)).string();
+    Timer timer;
+    Result<shard::ShardedResult> result = shard::ShardedAnonymize(
+        w.dataset, w.scheme, EntropyMeasure(), config, options);
+    const double seconds = timer.ElapsedSeconds();
+    KANON_CHECK(result.ok(), result.status().ToString());
+    const Result<bool> valid = IsKAnonymous(result.value().table, 10);
+    KANON_CHECK(valid.ok() && valid.value(),
+                "sharded output lost the k-guarantee");
+    std::printf(
+        "{\"bench\":\"sharded-agglomerative\",\"n\":%zu,\"k\":10,"
+        "\"shards\":%zu,\"seconds\":%.6f,\"loss\":%.6f,"
+        "\"boundary_repaired\":%zu,\"records_suppressed\":%zu,"
+        "\"degraded\":%s}\n",
+        n, shards, seconds, result.value().loss,
+        result.value().boundary_repaired, result.value().records_suppressed,
+        result.value().degraded ? "true" : "false");
+  }
+  std::error_code ec;
+  fs::remove_all(scratch, ec);
+  return 0;
+}
+
 }  // namespace
 }  // namespace kanon
 
 int main(int argc, char** argv) {
   bool speedup = false;
   bool phase = false;
+  bool shard = false;
   size_t speedup_n = 2000;
   size_t phase_n = 1000;
+  size_t shard_n = 8000;
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--speedup_json") == 0) {
@@ -343,9 +388,16 @@ int main(int argc, char** argv) {
       phase = true;
     } else if (std::strncmp(argv[i], "--phase_n=", 10) == 0) {
       phase_n = static_cast<size_t>(std::stoul(argv[i] + 10));
+    } else if (std::strcmp(argv[i], "--shard_json") == 0) {
+      shard = true;
+    } else if (std::strncmp(argv[i], "--shard_n=", 10) == 0) {
+      shard_n = static_cast<size_t>(std::stoul(argv[i] + 10));
     } else {
       passthrough.push_back(argv[i]);
     }
+  }
+  if (shard) {
+    return kanon::RunShardJson(shard_n);
   }
   if (phase) {
     return kanon::RunPhaseJson(phase_n);

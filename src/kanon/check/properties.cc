@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <optional>
 #include <utility>
 
@@ -10,6 +11,7 @@
 #include "kanon/anonymity/verify.h"
 #include "kanon/common/run_context.h"
 #include "kanon/common/text.h"
+#include "kanon/shard/driver.h"
 
 namespace kanon {
 namespace check {
@@ -595,6 +597,172 @@ PropertyResult WitnessConsistent(const TrialData& data) {
   return Pass();
 }
 
+// First configured method whose per-shard outputs compose into a global
+// k-guarantee (the per-record methods; see shard/driver.h). Nullopt when
+// the trial exercises only relational notions — those properties are
+// vacuous then.
+std::optional<AnonymizationMethod> FirstComposableMethod(
+    const TrialData& data) {
+  for (AnonymizationMethod method : data.config.methods) {
+    switch (method) {
+      case AnonymizationMethod::kAgglomerative:
+      case AnonymizationMethod::kModifiedAgglomerative:
+      case AnonymizationMethod::kForest:
+      case AnonymizationMethod::kFullDomain:
+        return method;
+      default:
+        break;
+    }
+  }
+  return std::nullopt;
+}
+
+// A sharded run of one trial in a private scratch work dir (campaign
+// trials run concurrently, so the directory must be unique per trial).
+struct ShardedOutcome {
+  bool ran = false;
+  bool rejected = false;  // Clean rejection (k > n shapes).
+  Status error;
+  std::optional<shard::ShardedResult> result;
+};
+
+ShardedOutcome RunSharded(const TrialData& data, AnonymizationMethod method,
+                          size_t num_shards, const char* label) {
+  ShardedOutcome outcome;
+  Result<std::unique_ptr<LossMeasure>> measure =
+      MakeMeasure(data.config.measure);
+  if (!measure.ok()) {
+    outcome.error = measure.status();
+    return outcome;
+  }
+  AnonymizerConfig config;
+  config.k = data.config.k;
+  config.method = method;
+  config.distance = data.config.distance;
+  config.num_threads = 1;
+  shard::ShardOptions options;
+  options.num_shards = num_shards;
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("kanon_check_" + std::string(label) + "_s" +
+       std::to_string(data.config.seed) + "_t" +
+       std::to_string(data.config.trial_index) + "_n" +
+       std::to_string(num_shards));
+  options.work_dir = dir.string();
+  Result<shard::ShardedResult> result = shard::ShardedAnonymize(
+      data.dataset, data.scheme, *measure.value(), config, options);
+  std::error_code ec;
+  fs::remove_all(dir, ec);  // Scratch only; best-effort cleanup.
+  if (result.ok()) {
+    outcome.ran = true;
+    outcome.result = std::move(result).value();
+    return outcome;
+  }
+  if (result.status().code() == StatusCode::kInvalidArgument &&
+      data.config.k > data.num_rows()) {
+    outcome.rejected = true;
+    return outcome;
+  }
+  outcome.error = result.status();
+  return outcome;
+}
+
+// Sharded composition (Definition 4.1): anonymizing hash-partitioned
+// shards independently and merging them — including the cross-shard
+// boundary repair — publishes a globally k-anonymous table of the same
+// shape, with every row still generalizing its original.
+PropertyResult ShardedComposition(const TrialData& data) {
+  const std::optional<AnonymizationMethod> method =
+      FirstComposableMethod(data);
+  if (!method.has_value()) return Pass();
+  const std::string suffix = std::string(":") + MethodShortName(*method);
+  Rng rng = PropertyRng(data, "shards");
+  const size_t num_shards = 2 + static_cast<size_t>(rng.NextBounded(4));
+  ShardedOutcome outcome =
+      RunSharded(data, *method, num_shards, "composition");
+  if (outcome.rejected) return Pass();
+  if (!outcome.ran) {
+    return Fail(ErrorKind("shard-error", outcome.error, *method),
+                outcome.error.ToString());
+  }
+  const shard::ShardedResult& sharded = *outcome.result;
+  if (sharded.table.num_rows() != data.num_rows()) {
+    return Fail("shard:shape" + suffix,
+                "merged table has " +
+                    std::to_string(sharded.table.num_rows()) +
+                    " rows for " + std::to_string(data.num_rows()) +
+                    " originals");
+  }
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    if (!sharded.table.ConsistentPair(data.dataset, i, i)) {
+      return Fail("shard:row-consistency" + suffix,
+                  "row " + std::to_string(i) +
+                      " no longer generalizes its original after the "
+                      "shard merge");
+    }
+  }
+  Result<NotionWitness> witness =
+      WitnessKAnonymity(sharded.table, data.config.k);
+  if (!witness.ok()) {
+    return Fail(ErrorKind("verify-error", witness.status(), *method),
+                witness.status().ToString());
+  }
+  if (!witness->satisfied) {
+    return Fail("shard:not-k-anonymous" + suffix,
+                std::to_string(num_shards) + " shards: " +
+                    witness->ToString(data.config.k));
+  }
+  return Pass();
+}
+
+// Sharded suppressed-row accounting is exact at EVERY shard count: the
+// reported records_suppressed is a recount of fully suppressed rows on the
+// published table, shard-level suppression never loses rows, and a clean
+// (non-degraded) run reports no shard casualties.
+PropertyResult ShardAccountingInvariant(const TrialData& data) {
+  const std::optional<AnonymizationMethod> method =
+      FirstComposableMethod(data);
+  if (!method.has_value()) return Pass();
+  const std::string suffix = std::string(":") + MethodShortName(*method);
+  const GeneralizedRecord star = data.scheme->Suppressed();
+  for (const size_t num_shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    ShardedOutcome outcome =
+        RunSharded(data, *method, num_shards, "accounting");
+    if (outcome.rejected) return Pass();
+    if (!outcome.ran) {
+      return Fail(ErrorKind("shard-error", outcome.error, *method),
+                  outcome.error.ToString());
+    }
+    const shard::ShardedResult& sharded = *outcome.result;
+    const std::string at = suffix + ":shards-" + std::to_string(num_shards);
+    size_t recount = 0;
+    for (size_t t = 0; t < sharded.table.num_rows(); ++t) {
+      if (sharded.table.record(t) == star) ++recount;
+    }
+    if (recount != sharded.records_suppressed) {
+      return Fail("shard-accounting:recount" + at,
+                  "reported " + std::to_string(sharded.records_suppressed) +
+                      " suppressed records, table carries " +
+                      std::to_string(recount));
+    }
+    if (!sharded.degraded &&
+        (sharded.shards_suppressed != 0 || sharded.shard_retries != 0 ||
+         sharded.boundary_repaired != 0)) {
+      return Fail("shard-accounting:clean-run" + at,
+                  "non-degraded run reports shard casualties");
+    }
+    uint64_t shard_rows = 0;
+    for (const shard::ShardOutcome& s : sharded.shards) shard_rows += s.rows;
+    if (shard_rows != data.num_rows() ||
+        sharded.rows != data.num_rows()) {
+      return Fail("shard-accounting:rows" + at,
+                  "per-shard row counts do not add up to n");
+    }
+  }
+  return Pass();
+}
+
 }  // namespace
 
 const std::vector<Property>& PropertyCatalog() {
@@ -630,6 +798,14 @@ const std::vector<Property>& PropertyCatalog() {
        "witness verifiers agree with the boolean verifiers and name real "
        "violations",
        &WitnessConsistent},
+      {"sharded-composition", "Definition 4.1 (groups grow under union)",
+       "per-shard anonymization + merge + boundary repair publishes a "
+       "globally k-anonymous table of the original shape",
+       &ShardedComposition},
+      {"shard-accounting", "docs/sharding.md accounting contract",
+       "suppressed-row accounting is an exact recount of the published "
+       "table at every shard count; clean runs report no shard casualties",
+       &ShardAccountingInvariant},
   };
   return catalog;
 }

@@ -1,5 +1,8 @@
 #include "kanon/common/run_context.h"
 
+#include <cstdint>
+#include <limits>
+
 namespace kanon {
 
 const char* StopReasonName(StopReason reason) {
@@ -58,6 +61,59 @@ StopReason RunContext::StopRequested() const {
 void RunContext::NoteStop(StopReason reason) {
   if (!stopped() && reason != StopReason::kNone) {
     stats_.stop_reason = reason;
+  }
+}
+
+double RunContext::RemainingSeconds() const {
+  if (!deadline_armed_) return std::numeric_limits<double>::infinity();
+  const double remaining = deadline_seconds_ - timer_.ElapsedSeconds();
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+size_t RunContext::RemainingSteps() const {
+  if (stopped()) return 0;
+  if (step_budget_ == 0) return SIZE_MAX;
+  return step_budget_ > stats_.iterations_completed
+             ? step_budget_ - stats_.iterations_completed
+             : 0;
+}
+
+RunContext RunContext::Fork(double fraction) {
+  if (!(fraction > 0.0)) fraction = 1.0;
+  if (fraction > 1.0) fraction = 1.0;
+  RunContext child;
+  // Every child gets its own token so cancelling one shard's run never
+  // cancels a sibling; the link keeps a parent-level Cancel() visible.
+  child.set_cancel_token(std::make_shared<CancellationToken>(cancel_token_));
+  if (deadline_armed_) {
+    child.ArmDeadline(RemainingSeconds() * fraction);
+  }
+  if (step_budget_ != 0) {
+    const size_t remaining = RemainingSteps();
+    if (remaining == 0) {
+      // The parent's budget is spent: the child must stop at its first
+      // checkpoint (a step budget of 0 would mean "unlimited").
+      child.NoteStop(StopReason::kStepBudget);
+    } else {
+      size_t share = static_cast<size_t>(
+          static_cast<double>(remaining) * fraction);
+      if (share == 0) share = 1;
+      if (share > remaining) share = remaining;
+      child.set_step_budget(share);
+    }
+  }
+  // A parent already stopped for any reason freezes its children too.
+  if (stopped()) child.NoteStop(stats_.stop_reason);
+  return child;
+}
+
+void RunContext::ChargeSteps(size_t steps) {
+  stats_.iterations_completed += steps;
+  // Same boundary as CheckPoint(): the budget counts checkpoints allowed,
+  // so the run stops only once the count *exceeds* it.
+  if (!stopped() && step_budget_ != 0 &&
+      stats_.iterations_completed > step_budget_) {
+    stats_.stop_reason = StopReason::kStepBudget;
   }
 }
 

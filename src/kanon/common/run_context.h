@@ -25,15 +25,27 @@ const char* StopReasonName(StopReason reason);
 /// A shared cancellation flag. Cancel() only stores an atomic bool, so it is
 /// async-signal-safe and may be called from a SIGINT handler or another
 /// thread; pipelines observe it through RunContext::CheckPoint().
+///
+/// Tokens form a one-way tree: a token built with a parent reports cancelled
+/// when either it or any ancestor is cancelled, while cancelling it leaves
+/// the parent (and therefore its siblings) untouched. This is what lets a
+/// sharded driver cancel one shard's run without killing the others, yet
+/// still have a SIGINT on the parent stop every child.
 class CancellationToken {
  public:
+  CancellationToken() = default;
+  explicit CancellationToken(std::shared_ptr<const CancellationToken> parent)
+      : parent_(std::move(parent)) {}
+
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
   bool cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->cancelled();
   }
 
  private:
   std::atomic<bool> cancelled_{false};
+  std::shared_ptr<const CancellationToken> parent_;
 };
 
 /// Snapshot handed to the progress observer.
@@ -87,6 +99,9 @@ class RunContext {
   void set_cancel_token(std::shared_ptr<CancellationToken> token) {
     cancel_token_ = std::move(token);
   }
+  const std::shared_ptr<CancellationToken>& cancel_token() const {
+    return cancel_token_;
+  }
 
   /// `observer` fires every `interval_steps` checkpoints (and on the first).
   void set_progress_observer(std::function<void(const RunProgress&)> observer,
@@ -114,6 +129,31 @@ class RunContext {
   /// saw the deadline expire mid-flight). Sticky, like a CheckPoint stop;
   /// a no-op when the run is already stopped. Owning thread only.
   void NoteStop(StopReason reason);
+
+  /// Wall-clock seconds left before the deadline; +infinity when no deadline
+  /// is armed, clamped at 0 once it expired.
+  double RemainingSeconds() const;
+
+  /// Checkpoints left in the step budget; SIZE_MAX when unlimited, 0 once
+  /// exhausted (or once the run stopped for any reason).
+  size_t RemainingSteps() const;
+
+  /// Child context for one isolated unit of work (e.g. one shard of a
+  /// sharded run): it receives `fraction` (clamped to (0, 1]) of this
+  /// context's *remaining* wall-clock and step budget — a child can never
+  /// outlive its parent's budget — and a fresh cancellation token linked to
+  /// the parent's, so cancelling the child does not cancel siblings while
+  /// cancelling the parent stops every child. An exhausted parent produces
+  /// a child that stops at its first checkpoint. The progress observer is
+  /// not inherited. Stats start fresh; use ChargeSteps()/NoteDegraded() on
+  /// the parent to account for the child's work.
+  RunContext Fork(double fraction);
+
+  /// Charges `steps` checkpoints spent elsewhere (e.g. by a finished child
+  /// context) against this context's step budget, recording kStepBudget if
+  /// that exhausts it. Unlike CheckPoint() this never consults the clock or
+  /// fires the observer.
+  void ChargeSteps(size_t steps);
 
   /// Degradation bookkeeping, written by pipelines.
   void NoteDegraded(const char* stage);

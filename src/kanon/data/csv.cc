@@ -4,6 +4,7 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "kanon/common/failpoint.h"
 #include "kanon/common/text.h"
@@ -32,49 +33,142 @@ bool HasMissing(const std::vector<std::string>& fields,
 
 // Reads all non-empty, non-skipped data rows; validates/strips the header.
 // `line_numbers` receives the 1-based input line of each returned row, so
-// parse errors can point at the offending line of the file.
+// parse errors can point at the offending line of the file. Thin buffering
+// wrapper over the streaming RowReader, kept for the whole-file readers.
 Status ReadRows(std::istream& input, const CsvOptions& options,
                 std::vector<std::string>* header,
                 std::vector<std::vector<std::string>>* rows,
                 std::vector<size_t>* line_numbers) {
+  RowReader reader(input, options);
+  std::vector<std::string> fields;
+  while (true) {
+    Result<bool> got = reader.Next(&fields);
+    if (!got.ok()) return got.status();
+    if (!got.value()) break;
+    rows->push_back(std::move(fields));
+    line_numbers->push_back(reader.line_number());
+  }
+  if (reader.header_seen()) *header = reader.header();
+  return Status::OK();
+}
+
+}  // namespace
+
+RowReader::RowReader(std::istream& input, CsvOptions options)
+    : input_(input), options_(std::move(options)) {}
+
+Result<bool> RowReader::Next(std::vector<std::string>* fields) {
+  if (done_) return false;
   std::string line;
-  bool saw_header = false;
-  size_t line_number = 0;
-  while (std::getline(input, line)) {
-    ++line_number;
+  while (std::getline(input_, line)) {
+    ++line_number_;
     KANON_FAILPOINT("csv.read_row");
     if (line.size() > kMaxCsvLineLength) {
       return Status::InvalidArgument(
-          "line " + std::to_string(line_number) + " is " +
+          "line " + std::to_string(line_number_) + " is " +
           std::to_string(line.size()) + " bytes long (limit " +
           std::to_string(kMaxCsvLineLength) + "); is this a text file?");
     }
     // Tolerate CRLF endings and a UTF-8 BOM on the first line.
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line_number == 1 && line.compare(0, 3, "\xEF\xBB\xBF") == 0) {
+    if (line_number_ == 1 && line.compare(0, 3, "\xEF\xBB\xBF") == 0) {
       line.erase(0, 3);
     }
     if (Trim(line).empty()) continue;
-    std::vector<std::string> fields = SplitFields(line, options.delimiter);
-    if (options.has_header && !saw_header) {
-      *header = std::move(fields);
-      saw_header = true;
+    std::vector<std::string> split = SplitFields(line, options_.delimiter);
+    if (options_.has_header && !saw_header_) {
+      header_ = std::move(split);
+      saw_header_ = true;
       continue;
     }
-    if (HasMissing(fields, options)) continue;
-    rows->push_back(std::move(fields));
-    line_numbers->push_back(line_number);
+    if (HasMissing(split, options_)) continue;
+    *fields = std::move(split);
+    row_line_number_ = line_number_;
+    ++rows_read_;
+    return true;
   }
+  done_ = true;
   // getline() stops on EOF (fine, with or without a trailing newline) or on
   // a stream error — a truncated or unreadable input must not pass for a
   // short-but-valid file.
-  if (input.bad()) {
+  if (input_.bad()) {
     return Status::IOError("stream error after line " +
-                           std::to_string(line_number) +
+                           std::to_string(line_number_) +
                            "; input truncated or unreadable");
   }
-  if (options.has_header && !saw_header) {
+  if (options_.has_header && !saw_header_) {
     return Status::IOError("CSV input is empty; expected a header row");
+  }
+  return false;
+}
+
+Result<Schema> InferCsvSchema(std::istream& input,
+                              const CsvOptions& options) {
+  RowReader reader(input, options);
+  std::vector<std::string> fields;
+  std::vector<std::set<std::string>> distinct;
+  size_t num_cols = 0;
+  while (true) {
+    KANON_ASSIGN_OR_RETURN(bool got, reader.Next(&fields));
+    if (!got) break;
+    if (reader.rows_read() == 1) {
+      num_cols = fields.size();
+      distinct.resize(num_cols);
+    } else if (fields.size() != num_cols) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(reader.line_number()) + " has " +
+          std::to_string(fields.size()) + " fields; expected " +
+          std::to_string(num_cols));
+    }
+    for (size_t j = 0; j < num_cols; ++j) {
+      distinct[j].insert(fields[j]);
+    }
+  }
+  if (reader.rows_read() == 0) {
+    return Status::InvalidArgument("CSV input has no data rows");
+  }
+  if (options.has_header && reader.header().size() != num_cols) {
+    return Status::InvalidArgument("header/data column count mismatch");
+  }
+  std::vector<AttributeDomain> attributes;
+  for (size_t j = 0; j < num_cols; ++j) {
+    std::string name =
+        options.has_header ? reader.header()[j] : "col" + std::to_string(j);
+    KANON_ASSIGN_OR_RETURN(
+        AttributeDomain domain,
+        AttributeDomain::Create(
+            std::move(name), std::vector<std::string>(distinct[j].begin(),
+                                                      distinct[j].end())));
+    attributes.push_back(std::move(domain));
+  }
+  return Schema::Create(std::move(attributes));
+}
+
+Result<Schema> InferCsvSchemaFile(const std::string& path,
+                                  const CsvOptions& options) {
+  KANON_FAILPOINT("csv.open");
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return InferCsvSchema(file, options);
+}
+
+namespace {
+
+Status ValidateHeader(const Schema& schema,
+                      const std::vector<std::string>& header) {
+  if (header.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "CSV header has " + std::to_string(header.size()) +
+        " columns, schema has " + std::to_string(schema.num_attributes()));
+  }
+  for (size_t j = 0; j < header.size(); ++j) {
+    if (header[j] != schema.attribute(j).name()) {
+      return Status::InvalidArgument("CSV column '" + header[j] +
+                                     "' does not match schema attribute '" +
+                                     schema.attribute(j).name() + "'");
+    }
   }
   return Status::OK();
 }
@@ -83,35 +177,25 @@ Status ReadRows(std::istream& input, const CsvOptions& options,
 
 Result<Dataset> ReadCsv(const Schema& schema, std::istream& input,
                         const CsvOptions& options) {
-  std::vector<std::string> header;
-  std::vector<std::vector<std::string>> rows;
-  std::vector<size_t> line_numbers;
-  KANON_RETURN_NOT_OK(ReadRows(input, options, &header, &rows, &line_numbers));
-
-  if (options.has_header) {
-    if (header.size() != schema.num_attributes()) {
-      return Status::InvalidArgument(
-          "CSV header has " + std::to_string(header.size()) +
-          " columns, schema has " + std::to_string(schema.num_attributes()));
-    }
-    for (size_t j = 0; j < header.size(); ++j) {
-      if (header[j] != schema.attribute(j).name()) {
-        return Status::InvalidArgument("CSV column '" + header[j] +
-                                       "' does not match schema attribute '" +
-                                       schema.attribute(j).name() + "'");
-      }
-    }
-  }
-
+  // Thin streaming wrapper over RowReader: rows go straight into the coded
+  // Dataset, so peak memory is the dataset plus one line of text.
+  RowReader reader(input, options);
   Dataset dataset(schema);
-  for (size_t i = 0; i < rows.size(); ++i) {
+  std::vector<std::string> fields;
+  bool header_checked = !options.has_header;
+  while (true) {
+    KANON_ASSIGN_OR_RETURN(bool got, reader.Next(&fields));
+    if (!header_checked && reader.header_seen()) {
+      KANON_RETURN_NOT_OK(ValidateHeader(schema, reader.header()));
+      header_checked = true;
+    }
+    if (!got) break;
     // AppendRowLabels rejects short/long rows and unknown labels, so a
     // truncated final line cannot slip in as a narrower record.
-    Status s = dataset.AppendRowLabels(rows[i]);
+    Status s = dataset.AppendRowLabels(fields);
     if (!s.ok()) {
-      return Status(s.code(),
-                    "line " + std::to_string(line_numbers[i]) + ": " +
-                        s.message());
+      return Status(s.code(), "line " + std::to_string(reader.line_number()) +
+                                  ": " + s.message());
     }
   }
   return dataset;

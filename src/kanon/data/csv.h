@@ -3,6 +3,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "kanon/common/result.h"
 #include "kanon/data/dataset.h"
@@ -27,6 +28,71 @@ struct CsvOptions {
   std::string missing_marker = "?";
   bool skip_rows_with_missing = true;
 };
+
+/// Streaming row iterator over a CSV stream: the bounded-memory core every
+/// whole-file reader in this header is a thin wrapper over, and what the
+/// out-of-core sharded driver (src/kanon/shard/) ingests multi-million-row
+/// files through. Memory use is one line, however long the file.
+///
+/// Next() applies the same hardened parsing as the whole-file readers: CRLF
+/// endings and a UTF-8 BOM on the first line are tolerated, blank lines and
+/// rows carrying the missing-value marker are skipped, over-long lines and
+/// truncated streams (stream errors) are reported as Status failures. With
+/// options.has_header the header line is consumed (and exposed via
+/// header()) before the first data row; an input that ends before the
+/// header is an error.
+///
+/// Usage:
+///   RowReader reader(input, options);
+///   std::vector<std::string> fields;
+///   while (true) {
+///     KANON_ASSIGN_OR_RETURN(bool got, reader.Next(&fields));
+///     if (!got) break;
+///     ...  // one row in `fields`; reader.line_number() names its line
+///   }
+class RowReader {
+ public:
+  /// `input` must outlive the reader.
+  RowReader(std::istream& input, CsvOptions options = CsvOptions());
+
+  /// Advances to the next data row. Returns true with `*fields` filled,
+  /// false at a clean end of input, or an error Status on malformed or
+  /// truncated input.
+  Result<bool> Next(std::vector<std::string>* fields);
+
+  /// The header row's fields. Populated once Next() has been called at
+  /// least once (on a has_header stream); empty otherwise.
+  const std::vector<std::string>& header() const { return header_; }
+  bool header_seen() const { return saw_header_; }
+
+  /// 1-based input line of the row Next() last returned (0 before the
+  /// first row) — what error messages should point at.
+  size_t line_number() const { return row_line_number_; }
+
+  /// Data rows returned so far.
+  size_t rows_read() const { return rows_read_; }
+
+ private:
+  std::istream& input_;
+  const CsvOptions options_;
+  std::vector<std::string> header_;
+  bool saw_header_ = false;
+  bool done_ = false;
+  size_t line_number_ = 0;      // Lines consumed from the stream.
+  size_t row_line_number_ = 0;  // Line of the last returned row.
+  size_t rows_read_ = 0;
+};
+
+/// Streams `input` once and infers an attribute domain per column from the
+/// distinct values seen (labels sorted lexicographically), without
+/// materializing the rows: memory is bounded by the domain sizes, not the
+/// row count. With a header, attribute names come from it; otherwise they
+/// are "col0", "col1", .... This is pass 1 of the sharded driver's
+/// two-pass ingestion.
+Result<Schema> InferCsvSchema(std::istream& input,
+                              const CsvOptions& options = CsvOptions());
+Result<Schema> InferCsvSchemaFile(const std::string& path,
+                                  const CsvOptions& options = CsvOptions());
 
 /// Reads a dataset whose columns match `schema` (by position). Unknown value
 /// labels produce an error. A header row, when present, is validated against

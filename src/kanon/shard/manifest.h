@@ -1,0 +1,83 @@
+#ifndef KANON_SHARD_MANIFEST_H_
+#define KANON_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kanon/common/result.h"
+#include "kanon/common/run_context.h"
+
+namespace kanon {
+namespace shard {
+
+/// On-disk layout of one sharded run (docs/sharding.md):
+///
+///   <work_dir>/MANIFEST                    — this file, committed once the
+///                                            partitioning phase finished
+///   <work_dir>/shard-NNNN.spill            — shard inputs (committed before
+///                                            the manifest)
+///   <work_dir>/shard-NNNN.out              — per-shard anonymized output
+///   <work_dir>/shard-NNNN.meta             — per-shard outcome + checksum
+///                                            of the .out (committed after)
+///
+/// Every file is committed with write-temp + rename and carries (or is
+/// covered by) a content checksum, so a resume can classify each shard as
+/// done / partial / untouched from the file system alone.
+
+/// One shard's partitioning record.
+struct ShardEntry {
+  uint64_t rows = 0;
+  uint64_t spill_checksum = 0;
+};
+
+/// The run manifest: everything a resume needs to validate that the
+/// directory belongs to the same (input, configuration) pair and that the
+/// spill files are intact. `fingerprint` folds in the determinism-relevant
+/// configuration (k, method, measure, distance, shard count, partition
+/// prefix); the worker thread count is deliberately excluded — output is
+/// thread-count invariant, so a run may be resumed at a different
+/// --threads setting and still reproduce byte-identical output.
+struct Manifest {
+  uint64_t version = 1;
+  uint64_t input_checksum = 0;
+  uint64_t rows = 0;
+  std::string fingerprint;
+  std::vector<ShardEntry> shards;
+
+  std::string Format() const;
+  static Result<Manifest> Parse(const std::string& text);
+};
+
+/// File-name helpers for the layout above.
+std::string ManifestPath(const std::string& dir);
+std::string SpillPath(const std::string& dir, size_t shard);
+std::string ShardOutPath(const std::string& dir, size_t shard);
+std::string ShardMetaPath(const std::string& dir, size_t shard);
+
+/// One finished shard's committed outcome. The checksum covers the .out
+/// file; a meta whose checksum does not match its .out is treated as a torn
+/// checkpoint and the shard is re-run.
+struct ShardMeta {
+  uint64_t rows = 0;
+  uint64_t out_checksum = 0;
+  double loss = 0.0;
+  uint64_t attempts = 1;
+  bool degraded = false;
+  StopReason stop_reason = StopReason::kNone;
+  /// Whole-shard suppression: the degradation ladder's last resort.
+  bool suppressed = false;
+  /// Rows the *engine's* fallback coarsened inside this shard.
+  uint64_t engine_suppressed = 0;
+  /// Deterministic engine steps the shard consumed (charged to the parent
+  /// budget on both fresh runs and resumes, keeping accounting identical).
+  uint64_t steps = 0;
+
+  std::string Format() const;
+  static Result<ShardMeta> Parse(const std::string& text);
+};
+
+}  // namespace shard
+}  // namespace kanon
+
+#endif  // KANON_SHARD_MANIFEST_H_

@@ -1,0 +1,188 @@
+#include "kanon/shard/partition.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "kanon/common/failpoint.h"
+#include "kanon/common/text.h"
+
+namespace kanon {
+namespace shard {
+
+namespace {
+
+constexpr char kDelimiter = ',';
+constexpr size_t kMaxShards = 4096;
+
+Status CheckLabel(const std::string& label) {
+  if (label.find(kDelimiter) != std::string::npos ||
+      label.find('\n') != std::string::npos ||
+      label.find('\r') != std::string::npos) {
+    return Status::InvalidArgument("label '" + label +
+                                   "' contains a delimiter or newline and "
+                                   "cannot be spilled");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+size_t ShardOfLabels(const std::vector<std::string>& labels, size_t prefix,
+                     size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  Hasher hasher;
+  const size_t width = prefix < labels.size() ? prefix : labels.size();
+  for (size_t j = 0; j < width; ++j) {
+    const uint32_t size = static_cast<uint32_t>(labels[j].size());
+    hasher.Update(&size, sizeof(size));
+    hasher.Update(labels[j]);
+  }
+  return static_cast<size_t>(hasher.digest() % num_shards);
+}
+
+size_t DeriveNumShards(uint64_t rows, size_t memory_budget_mb) {
+  if (memory_budget_mb == 0 || rows == 0) return 1;
+  const double budget_bytes = static_cast<double>(memory_budget_mb) * 1e6;
+  double max_rows = std::sqrt(budget_bytes / 16.0);
+  if (max_rows < 1.0) max_rows = 1.0;
+  const uint64_t shards = static_cast<uint64_t>(std::ceil(
+      static_cast<double>(rows) / max_rows));
+  if (shards <= 1) return 1;
+  if (shards > kMaxShards) return kMaxShards;
+  return static_cast<size_t>(shards);
+}
+
+SpillWriter::SpillWriter(std::string dir, size_t num_shards, size_t prefix,
+                         uint64_t max_rows_per_shard)
+    : dir_(std::move(dir)),
+      num_shards_(num_shards == 0 ? 1 : num_shards),
+      prefix_(prefix),
+      max_rows_per_shard_(max_rows_per_shard) {}
+
+Status SpillWriter::Open() {
+  // Sweep stale temporaries from an earlier abandoned partitioning so a
+  // crashed run cannot leak half-written spills into this one.
+  KANON_RETURN_NOT_OK(RemoveFilesWithSuffix(dir_, ".spill.tmp"));
+  streams_.resize(num_shards_);
+  hashers_.assign(num_shards_, Hasher());
+  rows_per_shard_.assign(num_shards_, 0);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    const std::string tmp = SpillPath(dir_, s) + ".tmp";
+    streams_[s].open(tmp, std::ios::binary | std::ios::trunc);
+    if (!streams_[s]) {
+      return Status::IOError("cannot open '" + tmp + "' for writing");
+    }
+  }
+  return Status::OK();
+}
+
+size_t SpillWriter::RouteRow(const std::vector<std::string>& labels) const {
+  const size_t primary = ShardOfLabels(labels, prefix_, num_shards_);
+  if (max_rows_per_shard_ == 0 || num_shards_ <= 1 ||
+      rows_per_shard_[primary] < max_rows_per_shard_) {
+    return primary;
+  }
+  // The primary shard is full: its quasi-identifier prefix is heavier than
+  // the per-shard budget (skew). Spill the overflow elsewhere — k-anonymity
+  // composes across *any* row partition (Definition 4.1), so co-locating a
+  // prefix is only a utility optimization, never a validity requirement.
+  // The escape hatch hashes the full label tuple and probes linearly from
+  // there, a pure function of (labels, occupancy) and therefore of the
+  // input content and order — reruns repartition identically.
+  Hasher hasher;
+  for (const std::string& label : labels) {
+    const uint32_t size = static_cast<uint32_t>(label.size());
+    hasher.Update(&size, sizeof(size));
+    hasher.Update(label);
+  }
+  size_t s = static_cast<size_t>(hasher.digest() % num_shards_);
+  for (size_t i = 0; i < num_shards_; ++i) {
+    const size_t probe = (s + i) % num_shards_;
+    if (rows_per_shard_[probe] < max_rows_per_shard_) return probe;
+  }
+  // Every shard is at the cap (cap * num_shards rows written — possible
+  // only when the caller under-provisioned the cap). Fall back to the
+  // primary: a lopsided spill is still a correct one.
+  return primary;
+}
+
+Status SpillWriter::Append(uint64_t global_row,
+                           const std::vector<std::string>& labels) {
+  KANON_FAILPOINT("shard.spill_write");
+  const size_t s = RouteRow(labels);
+  std::string line = std::to_string(global_row);
+  for (const std::string& label : labels) {
+    KANON_RETURN_NOT_OK(CheckLabel(label));
+    line += kDelimiter;
+    line += label;
+  }
+  line += '\n';
+  streams_[s].write(line.data(), static_cast<std::streamsize>(line.size()));
+  if (!streams_[s]) {
+    return Status::IOError("write error on spill " + std::to_string(s) +
+                           " at input row " + std::to_string(global_row));
+  }
+  hashers_[s].Update(line);
+  ++rows_per_shard_[s];
+  ++rows_written_;
+  return Status::OK();
+}
+
+Result<std::vector<ShardEntry>> SpillWriter::Commit() {
+  std::vector<ShardEntry> entries(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    KANON_FAILPOINT("shard.spill_commit");
+    streams_[s].flush();
+    if (!streams_[s]) {
+      return Status::IOError("flush error on spill " + std::to_string(s));
+    }
+    streams_[s].close();
+    const std::string path = SpillPath(dir_, s);
+    KANON_RETURN_NOT_OK(CommitFile(path + ".tmp", path));
+    entries[s].rows = rows_per_shard_[s];
+    entries[s].spill_checksum = hashers_[s].digest();
+  }
+  return entries;
+}
+
+Result<SpillRows> ReadSpill(const std::string& path, size_t expected_columns) {
+  KANON_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  SpillRows rows;
+  size_t begin = 0;
+  size_t line_number = 0;
+  while (begin < content.size()) {
+    size_t end = content.find('\n', begin);
+    if (end == std::string::npos) end = content.size();
+    ++line_number;
+    const std::string line = content.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, kDelimiter);
+    if (fields.size() != expected_columns + 1) {
+      return Status::IOError("spill '" + path + "' line " +
+                             std::to_string(line_number) + " has " +
+                             std::to_string(fields.size()) +
+                             " fields; expected " +
+                             std::to_string(expected_columns + 1));
+    }
+    char* parse_end = nullptr;
+    errno = 0;
+    const unsigned long long index =
+        std::strtoull(fields[0].c_str(), &parse_end, 10);
+    if (errno != 0 || parse_end == nullptr || *parse_end != '\0' ||
+        fields[0].empty()) {
+      return Status::IOError("spill '" + path + "' line " +
+                             std::to_string(line_number) +
+                             " has a bad row index '" + fields[0] + "'");
+    }
+    rows.global_rows.push_back(static_cast<uint64_t>(index));
+    fields.erase(fields.begin());
+    rows.labels.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+}  // namespace shard
+}  // namespace kanon

@@ -1,0 +1,113 @@
+#ifndef KANON_SHARD_PARTITION_H_
+#define KANON_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "kanon/common/result.h"
+#include "kanon/shard/manifest.h"
+#include "kanon/shard/shard_io.h"
+
+namespace kanon {
+namespace shard {
+
+/// Hash partitioning of the input rows into shard spill files
+/// (docs/sharding.md).
+///
+/// Rows are routed by an FNV-1a hash of their first `prefix` attribute
+/// labels — a quasi-identifier prefix — so records that agree on those
+/// attributes (the likeliest k-anonymity group mates) land in the same
+/// shard and the cross-shard boundary-repair pass has less to do, with a
+/// per-shard row cap that spreads skew-heavy prefixes (see SpillWriter).
+/// Routing is a pure function of the input's content and order, the
+/// prefix width, the shard count, and the cap (itself derived from the
+/// recorded row count and geometry); prefix and shard count are folded
+/// into the manifest fingerprint, so a resume can prove the spills on
+/// disk were produced by the same partitioning.
+
+/// Shard index of a row: FNV-1a over the first min(prefix, r) labels
+/// (length-delimited, so {"ab","c"} and {"a","bc"} hash apart), mod
+/// `num_shards`.
+size_t ShardOfLabels(const std::vector<std::string>& labels, size_t prefix,
+                     size_t num_shards);
+
+/// Picks a shard count for `rows` under a per-shard memory budget of
+/// `memory_budget_mb`. The dominant working-set term of the clustering
+/// engines is quadratic in the shard's row count (candidate scans, closure
+/// caches), so the budget maps to a max rows-per-shard of roughly
+/// sqrt(budget_bytes / 16); the shard count is ceil(rows / that), clamped
+/// to [1, 4096]. A zero budget yields 1 (sharding off unless --shards is
+/// set explicitly).
+size_t DeriveNumShards(uint64_t rows, size_t memory_budget_mb);
+
+/// Streams rows into `num_shards` spill files, one open stream per shard,
+/// with a running content checksum per stream (no second read pass).
+///
+/// Spill row format: `<global_row_index>,<label>,...,<label>` — no header.
+/// Labels are the trimmed CSV tokens; a label containing the delimiter or
+/// a newline is rejected (InvalidArgument) rather than silently corrupting
+/// the spill.
+///
+/// Skew protection: with `max_rows_per_shard` > 0, a row whose prefix
+/// shard is already at the cap overflows to another shard (full-label
+/// hash, then linear probing for free capacity). A quasi-identifier
+/// prefix heavier than the per-shard budget therefore cannot concentrate
+/// the whole input in one shard and defeat the memory bound — per-shard
+/// k-anonymity composes across any row partition, so spreading a heavy
+/// prefix costs utility (more boundary repair), never validity. Routing
+/// stays a pure function of the input content and order. 0 = uncapped
+/// (pure prefix routing).
+///
+/// Lifecycle: Open() creates `<dir>/shard-NNNN.spill.tmp` streams;
+/// Append() routes rows; Commit() flushes every stream and renames each
+/// temporary over its final name, returning the per-shard row counts and
+/// checksums for the manifest. A SpillWriter abandoned before Commit()
+/// leaves only .tmp files, which the next partitioning sweeps away.
+///
+/// Failpoints: `shard.spill_write` (a row write fails mid-stream),
+/// `shard.spill_commit` (flush-or-rename of a finished spill fails).
+class SpillWriter {
+ public:
+  SpillWriter(std::string dir, size_t num_shards, size_t prefix,
+              uint64_t max_rows_per_shard = 0);
+
+  Status Open();
+  Status Append(uint64_t global_row, const std::vector<std::string>& labels);
+  Result<std::vector<ShardEntry>> Commit();
+
+  uint64_t rows_written() const { return rows_written_; }
+
+ private:
+  /// Prefix shard, or the deterministic overflow shard once the prefix
+  /// shard is at `max_rows_per_shard_`.
+  size_t RouteRow(const std::vector<std::string>& labels) const;
+
+  const std::string dir_;
+  const size_t num_shards_;
+  const size_t prefix_;
+  const uint64_t max_rows_per_shard_;
+  uint64_t rows_written_ = 0;
+  std::vector<std::ofstream> streams_;
+  std::vector<Hasher> hashers_;
+  std::vector<uint64_t> rows_per_shard_;
+};
+
+/// One spill file read back: per-row global indices and labels, in the
+/// order the partitioner wrote them.
+struct SpillRows {
+  std::vector<uint64_t> global_rows;
+  std::vector<std::vector<std::string>> labels;
+};
+
+/// Reads a committed spill. `expected_columns` is the schema's attribute
+/// count; every row must carry exactly that many labels after the index.
+/// Read failures surface the `shard.file_read` failpoint via the shared
+/// file reader.
+Result<SpillRows> ReadSpill(const std::string& path, size_t expected_columns);
+
+}  // namespace shard
+}  // namespace kanon
+
+#endif  // KANON_SHARD_PARTITION_H_

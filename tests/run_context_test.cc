@@ -4,6 +4,7 @@
 // notion — just lossier. Also covers the cluster-closure failpoints.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -82,6 +83,94 @@ TEST(RunContextTest, NoteDegradedRecordsFirstStage) {
   EXPECT_TRUE(ctx.stats().degraded);
   EXPECT_EQ(ctx.stats().degraded_stage, "first/stage");
   EXPECT_EQ(ctx.stats().records_suppressed, 7u);
+}
+
+TEST(RunContextTest, ForkSplitsRemainingStepBudget) {
+  RunContext parent;
+  parent.set_step_budget(100);
+  // Spend 20 steps on the parent first; the child gets a fraction of the
+  // REMAINING 80, not of the original 100.
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(parent.CheckPoint("test/loop"));
+  RunContext child = parent.Fork(0.5);
+  size_t child_steps = 0;
+  while (!child.CheckPoint("test/child")) ++child_steps;
+  EXPECT_EQ(child_steps, 40u);
+  EXPECT_EQ(child.stats().stop_reason, StopReason::kStepBudget);
+  // The parent has not been charged yet: that is the driver's job. Note the
+  // child's iteration count includes the stopping checkpoint itself.
+  EXPECT_EQ(parent.RemainingSteps(), 80u);
+  const size_t spent = child.stats().iterations_completed;
+  parent.ChargeSteps(spent);
+  EXPECT_EQ(parent.RemainingSteps(), 80u - spent);
+}
+
+TEST(RunContextTest, ForkOfExhaustedParentStopsImmediately) {
+  RunContext parent;
+  parent.set_step_budget(3);
+  while (!parent.CheckPoint("test/loop")) {
+  }
+  RunContext child = parent.Fork(0.5);
+  EXPECT_TRUE(child.CheckPoint("test/child"));
+}
+
+TEST(RunContextTest, ForkChildNeverExceedsParentRemaining) {
+  // Even with fraction clamped to 1.0, the child budget is bounded by what
+  // the parent has left.
+  RunContext parent;
+  parent.set_step_budget(10);
+  for (int i = 0; i < 4; ++i) parent.CheckPoint("test/loop");
+  RunContext child = parent.Fork(5.0);  // Clamped to 1.0.
+  size_t child_steps = 0;
+  while (!child.CheckPoint("test/child")) ++child_steps;
+  EXPECT_LE(child_steps, parent.RemainingSteps());
+}
+
+TEST(RunContextTest, ForkUnboundedParentYieldsUnboundedChild) {
+  RunContext parent;
+  RunContext child = parent.Fork(0.25);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(child.CheckPoint("test/child"));
+  }
+  EXPECT_EQ(child.RemainingSteps(), SIZE_MAX);
+}
+
+TEST(RunContextTest, CancellingChildLeavesSiblingsRunning) {
+  RunContext parent;
+  RunContext a = parent.Fork(0.5);
+  RunContext b = parent.Fork(0.5);
+  ASSERT_NE(a.cancel_token(), nullptr);
+  a.cancel_token()->Cancel();
+  EXPECT_TRUE(a.CheckPoint("test/a"));
+  EXPECT_EQ(a.stats().stop_reason, StopReason::kCancelled);
+  // Sibling and parent are untouched.
+  EXPECT_FALSE(b.CheckPoint("test/b"));
+  EXPECT_FALSE(parent.CheckPoint("test/parent"));
+}
+
+TEST(RunContextTest, CancellingParentStopsEveryChild) {
+  RunContext parent;
+  auto root = std::make_shared<CancellationToken>();
+  parent.set_cancel_token(root);
+  RunContext a = parent.Fork(0.5);
+  RunContext b = parent.Fork(0.5);
+  EXPECT_FALSE(a.CheckPoint("test/a"));
+  EXPECT_FALSE(b.CheckPoint("test/b"));
+  root->Cancel();
+  EXPECT_TRUE(a.CheckPoint("test/a"));
+  EXPECT_TRUE(b.CheckPoint("test/b"));
+  EXPECT_TRUE(parent.CheckPoint("test/parent"));
+  EXPECT_EQ(a.stats().stop_reason, StopReason::kCancelled);
+  EXPECT_EQ(b.stats().stop_reason, StopReason::kCancelled);
+}
+
+TEST(RunContextTest, ChargeStepsExhaustsBudgetAtBoundary) {
+  RunContext ctx;
+  ctx.set_step_budget(10);
+  ctx.ChargeSteps(10);
+  // Exactly consumed, not overdrawn: the charge itself records the stop.
+  EXPECT_EQ(ctx.RemainingSteps(), 0u);
+  EXPECT_TRUE(ctx.CheckPoint("test/loop"));
+  EXPECT_EQ(ctx.stats().stop_reason, StopReason::kStepBudget);
 }
 
 struct MethodCase {

@@ -30,6 +30,27 @@
 //             [--progress]                   # throttled progress line on
 //                                            # stderr while the run advances
 //
+// Out-of-core sharded mode (docs/sharding.md) — engaged by any of:
+//             [--shards=N]                   # hash-partition the input into
+//                                            # N shards, anonymize each
+//                                            # independently, merge + repair
+//             [--memory-budget-mb=N]        # derive the shard count from a
+//                                            # per-shard working-set budget
+//             [--work-dir=DIR]               # journal directory (spills,
+//                                            # checkpoints, manifest);
+//                                            # required in sharded mode
+//             [--resume[=DIR]]               # continue a killed run from its
+//                                            # checkpoints (byte-identical
+//                                            # output); =DIR implies
+//                                            # --work-dir=DIR
+//             [--shard-prefix=N]             # QI-prefix width of the hash
+//                                            # partitioner (default 3)
+//             [--shard-attempts=N]           # engine attempts per shard
+//                                            # before it is suppressed
+// Sharded mode streams the CSV (the text table is never resident) and only
+// accepts the per-record k-anonymity methods — their per-shard guarantees
+// compose into a global one.
+//
 // SIGINT (Ctrl-C) cancels cooperatively: the pipeline finalizes a valid
 // partial result instead of dying. Exit codes:
 //   0  success
@@ -56,6 +77,7 @@
 #include "kanon/loss/suppression_measure.h"
 #include "kanon/loss/tree_measure.h"
 #include "kanon/loss/utility_report.h"
+#include "kanon/shard/driver.h"
 #include "kanon/telemetry/progress.h"
 #include "kanon/telemetry/trace_export.h"
 
@@ -160,6 +182,233 @@ AnonymityNotion PromisedNotion(AnonymizationMethod method) {
   return AnonymityNotion::kKAnonymity;
 }
 
+// One JSON object for a sharded run: outcome, per-shard accounting, and the
+// metrics registry. Stable field order; pinned by the cli_shard tests.
+std::string ShardStatsJson(const AnonymizerConfig& config,
+                           const std::string& measure_name,
+                           const shard::ShardedResult& result,
+                           const MetricsRegistry* metrics) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{";
+  out << "\"method\":\"" << AnonymizationMethodName(config.method) << "\",";
+  out << "\"k\":" << config.k << ",";
+  out << "\"measure\":\"" << measure_name << "\",";
+  out << "\"loss\":" << result.loss << ",";
+  out << "\"rows\":" << result.rows << ",";
+  out << "\"degraded\":" << (result.degraded ? "true" : "false") << ",";
+  out << "\"stop_reason\":\"" << StopReasonName(result.stop_reason) << "\",";
+  out << "\"records_suppressed\":" << result.records_suppressed << ",";
+  out << "\"shards\":" << result.num_shards << ",";
+  out << "\"shards_resumed\":" << result.shards_resumed << ",";
+  out << "\"shards_suppressed\":" << result.shards_suppressed << ",";
+  out << "\"shard_retries\":" << result.shard_retries << ",";
+  out << "\"boundary_repaired\":" << result.boundary_repaired;
+  if (metrics != nullptr) {
+    std::string registry = metrics->ToJson(/*include_nondeterministic=*/true);
+    while (!registry.empty() && registry.back() == '\n') registry.pop_back();
+    out << ",\"metrics\":" << registry;
+  }
+  out << "}\n";
+  return out.str();
+}
+
+// The out-of-core path: streams the CSV into shard spills, runs the engine
+// per shard with checkpoint/resume, merges, repairs, verifies Definition
+// 4.1 on the merged table. The full text table is never resident.
+int ShardedMain(const FlagParser& flags, const std::string& input) {
+  const std::string resume_value = flags.GetString("resume", "");
+  const bool resume = flags.Has("resume");
+  std::string work_dir = flags.GetString("work-dir", "");
+  if (work_dir.empty() && resume && resume_value != "true") {
+    work_dir = resume_value;
+  }
+  if (work_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: sharded mode needs --work-dir=DIR (or "
+                 "--resume=DIR)\n");
+    return 2;
+  }
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
+  const int num_threads =
+      ResolveNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
+
+  // Streaming schema inference: one pass over the text, no row buffering.
+  Result<Schema> schema = InferCsvSchemaFile(input);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
+                 schema.status().ToString().c_str());
+    return 1;
+  }
+  Result<GeneralizationScheme> scheme = Status::Internal("unset");
+  const std::string spec = flags.GetString("spec", "");
+  if (!spec.empty()) {
+    scheme = ParseSchemeSpecFile(schema.value(), spec);
+  } else {
+    scheme = GeneralizationScheme::SuppressionOnly(schema.value());
+    std::fprintf(stderr,
+                 "no --spec given: every attribute is suppression-only"
+                 " (coarse; consider writing a spec)\n");
+  }
+  if (!scheme.ok()) {
+    std::fprintf(stderr, "error in scheme: %s\n",
+                 scheme.status().ToString().c_str());
+    return 1;
+  }
+  auto scheme_ptr =
+      std::make_shared<const GeneralizationScheme>(std::move(scheme).value());
+
+  Result<std::unique_ptr<LossMeasure>> measure =
+      ParseMeasure(flags.GetString("measure", "EM"));
+  if (!measure.ok()) {
+    std::fprintf(stderr, "error: %s\n", measure.status().ToString().c_str());
+    return 2;
+  }
+  Result<AnonymizationMethod> method =
+      ParseMethod(flags.GetString("method", "agglomerative"));
+  if (!method.ok()) {
+    std::fprintf(stderr, "error: %s\n", method.status().ToString().c_str());
+    return 2;
+  }
+  Result<DistanceFunction> distance =
+      ParseDistance(flags.GetString("distance", "4"));
+  if (!distance.ok()) {
+    std::fprintf(stderr, "error: %s\n", distance.status().ToString().c_str());
+    return 2;
+  }
+
+  AnonymizerConfig config;
+  config.k = k;
+  config.method = method.value();
+  config.distance = distance.value();
+  config.num_threads = num_threads;
+
+  RunContext ctx;
+  auto cancel_token = std::make_shared<CancellationToken>();
+  ctx.set_cancel_token(cancel_token);
+  g_cancel_token = cancel_token.get();
+  std::signal(SIGINT, HandleSigint);
+  const int64_t max_steps = flags.GetInt("max-steps", 0);
+  if (max_steps > 0) ctx.set_step_budget(static_cast<size_t>(max_steps));
+  const int64_t timeout_ms = flags.GetInt("timeout-ms", 0);
+  if (timeout_ms > 0) ctx.ArmDeadline(static_cast<double>(timeout_ms) / 1000.0);
+  config.run_context = &ctx;
+
+  const std::string trace_path = flags.GetString("trace-json", "");
+  const std::string metrics_path = flags.GetString("metrics-json", "");
+  const std::string stats_path = flags.GetString("stats-json", "");
+  std::unique_ptr<Tracer> tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<Tracer>();
+    config.tracer = tracer.get();
+  }
+  std::unique_ptr<MetricsRegistry> metrics;
+  if (!metrics_path.empty() || !stats_path.empty()) {
+    metrics = std::make_unique<MetricsRegistry>();
+    config.metrics = metrics.get();
+  }
+  if (flags.GetBool("report", false)) {
+    std::fprintf(stderr,
+                 "note: --report needs the full dataset in memory and is"
+                 " skipped in sharded mode\n");
+  }
+
+  shard::ShardOptions options;
+  options.num_shards = static_cast<size_t>(flags.GetInt("shards", 0));
+  options.memory_budget_mb =
+      static_cast<size_t>(flags.GetInt("memory-budget-mb", 0));
+  options.work_dir = work_dir;
+  options.resume = resume;
+  options.prefix_attributes =
+      static_cast<size_t>(flags.GetInt("shard-prefix", 3));
+  options.max_attempts =
+      static_cast<size_t>(flags.GetInt("shard-attempts", 3));
+
+  Result<shard::ShardedResult> result = shard::ShardedAnonymizeCsvFile(
+      input, scheme_ptr, CsvOptions(), *measure.value(), config, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "sharded anonymization failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (tracer != nullptr) {
+    if (Status s = WriteChromeTrace(*tracer, trace_path); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace %s (%zu spans, %zu lanes)\n",
+                 trace_path.c_str(), tracer->total_spans(),
+                 tracer->num_lanes());
+  }
+  if (metrics != nullptr && !metrics_path.empty()) {
+    if (Status s = WriteMetricsJson(*metrics, metrics_path); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (metrics_path != "-") {
+      std::fprintf(stderr, "wrote metrics %s\n", metrics_path.c_str());
+    }
+  }
+  if (!stats_path.empty()) {
+    const std::string json = ShardStatsJson(config, measure.value()->name(),
+                                            result.value(), metrics.get());
+    if (stats_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(stats_path);
+      out << json;
+      if (!out) {
+        std::fprintf(stderr, "error writing %s\n", stats_path.c_str());
+        return 1;
+      }
+    }
+  }
+
+  Result<bool> verified = IsKAnonymous(result->table, k);
+  if (!verified.ok()) {
+    std::fprintf(stderr, "verification failed: %s\n",
+                 verified.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "sharded %s, k=%zu: %zu rows in %zu shards, loss(%s) = %.4f;"
+               " resumed %zu, suppressed %zu, retries %zu, repaired %zu;"
+               " k-anonymity: %s\n",
+               AnonymizationMethodName(config.method), k, result->rows,
+               result->num_shards, measure.value()->name().c_str(),
+               result->loss, result->shards_resumed,
+               result->shards_suppressed, result->shard_retries,
+               result->boundary_repaired,
+               verified.value() ? "satisfied" : "VIOLATED");
+  if (result->degraded) {
+    std::fprintf(stderr,
+                 "run degraded (%s): output is valid but lossier\n",
+                 StopReasonName(result->stop_reason));
+  }
+  if (!verified.value()) return 1;
+
+  const std::string output = flags.GetString("output", "");
+  if (!output.empty()) {
+    if (Status s = WriteGeneralizedCsvFile(result->table, output); !s.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", output.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", output.c_str());
+  } else {
+    Status s = WriteGeneralizedCsv(result->table, std::cout);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (result->degraded) {
+    return result->stop_reason == StopReason::kCancelled ? 4 : 3;
+  }
+  return 0;
+}
+
 int RealMain(int argc, char** argv) {
   FlagParser flags;
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
@@ -173,8 +422,14 @@ int RealMain(int argc, char** argv) {
                  " [--method=...] [--measure=EM] [--distance=4]"
                  " [--output=...] [--print-spec] [--timeout-ms=N]"
                  " [--max-steps=N] [--threads=N] [--stats-json=PATH]"
-                 " [--trace-json=PATH] [--metrics-json=PATH] [--progress]\n");
+                 " [--trace-json=PATH] [--metrics-json=PATH] [--progress]"
+                 " [--shards=N] [--memory-budget-mb=N] [--work-dir=DIR]"
+                 " [--resume[=DIR]]\n");
     return 2;
+  }
+  if (flags.GetInt("shards", 0) > 0 ||
+      flags.GetInt("memory-budget-mb", 0) > 0 || flags.Has("resume")) {
+    return ShardedMain(flags, input);
   }
   const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
   // 0 (the default) uses every core; the output does not depend on this.
