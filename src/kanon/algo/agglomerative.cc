@@ -9,6 +9,7 @@
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
 #include "kanon/common/parallel.h"
+#include "kanon/loss/kernels.h"
 #include "kanon/telemetry/metrics.h"
 #include "kanon/telemetry/tracer.h"
 
@@ -42,6 +43,7 @@ class Engine {
                         : CurrentMetrics()->GetHistogram(
                               "merge.cost", {0.05, 0.1, 0.2, 0.3, 0.4, 0.5,
                                              0.6, 0.7, 0.8, 0.9, 1.0})),
+        kernels_(dataset, loss),
         store_(loss),
         heap_(&clusters_, options.aggressive_heap_rebuild, options.counters) {}
 
@@ -85,16 +87,12 @@ class Engine {
     }
   }
 
-  // d(A ∪ B) computed attribute-wise through the join tables; O(r).
+  // d(A ∪ B) computed attribute-wise through the raw join tables and the
+  // flat cost rows; O(r), same additions in the same order as the checked
+  // accessor loop it replaced.
   double UnionCost(const ClusterData& a, const ClusterData& b) const {
-    const GeneralizedRecord& ca = store_.record(a.closure);
-    const GeneralizedRecord& cb = store_.record(b.closure);
-    double total = 0.0;
-    for (size_t j = 0; j < num_attrs_; ++j) {
-      const SetId joined = scheme_.hierarchy(j).Join(ca[j], cb[j]);
-      total += loss_.EntryCost(j, joined);
-    }
-    return total / static_cast<double>(num_attrs_);
+    return kernels_.UnionCost(store_.record(a.closure),
+                              store_.record(b.closure));
   }
 
   double DistFromUnionCost(uint32_t a, uint32_t b, double d_union) const {
@@ -182,7 +180,7 @@ class Engine {
     const SweepStatus closures = ParallelFor(
         n, options_.num_threads, ctx_, "agglomerative/init",
         [&](size_t i) {
-          raw[i] = scheme_.Identity(dataset_.row(static_cast<uint32_t>(i)));
+          raw[i] = scheme_.Identity(dataset_.row_view(i));
         },
         /*done=*/nullptr, kCheapSweepSerialBelow);
     // A stop here leaves the closures unset; the degraded wind-down pools
@@ -202,11 +200,18 @@ class Engine {
     // The all-pairs two-best scan is the O(n²·r) part of setup; it honors
     // the same controls as the merge loop so tight deadlines bail early.
     // Heap pushes happen after the sweep, on one thread, in index order.
+    //
+    // Every cluster is still a singleton here, so d(A ∪ B) is the pairwise
+    // closure cost and one columnar PairCostSweep per row replaces n
+    // closure joins. The two-best is then selected by offering distances
+    // in ascending y — exactly the order ComputeTwoBest scans the active
+    // set during init — so the chosen candidates are identical.
     CountChunks(n);
     std::vector<Status> errors(ParallelChunkCount(n));
     const SweepStatus scan = ParallelChunks(
         n, options_.num_threads, ctx_, "agglomerative/init",
         [&](size_t chunk, size_t begin, size_t end) {
+          std::vector<double> pair(n);
           for (size_t i = begin; i < end; ++i) {
             if (failpoint::AnyArmed()) {
               Status s = failpoint::Check("agglomerative.closure");
@@ -215,8 +220,18 @@ class Engine {
                 return;
               }
             }
-            heap_.candidate(static_cast<uint32_t>(i)) =
-                ComputeTwoBest(static_cast<uint32_t>(i));
+            kernels_.PairCostSweep(static_cast<uint32_t>(i), pair.data());
+            const double cost_i = clusters_.cluster(i).cost;
+            CandidatePair c;
+            for (size_t y = 0; y < n; ++y) {
+              if (y == i) continue;
+              const double d = EvalDistance(
+                  options_.distance, options_.params, 1, 1, 2, cost_i,
+                  clusters_.cluster(y).cost, pair[y]);
+              OfferToTwoBest(&c, static_cast<uint32_t>(y), d);
+            }
+            c.second_valid = true;
+            heap_.candidate(static_cast<uint32_t>(i)) = c;
           }
         });
     for (Status& s : errors) {
@@ -328,11 +343,12 @@ class Engine {
       const size_t len = c.members.size();
       std::vector<GeneralizedRecord> loo =
           LeaveOneOutClosures(dataset_, scheme_, c.members);
+      loss_.RecordCostMany(loo, &shrink_costs_);
       size_t eject_pos = 0;
       double best_di = -kInfDist;
       for (size_t pos = 0; pos < len; ++pos) {
         // d(Ŝ ∖ {R̂_pos}); dist(Ŝ, Ŝ ∖ {R̂_pos}) has union Ŝ itself.
-        const double d_minus = loss_.RecordCost(loo[pos]);
+        const double d_minus = shrink_costs_[pos];
         const double di =
             EvalDistance(options_.distance, options_.params, len, len - 1,
                          len, c.cost, d_minus, c.cost);
@@ -353,7 +369,8 @@ class Engine {
     ClusterData single;
     single.members = {row};
     const uint32_t id = NewCluster(std::move(single));
-    SetClosure(&clusters_.cluster(id), scheme_.Identity(dataset_.row(row)));
+    SetClosure(&clusters_.cluster(id),
+               scheme_.Identity(dataset_.row_view(row)));
     return id;
   }
 
@@ -401,7 +418,7 @@ class Engine {
     for (uint32_t row : leftover) {
       ClusterData single;
       single.members = {row};
-      SetClosure(&single, scheme_.Identity(dataset_.row(row)));
+      SetClosure(&single, scheme_.Identity(dataset_.row_view(row)));
       size_t best_pos = 0;
       double best_dist = kInfDist;
       for (size_t pos = 0; pos < final_.size(); ++pos) {
@@ -472,10 +489,14 @@ class Engine {
   Tracer* const tracer_;
   Histogram* const merge_cost_;
 
+  // Raw columnar tables for the hot sweeps; constructing it primes the
+  // dataset's attribute-major mirror on this (coordinating) thread.
+  LossKernels kernels_;
   ClosureStore store_;
   ClusterSet clusters_;
   MergeHeap heap_;
   std::vector<uint32_t> final_;
+  std::vector<double> shrink_costs_;  // ShrinkToK scratch, reused per pass.
 };
 
 }  // namespace
@@ -489,7 +510,7 @@ std::vector<GeneralizedRecord> LeaveOneOutClosures(
   // prefix[q] = closure of rows[0..q), suffix[q] = closure of rows[q..len).
   std::vector<GeneralizedRecord> prefix(len);
   std::vector<GeneralizedRecord> suffix(len + 1);
-  prefix[1] = scheme.Identity(dataset.row(rows[0]));
+  prefix[1] = scheme.Identity(dataset.row_view(rows[0]));
   for (size_t q = 2; q < len; ++q) {
     prefix[q] = prefix[q - 1];
     for (size_t j = 0; j < r; ++j) {
@@ -497,7 +518,7 @@ std::vector<GeneralizedRecord> LeaveOneOutClosures(
           prefix[q][j], dataset.at(rows[q - 1], j));
     }
   }
-  suffix[len - 1] = scheme.Identity(dataset.row(rows[len - 1]));
+  suffix[len - 1] = scheme.Identity(dataset.row_view(rows[len - 1]));
   for (size_t q = len - 1; q-- > 1;) {
     suffix[q] = suffix[q + 1];
     for (size_t j = 0; j < r; ++j) {

@@ -162,7 +162,7 @@ Result<GeneralizedTable> OptimalK1BruteForce(const Dataset& dataset,
     for (size_t t = 0; t + 1 < k; ++t) pick[t] = t;
 
     double best_cost = std::numeric_limits<double>::infinity();
-    GeneralizedRecord best_closure = scheme.Identity(dataset.row(i));
+    GeneralizedRecord best_closure = scheme.Identity(dataset.row_view(i));
     if (k == 1) {
       table.AppendRecord(best_closure);
       continue;

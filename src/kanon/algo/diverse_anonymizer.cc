@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <set>
 
 #include "kanon/algo/core/closure_store.h"
 #include "kanon/common/check.h"
@@ -12,14 +11,20 @@ namespace kanon {
 
 namespace {
 
-// Number of distinct class values among `rows`.
+// Counts distinct class values among `rows` with a flat seen-bitmap over
+// the (small) class domain; `seen` is caller-owned scratch, reused across
+// calls to keep the repair loop allocation-free.
 size_t DistinctClasses(const Dataset& dataset,
-                       const std::vector<uint32_t>& rows) {
-  std::set<ValueCode> classes;
+                       const std::vector<uint32_t>& rows,
+                       std::vector<uint8_t>* seen) {
+  seen->assign(dataset.class_domain().size(), 0);
+  size_t distinct = 0;
   for (uint32_t row : rows) {
-    classes.insert(dataset.class_of(row));
+    uint8_t& flag = (*seen)[dataset.class_of(row)];
+    distinct += 1 - flag;
+    flag = 1;
   }
-  return classes.size();
+  return distinct;
 }
 
 }  // namespace
@@ -36,13 +41,13 @@ Result<Clustering> LDiverseCluster(const Dataset& dataset,
     return Status::InvalidArgument("l must be at least 1");
   }
   // Feasibility: the dataset itself must carry ℓ distinct classes.
-  std::set<ValueCode> all_classes;
-  for (size_t i = 0; i < dataset.num_rows(); ++i) {
-    all_classes.insert(dataset.class_of(i));
-  }
-  if (all_classes.size() < l) {
+  std::vector<uint8_t> seen;
+  std::vector<uint32_t> all_rows(dataset.num_rows());
+  for (uint32_t i = 0; i < dataset.num_rows(); ++i) all_rows[i] = i;
+  const size_t total_classes = DistinctClasses(dataset, all_rows, &seen);
+  if (total_classes < l) {
     return Status::FailedPrecondition(
-        "dataset carries only " + std::to_string(all_classes.size()) +
+        "dataset carries only " + std::to_string(total_classes) +
         " distinct class values; cannot be " + std::to_string(l) +
         "-diverse");
   }
@@ -61,7 +66,7 @@ Result<Clustering> LDiverseCluster(const Dataset& dataset,
   for (;;) {
     size_t violator = SIZE_MAX;
     for (size_t c = 0; c < clustering.clusters.size(); ++c) {
-      if (DistinctClasses(dataset, clustering.clusters[c]) < l) {
+      if (DistinctClasses(dataset, clustering.clusters[c], &seen) < l) {
         violator = c;
         break;
       }

@@ -6,6 +6,7 @@
 #include "kanon/algo/core/union_find.h"
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
+#include "kanon/loss/kernels.h"
 #include "kanon/telemetry/tracer.h"
 
 namespace kanon {
@@ -18,14 +19,11 @@ class ForestBuilder {
  public:
   ForestBuilder(const Dataset& dataset, const PrecomputedLoss& loss, size_t k,
                 RunContext* ctx, EngineCounters* counters)
-      : dataset_(dataset),
-        loss_(loss),
-        scheme_(loss.scheme()),
-        k_(k),
+      : k_(k),
         n_(dataset.num_rows()),
-        r_(dataset.num_attributes()),
         ctx_(ctx),
         counters_(counters),
+        kernels_(dataset, loss),
         uf_(dataset.num_rows()) {}
 
   Result<Clustering> Run() {
@@ -48,28 +46,22 @@ class ForestBuilder {
   }
 
   bool Stopped() const { return ctx_ != nullptr && ctx_->stopped(); }
-  // w(u, v) = d({R_u, R_v}): the pairwise generalization cost.
-  double PairCost(uint32_t u, uint32_t v) const {
-    double total = 0.0;
-    for (size_t j = 0; j < r_; ++j) {
-      const Hierarchy& h = scheme_.hierarchy(j);
-      total += loss_.EntryCost(
-          j, h.Join(h.LeafOf(dataset_.at(u, j)), h.LeafOf(dataset_.at(v, j))));
-    }
-    return total / static_cast<double>(r_);
-  }
 
-  // Refreshes record u's cached nearest out-of-component record.
+  // Refreshes record u's cached nearest out-of-component record. One
+  // columnar sweep fills w(u, v) = d({R_u, R_v}) for every v, then a serial
+  // ascending scan picks the minimum — same strict comparison and tie
+  // order as the per-pair loop it replaced.
   void RecomputeBest(uint32_t u) {
     if (counters_ != nullptr) ++counters_->rescans;
     const uint32_t root = uf_.Find(u);
     best_v_[u] = kNone;
     best_w_[u] = std::numeric_limits<double>::infinity();
+    pair_w_.resize(n_);
+    kernels_.PairCostSweep(u, pair_w_.data());
     for (uint32_t v = 0; v < n_; ++v) {
       if (uf_.Find(v) == root) continue;
-      const double w = PairCost(u, v);
-      if (w < best_w_[u]) {
-        best_w_[u] = w;
+      if (pair_w_[v] < best_w_[u]) {
+        best_w_[u] = pair_w_[v];
         best_v_[u] = v;
       }
     }
@@ -298,18 +290,16 @@ class ForestBuilder {
     }
   }
 
-  const Dataset& dataset_;
-  const PrecomputedLoss& loss_;
-  const GeneralizationScheme& scheme_;
   const size_t k_;
   const size_t n_;
-  const size_t r_;
   RunContext* const ctx_;
   EngineCounters* const counters_;
 
+  LossKernels kernels_;
   UnionFind uf_;
   std::vector<uint32_t> best_v_;
   std::vector<double> best_w_;
+  std::vector<double> pair_w_;  // RecomputeBest scratch, reused per call.
   std::vector<std::vector<uint32_t>> members_;    // Indexed by root.
   std::vector<std::vector<uint32_t>> adjacency_;  // The grown forest.
 };

@@ -145,7 +145,7 @@ Result<GlobalAnonymizationResult> MakeGlobal1KAnonymous(
 
       // R̄_i := R_{j_h} + R̄_i. This upgrades R̄_{j_h} to a match of R_i:
       // swap (R_i, R̄_i) and (R_{j_h}, R̄_{j_h}) in the identity matching.
-      table.GeneralizeToCover(i, dataset.row(best));
+      table.GeneralizeToCover(i, dataset.row_view(best));
       ++stats.upgrade_steps;
       ++steps_for_record;
       KANON_CHECK(steps_for_record <= n, "Algorithm 6 failed to converge");

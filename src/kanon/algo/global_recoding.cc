@@ -59,10 +59,17 @@ GeneralizedTable ApplyLevels(
     const std::vector<uint32_t>& levels) {
   GeneralizedTable table(scheme);
   const size_t r = dataset.num_attributes();
+  // Hoist the selected level row per attribute; each record is then one
+  // table lookup per cell over a zero-copy row view.
+  std::vector<const SetId*> level_row(r);
+  for (size_t j = 0; j < r; ++j) {
+    level_row[j] = tables[j][levels[j]].data();
+  }
   GeneralizedRecord record(r);
   for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    const RowView row = dataset.row_view(i);
     for (size_t j = 0; j < r; ++j) {
-      record[j] = tables[j][levels[j]][dataset.at(i, j)];
+      record[j] = level_row[j][row[j]];
     }
     table.AppendRecord(record);
   }

@@ -8,6 +8,7 @@
 #include "kanon/common/check.h"
 #include "kanon/common/failpoint.h"
 #include "kanon/common/parallel.h"
+#include "kanon/loss/kernels.h"
 #include "kanon/telemetry/tracer.h"
 
 namespace kanon {
@@ -28,20 +29,6 @@ Status ValidateArgs(const Dataset& dataset, const PrecomputedLoss& loss,
     return Status::InvalidArgument("dataset/loss arity mismatch");
   }
   return Status::OK();
-}
-
-// Cost of the attribute-wise join of a cached closure with row `row`.
-double JoinedCost(const GeneralizationScheme& scheme,
-                  const PrecomputedLoss& loss, const Dataset& dataset,
-                  const GeneralizedRecord& closure, uint32_t row) {
-  const size_t r = closure.size();
-  double total = 0.0;
-  for (size_t j = 0; j < r; ++j) {
-    const SetId joined =
-        scheme.hierarchy(j).JoinValue(closure[j], dataset.at(row, j));
-    total += loss.EntryCost(j, joined);
-  }
-  return total / static_cast<double>(r);
 }
 
 // Emits the rows an interrupted (k,1) sweep produced and fully suppresses
@@ -144,8 +131,11 @@ Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
 
   // Row i's output — the closure of R_i and its k−1 nearest records by
   // pairwise closure cost d({R_i, R_j}) — depends only on i, so the O(n²·r)
-  // scan fans out row-wise. Failpoints cannot early-return across a lambda;
-  // each chunk records the first injected failure in its slot instead.
+  // scan fans out row-wise. Each row's candidate costs come from one
+  // columnar sweep over the packed attribute arrays. Failpoints cannot
+  // early-return across a lambda; each chunk records the first injected
+  // failure in its slot instead.
+  const LossKernels kernels(dataset, loss);
   std::vector<GeneralizedRecord> rows(n);
   std::vector<uint8_t> done(n, 0);
   std::vector<Status> errors(ParallelChunkCount(n));
@@ -154,6 +144,7 @@ Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
       [&](size_t chunk, size_t begin, size_t end) {
         std::vector<std::pair<double, uint32_t>> candidates;
         candidates.reserve(n);
+        std::vector<double> joined(n);
         for (size_t i = begin; i < end; ++i) {
           if (failpoint::AnyArmed()) {
             Status s = failpoint::Check("kk.closure");
@@ -163,12 +154,12 @@ Result<GeneralizedTable> K1NearestNeighbors(const Dataset& dataset,
             }
           }
           const GeneralizedRecord self =
-              scheme.Identity(dataset.row(static_cast<uint32_t>(i)));
+              scheme.Identity(dataset.row_view(i));
+          kernels.JoinedCostSweep(self, joined.data());
           candidates.clear();
           for (uint32_t j = 0; j < n; ++j) {
             if (j == i) continue;
-            candidates.emplace_back(JoinedCost(scheme, loss, dataset, self, j),
-                                    j);
+            candidates.emplace_back(joined[j], j);
           }
           std::partial_sort(candidates.begin(),
                             candidates.begin() + static_cast<ptrdiff_t>(k - 1),
@@ -209,6 +200,7 @@ Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
 
   // Like K1NearestNeighbors, each record grows its cluster independently;
   // the whole greedy expansion of record i is one parallel item.
+  const LossKernels kernels(dataset, loss);
   std::vector<GeneralizedRecord> rows(n);
   std::vector<uint8_t> done(n, 0);
   std::vector<Status> errors(ParallelChunkCount(n));
@@ -216,6 +208,8 @@ Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
       n, num_threads, ctx, "kk/k1-greedy",
       [&](size_t chunk, size_t begin, size_t end) {
         std::vector<bool> in_cluster(n, false);
+        std::vector<uint8_t> covered(n);
+        std::vector<double> joined(n);
         for (size_t i = begin; i < end; ++i) {
           if (failpoint::AnyArmed()) {
             Status s = failpoint::Check("kk.closure");
@@ -225,7 +219,7 @@ Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
             }
           }
           GeneralizedRecord closure =
-              scheme.Identity(dataset.row(static_cast<uint32_t>(i)));
+              scheme.Identity(dataset.row_view(i));
           double closure_cost = loss.RecordCost(closure);
           size_t cluster_size = 1;
           in_cluster.assign(n, false);
@@ -234,28 +228,24 @@ Result<GeneralizedTable> K1GreedyExpansion(const Dataset& dataset,
           while (cluster_size < k) {
             // One scan per closure change. Records already inside the
             // closure cost nothing to add; absorb them greedily up to k.
+            // Coverage and joined costs depend only on the (fixed) closure,
+            // so two columnar sweeps precompute them and the sequential
+            // replay below makes exactly the decisions of the scalar scan.
+            kernels.CoverageSweep(closure, covered.data());
+            kernels.JoinedCostSweep(closure, joined.data());
             uint32_t best = std::numeric_limits<uint32_t>::max();
             double best_delta = std::numeric_limits<double>::infinity();
             bool absorbed_free = false;
             for (uint32_t j = 0; j < n && cluster_size < k; ++j) {
               if (in_cluster[j]) continue;
-              bool covered = true;
-              for (size_t a = 0; a < r; ++a) {
-                if (!scheme.hierarchy(a).Contains(closure[a],
-                                                  dataset.at(j, a))) {
-                  covered = false;
-                  break;
-                }
-              }
-              if (covered) {
+              if (covered[j]) {
                 // dist(S_i, R_j) = d(S_i ∪ {R_j}) − d(S_i) = 0: minimal.
                 in_cluster[j] = true;
                 ++cluster_size;
                 absorbed_free = true;
                 continue;
               }
-              const double delta =
-                  JoinedCost(scheme, loss, dataset, closure, j) - closure_cost;
+              const double delta = joined[j] - closure_cost;
               if (delta < best_delta) {
                 best_delta = delta;
                 best = j;
@@ -329,7 +319,7 @@ Result<GeneralizedTable> Make1KAnonymous(const Dataset& dataset,
       return SuppressKRows(loss, k, std::move(table), ctx, counters);
     }
     KANON_FAILPOINT("kk.upgrade");
-    const Record record = dataset.row(i);
+    const RowView record = dataset.row_view(i);
     if (counters != nullptr) {
       counters->parallel_chunks += ParallelChunkCount(n);
     }

@@ -6,12 +6,25 @@ namespace kanon {
 
 Record Dataset::row(size_t row_index) const {
   KANON_CHECK(row_index < num_rows(), "row index out of range");
+  return row_view(row_index).ToRecord();
+}
+
+const ValueCode* Dataset::column(size_t attr) const {
+  KANON_CHECK(attr < num_attributes(), "attribute index out of range");
+  const size_t n = num_rows();
   const size_t r = num_attributes();
-  Record out(r);
-  for (size_t j = 0; j < r; ++j) {
-    out[j] = cells_[row_index * r + j];
+  if (columns_ == nullptr) {
+    auto mirror = std::make_shared<std::vector<ValueCode>>(n * r);
+    std::vector<ValueCode>& cols = *mirror;
+    for (size_t i = 0; i < n; ++i) {
+      const ValueCode* row = cells_.data() + i * r;
+      for (size_t j = 0; j < r; ++j) {
+        cols[j * n + i] = row[j];
+      }
+    }
+    columns_ = std::move(mirror);
   }
-  return out;
+  return columns_->data() + attr * n;
 }
 
 Status Dataset::AppendRow(const Record& record) {
@@ -27,11 +40,15 @@ Status Dataset::AppendRow(const Record& record) {
                                 schema_.attribute(j).name() + "'");
     }
   }
-  if (!class_codes_.empty()) {
+  // Guard on the domain, not on class_codes_: a class column attached to an
+  // empty dataset has no codes, yet appending past it would still desync
+  // class_codes_.size() from num_rows().
+  if (class_domain_.has_value()) {
     return Status::FailedPrecondition(
         "cannot append rows after a class column was attached");
   }
   cells_.insert(cells_.end(), record.begin(), record.end());
+  columns_.reset();  // The attribute-major mirror is stale now.
   return Status::OK();
 }
 
@@ -82,7 +99,8 @@ const AttributeDomain& Dataset::class_domain() const {
 }
 
 ValueCode Dataset::class_of(size_t row) const {
-  KANON_CHECK(row < class_codes_.size(), "dataset has no class column");
+  KANON_CHECK(class_domain_.has_value(), "dataset has no class column");
+  KANON_CHECK(row < class_codes_.size(), "class row index out of range");
   return class_codes_[row];
 }
 

@@ -2,6 +2,8 @@
 #define KANON_DATA_DATASET_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -15,8 +17,52 @@ namespace kanon {
 /// A record of the public database D: one coded value per attribute.
 using Record = std::vector<ValueCode>;
 
+/// A zero-copy view of one coded row (a borrowed span of r ValueCodes).
+/// Valid as long as the owning Dataset (or Record) outlives it and is not
+/// appended to. This is what the hot loops pass around instead of copying
+/// rows into fresh Records.
+class RowView {
+ public:
+  constexpr RowView() = default;
+  constexpr RowView(const ValueCode* data, size_t size)
+      : data_(data), size_(size) {}
+  /// Implicit, so call sites holding a Record keep working unchanged.
+  RowView(const Record& record)  // NOLINT(google-explicit-constructor)
+      : data_(record.data()), size_(record.size()) {}
+  /// Braced literals (`Identity({1, 2})`): the backing array lives to the
+  /// end of the full expression, which covers the immediate call. Do not
+  /// store a RowView built this way — that is exactly the lifetime the
+  /// suppressed warning is about.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  RowView(std::initializer_list<ValueCode> init)
+      : data_(init.begin()), size_(init.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  constexpr ValueCode operator[](size_t j) const { return data_[j]; }
+  constexpr size_t size() const { return size_; }
+  constexpr const ValueCode* data() const { return data_; }
+  constexpr const ValueCode* begin() const { return data_; }
+  constexpr const ValueCode* end() const { return data_ + size_; }
+
+  /// Materializes an owning copy.
+  Record ToRecord() const { return Record(data_, data_ + size_); }
+
+ private:
+  const ValueCode* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// The public database D = {R_1, ..., R_n} (eq. (1) of the paper): an
 /// in-memory table of coded categorical records over a Schema.
+///
+/// Rows are stored row-major (the layout appends want); an attribute-major
+/// struct-of-arrays mirror is built on demand for the engines' linear
+/// per-attribute sweeps (see docs/performance.md).
 ///
 /// An optional class column (e.g. the contraceptive-method attribute of the
 /// CMC dataset) stands in for the private database D'; it is used by the
@@ -47,6 +93,24 @@ class Dataset {
   /// Copies out row `row` as a Record.
   Record row(size_t row_index) const;
 
+  /// Zero-copy view of row `row`, borrowing the dataset's row-major cells.
+  /// Invalidated by AppendRow/AppendRowLabels.
+  RowView row_view(size_t row_index) const {
+    KANON_DCHECK(row_index < num_rows());
+    const size_t r = num_attributes();
+    return RowView(cells_.data() + row_index * r, r);
+  }
+
+  /// Attribute-major mirror of the cells: column(j) points at num_rows()
+  /// consecutive codes of attribute j, so per-attribute sweeps are linear
+  /// scans the compiler can vectorize. Built on the first call and cached;
+  /// appending rows invalidates the cache (the next call rebuilds).
+  ///
+  /// The first call per dataset is NOT safe to race: engines prime the
+  /// mirror once on their coordinating thread (a single column() call)
+  /// before fanning out; after that, concurrent reads are fine.
+  const ValueCode* column(size_t attr) const;
+
   /// Appends a row. The record must have one in-range code per attribute.
   Status AppendRow(const Record& record);
 
@@ -71,6 +135,10 @@ class Dataset {
   std::vector<ValueCode> cells_;  // Row-major, n x r.
   std::optional<AttributeDomain> class_domain_;
   std::vector<ValueCode> class_codes_;
+  // Attribute-major mirror (r x n), lazily built by column(). Shared so
+  // that copies of an unmodified dataset reuse it; an append replaces the
+  // pointer in the appended-to object only.
+  mutable std::shared_ptr<const std::vector<ValueCode>> columns_;
 };
 
 }  // namespace kanon

@@ -46,7 +46,7 @@ void GeneralizedTable::AppendRecord(const GeneralizedRecord& record) {
   cells_.insert(cells_.end(), record.begin(), record.end());
 }
 
-void GeneralizedTable::GeneralizeToCover(size_t row, const Record& record) {
+void GeneralizedTable::GeneralizeToCover(size_t row, RowView record) {
   KANON_CHECK(row < num_rows(), "row index out of range");
   KANON_CHECK(record.size() == num_attributes(), "record arity mismatch");
   const size_t r = num_attributes();

@@ -54,8 +54,9 @@ class GeneralizedTable {
   void AppendRecord(const GeneralizedRecord& record);
 
   /// Further generalizes row `row` to also cover the original `record`
-  /// (R̄_row := record + R̄_row).
-  void GeneralizeToCover(size_t row, const Record& record);
+  /// (R̄_row := record + R̄_row). Takes a view so dataset rows pass through
+  /// without a copy.
+  void GeneralizeToCover(size_t row, RowView record);
 
   /// True iff dataset row `original_row` is consistent with generalized row
   /// `generalized_row` (Definition 3.3).

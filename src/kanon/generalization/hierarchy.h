@@ -82,6 +82,14 @@ class Hierarchy {
     return Join(a, LeafOf(value));
   }
 
+  /// Raw dense join table (num_sets() x num_sets(), row-major) for the hot
+  /// kernels: join_table()[a * num_sets() + b] == Join(a, b).
+  const SetId* join_table() const { return join_.data(); }
+
+  /// Raw value -> singleton-id table (domain_size() entries) for the hot
+  /// kernels: leaf_table()[v] == LeafOf(v).
+  const SetId* leaf_table() const { return leaf_of_value_.data(); }
+
   /// Id of a subset equal to `set`, if permissible.
   Result<SetId> IdOf(const ValueSet& set) const;
 

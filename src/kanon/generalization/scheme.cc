@@ -39,7 +39,7 @@ const Hierarchy& GeneralizationScheme::hierarchy(size_t attr) const {
   return hierarchies_[attr];
 }
 
-GeneralizedRecord GeneralizationScheme::Identity(const Record& record) const {
+GeneralizedRecord GeneralizationScheme::Identity(RowView record) const {
   KANON_CHECK(record.size() == hierarchies_.size(), "record arity mismatch");
   GeneralizedRecord out(record.size());
   for (size_t j = 0; j < record.size(); ++j) {
@@ -68,7 +68,7 @@ GeneralizedRecord GeneralizationScheme::JoinRecords(
 }
 
 GeneralizedRecord GeneralizationScheme::JoinWithOriginal(
-    const Record& record, const GeneralizedRecord& gen) const {
+    RowView record, const GeneralizedRecord& gen) const {
   KANON_CHECK(record.size() == hierarchies_.size() &&
                   gen.size() == record.size(),
               "record arity mismatch");
@@ -85,17 +85,25 @@ GeneralizedRecord GeneralizationScheme::ClosureOfRows(
   KANON_CHECK(dataset.num_attributes() == hierarchies_.size(),
               "dataset arity mismatch");
   GeneralizedRecord out(hierarchies_.size());
-  for (size_t j = 0; j < hierarchies_.size(); ++j) {
-    SetId acc = hierarchies_[j].LeafOf(dataset.at(rows[0], j));
+  const size_t r = hierarchies_.size();
+  for (size_t j = 0; j < r; ++j) {
+    // Raw leaf/join tables: this fold runs once per cluster mutation in
+    // every pipeline, so the per-step accessor checks add up.
+    const Hierarchy& h = hierarchies_[j];
+    const SetId* leaf = h.leaf_table();
+    const SetId* join = h.join_table();
+    const size_t num_sets = h.num_sets();
+    SetId acc = leaf[dataset.at(rows[0], j)];
     for (size_t i = 1; i < rows.size(); ++i) {
-      acc = hierarchies_[j].JoinValue(acc, dataset.at(rows[i], j));
+      acc = join[static_cast<size_t>(acc) * num_sets +
+                 leaf[dataset.at(rows[i], j)]];
     }
     out[j] = acc;
   }
   return out;
 }
 
-bool GeneralizationScheme::Consistent(const Record& record,
+bool GeneralizationScheme::Consistent(RowView record,
                                       const GeneralizedRecord& gen) const {
   KANON_CHECK(record.size() == hierarchies_.size() &&
                   gen.size() == record.size(),

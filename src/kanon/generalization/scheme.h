@@ -31,8 +31,9 @@ class GeneralizationScheme {
   const Hierarchy& hierarchy(size_t attr) const;
 
   /// The identity generalization of a record: each value mapped to its
-  /// singleton subset.
-  GeneralizedRecord Identity(const Record& record) const;
+  /// singleton subset. Takes a view, so dataset rows pass through without
+  /// materializing a Record (a plain Record converts implicitly).
+  GeneralizedRecord Identity(RowView record) const;
 
   /// The fully suppressed record R* (every attribute = full domain).
   GeneralizedRecord Suppressed() const;
@@ -44,7 +45,7 @@ class GeneralizationScheme {
 
   /// R_i + R̄ in the paper's notation: the minimal generalized record that
   /// generalizes both the original record `record` and `gen`.
-  GeneralizedRecord JoinWithOriginal(const Record& record,
+  GeneralizedRecord JoinWithOriginal(RowView record,
                                      const GeneralizedRecord& gen) const;
 
   /// Closure of a set of dataset rows (Section V-A.1): the minimal
@@ -55,7 +56,7 @@ class GeneralizationScheme {
 
   /// True iff the original record is consistent with the generalized one
   /// (Definition 3.3): record[j] ∈ gen[j] for every attribute j.
-  bool Consistent(const Record& record, const GeneralizedRecord& gen) const;
+  bool Consistent(RowView record, const GeneralizedRecord& gen) const;
 
   /// Consistency against a dataset row without materializing the Record.
   bool ConsistentRow(const Dataset& dataset, size_t row,

@@ -13,21 +13,53 @@ PrecomputedLoss::PrecomputedLoss(
   KANON_CHECK(dataset.num_attributes() == scheme_->num_attributes(),
               "dataset arity mismatch");
   const size_t r = scheme_->num_attributes();
-  costs_.resize(r);
+  offsets_.resize(r + 1);
+  offsets_[0] = 0;
+  for (size_t j = 0; j < r; ++j) {
+    offsets_[j + 1] = offsets_[j] + scheme_->hierarchy(j).num_sets();
+  }
+  costs_.resize(offsets_[r]);
   for (size_t j = 0; j < r; ++j) {
     const Hierarchy& h = scheme_->hierarchy(j);
     const std::vector<uint32_t> counts = dataset.ValueCounts(j);
-    costs_[j].resize(h.num_sets());
+    double* row = costs_.data() + offsets_[j];
     // SetCost is a pure function of (hierarchy, counts, set): the table
     // fills set-wise across the worker threads, one disjoint slot each.
     ParallelFor(
         h.num_sets(), num_threads, nullptr, "loss/precompute",
         [&](size_t s) {
-          costs_[j][s] = measure.SetCost(h, counts, static_cast<SetId>(s));
+          row[s] = measure.SetCost(h, counts, static_cast<SetId>(s));
         },
         /*done=*/nullptr, /*serial_below=*/1024);
   }
   inv_num_attributes_ = 1.0 / static_cast<double>(r);
+}
+
+void PrecomputedLoss::RecordCostMany(
+    const std::vector<GeneralizedRecord>& records,
+    std::vector<double>* out) const {
+  out->resize(records.size());
+  // Per-attribute row pointers hoisted once: the per-record stores into
+  // `out` (a double*, which could alias costs_ as far as the compiler
+  // knows) then never force a reload of the table pointers, and the inner
+  // loop is one load-add per attribute. Same additions in the same order
+  // as RecordCost.
+  const size_t r = offsets_.size() - 1;
+  const double inv_r = inv_num_attributes_;
+  std::vector<const double*> rows(r);
+  for (size_t j = 0; j < r; ++j) {
+    rows[j] = costs_.data() + offsets_[j];
+  }
+  double* dst = out->data();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SetId* rec = records[i].data();
+    KANON_DCHECK(records[i].size() == r);
+    double total = 0.0;
+    for (size_t j = 0; j < r; ++j) {
+      total += rows[j][rec[j]];
+    }
+    dst[i] = total * inv_r;
+  }
 }
 
 double PrecomputedLoss::TableLoss(const GeneralizedTable& table) const {
@@ -38,7 +70,7 @@ double PrecomputedLoss::TableLoss(const GeneralizedTable& table) const {
   for (size_t i = 0; i < table.num_rows(); ++i) {
     double row_cost = 0.0;
     for (size_t j = 0; j < table.num_attributes(); ++j) {
-      row_cost += costs_[j][table.at(i, j)];
+      row_cost += costs_[offsets_[j] + table.at(i, j)];
     }
     total += row_cost;
   }

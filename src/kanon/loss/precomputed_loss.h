@@ -16,6 +16,10 @@ namespace kanon {
 /// precomputed, so that the generalization cost c(R̄) of a record and the
 /// information loss Π(D, g(D)) of a table are table lookups. This is the
 /// object the anonymization algorithms evaluate millions of times.
+///
+/// The per-entry costs live in ONE contiguous buffer with per-attribute
+/// offsets (not a vector of per-attribute vectors), so the hot loops walk a
+/// flat array: attr_costs(j) hands kernels the raw row for attribute j.
 class PrecomputedLoss {
  public:
   /// Precomputes cost[attr][set] = measure.SetCost(...) for every attribute
@@ -34,19 +38,36 @@ class PrecomputedLoss {
 
   /// Per-entry cost of publishing subset `set` for attribute `attr`.
   double EntryCost(size_t attr, SetId set) const {
-    KANON_DCHECK(attr < costs_.size() && set < costs_[attr].size());
-    return costs_[attr][set];
+    KANON_DCHECK(attr + 1 < offsets_.size() &&
+                 offsets_[attr] + set < offsets_[attr + 1]);
+    return costs_[offsets_[attr] + set];
   }
+
+  /// Raw cost row of attribute `attr`, indexed by SetId — what the batched
+  /// kernels read instead of going through EntryCost per cell.
+  const double* attr_costs(size_t attr) const {
+    KANON_DCHECK(attr + 1 < offsets_.size());
+    return costs_.data() + offsets_[attr];
+  }
+
+  /// 1 / r, the normalization every record-cost kernel applies.
+  double inv_num_attributes() const { return inv_num_attributes_; }
 
   /// c(R̄) = (1/r) Σ_j cost_j(R̄(j)) — the generalization cost of a record.
   double RecordCost(const GeneralizedRecord& record) const {
-    KANON_DCHECK(record.size() == costs_.size());
+    KANON_DCHECK(record.size() + 1 == offsets_.size());
     double total = 0.0;
     for (size_t j = 0; j < record.size(); ++j) {
-      total += costs_[j][record[j]];
+      total += costs_[offsets_[j] + record[j]];
     }
     return total * inv_num_attributes_;
   }
+
+  /// Batched RecordCost: out[i] = RecordCost(records[i]), identical
+  /// arithmetic, one call. The agglomerative shrink/rescan paths and the
+  /// leave-one-out closure joins price whole candidate sets through this.
+  void RecordCostMany(const std::vector<GeneralizedRecord>& records,
+                      std::vector<double>* out) const;
 
   /// Π(D, g(D)) = (1/n) Σ_i c(R̄_i) — the information loss of a table.
   double TableLoss(const GeneralizedTable& table) const;
@@ -59,7 +80,8 @@ class PrecomputedLoss {
  private:
   std::shared_ptr<const GeneralizationScheme> scheme_;
   std::string measure_name_;
-  std::vector<std::vector<double>> costs_;  // [attr][set_id]
+  std::vector<double> costs_;     // Flat: attribute j's row starts at
+  std::vector<size_t> offsets_;   // offsets_[j]; offsets_ has r+1 entries.
   double inv_num_attributes_;
 };
 

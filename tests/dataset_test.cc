@@ -105,6 +105,59 @@ TEST(DatasetTest, ValueCounts) {
   EXPECT_EQ(d.ValueCounts(1), (std::vector<uint32_t>{2, 1, 0}));
 }
 
+TEST(DatasetTest, ValueCountsSkewed) {
+  // Heavily skewed column: every count must land on the one hot value and
+  // the untouched values must stay exactly zero.
+  Dataset d(MakeTestSchema());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(d.AppendRow({1, 2}).ok());
+  }
+  ASSERT_TRUE(d.AppendRow({0, 2}).ok());
+  EXPECT_EQ(d.ValueCounts(0), (std::vector<uint32_t>{1, 100}));
+  EXPECT_EQ(d.ValueCounts(1), (std::vector<uint32_t>{0, 0, 101}));
+}
+
+TEST(DatasetTest, RowViewAndColumnMirrorMatchCells) {
+  Dataset d(MakeTestSchema());
+  ASSERT_TRUE(d.AppendRow({0, 2}).ok());
+  ASSERT_TRUE(d.AppendRow({1, 0}).ok());
+  ASSERT_TRUE(d.AppendRow({1, 1}).ok());
+  // The invariant the engines rely on: at(i, j) == row_view(i)[j] ==
+  // column(j)[i] for every cell.
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    const RowView view = d.row_view(i);
+    ASSERT_EQ(view.size(), d.num_attributes());
+    for (size_t j = 0; j < d.num_attributes(); ++j) {
+      EXPECT_EQ(view[j], d.at(i, j));
+      EXPECT_EQ(d.column(j)[i], d.at(i, j));
+    }
+    EXPECT_EQ(view.ToRecord(), d.row(i));
+  }
+}
+
+TEST(DatasetTest, ColumnMirrorRebuildsAfterAppend) {
+  Dataset d(MakeTestSchema());
+  ASSERT_TRUE(d.AppendRow({0, 1}).ok());
+  EXPECT_EQ(d.column(1)[0], 1);  // Builds the mirror.
+  ASSERT_TRUE(d.AppendRow({1, 2}).ok());  // Invalidates it.
+  EXPECT_EQ(d.column(1)[0], 1);
+  EXPECT_EQ(d.column(1)[1], 2);
+  EXPECT_EQ(d.column(0)[1], 1);
+}
+
+TEST(DatasetTest, ColumnMirrorSharedByCopies) {
+  Dataset d(MakeTestSchema());
+  ASSERT_TRUE(d.AppendRow({1, 2}).ok());
+  d.column(0);  // Prime before copying.
+  Dataset copy = d;
+  EXPECT_EQ(copy.column(1)[0], 2);
+  // Appending to the copy must not disturb the original's mirror.
+  ASSERT_TRUE(copy.AppendRow({0, 0}).ok());
+  EXPECT_EQ(copy.column(1)[1], 0);
+  EXPECT_EQ(d.column(1)[0], 2);
+  EXPECT_EQ(d.num_rows(), 1u);
+}
+
 TEST(DatasetTest, ClassColumn) {
   Dataset d(MakeTestSchema());
   ASSERT_TRUE(d.AppendRow({0, 0}).ok());
@@ -117,6 +170,30 @@ TEST(DatasetTest, ClassColumn) {
   EXPECT_EQ(d.class_domain().name(), "ill");
   // No appends after attaching a class column.
   EXPECT_FALSE(d.AppendRow({0, 0}).ok());
+}
+
+TEST(DatasetTest, ClassColumnOnEmptyDatasetBlocksAppend) {
+  // Regression: the append guard used to check class_codes_ (empty here),
+  // so appends after attaching a class column to an EMPTY dataset slipped
+  // through and desynced the class column from the rows.
+  Dataset d(MakeTestSchema());
+  ASSERT_TRUE(d.SetClassColumn(MakeDomain("c", {"x"}), {}).ok());
+  EXPECT_TRUE(d.has_class_column());
+  EXPECT_FALSE(d.AppendRow({0, 0}).ok());
+  EXPECT_EQ(d.num_rows(), 0u);
+}
+
+TEST(DatasetDeathTest, ClassOfDistinguishesMissingColumnFromBadRow) {
+  Dataset without(MakeTestSchema());
+  ASSERT_TRUE(without.AppendRow({0, 0}).ok());
+  EXPECT_DEATH(without.class_of(0), "dataset has no class column");
+
+  // Regression: an out-of-range row used to abort with the misleading
+  // "dataset has no class column" even though the column exists.
+  Dataset with(MakeTestSchema());
+  ASSERT_TRUE(with.AppendRow({0, 0}).ok());
+  ASSERT_TRUE(with.SetClassColumn(MakeDomain("c", {"x"}), {0}).ok());
+  EXPECT_DEATH(with.class_of(5), "class row index out of range");
 }
 
 TEST(DatasetTest, ClassColumnValidation) {
