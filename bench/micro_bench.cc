@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "kanon/algo/distance.h"
+#include "kanon/algo/policy.h"
 #include "kanon/common/check.h"
 #include "kanon/data/dataset.h"
 #include "kanon/generalization/scheme.h"
@@ -306,6 +308,80 @@ KernelTiming BenchRecordCost(const GeneralizationScheme& scheme,
   return t;
 }
 
+// --- Kernel 5: the per-pair distance arithmetic itself (the tentpole of
+// the policy engine, docs/policy_engine.md). Legacy: the pre-policy shape —
+// one out-of-line EvalDistance call per pair, re-running the
+// DistanceFunction switch every time (distance.cc is a separate TU, so the
+// call never inlines — exactly what the merge loops used to pay). Policy:
+// DispatchDistancePolicy translates the enum once per sweep and the loop
+// runs on the policy's inlined Distance hook. Both sides cover all five
+// distance functions over the same deterministic ingredient grid, with
+// sizes shaped like the init scan plus the overlapping-argument variants.
+KernelTiming BenchDistanceDispatch(const std::vector<double>& single_costs,
+                                   int reps) {
+  const size_t n = single_costs.size();
+  const DistanceParams params;  // epsilon = 0.1, as the paper uses.
+
+  // Bitwise equivalence first, per distance function, on a pair sample.
+  for (DistanceFunction f : kAllDistanceFunctions) {
+    DispatchDistancePolicy(f, params, [&](const auto& policy) {
+      for (uint32_t u = 0; u < n; u += 17) {
+        for (uint32_t v = 0; v < n; v += 13) {
+          const size_t sa = 1 + (u & 7);
+          const size_t sb = 1 + (v & 3);
+          const double da = single_costs[u];
+          const double db = single_costs[v];
+          const double du = da + db + 0.25;
+          KANON_CHECK(policy.Distance(sa, sb, sa + sb, da, db, du) ==
+                          EvalDistance(f, params, sa, sb, sa + sb, da, db, du),
+                      "policy hook diverged from the EvalDistance reference");
+        }
+      }
+      return 0;
+    });
+  }
+
+  KernelTiming t;
+  t.name = "distance_dispatch_vs_policy";
+  t.items = 5 * n * n;
+  t.legacy_ns = TimeNs(reps, [&] {
+    double sink = 0.0;
+    for (DistanceFunction f : kAllDistanceFunctions) {
+      for (uint32_t u = 0; u < n; ++u) {
+        const size_t sa = 1 + (u & 7);
+        const double da = single_costs[u];
+        for (uint32_t v = 0; v < n; ++v) {
+          const size_t sb = 1 + (v & 3);
+          const double db = single_costs[v];
+          sink += EvalDistance(f, params, sa, sb, sa + sb, da, db,
+                               da + db + 0.25);
+        }
+      }
+    }
+    g_sink += sink;
+  });
+  t.columnar_ns = TimeNs(reps, [&] {
+    double sink = 0.0;
+    for (DistanceFunction f : kAllDistanceFunctions) {
+      sink += DispatchDistancePolicy(f, params, [&](const auto& policy) {
+        double acc = 0.0;
+        for (uint32_t u = 0; u < n; ++u) {
+          const size_t sa = 1 + (u & 7);
+          const double da = single_costs[u];
+          for (uint32_t v = 0; v < n; ++v) {
+            const size_t sb = 1 + (v & 3);
+            const double db = single_costs[v];
+            acc += policy.Distance(sa, sb, sa + sb, da, db, da + db + 0.25);
+          }
+        }
+        return acc;
+      });
+    }
+    g_sink += sink;
+  });
+  return t;
+}
+
 void WriteJson(const std::string& path, size_t n, size_t r,
                const std::vector<KernelTiming>& timings) {
   std::ofstream out(path);
@@ -371,6 +447,11 @@ int Main(int argc, char** argv) {
       BenchJoinedSweep(w.dataset, scheme, kernels, costs, singles, reps));
   timings.push_back(BenchClosure(w.dataset, scheme, reps));
   timings.push_back(BenchRecordCost(scheme, loss, costs, singles, reps));
+  std::vector<double> single_costs(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    single_costs[i] = loss.RecordCost(singles[i]);
+  }
+  timings.push_back(BenchDistanceDispatch(single_costs, reps));
 
   std::printf("micro_bench: ART n=%zu r=%zu, 1 thread, best of %d reps\n", n,
               scheme.num_attributes(), reps);

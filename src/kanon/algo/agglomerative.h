@@ -55,6 +55,13 @@ struct AgglomerativeOptions {
 /// Every output cluster has at least k records (at most 2k−2 for the basic
 /// variant; exactly k for the modified variant, except clusters that absorb
 /// leftovers). Requires 1 ≤ k ≤ n. Expected cost O(n²·r).
+///
+/// This entry translates `options.distance` to its compile-time
+/// ClusterPolicy exactly once and runs the templated engine of
+/// agglomerative_engine.h; callers with a custom policy use
+/// AgglomerativeClusterWithPolicy from that header directly (the policy then
+/// supersedes `options.distance`/`options.params`). See
+/// docs/policy_engine.md.
 Result<Clustering> AgglomerativeCluster(const Dataset& dataset,
                                         const PrecomputedLoss& loss, size_t k,
                                         const AgglomerativeOptions& options);

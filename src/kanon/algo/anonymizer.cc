@@ -1,14 +1,18 @@
 #include "kanon/algo/anonymizer.h"
 
 #include <map>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "kanon/algo/agglomerative.h"
+#include "kanon/algo/agglomerative_engine.h"
 #include "kanon/algo/forest.h"
 #include "kanon/algo/global_anonymizer.h"
 #include "kanon/algo/global_recoding.h"
 #include "kanon/algo/kk_anonymizer.h"
+#include "kanon/algo/policy.h"
+#include "kanon/algo/policy_weighted.h"
 #include "kanon/common/timer.h"
 
 namespace kanon {
@@ -34,6 +38,65 @@ const char* PipelineSpanName(AnonymizationMethod method) {
       return "pipeline/full-domain";
   }
   return "pipeline/unknown";
+}
+
+// The whole method switch, templated on an already-dispatched policy: from
+// here down no code inspects the DistanceFunction enum again — every
+// pipeline runs on the policy's inlined hooks. `loss` is the substrate the
+// pipeline prices clusters on (the reweighted copy when attribute weights
+// are set), which may differ from the loss the caller reports Π under.
+template <typename Policy>
+Result<GeneralizedTable> RunPipeline(const Dataset& dataset,
+                                     const PrecomputedLoss& loss,
+                                     const AnonymizerConfig& config,
+                                     const Policy& policy,
+                                     EngineCounters* counters) {
+  RunContext* const ctx = config.run_context;
+  switch (config.method) {
+    case AnonymizationMethod::kAgglomerative:
+    case AnonymizationMethod::kModifiedAgglomerative: {
+      AgglomerativeOptions options;
+      options.distance = config.distance;
+      options.params = config.params;
+      options.modified =
+          config.method == AnonymizationMethod::kModifiedAgglomerative;
+      options.run_context = ctx;
+      options.num_threads = config.num_threads;
+      options.counters = counters;
+      return AgglomerativeKAnonymizeWithPolicy(dataset, loss, config.k,
+                                               options, policy);
+    }
+    case AnonymizationMethod::kForest:
+      return ForestKAnonymizeWithPolicy(dataset, loss, config.k, policy, ctx,
+                                        counters);
+    case AnonymizationMethod::kKKNearestNeighbors:
+      return KKAnonymizeWithPolicy(dataset, loss, config.k,
+                                   K1Algorithm::kNearestNeighbors, policy, ctx,
+                                   config.num_threads, counters);
+    case AnonymizationMethod::kKKGreedyExpansion:
+      return KKAnonymizeWithPolicy(dataset, loss, config.k,
+                                   K1Algorithm::kGreedyExpansion, policy, ctx,
+                                   config.num_threads, counters);
+    case AnonymizationMethod::kGlobal: {
+      Result<GeneralizedTable> kk = KKAnonymizeWithPolicy(
+          dataset, loss, config.k, K1Algorithm::kGreedyExpansion, policy, ctx,
+          config.num_threads, counters);
+      if (!kk.ok()) return kk.status();
+      Result<GlobalAnonymizationResult> global =
+          MakeGlobal1KAnonymousWithPolicy(dataset, loss, config.k,
+                                          std::move(kk).value(), policy, ctx,
+                                          counters);
+      if (!global.ok()) return global.status();
+      return std::move(global->table);
+    }
+    case AnonymizationMethod::kFullDomain: {
+      Result<GlobalRecodingResult> recoded = GlobalRecodingKAnonymizeWithPolicy(
+          dataset, loss, config.k, policy, ctx, config.num_threads, counters);
+      if (!recoded.ok()) return recoded.status();
+      return std::move(recoded->table);
+    }
+  }
+  return Status::Internal("unreachable anonymization method");
 }
 
 }  // namespace
@@ -106,53 +169,44 @@ Result<AnonymizationResult> Anonymize(const Dataset& dataset,
   const ScopedTelemetry telemetry(config.tracer, config.metrics);
   PhaseSpan pipeline_span(config.tracer, PipelineSpanName(config.method));
   EngineCounters counters;
-  Result<GeneralizedTable> table = Status::Internal("unreachable");
-  switch (config.method) {
-    case AnonymizationMethod::kAgglomerative:
-    case AnonymizationMethod::kModifiedAgglomerative: {
-      AgglomerativeOptions options;
-      options.distance = config.distance;
-      options.params = config.params;
-      options.modified =
-          config.method == AnonymizationMethod::kModifiedAgglomerative;
-      options.run_context = ctx;
-      options.num_threads = config.num_threads;
-      options.counters = &counters;
-      table = AgglomerativeKAnonymize(dataset, loss, config.k, options);
-      break;
-    }
-    case AnonymizationMethod::kForest:
-      table = ForestKAnonymize(dataset, loss, config.k, ctx, &counters);
-      break;
-    case AnonymizationMethod::kKKNearestNeighbors:
-      table = KKAnonymize(dataset, loss, config.k,
-                          K1Algorithm::kNearestNeighbors, ctx,
-                          config.num_threads, &counters);
-      break;
-    case AnonymizationMethod::kKKGreedyExpansion:
-      table = KKAnonymize(dataset, loss, config.k,
-                          K1Algorithm::kGreedyExpansion, ctx,
-                          config.num_threads, &counters);
-      break;
-    case AnonymizationMethod::kGlobal: {
-      Result<GeneralizedTable> kk = KKAnonymize(
-          dataset, loss, config.k, K1Algorithm::kGreedyExpansion, ctx,
-          config.num_threads, &counters);
-      if (!kk.ok()) return kk.status();
-      Result<GlobalAnonymizationResult> global = MakeGlobal1KAnonymous(
-          dataset, loss, config.k, std::move(kk).value(), ctx, &counters);
-      if (!global.ok()) return global.status();
-      table = std::move(global->table);
-      break;
-    }
-    case AnonymizationMethod::kFullDomain: {
-      Result<GlobalRecodingResult> recoded = GlobalRecodingKAnonymize(
-          dataset, loss, config.k, ctx, config.num_threads, &counters);
-      if (!recoded.ok()) return recoded.status();
-      table = std::move(recoded->table);
-      break;
-    }
-  }
+  // The one runtime distance dispatch of the whole run: the enum becomes a
+  // compile-time policy here, and RunPipeline's method switch runs on the
+  // policy's inlined hooks (docs/policy_engine.md).
+  Result<GeneralizedTable> table = DispatchDistancePolicy(
+      config.distance, config.params,
+      [&](const auto& policy) -> Result<GeneralizedTable> {
+        using Base = std::decay_t<decltype(policy)>;
+        if (config.attr_weights.empty()) {
+          return RunPipeline(dataset, loss, config, policy, &counters);
+        }
+        // Weighted attributes: bind the reweighted substrate to the policy
+        // (algo/policy_weighted.h) and run the pipeline against it.
+        Result<AttrWeightedPolicy<Base>> weighted =
+            AttrWeightedPolicy<Base>::Create(policy, loss,
+                                             config.attr_weights);
+        if (!weighted.ok()) return weighted.status();
+        if (config.method == AnonymizationMethod::kAgglomerative ||
+            config.method == AnonymizationMethod::kModifiedAgglomerative) {
+          // The header-templated agglomerative engine instantiates directly
+          // on the new policy type — the no-pipeline-edit extensibility
+          // contract, exercised on the main path.
+          AgglomerativeOptions options;
+          options.distance = config.distance;
+          options.params = config.params;
+          options.modified =
+              config.method == AnonymizationMethod::kModifiedAgglomerative;
+          options.run_context = config.run_context;
+          options.num_threads = config.num_threads;
+          options.counters = &counters;
+          return AgglomerativeKAnonymizeWithPolicy(
+              dataset, weighted->loss(), config.k, options, *weighted);
+        }
+        // The .cc-templated pipelines are instantiated for the five base
+        // policies; AttrWeightedPolicy inherits the Base hooks unchanged,
+        // so they run on the Base facet over the reweighted substrate.
+        return RunPipeline(dataset, weighted->loss(), config,
+                           static_cast<const Base&>(*weighted), &counters);
+      });
   if (!table.ok()) return table.status();
 
   AnonymizationResult result{std::move(table).value(),

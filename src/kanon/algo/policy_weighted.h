@@ -1,0 +1,99 @@
+#ifndef KANON_ALGO_POLICY_WEIGHTED_H_
+#define KANON_ALGO_POLICY_WEIGHTED_H_
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kanon/algo/policy.h"
+#include "kanon/common/result.h"
+#include "kanon/loss/precomputed_loss.h"
+
+namespace kanon {
+
+/// Weighted-attribute cluster distances — the policy landed to prove the
+/// engine's extensibility contract (docs/policy_engine.md): a new policy is
+/// one self-contained struct; no pipeline file changed to support it.
+///
+/// Semantics: the per-record generalization cost becomes the weighted
+/// average Σ_j w_j·cost_j(R̄(j)) / Σw instead of the uniform (1/r)·Σ_j —
+/// an analyst can make "age" pay twice the price of "zip" in every cluster
+/// distance of Section V-A.2. The implementation reweights the cost
+/// *substrate* (PrecomputedLoss::WithAttributeWeights scales attribute j's
+/// cost row by w_j·r/Σw) and keeps the Base policy's arithmetic hooks
+/// untouched: eqs. (8)–(11) and the Nergiz–Clifton variant all consume
+/// d(·) through the substrate, so one reweighted copy turns every built-in
+/// distance into its weighted counterpart. Uniform weights reproduce the
+/// unweighted run bit-for-bit (power-of-two magnitudes, 1.0 included);
+/// doubling every weight is a bitwise no-op (both are under test in
+/// policy_weighted_test.cc).
+///
+/// Exposed through AnonymizerConfig::attr_weights and
+/// `kanon_cli --attr-weights`; usable directly with the header-templated
+/// agglomerative engine:
+///
+///   auto wp = AttrWeightedPolicy<LogWeightedPolicy>::Create(
+///       LogWeightedPolicy{}, loss, {2.0, 1.0, 1.0});
+///   auto clusters = AgglomerativeClusterWithPolicy(
+///       dataset, wp->loss(), k, options, *wp);
+///
+/// The policy type instantiates AgglomerativeEngine<AttrWeightedPolicy<B>>
+/// from the caller's translation unit — no explicit-instantiation edit, no
+/// pipeline recompile. Pipelines whose engines live in .cc files (forest,
+/// (k,k), global, full-domain) consume only the Base hooks, which this
+/// policy inherits unchanged: run them on the Base facet plus loss().
+template <typename Base>
+struct AttrWeightedPolicy : Base {
+  KANON_ASSERT_CLUSTER_POLICY(Base);
+
+  static constexpr const char* kName = "attr-weighted";
+
+  /// Validates user-supplied weights and binds the reweighted substrate.
+  /// Requires one weight per attribute of `loss`, each finite and >= 0,
+  /// with a positive sum (a zero weight is allowed — that attribute
+  /// generalizes for free — but not all of them).
+  static Result<AttrWeightedPolicy> Create(const Base& base,
+                                           const PrecomputedLoss& loss,
+                                           const std::vector<double>& weights) {
+    const size_t r = loss.scheme().num_attributes();
+    if (weights.size() != r) {
+      return Status::InvalidArgument(
+          "expected " + std::to_string(r) + " attribute weights, got " +
+          std::to_string(weights.size()));
+    }
+    double sum = 0.0;
+    for (size_t j = 0; j < weights.size(); ++j) {
+      if (!std::isfinite(weights[j]) || weights[j] < 0.0) {
+        return Status::InvalidArgument(
+            "attribute weight " + std::to_string(j) +
+            " must be finite and non-negative");
+      }
+      sum += weights[j];
+    }
+    if (sum <= 0.0) {
+      return Status::InvalidArgument(
+          "attribute weights must not all be zero");
+    }
+    return AttrWeightedPolicy(base, loss.WithAttributeWeights(weights));
+  }
+
+  /// The reweighted substrate; run the pipeline against this loss object.
+  const PrecomputedLoss& loss() const { return loss_; }
+
+ private:
+  AttrWeightedPolicy(const Base& base, PrecomputedLoss loss)
+      : Base(base), loss_(std::move(loss)) {}
+
+  PrecomputedLoss loss_;
+};
+
+KANON_ASSERT_CLUSTER_POLICY(AttrWeightedPolicy<WeightedPolicy>);
+KANON_ASSERT_CLUSTER_POLICY(AttrWeightedPolicy<PlainPolicy>);
+KANON_ASSERT_CLUSTER_POLICY(AttrWeightedPolicy<LogWeightedPolicy>);
+KANON_ASSERT_CLUSTER_POLICY(AttrWeightedPolicy<RatioPolicy>);
+KANON_ASSERT_CLUSTER_POLICY(AttrWeightedPolicy<NergizCliftonPolicy>);
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_POLICY_WEIGHTED_H_

@@ -1,5 +1,7 @@
 #include "kanon/loss/precomputed_loss.h"
 
+#include <cmath>
+
 #include "kanon/common/check.h"
 #include "kanon/common/parallel.h"
 
@@ -39,24 +41,50 @@ void PrecomputedLoss::RecordCostMany(
     const std::vector<GeneralizedRecord>& records,
     std::vector<double>* out) const {
   out->resize(records.size());
-  // Per-attribute row pointers hoisted once: the per-record stores into
-  // `out` (a double*, which could alias costs_ as far as the compiler
-  // knows) then never force a reload of the table pointers, and the inner
-  // loop is one load-add per attribute. Same additions in the same order
-  // as RecordCost.
+  // Raw base pointers hoisted once: the per-record stores into `out` (a
+  // double*, which could alias costs_ as far as the compiler knows) never
+  // force a reload of the table pointers, and the call allocates nothing.
+  // Records are priced four at a time with independent accumulators — the
+  // four load-add chains interleave in the pipeline instead of serializing
+  // on one accumulator's add latency. Each record's own additions stay in
+  // ascending-j order exactly as in RecordCost, so every result is
+  // bit-identical to the scalar path.
   const size_t r = offsets_.size() - 1;
   const double inv_r = inv_num_attributes_;
-  std::vector<const double*> rows(r);
-  for (size_t j = 0; j < r; ++j) {
-    rows[j] = costs_.data() + offsets_[j];
-  }
+  const double* const costs = costs_.data();
+  const size_t* const offsets = offsets_.data();
+  const size_t count = records.size();
   double* dst = out->data();
-  for (size_t i = 0; i < records.size(); ++i) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const SetId* rec0 = records[i].data();
+    const SetId* rec1 = records[i + 1].data();
+    const SetId* rec2 = records[i + 2].data();
+    const SetId* rec3 = records[i + 3].data();
+    KANON_DCHECK(records[i].size() == r && records[i + 1].size() == r &&
+                 records[i + 2].size() == r && records[i + 3].size() == r);
+    double t0 = 0.0;
+    double t1 = 0.0;
+    double t2 = 0.0;
+    double t3 = 0.0;
+    for (size_t j = 0; j < r; ++j) {
+      const double* const row = costs + offsets[j];
+      t0 += row[rec0[j]];
+      t1 += row[rec1[j]];
+      t2 += row[rec2[j]];
+      t3 += row[rec3[j]];
+    }
+    dst[i] = t0 * inv_r;
+    dst[i + 1] = t1 * inv_r;
+    dst[i + 2] = t2 * inv_r;
+    dst[i + 3] = t3 * inv_r;
+  }
+  for (; i < count; ++i) {
     const SetId* rec = records[i].data();
     KANON_DCHECK(records[i].size() == r);
     double total = 0.0;
     for (size_t j = 0; j < r; ++j) {
-      total += rows[j][rec[j]];
+      total += costs[offsets[j] + rec[j]];
     }
     dst[i] = total * inv_r;
   }
@@ -80,6 +108,35 @@ double PrecomputedLoss::TableLoss(const GeneralizedTable& table) const {
 double PrecomputedLoss::ClosureCost(const Dataset& dataset,
                                     const std::vector<uint32_t>& rows) const {
   return RecordCost(scheme_->ClosureOfRows(dataset, rows));
+}
+
+PrecomputedLoss PrecomputedLoss::WithAttributeWeights(
+    const std::vector<double>& weights) const {
+  const size_t r = offsets_.size() - 1;
+  KANON_CHECK(weights.size() == r, "one weight per attribute");
+  double sum = 0.0;
+  for (double w : weights) {
+    KANON_CHECK(std::isfinite(w) && w >= 0.0,
+                "attribute weights must be finite and non-negative");
+    sum += w;
+  }
+  KANON_CHECK(sum > 0.0, "attribute weights must not all be zero");
+  PrecomputedLoss reweighted = *this;
+  reweighted.measure_name_ = measure_name_ + "+attr-weights";
+  const double r_over_sum = static_cast<double>(r) / sum;
+  for (size_t j = 0; j < r; ++j) {
+    // scale_j = w_j·r/Σw. For a uniform power-of-two weight (1.0 included)
+    // the sum r·w, the quotient r/(r·w) = 1/w and the product w·(1/w) are
+    // all exact, so the scale is exactly 1.0 and the copy prices records
+    // bit-identically to *this. Doubling every weight doubles both w_j and
+    // Σw exactly, leaving every scale bit-identical.
+    const double scale = weights[j] * r_over_sum;
+    double* row = reweighted.costs_.data() + offsets_[j];
+    for (size_t s = offsets_[j]; s < offsets_[j + 1]; ++s) {
+      row[s - offsets_[j]] *= scale;
+    }
+  }
+  return reweighted;
 }
 
 }  // namespace kanon

@@ -77,6 +77,18 @@ class PrecomputedLoss {
   double ClosureCost(const Dataset& dataset,
                      const std::vector<uint32_t>& rows) const;
 
+  /// A copy whose attribute-j cost row is scaled by w_j·r/Σw, so that
+  /// RecordCost computes the weight-normalized average Σ_j w_j·cost_j / Σw
+  /// through the unchanged (1/r) kernels. The substrate of the
+  /// weighted-attribute cluster policy (algo/policy_weighted.h): every
+  /// pipeline prices clusters on the reweighted copy without knowing
+  /// weights exist. Uniform power-of-two weights (1.0 included) give scale
+  /// 1.0 exactly (bit-identical costs); doubling all weights leaves every
+  /// scale bit-identical.
+  /// Requires exactly one finite weight >= 0 per attribute with Σw > 0
+  /// (checked, not a Status: callers validate user input first).
+  PrecomputedLoss WithAttributeWeights(const std::vector<double>& weights) const;
+
  private:
   std::shared_ptr<const GeneralizationScheme> scheme_;
   std::string measure_name_;

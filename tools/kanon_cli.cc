@@ -8,6 +8,11 @@
 //             [--method=agglomerative|modified|forest|kk-nn|kk-greedy|global|full-domain]
 //             [--measure=EM|LM|TM|SUP]
 //             [--distance=1|2|3|4|nc]
+//             [--attr-weights=w1,w2,...]     # per-attribute loss weights
+//                                            # (docs/policy_engine.md); one
+//                                            # finite weight >= 0 per input
+//                                            # attribute, not all zero.
+//                                            # Reported loss stays uniform.
 //             [--output=anonymized.csv]
 //             [--report]                     # print a utility report
 //             [--print-spec]                 # dump the effective spec
@@ -60,6 +65,7 @@
 //   4  cancelled by SIGINT, with a valid partial table written
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -110,6 +116,28 @@ Result<DistanceFunction> ParseDistance(const std::string& name) {
   if (name == "4") return DistanceFunction::kRatio;
   if (name == "nc") return DistanceFunction::kNergizClifton;
   return Status::InvalidArgument("unknown --distance '" + name + "'");
+}
+
+// Comma-separated per-attribute weights, e.g. "2,1,1". Count and range
+// validation happens in Anonymize, which knows the dataset arity.
+Result<std::vector<double>> ParseAttrWeights(const std::string& spec) {
+  std::vector<double> weights;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    char* end = nullptr;
+    const double w = std::strtod(item.c_str(), &end);
+    if (item.empty() || end != item.c_str() + item.size()) {
+      return Status::InvalidArgument("bad --attr-weights entry '" + item +
+                                     "'");
+    }
+    weights.push_back(w);
+  }
+  if (weights.empty()) {
+    return Status::InvalidArgument(
+        "--attr-weights must list at least one weight");
+  }
+  return weights;
 }
 
 Result<std::unique_ptr<LossMeasure>> ParseMeasure(const std::string& name) {
@@ -282,6 +310,15 @@ int ShardedMain(const FlagParser& flags, const std::string& input) {
   config.method = method.value();
   config.distance = distance.value();
   config.num_threads = num_threads;
+  if (flags.Has("attr-weights")) {
+    Result<std::vector<double>> weights =
+        ParseAttrWeights(flags.GetString("attr-weights", ""));
+    if (!weights.ok()) {
+      std::fprintf(stderr, "error: %s\n", weights.status().ToString().c_str());
+      return 2;
+    }
+    config.attr_weights = std::move(weights).value();
+  }
 
   RunContext ctx;
   auto cancel_token = std::make_shared<CancellationToken>();
@@ -420,6 +457,7 @@ int RealMain(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: kanon_cli --input=records.csv --k=5 [--spec=...]"
                  " [--method=...] [--measure=EM] [--distance=4]"
+                 " [--attr-weights=w1,w2,...]"
                  " [--output=...] [--print-spec] [--timeout-ms=N]"
                  " [--max-steps=N] [--threads=N] [--stats-json=PATH]"
                  " [--trace-json=PATH] [--metrics-json=PATH] [--progress]"
@@ -494,6 +532,15 @@ int RealMain(int argc, char** argv) {
   config.method = method.value();
   config.distance = distance.value();
   config.num_threads = num_threads;
+  if (flags.Has("attr-weights")) {
+    Result<std::vector<double>> weights =
+        ParseAttrWeights(flags.GetString("attr-weights", ""));
+    if (!weights.ok()) {
+      std::fprintf(stderr, "error: %s\n", weights.status().ToString().c_str());
+      return 2;
+    }
+    config.attr_weights = std::move(weights).value();
+  }
 
   // Execution controls: deadline, step budget, Ctrl-C cancellation.
   RunContext ctx;
