@@ -1,0 +1,146 @@
+#include "kanon/serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace kanon {
+namespace serve {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), next_id_(other.next_id_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Client> Client::Connect(const std::string& host, int port,
+                               int recv_timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host '" + host + "'");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect to " + host + ":" +
+                           std::to_string(port) + ": " + error);
+  }
+  if (recv_timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return Client(fd);
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendBytes(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::SendFrame(const std::string& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  return WriteFrame(fd_, payload);
+}
+
+Result<std::string> Client::ReadResponseFrame(size_t max_payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  return ReadFrame(fd_, max_payload);
+}
+
+Result<Json> Client::CallRaw(const std::string& method, Json params) {
+  Json request = Json::Object();
+  request.Set("id", Json::Number(next_id_++));
+  request.Set("method", Json::Str(method));
+  request.Set("params", std::move(params));
+  KANON_RETURN_NOT_OK(SendFrame(request.Dump()));
+  KANON_ASSIGN_OR_RETURN(std::string payload, ReadResponseFrame());
+  return Json::Parse(payload);
+}
+
+Result<Json> Client::Call(const std::string& method, Json params) {
+  KANON_ASSIGN_OR_RETURN(Json response, CallRaw(method, std::move(params)));
+  if (response.GetBool("ok", false)) {
+    const Json* result = response.Find("result");
+    return result == nullptr ? Json::Object() : *result;
+  }
+  const Json* error = response.Find("error");
+  const std::string code =
+      error == nullptr ? "invalid_response" : error->GetString("code", "?");
+  const std::string message =
+      error == nullptr ? response.Dump() : error->GetString("message", "");
+  // The typed code leads the message so callers (and test assertions) can
+  // branch on it even through the Status path.
+  return Status::Internal(code + ": " + message);
+}
+
+Result<Json> Client::WaitJob(uint64_t job_id, int poll_interval_ms,
+                             int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    Json params = Json::Object();
+    params.Set("job_id", Json::Number(static_cast<int64_t>(job_id)));
+    KANON_ASSIGN_OR_RETURN(Json snapshot, Call("poll", std::move(params)));
+    const std::string state = snapshot.GetString("state", "");
+    if (state == "done" || state == "failed") return snapshot;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::IOError("job " + std::to_string(job_id) +
+                             " still '" + state + "' after " +
+                             std::to_string(timeout_ms) + "ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_interval_ms));
+  }
+}
+
+}  // namespace serve
+}  // namespace kanon

@@ -1,0 +1,70 @@
+#ifndef KANON_SERVE_CLIENT_H_
+#define KANON_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kanon/common/result.h"
+#include "kanon/serve/framing.h"
+#include "kanon/serve/json.h"
+
+namespace kanon {
+namespace serve {
+
+/// A blocking kanond client: one TCP connection, sequential
+/// request/response calls. Used by the kanond_client tool and the e2e test
+/// harness; deliberately low-level enough (SendBytes, raw frames) that the
+/// protocol-robustness tests can speak broken framing through it too.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to host:port. `recv_timeout_ms` > 0 arms SO_RCVTIMEO so a
+  /// wedged server cannot hang a test forever.
+  static Result<Client> Connect(const std::string& host, int port,
+                                int recv_timeout_ms = 0);
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Raw bytes, no framing — how tests send truncated or hostile prefixes.
+  Status SendBytes(const std::string& bytes);
+
+  /// One protocol frame out / in.
+  Status SendFrame(const std::string& payload);
+  Result<std::string> ReadResponseFrame(
+      size_t max_payload = kDefaultMaxFrameBytes);
+
+  /// Sends {"id":<n>,"method":...,"params":...} and returns the decoded
+  /// *response envelope* ({"id","ok","result"/"error"}) — the caller can
+  /// branch on error.code. Transport problems surface as Status.
+  Result<Json> CallRaw(const std::string& method, Json params);
+
+  /// CallRaw, unwrapped: returns `result` on ok responses; a typed error
+  /// response becomes a Status whose message is "<code>: <message>".
+  Result<Json> Call(const std::string& method, Json params);
+
+  /// Polls `poll` until the job leaves the queue/running states or
+  /// `timeout_ms` elapses; returns the final snapshot (the caller checks
+  /// "state" for done vs failed).
+  Result<Json> WaitJob(uint64_t job_id, int poll_interval_ms = 20,
+                       int timeout_ms = 120000);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace serve
+}  // namespace kanon
+
+#endif  // KANON_SERVE_CLIENT_H_

@@ -1,0 +1,164 @@
+#include "kanon/serve/params.h"
+
+#include <sstream>
+
+#include "kanon/data/csv.h"
+#include "kanon/generalization/scheme_spec.h"
+#include "kanon/loss/entropy_measure.h"
+#include "kanon/loss/lm_measure.h"
+#include "kanon/loss/suppression_measure.h"
+#include "kanon/loss/tree_measure.h"
+
+namespace kanon {
+namespace serve {
+
+Result<AnonymizationMethod> ParseMethodName(const std::string& name) {
+  if (name == "agglomerative") return AnonymizationMethod::kAgglomerative;
+  if (name == "modified") return AnonymizationMethod::kModifiedAgglomerative;
+  if (name == "forest") return AnonymizationMethod::kForest;
+  if (name == "kk-nn") return AnonymizationMethod::kKKNearestNeighbors;
+  if (name == "kk-greedy") return AnonymizationMethod::kKKGreedyExpansion;
+  if (name == "global") return AnonymizationMethod::kGlobal;
+  if (name == "full-domain") return AnonymizationMethod::kFullDomain;
+  return Status::InvalidArgument("unknown method '" + name + "'");
+}
+
+Result<DistanceFunction> ParseDistanceName(const std::string& name) {
+  if (name == "1") return DistanceFunction::kWeighted;
+  if (name == "2") return DistanceFunction::kPlain;
+  if (name == "3") return DistanceFunction::kLogWeighted;
+  if (name == "4") return DistanceFunction::kRatio;
+  if (name == "nc") return DistanceFunction::kNergizClifton;
+  return Status::InvalidArgument("unknown distance '" + name + "'");
+}
+
+Result<AnonymityNotion> ParseNotionName(const std::string& name) {
+  if (name == "k-anonymity") return AnonymityNotion::kKAnonymity;
+  if (name == "1k") return AnonymityNotion::kOneK;
+  if (name == "k1") return AnonymityNotion::kKOne;
+  if (name == "kk") return AnonymityNotion::kKK;
+  if (name == "global-1k") return AnonymityNotion::kGlobalOneK;
+  return Status::InvalidArgument("unknown notion '" + name + "'");
+}
+
+Result<std::unique_ptr<LossMeasure>> MakeMeasure(const std::string& name) {
+  std::unique_ptr<LossMeasure> measure;
+  if (name == "EM") measure = std::make_unique<EntropyMeasure>();
+  if (name == "LM") measure = std::make_unique<LmMeasure>();
+  if (name == "TM") measure = std::make_unique<TreeMeasure>();
+  if (name == "SUP") measure = std::make_unique<SuppressionMeasure>();
+  if (measure == nullptr) {
+    return Status::InvalidArgument("unknown measure '" + name + "'");
+  }
+  return measure;
+}
+
+uint64_t Fnv1a(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t DatasetFingerprint(const Dataset& dataset) {
+  const size_t n = dataset.num_rows();
+  const size_t r = dataset.num_attributes();
+  uint64_t hash = Fnv1a(&n, sizeof(n));
+  hash = Fnv1a(&r, sizeof(r), hash);
+  hash = Fnv1a(nullptr, 0, SchemaFingerprint(dataset.schema()) ^ hash);
+  for (size_t i = 0; i < n; ++i) {
+    const RowView row = dataset.row_view(i);
+    hash = Fnv1a(row.data(), r * sizeof(ValueCode), hash);
+  }
+  return hash;
+}
+
+uint64_t SchemaFingerprint(const Schema& schema) {
+  uint64_t hash = Fnv1a(nullptr, 0);
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    const AttributeDomain& domain = schema.attribute(j);
+    hash = Fnv1a(domain.name().data(), domain.name().size(), hash);
+    for (const std::string& label : domain.labels()) {
+      hash = Fnv1a(label.data(), label.size(), hash);
+      hash = Fnv1a("\x1f", 1, hash);  // Separator so labels cannot run together.
+    }
+    hash = Fnv1a("\x1e", 1, hash);
+  }
+  return hash;
+}
+
+Result<ParsedTable> ParseCsvAndSpec(const std::string& csv_text,
+                                    const std::string& spec_text,
+                                    SchemeCache* cache) {
+  std::istringstream csv_stream(csv_text);
+  KANON_ASSIGN_OR_RETURN(Dataset dataset, ReadCsvInferSchema(csv_stream));
+  std::shared_ptr<const GeneralizationScheme> scheme;
+  if (cache != nullptr) {
+    KANON_ASSIGN_OR_RETURN(scheme, cache->Get(spec_text, dataset.schema()));
+  } else if (spec_text.empty()) {
+    KANON_ASSIGN_OR_RETURN(
+        GeneralizationScheme parsed,
+        GeneralizationScheme::SuppressionOnly(dataset.schema()));
+    scheme =
+        std::make_shared<const GeneralizationScheme>(std::move(parsed));
+  } else {
+    std::istringstream spec_stream(spec_text);
+    KANON_ASSIGN_OR_RETURN(GeneralizationScheme parsed,
+                           ParseSchemeSpec(dataset.schema(), spec_stream));
+    scheme =
+        std::make_shared<const GeneralizationScheme>(std::move(parsed));
+  }
+  return ParsedTable(std::move(dataset), std::move(scheme));
+}
+
+SchemeCache::SchemeCache(size_t capacity, MetricsRegistry* metrics)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  if (metrics != nullptr) {
+    hits_ = metrics->GetCounter("serve.scheme_cache_hits");
+    misses_ = metrics->GetCounter("serve.scheme_cache_misses");
+  }
+}
+
+Result<std::shared_ptr<const GeneralizationScheme>> SchemeCache::Get(
+    const std::string& spec_text, const Schema& schema) {
+  uint64_t key = Fnv1a(spec_text.data(), spec_text.size());
+  key ^= SchemaFingerprint(schema);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = schemes_.find(key);
+    if (it != schemes_.end()) {
+      if (hits_ != nullptr) hits_->Add();
+      return it->second;
+    }
+  }
+  if (misses_ != nullptr) misses_->Add();
+  Result<GeneralizationScheme> parsed = Status::Internal("unset");
+  if (spec_text.empty()) {
+    parsed = GeneralizationScheme::SuppressionOnly(schema);
+  } else {
+    std::istringstream spec_stream(spec_text);
+    parsed = ParseSchemeSpec(schema, spec_stream);
+  }
+  if (!parsed.ok()) return parsed.status();
+  auto scheme = std::make_shared<const GeneralizationScheme>(
+      std::move(parsed).value());
+  std::lock_guard<std::mutex> lock(mu_);
+  // Full cache: drop everything rather than track recency — the store is
+  // tiny and a refill costs one spec parse per shape.
+  if (schemes_.size() >= capacity_ && schemes_.find(key) == schemes_.end()) {
+    schemes_.clear();
+  }
+  schemes_.emplace(key, scheme);
+  return scheme;
+}
+
+size_t SchemeCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return schemes_.size();
+}
+
+}  // namespace serve
+}  // namespace kanon

@@ -1,0 +1,90 @@
+#ifndef KANON_SERVE_PARAMS_H_
+#define KANON_SERVE_PARAMS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kanon/algo/anonymizer.h"
+#include "kanon/anonymity/verify.h"
+#include "kanon/common/result.h"
+#include "kanon/data/dataset.h"
+#include "kanon/generalization/scheme.h"
+#include "kanon/loss/measure.h"
+#include "kanon/telemetry/metrics.h"
+
+namespace kanon {
+namespace serve {
+
+/// Wire-name parsing shared by the request handlers and the client CLI.
+/// The names match kanon_cli's flags exactly (docs/serving.md), so a job
+/// submitted over the wire and a CLI run with the same arguments produce
+/// byte-identical tables — the e2e harness's core assertion.
+Result<AnonymizationMethod> ParseMethodName(const std::string& name);
+Result<DistanceFunction> ParseDistanceName(const std::string& name);
+Result<AnonymityNotion> ParseNotionName(const std::string& name);
+Result<std::unique_ptr<LossMeasure>> MakeMeasure(const std::string& name);
+
+/// FNV-1a 64-bit over a byte range, chainable via `seed`.
+uint64_t Fnv1a(const void* data, size_t len,
+               uint64_t seed = 14695981039346656037ull);
+
+/// Fingerprint of a dataset's coded cells plus its shape — the key the
+/// hot-state caches use to recognize a resubmitted table.
+uint64_t DatasetFingerprint(const Dataset& dataset);
+
+/// Fingerprint of a schema (attribute names and domain sizes).
+uint64_t SchemaFingerprint(const Schema& schema);
+
+/// A dataset and the scheme it is coded against, built from inline CSV and
+/// spec text — the ingestion step shared by `submit` and `register_table`.
+struct ParsedTable {
+  Dataset dataset;
+  std::shared_ptr<const GeneralizationScheme> scheme;
+
+  ParsedTable(Dataset dataset_in,
+              std::shared_ptr<const GeneralizationScheme> scheme_in)
+      : dataset(std::move(dataset_in)), scheme(std::move(scheme_in)) {}
+};
+
+/// Parses `csv_text` (schema inferred) and codes a scheme from `spec_text`
+/// (empty = suppression-only hierarchies everywhere). When `cache` is
+/// non-null the parsed scheme is interned there, so resubmissions of the
+/// same (spec, schema) shape share one hierarchy object — the
+/// "load schemas/hierarchies once" half of the service's hot-state story.
+class SchemeCache;
+Result<ParsedTable> ParseCsvAndSpec(const std::string& csv_text,
+                                    const std::string& spec_text,
+                                    SchemeCache* cache);
+
+/// A bounded intern table for parsed generalization schemes, keyed by
+/// (spec text, schema) fingerprints. Thread-safe. Hits mean a request
+/// reuses hierarchies (join tables included) built by an earlier request.
+class SchemeCache {
+ public:
+  /// `metrics` (optional) receives serve.scheme_cache_{hits,misses}.
+  SchemeCache(size_t capacity, MetricsRegistry* metrics);
+
+  /// Returns the cached scheme for (spec_text, schema), parsing and
+  /// inserting on miss. Parse errors are returned, never cached.
+  Result<std::shared_ptr<const GeneralizationScheme>> Get(
+      const std::string& spec_text, const Schema& schema);
+
+  size_t size() const;
+
+ private:
+  const size_t capacity_;
+  Counter* hits_ = nullptr;
+  Counter* misses_ = nullptr;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const GeneralizationScheme>>
+      schemes_;
+};
+
+}  // namespace serve
+}  // namespace kanon
+
+#endif  // KANON_SERVE_PARAMS_H_

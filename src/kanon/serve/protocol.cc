@@ -1,0 +1,77 @@
+#include "kanon/serve/protocol.h"
+
+namespace kanon {
+namespace serve {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError:
+      return "parse_error";
+    case ErrorCode::kInvalidRequest:
+      return "invalid_request";
+    case ErrorCode::kUnknownMethod:
+      return "unknown_method";
+    case ErrorCode::kInvalidParams:
+      return "invalid_params";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+    case ErrorCode::kFrameTooLarge:
+      return "frame_too_large";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+Result<Request> DecodeRequest(const std::string& payload, ErrorCode* code) {
+  *code = ErrorCode::kParseError;
+  KANON_ASSIGN_OR_RETURN(Json doc, Json::Parse(payload));
+  *code = ErrorCode::kInvalidRequest;
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  const Json* method = doc.Find("method");
+  if (method == nullptr || !method->is_string() ||
+      method->string_value().empty()) {
+    return Status::InvalidArgument("request needs a string \"method\"");
+  }
+  Request request;
+  if (const Json* id = doc.Find("id"); id != nullptr) request.id = *id;
+  request.method = method->string_value();
+  if (const Json* params = doc.Find("params"); params != nullptr) {
+    if (!params->is_object()) {
+      return Status::InvalidArgument("\"params\" must be an object");
+    }
+    request.params = *params;
+  } else {
+    request.params = Json::Object();
+  }
+  return request;
+}
+
+std::string OkResponse(const Json& id, Json result) {
+  Json response = Json::Object();
+  response.Set("id", id);
+  response.Set("ok", Json::Bool(true));
+  response.Set("result", std::move(result));
+  return response.Dump();
+}
+
+std::string ErrorResponse(const Json& id, ErrorCode code,
+                          const std::string& message) {
+  Json error = Json::Object();
+  error.Set("code", Json::Str(ErrorCodeName(code)));
+  error.Set("message", Json::Str(message));
+  Json response = Json::Object();
+  response.Set("id", id);
+  response.Set("ok", Json::Bool(false));
+  response.Set("error", std::move(error));
+  return response.Dump();
+}
+
+}  // namespace serve
+}  // namespace kanon

@@ -1,0 +1,54 @@
+#ifndef KANON_SERVE_PROTOCOL_H_
+#define KANON_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "kanon/serve/json.h"
+
+namespace kanon {
+namespace serve {
+
+/// The typed error vocabulary of the kanond protocol (docs/serving.md).
+/// Every failed request names exactly one of these in `error.code`, so
+/// clients can branch on the string without parsing prose — the admission
+/// controller's `overloaded` and the drain path's `shutting_down` are the
+/// two that production callers are expected to retry on.
+enum class ErrorCode {
+  kParseError,      // Frame payload was not valid JSON.
+  kInvalidRequest,  // JSON was valid but not a request object.
+  kUnknownMethod,   // Request named a method the server does not serve.
+  kInvalidParams,   // Method known, params missing/ill-typed/unusable.
+  kNotFound,        // Job id or published-table name does not exist.
+  kOverloaded,      // Admission control: the bounded job queue is full.
+  kShuttingDown,    // Server is draining; no new work is admitted.
+  kFrameTooLarge,   // Announced frame length exceeds the server limit.
+  kInternal,        // Anything else (engine failure, injected fault, ...).
+};
+
+/// The wire name, e.g. "overloaded".
+const char* ErrorCodeName(ErrorCode code);
+
+/// A request envelope as decoded from one frame:
+///   {"id": <any JSON value, echoed back>, "method": "...", "params": {...}}
+/// `params` defaults to an empty object when absent.
+struct Request {
+  Json id;      // Echoed verbatim; null when the client sent none.
+  std::string method;
+  Json params;  // Always an object after Decode succeeds.
+};
+
+/// Decodes a frame payload into a Request. On failure returns the
+/// ErrorCode the reply should carry (parse_error / invalid_request).
+Result<Request> DecodeRequest(const std::string& payload, ErrorCode* code);
+
+/// {"id":<id>,"ok":true,"result":<result>}
+std::string OkResponse(const Json& id, Json result);
+
+/// {"id":<id>,"ok":false,"error":{"code":"...","message":"..."}}
+std::string ErrorResponse(const Json& id, ErrorCode code,
+                          const std::string& message);
+
+}  // namespace serve
+}  // namespace kanon
+
+#endif  // KANON_SERVE_PROTOCOL_H_

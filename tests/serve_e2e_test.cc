@@ -1,0 +1,153 @@
+// End-to-end acceptance of the kanond service (docs/serving.md): a real
+// daemon child process on an ephemeral port, driven over the wire, must
+// produce tables BYTE-IDENTICAL to what kanon_cli computes for the same
+// (input, spec, k, method) — the service is a serving layer over the exact
+// same pipelines, not a reimplementation. On top of byte-identity, the
+// read path (verify/attack against published tables) must answer the
+// paper's Definition 4.1/4.4 checks and the Section IV-A match-reduction
+// attack, and the hot-state caches must actually hit on resubmission.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "serve_test_util.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using serve::Client;
+using serve::Json;
+using testing::CliAnonymize;
+using testing::ReadFileOrDie;
+using testing::ServeAnonymize;
+using testing::SubmitJob;
+using testing::SyntheticCsv;
+using testing::TestServer;
+
+TEST(ServeE2eTest, AgglomerativeByteIdenticalToCliAtK2AndK5) {
+  TestServer server;
+  Client client = server.Connect();
+  const std::string csv = SyntheticCsv(48);
+  for (const size_t k : {size_t{2}, size_t{5}}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    const std::string from_serve =
+        ServeAnonymize(client, csv, k, Json::Object());
+    const std::string from_cli = CliAnonymize(server.dir(), csv, "", k, {});
+    EXPECT_EQ(from_serve, from_cli);
+    EXPECT_FALSE(from_serve.empty());
+  }
+}
+
+TEST(ServeE2eTest, KkGreedyWithHierarchySpecByteIdenticalToCli) {
+  TestServer server;
+  Client client = server.Connect();
+  const std::string csv = ReadFileOrDie(std::string(KANON_TESTDATA_DIR) +
+                                        "/demo.csv");
+  const std::string spec = ReadFileOrDie(std::string(KANON_TESTDATA_DIR) +
+                                         "/demo.spec");
+  Json params = Json::Object();
+  params.Set("spec", Json::Str(spec));
+  params.Set("method", Json::Str("kk-greedy"));
+  const std::string from_serve = ServeAnonymize(client, csv, 2, params);
+  const std::string from_cli =
+      CliAnonymize(server.dir(), csv, spec, 2, {"--method=kk-greedy"});
+  EXPECT_EQ(from_serve, from_cli);
+}
+
+TEST(ServeE2eTest, PollReportsTerminalOutcomeFields) {
+  TestServer server;
+  Client client = server.Connect();
+  const uint64_t job_id =
+      SubmitJob(client, SyntheticCsv(24), 2, Json::Object());
+  Json final_state = testing::Unwrap(client.WaitJob(job_id));
+  EXPECT_EQ(final_state.GetString("state", ""), "done");
+  EXPECT_EQ(final_state.GetInt("job_id", -1),
+            static_cast<int64_t>(job_id));
+  EXPECT_EQ(final_state.GetInt("rows", -1), 24);
+  EXPECT_GT(final_state.GetDouble("loss", -1.0), 0.0);
+  EXPECT_FALSE(final_state.GetBool("degraded", true));
+  EXPECT_EQ(final_state.GetString("stop_reason", ""), "none");
+  EXPECT_GT(final_state.GetInt("iterations_completed", -1), 0);
+}
+
+TEST(ServeE2eTest, PublishedTableAnswersVerifyAndAttack) {
+  TestServer server;
+  Client client = server.Connect();
+  Json submit_params = Json::Object();
+  submit_params.Set("publish_as", Json::Str("synth"));
+  const std::string table =
+      ServeAnonymize(client, SyntheticCsv(36), 3, std::move(submit_params));
+  ASSERT_FALSE(table.empty());
+
+  // Definition 4.1 and the (k,1) side of 4.4 hold for an agglomerative
+  // k=3 table; (1,k) holds as well (suppression-only hierarchies).
+  for (const char* notion : {"k-anonymity", "k1", "1k", "kk"}) {
+    SCOPED_TRACE(notion);
+    Json params = Json::Object();
+    params.Set("table", Json::Str("synth"));
+    params.Set("k", Json::Number(int64_t{3}));
+    params.Set("notion", Json::Str(notion));
+    Json verdict = testing::Unwrap(client.Call("verify", std::move(params)));
+    EXPECT_TRUE(verdict.GetBool("satisfied", false)) << verdict.Dump();
+  }
+  // An absurd k must be refused-by-witness, not refused-by-error.
+  Json params = Json::Object();
+  params.Set("table", Json::Str("synth"));
+  params.Set("k", Json::Number(int64_t{1000}));
+  Json verdict = testing::Unwrap(client.Call("verify", std::move(params)));
+  EXPECT_FALSE(verdict.GetBool("satisfied", true));
+  EXPECT_FALSE(verdict.GetString("witness", "").empty());
+
+  // The second adversary of Section IV-A: no record may be pinned below k
+  // matches on a table the service itself anonymized at k=3.
+  Json attack_params = Json::Object();
+  attack_params.Set("table", Json::Str("synth"));
+  attack_params.Set("k", Json::Number(int64_t{3}));
+  Json attack =
+      testing::Unwrap(client.Call("attack", std::move(attack_params)));
+  EXPECT_GE(attack.GetInt("min_matches", 0), 3);
+  EXPECT_EQ(attack.GetInt("breached", -1), 0);
+  EXPECT_EQ(attack.GetInt("reidentified", -1), 0);
+}
+
+TEST(ServeE2eTest, RegisteredCliOutputVerifiesOverTheWire) {
+  TestServer server;
+  Client client = server.Connect();
+  const std::string csv = SyntheticCsv(30);
+  const std::string generalized =
+      CliAnonymize(server.dir(), csv, "", 2, {});
+  Json params = Json::Object();
+  params.Set("name", Json::Str("cli-made"));
+  params.Set("csv", Json::Str(csv));
+  params.Set("generalized_csv", Json::Str(generalized));
+  Json registered =
+      testing::Unwrap(client.Call("register_table", std::move(params)));
+  EXPECT_EQ(registered.GetInt("rows", -1), 30);
+
+  Json verify_params = Json::Object();
+  verify_params.Set("table", Json::Str("cli-made"));
+  verify_params.Set("k", Json::Number(int64_t{2}));
+  Json verdict =
+      testing::Unwrap(client.Call("verify", std::move(verify_params)));
+  EXPECT_TRUE(verdict.GetBool("satisfied", false)) << verdict.Dump();
+}
+
+TEST(ServeE2eTest, ResubmissionHitsSchemeAndLossCaches) {
+  TestServer server;
+  Client client = server.Connect();
+  const std::string csv = SyntheticCsv(20);
+  const std::string first = ServeAnonymize(client, csv, 2, Json::Object());
+  const std::string second = ServeAnonymize(client, csv, 2, Json::Object());
+  EXPECT_EQ(first, second);  // Cached hot state must not change results.
+  Json metrics = testing::Unwrap(client.Call("metrics", Json::Object()));
+  const Json* counters = metrics.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->GetInt("serve.scheme_cache_hits", -1), 1);
+  EXPECT_GE(counters->GetInt("serve.loss_cache_hits", -1), 1);
+  EXPECT_EQ(counters->GetInt("serve.jobs_completed", -1), 2);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,144 @@
+// Observability acceptance for kanond: the /metrics endpoint and the
+// --stats-json shutdown snapshot. The metrics payload must be well-formed
+// JSON (checked with the shared JsonValidator — the same independent
+// validator the telemetry schema tests use, so serve/json.h cannot grade
+// its own homework), expose the documented serve.* counter/gauge/histogram
+// names, and behave monotonically across a scripted request sequence.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+
+#include "json_test_util.h"
+#include "serve_test_util.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using serve::Client;
+using serve::Json;
+using testing::JsonValidator;
+using testing::ReadFileOrDie;
+using testing::ServeAnonymize;
+using testing::SyntheticCsv;
+using testing::TestServer;
+
+/// Fetches the raw bytes of a metrics response (pre-decode), so the
+/// validator sees exactly what went over the wire.
+std::string RawMetricsFrame(Client& client) {
+  Status sent = client.SendFrame("{\"id\":9999,\"method\":\"metrics\"}");
+  KANON_CHECK(sent.ok(), sent.ToString());
+  Result<std::string> raw = client.ReadResponseFrame();
+  KANON_CHECK(raw.ok(), raw.status().ToString());
+  return *raw;
+}
+
+Json MetricsSnapshot(Client& client) {
+  return testing::Unwrap(client.Call("metrics", Json::Object()));
+}
+
+TEST(ServeMetricsTest, EndpointSchemaAndMonotoneCountersAcrossSequence) {
+  TestServer server;
+  Client client = server.Connect();
+  const std::string csv = SyntheticCsv(20);
+
+  // --- Scripted sequence, part 1: ping + one full job + one verify.
+  testing::Unwrap(client.Call("ping", Json::Object()));
+  Json publish = Json::Object();
+  publish.Set("publish_as", Json::Str("observed"));
+  ASSERT_FALSE(ServeAnonymize(client, csv, 2, std::move(publish)).empty());
+  Json verify_params = Json::Object();
+  verify_params.Set("table", Json::Str("observed"));
+  verify_params.Set("k", Json::Number(int64_t{2}));
+  testing::Unwrap(client.Call("verify", std::move(verify_params)));
+
+  // The raw wire payload is well-formed JSON by an independent parser.
+  const std::string raw = RawMetricsFrame(client);
+  EXPECT_TRUE(JsonValidator(raw).Valid()) << raw;
+
+  Json first = MetricsSnapshot(client);
+  const Json* counters = first.Find("counters");
+  const Json* gauges = first.Find("gauges");
+  const Json* histograms = first.Find("histograms");
+  ASSERT_NE(counters, nullptr) << first.Dump();
+  ASSERT_NE(gauges, nullptr) << first.Dump();
+  ASSERT_NE(histograms, nullptr) << first.Dump();
+
+  // The documented serve.* surface is present under the right sections.
+  for (const char* name :
+       {"serve.jobs_accepted", "serve.jobs_rejected", "serve.jobs_completed",
+        "serve.jobs_failed", "serve.jobs_degraded", "serve.jobs_cancelled",
+        "serve.loss_cache_hits", "serve.loss_cache_misses",
+        "serve.scheme_cache_hits", "serve.scheme_cache_misses",
+        "serve.connections", "serve.requests", "serve.request_errors"}) {
+    EXPECT_NE(counters->Find(name), nullptr) << "missing counter " << name;
+  }
+  for (const char* name :
+       {"serve.queue_depth", "serve.jobs_running", "serve.connections_open"}) {
+    EXPECT_NE(gauges->Find(name), nullptr) << "missing gauge " << name;
+  }
+  for (const char* name : {"serve.job_seconds", "serve.request_seconds"}) {
+    EXPECT_NE(histograms->Find(name), nullptr) << "missing histogram " << name;
+  }
+
+  EXPECT_EQ(counters->GetInt("serve.jobs_accepted", -1), 1);
+  EXPECT_EQ(counters->GetInt("serve.jobs_completed", -1), 1);
+  EXPECT_EQ(counters->GetInt("serve.jobs_failed", -1), 0);
+  EXPECT_GE(counters->GetInt("serve.requests", -1), 5);
+  // Steady state between jobs: nothing queued, nothing running.
+  EXPECT_EQ(gauges->GetDouble("serve.queue_depth", -1.0), 0.0);
+  EXPECT_EQ(gauges->GetDouble("serve.jobs_running", -1.0), 0.0);
+
+  // --- Scripted sequence, part 2: a second identical job must move every
+  // relevant counter forward (monotone), including the hot-state caches.
+  ASSERT_FALSE(ServeAnonymize(client, csv, 2, Json::Object()).empty());
+  Json second = MetricsSnapshot(client);
+  const Json* counters2 = second.Find("counters");
+  ASSERT_NE(counters2, nullptr);
+  EXPECT_EQ(counters2->GetInt("serve.jobs_accepted", -1), 2);
+  EXPECT_EQ(counters2->GetInt("serve.jobs_completed", -1), 2);
+  EXPECT_GT(counters2->GetInt("serve.requests", -1),
+            counters->GetInt("serve.requests", -1));
+  EXPECT_GE(counters2->GetInt("serve.scheme_cache_hits", -1), 1);
+  EXPECT_GE(counters2->GetInt("serve.loss_cache_hits", -1), 1);
+  // Monotonicity sweep: no counter may ever move backwards.
+  for (const char* name :
+       {"serve.jobs_accepted", "serve.jobs_completed", "serve.requests",
+        "serve.connections", "serve.request_errors"}) {
+    EXPECT_GE(counters2->GetInt(name, -1), counters->GetInt(name, -1))
+        << name << " went backwards";
+  }
+
+  // --- Shutdown via the wire (no signal), then the --stats-json snapshot.
+  Json bye = testing::Unwrap(client.CallRaw("shutdown", Json::Object()));
+  EXPECT_TRUE(bye.GetBool("ok", false)) << bye.Dump();
+  client.Close();
+  EXPECT_EQ(server.Wait(), 0) << server.Log();
+
+  const std::string stats = ReadFileOrDie(server.stats_json_path());
+  EXPECT_TRUE(JsonValidator(stats).Valid()) << stats;
+  EXPECT_NE(stats.find("serve.jobs_accepted"), std::string::npos);
+  EXPECT_NE(stats.find("serve.request_seconds"), std::string::npos);
+}
+
+TEST(ServeMetricsTest, RejectionsAndErrorsAreCounted) {
+  TestServer server;
+  Client client = server.Connect();
+  // serve.request_errors counts protocol- and dispatch-level failures
+  // (unparsable frames, unknown methods) — method-level typed errors are
+  // normal service answers and are deliberately not error-counted.
+  (void)client.CallRaw("frobnicate", Json::Object());
+  ASSERT_TRUE(client.SendFrame("{nope").ok());
+  ASSERT_TRUE(client.ReadResponseFrame().ok());
+  Json snapshot = MetricsSnapshot(client);
+  const Json* counters = snapshot.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->GetInt("serve.request_errors", -1), 2);
+  EXPECT_EQ(counters->GetInt("serve.jobs_accepted", -1), 0);
+  EXPECT_EQ(server.SignalAndWait(SIGTERM), 0) << server.Log();
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,190 @@
+// Protocol-robustness acceptance for kanond: a hostile or broken peer can
+// at worst get a typed error or its own connection dropped — never a
+// crash, never a desynced frame stream, never a wedged server. Each case
+// sends one flavor of malformed input from the corpus, asserts the typed
+// reply (or the drop), and then proves the server is still healthy by
+// completing a fresh ping on a new connection. The injected-fault cases
+// arm the serve.* failpoints through the registry's environment interface,
+// exactly as the CSV/spec parser robustness suite does for ingestion.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+
+#include "serve_test_util.h"
+#include "test_util.h"
+
+namespace kanon {
+namespace {
+
+using serve::Client;
+using serve::Json;
+using testing::SyntheticCsv;
+using testing::TestServer;
+
+/// The server must still answer after the abuse.
+void ExpectServerAlive(TestServer& server) {
+  Client client = server.Connect();
+  Json pong = testing::Unwrap(client.Call("ping", Json::Object()));
+  EXPECT_TRUE(pong.GetBool("pong", false));
+}
+
+/// Sends a frame and expects a typed error response with `code`.
+void ExpectTypedError(Client& client, const std::string& payload,
+                      const std::string& code) {
+  ASSERT_TRUE(client.SendFrame(payload).ok());
+  Result<std::string> raw = client.ReadResponseFrame();
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  Json response = testing::Unwrap(Json::Parse(*raw));
+  EXPECT_FALSE(response.GetBool("ok", true));
+  const Json* error = response.Find("error");
+  ASSERT_NE(error, nullptr) << response.Dump();
+  EXPECT_EQ(error->GetString("code", ""), code) << response.Dump();
+}
+
+TEST(ServeProtocolTest, MalformedFrameCorpus) {
+  TestServer server;
+
+  {  // Truncated length prefix, then disconnect: dropped, no reply.
+    Client client = server.Connect();
+    ASSERT_TRUE(client.SendBytes(std::string("\x00\x01", 2)).ok());
+    client.Close();
+  }
+  ExpectServerAlive(server);
+
+  {  // Mid-frame disconnect: prefix announces 100 bytes, 10 arrive.
+    Client client = server.Connect();
+    std::string partial("\x00\x00\x00\x64", 4);
+    partial += "0123456789";
+    ASSERT_TRUE(client.SendBytes(partial).ok());
+    client.Close();
+  }
+  ExpectServerAlive(server);
+
+  {  // Oversized announced length: typed frame_too_large, then the drop.
+    Client client = server.Connect();
+    ASSERT_TRUE(client.SendBytes(std::string("\xff\xff\xff\xff", 4)).ok());
+    Result<std::string> raw = client.ReadResponseFrame();
+    ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+    Json response = testing::Unwrap(Json::Parse(*raw));
+    const Json* error = response.Find("error");
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(error->GetString("code", ""), "frame_too_large");
+    // The connection is done: the next read sees EOF, not garbage.
+    EXPECT_FALSE(client.ReadResponseFrame().ok());
+  }
+  ExpectServerAlive(server);
+
+  {  // Payload-level malformations: typed errors, connection stays usable.
+    Client client = server.Connect();
+    ExpectTypedError(client, "", "parse_error");           // Zero-length.
+    ExpectTypedError(client, "{nope", "parse_error");      // Invalid JSON.
+    ExpectTypedError(client, "[1,2,3]", "invalid_request");  // Non-object.
+    ExpectTypedError(client, "{\"id\":1}", "invalid_request");  // No method.
+    ExpectTypedError(client, "{\"id\":1,\"method\":7}",
+                     "invalid_request");  // Non-string method.
+    ExpectTypedError(client, "{\"method\":\"frobnicate\"}",
+                     "unknown_method");
+    // Depth bomb: 80 nested arrays exceeds Json::kMaxDepth.
+    std::string bomb = "{\"id\":1,\"method\":\"ping\",\"params\":";
+    for (int i = 0; i < 80; ++i) bomb += "[";
+    for (int i = 0; i < 80; ++i) bomb += "]";
+    bomb += "}";
+    ExpectTypedError(client, bomb, "parse_error");
+    // After all that, the same connection still serves a real request.
+    Json pong = testing::Unwrap(client.Call("ping", Json::Object()));
+    EXPECT_TRUE(pong.GetBool("pong", false));
+  }
+
+  {  // Deterministic garbage corpus (xorshift bytes, no \x00 prefix luck).
+    uint64_t state = 0x9e3779b97f4a7c15ull;
+    for (int round = 0; round < 8; ++round) {
+      Client client = server.Connect();
+      std::string garbage;
+      for (int i = 0; i < 64; ++i) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        garbage.push_back(static_cast<char>(state & 0xff));
+      }
+      ASSERT_TRUE(client.SendBytes(garbage).ok());
+      client.Close();
+    }
+  }
+  ExpectServerAlive(server);
+
+  EXPECT_EQ(server.SignalAndWait(SIGTERM), 0) << server.Log();
+}
+
+TEST(ServeProtocolTest, MethodLevelParamErrorsAreTyped) {
+  TestServer server;
+  Client client = server.Connect();
+
+  // submit without csv.
+  Json bad_submit = testing::Unwrap(client.CallRaw("submit", Json::Object()));
+  EXPECT_EQ(bad_submit.Find("error")->GetString("code", ""),
+            "invalid_params");
+  // submit with an unparsable table.
+  Json params = Json::Object();
+  params.Set("csv", Json::Str("a,b\n1"));  // Ragged row.
+  Json ragged = testing::Unwrap(client.CallRaw("submit", std::move(params)));
+  EXPECT_EQ(ragged.Find("error")->GetString("code", ""), "invalid_params");
+  // submit with an unknown method / measure.
+  params = Json::Object();
+  params.Set("csv", Json::Str(SyntheticCsv(8)));
+  params.Set("method", Json::Str("simulated-annealing"));
+  Json bad_method =
+      testing::Unwrap(client.CallRaw("submit", std::move(params)));
+  EXPECT_EQ(bad_method.Find("error")->GetString("code", ""),
+            "invalid_params");
+  // poll with a string job id; poll/fetch of an unknown job.
+  params = Json::Object();
+  params.Set("job_id", Json::Str("one"));
+  Json bad_poll = testing::Unwrap(client.CallRaw("poll", std::move(params)));
+  EXPECT_EQ(bad_poll.Find("error")->GetString("code", ""), "invalid_params");
+  params = Json::Object();
+  params.Set("job_id", Json::Number(int64_t{999}));
+  Json missing = testing::Unwrap(client.CallRaw("fetch", std::move(params)));
+  EXPECT_EQ(missing.Find("error")->GetString("code", ""), "not_found");
+  // verify against a table that was never published.
+  params = Json::Object();
+  params.Set("table", Json::Str("ghost"));
+  params.Set("k", Json::Number(int64_t{2}));
+  Json ghost = testing::Unwrap(client.CallRaw("verify", std::move(params)));
+  EXPECT_EQ(ghost.Find("error")->GetString("code", ""), "not_found");
+
+  EXPECT_EQ(server.SignalAndWait(SIGTERM), 0) << server.Log();
+}
+
+TEST(ServeProtocolTest, ArmedDispatchFailpointYieldsTypedInternalError) {
+  TestServer server({{}, {{"KANON_FAILPOINTS", "serve.dispatch"}}});
+  Client client = server.Connect();
+  for (int i = 0; i < 3; ++i) {
+    Json response = testing::Unwrap(client.CallRaw("ping", Json::Object()));
+    EXPECT_FALSE(response.GetBool("ok", true));
+    const Json* error = response.Find("error");
+    ASSERT_NE(error, nullptr);
+    EXPECT_EQ(error->GetString("code", ""), "internal");
+  }
+  // Injected dispatch faults must not take the process down.
+  EXPECT_EQ(server.SignalAndWait(SIGTERM), 0) << server.Log();
+}
+
+TEST(ServeProtocolTest, ArmedReadFailpointDropsConnectionNotProcess) {
+  // Skip the first two reads, then every read on the wire fails as if the
+  // socket broke mid-frame: the connection drops, the process survives.
+  TestServer server({{}, {{"KANON_FAILPOINTS", "serve.read_frame=2"}}});
+  Client client = server.Connect();
+  testing::Unwrap(client.Call("ping", Json::Object()));
+  testing::Unwrap(client.Call("ping", Json::Object()));
+  // The third server-side read fails at the injection site, so the server
+  // may sever the connection before (or while) this lands — the send's own
+  // outcome is racy, but the response can never arrive.
+  (void)client.SendFrame("{\"method\":\"ping\"}");
+  EXPECT_FALSE(client.ReadResponseFrame().ok());  // Dropped, not answered.
+  EXPECT_EQ(server.SignalAndWait(SIGTERM), 0) << server.Log();
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,266 @@
+#ifndef KANON_TESTS_SERVE_TEST_UTIL_H_
+#define KANON_TESTS_SERVE_TEST_UTIL_H_
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kanon/common/check.h"
+#include "kanon/serve/client.h"
+#include "kanon/serve/json.h"
+
+// Paths baked in by tests/CMakeLists.txt.
+#ifndef KANON_KANOND_PATH
+#define KANON_KANOND_PATH "kanond"
+#endif
+#ifndef KANON_CLI_PATH
+#define KANON_CLI_PATH "kanon_cli"
+#endif
+
+namespace kanon {
+namespace testing {
+
+inline std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream input(path, std::ios::binary);
+  KANON_CHECK(static_cast<bool>(input), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  return buffer.str();
+}
+
+inline void WriteFileOrDie(const std::string& path,
+                           const std::string& content) {
+  std::ofstream output(path, std::ios::binary);
+  output.write(content.data(), static_cast<std::streamsize>(content.size()));
+  KANON_CHECK(static_cast<bool>(output), "cannot write " + path);
+}
+
+/// A deterministic synthetic microdata table: enough rows and label spread
+/// that k=2..5 runs do real clustering, small enough to stay fast under
+/// sanitizers.
+inline std::string SyntheticCsv(size_t rows) {
+  static const char* const kDiseases[] = {"flu", "cold", "cough", "none"};
+  std::string csv = "age,zip,disease\n";
+  for (size_t i = 0; i < rows; ++i) {
+    csv += std::to_string(30 + (i * 7) % 13) + ",";
+    csv += std::to_string(10000 + (i * 3) % 5) + ",";
+    csv += kDiseases[(i * 5) % 4];
+    csv += "\n";
+  }
+  return csv;
+}
+
+/// Runs a child process to completion. Returns the exit code (or
+/// 128+signal when killed). `argv` is the full argument vector, argv[0]
+/// the binary path.
+inline int RunProcess(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  KANON_CHECK(pid >= 0, "fork failed");
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  int wstatus = 0;
+  while (::waitpid(pid, &wstatus, 0) < 0) {
+    KANON_CHECK(errno == EINTR, "waitpid failed");
+  }
+  if (WIFEXITED(wstatus)) return WEXITSTATUS(wstatus);
+  if (WIFSIGNALED(wstatus)) return 128 + WTERMSIG(wstatus);
+  return -1;
+}
+
+/// Runs kanon_cli over `csv_text` and returns the anonymized table bytes —
+/// the ground truth the service must match byte-for-byte. `extra_flags`
+/// land after the defaults (e.g. "--method=kk-greedy", "--max-steps=1").
+/// `expected_exit` is 0 for clean runs, 3 for degraded-but-valid ones.
+inline std::string CliAnonymize(const std::string& work_dir,
+                                const std::string& csv_text,
+                                const std::string& spec_text, size_t k,
+                                const std::vector<std::string>& extra_flags,
+                                int expected_exit = 0) {
+  const std::string input = work_dir + "/cli_in.csv";
+  const std::string output = work_dir + "/cli_out.csv";
+  WriteFileOrDie(input, csv_text);
+  std::vector<std::string> argv = {KANON_CLI_PATH, "--input=" + input,
+                                   "--output=" + output,
+                                   "--k=" + std::to_string(k)};
+  if (!spec_text.empty()) {
+    const std::string spec = work_dir + "/cli_in.spec";
+    WriteFileOrDie(spec, spec_text);
+    argv.push_back("--spec=" + spec);
+  }
+  for (const std::string& flag : extra_flags) argv.push_back(flag);
+  const int exit_code = RunProcess(argv);
+  KANON_CHECK(exit_code == expected_exit,
+              "kanon_cli exited " + std::to_string(exit_code) +
+                  ", expected " + std::to_string(expected_exit));
+  return ReadFileOrDie(output);
+}
+
+/// Spawns a kanond child on an ephemeral port and tears it down with the
+/// test. The daemon announces its port through --port-file (written
+/// atomically), which the fixture polls; stderr goes to <dir>/kanond.log
+/// for post-mortems.
+class TestServer {
+ public:
+  struct Options {
+    std::vector<std::string> extra_flags;
+    /// Environment for the child (e.g. {"KANON_FAILPOINTS", "serve.dispatch"}).
+    std::vector<std::pair<std::string, std::string>> env;
+  };
+
+  explicit TestServer(Options options = {}) {
+    char dir_template[] = "/tmp/kanond_test_XXXXXX";
+    KANON_CHECK(::mkdtemp(dir_template) != nullptr, "mkdtemp failed");
+    dir_ = dir_template;
+    const std::string port_file = dir_ + "/port";
+    std::vector<std::string> argv = {
+        KANON_KANOND_PATH, "--port-file=" + port_file,
+        "--stats-json=" + stats_json_path(), "--drain-grace-ms=3000"};
+    for (const std::string& flag : options.extra_flags) argv.push_back(flag);
+
+    std::vector<char*> cargv;
+    for (const std::string& arg : argv) {
+      cargv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    cargv.push_back(nullptr);
+    pid_ = ::fork();
+    KANON_CHECK(pid_ >= 0, "fork failed");
+    if (pid_ == 0) {
+      FILE* log = std::freopen((dir_ + "/kanond.log").c_str(), "w", stderr);
+      (void)log;
+      for (const auto& [name, value] : options.env) {
+        ::setenv(name.c_str(), value.c_str(), 1);
+      }
+      ::execv(cargv[0], cargv.data());
+      std::perror("execv kanond");
+      ::_exit(127);
+    }
+    // Wait for the port announcement (generous: sanitizer builds are slow).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      std::ifstream input(port_file);
+      if (input >> port_ && port_ > 0) break;
+      port_ = 0;
+      KANON_CHECK(std::chrono::steady_clock::now() < deadline,
+                  "kanond did not announce a port; log:\n" + Log());
+      KANON_CHECK(running(), "kanond died at startup; log:\n" + Log());
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  ~TestServer() {
+    if (pid_ > 0 && running()) {
+      ::kill(pid_, SIGKILL);
+      int wstatus = 0;
+      ::waitpid(pid_, &wstatus, 0);
+      pid_ = -1;
+    }
+  }
+
+  TestServer(const TestServer&) = delete;
+  TestServer& operator=(const TestServer&) = delete;
+
+  int port() const { return port_; }
+  pid_t pid() const { return pid_; }
+  const std::string& dir() const { return dir_; }
+  std::string stats_json_path() const { return dir_ + "/stats.json"; }
+  std::string Log() const {
+    std::ifstream input(dir_ + "/kanond.log");
+    std::ostringstream buffer;
+    buffer << input.rdbuf();
+    return buffer.str();
+  }
+
+  serve::Client Connect() {
+    Result<serve::Client> client =
+        serve::Client::Connect("127.0.0.1", port_, /*recv_timeout_ms=*/60000);
+    KANON_CHECK(client.ok(), client.status().ToString());
+    return std::move(client).value();
+  }
+
+  bool running() const {
+    if (pid_ <= 0) return false;
+    return ::waitpid(pid_, nullptr, WNOHANG) == 0;
+  }
+
+  /// Sends `signum` and reaps the child. Returns the exit code
+  /// (128+signal when it died on one).
+  int SignalAndWait(int signum) {
+    KANON_CHECK(pid_ > 0, "server already reaped");
+    ::kill(pid_, signum);
+    return Wait();
+  }
+
+  /// Reaps the child without signaling (e.g. after a `shutdown` request).
+  int Wait() {
+    int wstatus = 0;
+    while (::waitpid(pid_, &wstatus, 0) < 0) {
+      KANON_CHECK(errno == EINTR, "waitpid failed");
+    }
+    pid_ = -1;
+    if (WIFEXITED(wstatus)) return WEXITSTATUS(wstatus);
+    if (WIFSIGNALED(wstatus)) return 128 + WTERMSIG(wstatus);
+    return -1;
+  }
+
+ private:
+  std::string dir_;
+  pid_t pid_ = -1;
+  int port_ = 0;
+};
+
+/// Submits an inline-CSV anonymize job; returns the job id.
+inline uint64_t SubmitJob(serve::Client& client, const std::string& csv,
+                          size_t k, serve::Json extra_params) {
+  serve::Json params = std::move(extra_params);
+  params.Set("csv", serve::Json::Str(csv));
+  params.Set("k", serve::Json::Number(static_cast<int64_t>(k)));
+  Result<serve::Json> result = client.Call("submit", std::move(params));
+  KANON_CHECK(result.ok(), result.status().ToString());
+  const int64_t id = result.value().GetInt("job_id", 0);
+  KANON_CHECK(id > 0, "submit returned no job_id");
+  return static_cast<uint64_t>(id);
+}
+
+/// Submit + wait + fetch: the service-side counterpart of CliAnonymize.
+inline std::string ServeAnonymize(serve::Client& client,
+                                  const std::string& csv, size_t k,
+                                  serve::Json extra_params) {
+  const uint64_t job_id = SubmitJob(client, csv, k, std::move(extra_params));
+  Result<serve::Json> final_state = client.WaitJob(job_id);
+  KANON_CHECK(final_state.ok(), final_state.status().ToString());
+  KANON_CHECK(final_state.value().GetString("state", "") == "done",
+              "job failed: " + final_state.value().Dump());
+  serve::Json params = serve::Json::Object();
+  params.Set("job_id", serve::Json::Number(static_cast<int64_t>(job_id)));
+  Result<serve::Json> fetched = client.Call("fetch", std::move(params));
+  KANON_CHECK(fetched.ok(), fetched.status().ToString());
+  return fetched.value().GetString("csv", "");
+}
+
+}  // namespace testing
+}  // namespace kanon
+
+#endif  // KANON_TESTS_SERVE_TEST_UTIL_H_

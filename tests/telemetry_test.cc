@@ -22,6 +22,7 @@
 #include "kanon/telemetry/metrics.h"
 #include "kanon/telemetry/trace_export.h"
 #include "kanon/telemetry/tracer.h"
+#include "json_test_util.h"
 #include "test_util.h"
 
 // Sanitizer builds replace the global allocator; skip the allocation-count
@@ -75,124 +76,7 @@ using testing::SmallRandomDataset;
 using testing::SmallScheme;
 using testing::Unwrap;
 
-// --- A minimal recursive-descent JSON well-formedness checker. ---------
-
-class JsonValidator {
- public:
-  explicit JsonValidator(const std::string& text) : s_(text) {}
-
-  bool Valid() {
-    SkipWs();
-    if (!ParseValue()) return false;
-    SkipWs();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool ParseValue() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{':
-        return ParseObject();
-      case '[':
-        return ParseArray();
-      case '"':
-        return ParseString();
-      case 't':
-        return Literal("true");
-      case 'f':
-        return Literal("false");
-      case 'n':
-        return Literal("null");
-      default:
-        return ParseNumber();
-    }
-  }
-
-  bool ParseObject() {
-    ++pos_;  // '{'
-    SkipWs();
-    if (Peek('}')) return true;
-    for (;;) {
-      SkipWs();
-      if (!ParseString()) return false;
-      SkipWs();
-      if (!Expect(':')) return false;
-      SkipWs();
-      if (!ParseValue()) return false;
-      SkipWs();
-      if (Peek('}')) return true;
-      if (!Expect(',')) return false;
-    }
-  }
-
-  bool ParseArray() {
-    ++pos_;  // '['
-    SkipWs();
-    if (Peek(']')) return true;
-    for (;;) {
-      SkipWs();
-      if (!ParseValue()) return false;
-      SkipWs();
-      if (Peek(']')) return true;
-      if (!Expect(',')) return false;
-    }
-  }
-
-  bool ParseString() {
-    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) return false;
-        ++pos_;
-      }
-    }
-    return false;
-  }
-
-  bool ParseNumber() {
-    const size_t start = pos_;
-    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool Literal(const char* word) {
-    const size_t len = std::string(word).size();
-    if (s_.compare(pos_, len, word) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-
-  void SkipWs() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
-            s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Peek(char c) {
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool Expect(char c) { return Peek(c); }
-
-  const std::string& s_;
-  size_t pos_ = 0;
-};
+using testing::JsonValidator;
 
 // --- Tracer unit behavior. ---------------------------------------------
 

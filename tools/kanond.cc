@@ -1,0 +1,139 @@
+// kanond: the k-anonymization service daemon (docs/serving.md).
+//
+// Loads nothing per request: parsed generalization hierarchies, precomputed
+// loss tables and published tables stay resident across requests, while the
+// bounded job queue and worker pool run the existing pipelines under
+// per-request deadlines forked from the server's own budget. SIGTERM (or
+// the `shutdown` method) drains gracefully: every admitted job completes,
+// connected clients get a grace window to collect results, then the process
+// exits 0.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "kanon/common/flags.h"
+#include "kanon/common/run_context.h"
+#include "kanon/serve/server.h"
+#include "kanon/shard/shard_io.h"
+#include "kanon/telemetry/metrics.h"
+
+namespace {
+
+kanon::serve::Server* g_server = nullptr;
+
+// Only an atomic store happens here — async-signal-safe by construction.
+void HandleSignal(int /*signum*/) {
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+void PrintUsage() {
+  std::fprintf(stderr, R"(kanond: k-anonymization service daemon
+
+Usage: kanond [flags]
+  --port=N              TCP port (default 0 = ephemeral; see --port-file)
+  --bind=ADDR           Bind address (default 127.0.0.1)
+  --port-file=PATH      Write the bound port here (atomically) once listening
+  --workers=N           Job worker threads (default 1)
+  --queue-depth=N       Jobs allowed to wait; beyond this submissions get a
+                        typed `overloaded` error (default 8)
+  --job-threads=N       Engine threads per job (default 1)
+  --default-timeout-ms=N  Per-job wall-clock budget when a request names
+                        none (default 0 = unbounded)
+  --budget-seconds=X    Wall-clock budget for the whole server; jobs fork
+                        from it and degrade when it runs out (default off)
+  --max-frame-mb=N      Largest accepted request frame (default 64)
+  --tables=N            Published-table store capacity (default 32)
+  --scheme-cache=N      Interned hierarchy shapes kept hot (default 16)
+  --drain-grace-ms=N    How long connections may linger after drain to
+                        collect results (default 5000)
+  --stats-json=PATH     Write the full metrics JSON here after drain
+  --test-hooks          Honor debug_sleep_ms job params (tests only)
+)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kanon::FlagParser flags;
+  kanon::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "kanond: %s\n", parsed.ToString().c_str());
+    return 1;
+  }
+  if (flags.GetBool("help", false)) {
+    PrintUsage();
+    return 0;
+  }
+
+  kanon::serve::ServerOptions options;
+  options.bind_address = flags.GetString("bind", "127.0.0.1");
+  options.port = static_cast<int>(flags.GetInt("port", 0));
+  options.max_frame_bytes =
+      static_cast<size_t>(flags.GetInt("max-frame-mb", 64)) << 20;
+  options.table_store_capacity =
+      static_cast<size_t>(flags.GetInt("tables", 32));
+  options.scheme_cache_capacity =
+      static_cast<size_t>(flags.GetInt("scheme-cache", 16));
+  options.drain_grace_ms = flags.GetInt("drain-grace-ms", 5000);
+  options.jobs.workers = static_cast<size_t>(flags.GetInt("workers", 1));
+  options.jobs.queue_bound =
+      static_cast<size_t>(flags.GetInt("queue-depth", 8));
+  options.jobs.job_threads =
+      static_cast<int>(flags.GetInt("job-threads", 1));
+  options.jobs.default_timeout_ms = flags.GetInt("default-timeout-ms", 0);
+  options.jobs.enable_test_hooks = flags.GetBool("test-hooks", false);
+
+  kanon::MetricsRegistry metrics;
+  kanon::RunContext server_context;
+  const double budget_seconds = flags.GetDouble("budget-seconds", 0.0);
+  if (budget_seconds > 0.0) server_context.ArmDeadline(budget_seconds);
+
+  kanon::serve::Server server(options, &server_context, &metrics);
+  kanon::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "kanond: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction action = {};
+  action.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  const std::string port_file = flags.GetString("port-file", "");
+  if (!port_file.empty()) {
+    // Atomic so a fixture polling the file never reads a half-written port.
+    kanon::Status wrote = kanon::shard::WriteFileAtomic(
+        port_file, std::to_string(server.port()) + "\n");
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "kanond: %s\n", wrote.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "kanond: listening on %s:%d (workers=%zu queue=%zu)\n",
+               options.bind_address.c_str(), server.port(),
+               options.jobs.workers, options.jobs.queue_bound);
+
+  kanon::Status ran = server.Run();
+  g_server = nullptr;
+  if (!ran.ok()) {
+    std::fprintf(stderr, "kanond: %s\n", ran.ToString().c_str());
+    return 1;
+  }
+
+  const std::string stats_json = flags.GetString("stats-json", "");
+  if (!stats_json.empty()) {
+    kanon::Status wrote =
+        kanon::shard::WriteFileAtomic(stats_json, metrics.ToJson(true));
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "kanond: %s\n", wrote.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "kanond: drained, exiting\n");
+  return 0;
+}

@@ -1,0 +1,228 @@
+// kanond_client: command-line client for the kanond service (docs/serving.md).
+//
+// Exit codes: 0 success, 1 usage/transport error, 2 typed server error,
+// 3 the awaited job finished in the `failed` state.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "kanon/common/flags.h"
+#include "kanon/serve/client.h"
+#include "kanon/serve/json.h"
+
+namespace {
+
+using kanon::FlagParser;
+using kanon::Result;
+using kanon::Status;
+using kanon::serve::Client;
+using kanon::serve::Json;
+
+void PrintUsage() {
+  std::fprintf(stderr, R"(kanond_client: client for the kanond service
+
+Usage: kanond_client --port=N [--host=127.0.0.1] <command> [flags]
+
+Commands:
+  ping
+  submit   --csv=FILE [--spec=FILE] [--k=N] [--method=NAME] [--distance=D]
+           [--measure=M] [--attr-weights=w1,w2,...] [--timeout-ms=N]
+           [--max-steps=N] [--publish-as=NAME] [--wait]
+  poll     --job=N
+  wait     --job=N [--wait-timeout-ms=N]
+  fetch    --job=N [--output=FILE]      (CSV to stdout without --output)
+  cancel   --job=N
+  register --name=NAME --csv=FILE --generalized=FILE [--spec=FILE]
+  verify   --table=NAME --k=N [--notion=k-anonymity|1k|k1|kk|global-1k]
+  attack   --table=NAME --k=N
+  metrics
+  shutdown
+
+Every command prints the server's JSON result on stdout (except fetch,
+which emits the raw CSV).
+)");
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream input(path, std::ios::binary);
+  if (!input) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  return buffer.str();
+}
+
+/// Builds submit params from flags; exits via Status on unreadable files.
+Result<Json> SubmitParams(const FlagParser& flags) {
+  const std::string csv_path = flags.GetString("csv", "");
+  if (csv_path.empty()) {
+    return Status::InvalidArgument("submit requires --csv=FILE");
+  }
+  Json params = Json::Object();
+  KANON_ASSIGN_OR_RETURN(std::string csv, ReadFileToString(csv_path));
+  params.Set("csv", Json::Str(std::move(csv)));
+  const std::string spec_path = flags.GetString("spec", "");
+  if (!spec_path.empty()) {
+    KANON_ASSIGN_OR_RETURN(std::string spec, ReadFileToString(spec_path));
+    params.Set("spec", Json::Str(std::move(spec)));
+  }
+  if (flags.Has("k")) params.Set("k", Json::Number(flags.GetInt("k", 5)));
+  if (flags.Has("method")) {
+    params.Set("method", Json::Str(flags.GetString("method", "")));
+  }
+  if (flags.Has("distance")) {
+    params.Set("distance", Json::Str(flags.GetString("distance", "")));
+  }
+  if (flags.Has("measure")) {
+    params.Set("measure", Json::Str(flags.GetString("measure", "")));
+  }
+  if (flags.Has("attr-weights")) {
+    Json weights = Json::Array();
+    std::istringstream list(flags.GetString("attr-weights", ""));
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      weights.Push(Json::Number(std::stod(item)));
+    }
+    params.Set("attr_weights", std::move(weights));
+  }
+  if (flags.Has("timeout-ms")) {
+    params.Set("timeout_ms", Json::Number(flags.GetInt("timeout-ms", 0)));
+  }
+  if (flags.Has("max-steps")) {
+    params.Set("max_steps", Json::Number(flags.GetInt("max-steps", 0)));
+  }
+  if (flags.Has("debug-sleep-ms")) {
+    params.Set("debug_sleep_ms",
+               Json::Number(flags.GetInt("debug-sleep-ms", 0)));
+  }
+  if (flags.Has("publish-as")) {
+    params.Set("publish_as", Json::Str(flags.GetString("publish-as", "")));
+  }
+  return params;
+}
+
+Json JobParams(const FlagParser& flags) {
+  Json params = Json::Object();
+  params.Set("job_id", Json::Number(flags.GetInt("job", 0)));
+  return params;
+}
+
+int FailTransport(const Status& status) {
+  std::fprintf(stderr, "kanond_client: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Prints the result (or typed error) of one call; returns the exit code.
+int Finish(const Result<Json>& response) {
+  if (!response.ok()) {
+    // Client::Call turns typed server errors into Internal("<code>: ...").
+    std::fprintf(stderr, "kanond_client: %s\n",
+                 response.status().ToString().c_str());
+    return response.status().code() == kanon::StatusCode::kInternal ? 2 : 1;
+  }
+  std::printf("%s\n", response.value().Dump().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return FailTransport(parsed);
+  if (flags.GetBool("help", false) || flags.positional().size() != 1) {
+    PrintUsage();
+    return flags.GetBool("help", false) ? 0 : 1;
+  }
+  const std::string command = flags.positional()[0];
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port <= 0) {
+    std::fprintf(stderr, "kanond_client: --port=N is required\n");
+    return 1;
+  }
+  const int recv_timeout_ms =
+      static_cast<int>(flags.GetInt("recv-timeout-ms", 120000));
+
+  Result<Client> connected = Client::Connect(host, port, recv_timeout_ms);
+  if (!connected.ok()) return FailTransport(connected.status());
+  Client client = std::move(connected).value();
+
+  if (command == "ping" || command == "metrics" || command == "shutdown") {
+    return Finish(client.Call(command, Json::Object()));
+  }
+  if (command == "submit") {
+    Result<Json> params = SubmitParams(flags);
+    if (!params.ok()) return FailTransport(params.status());
+    Result<Json> result = client.Call("submit", std::move(params).value());
+    if (!result.ok() || !flags.GetBool("wait", false)) return Finish(result);
+    const uint64_t job_id =
+        static_cast<uint64_t>(result.value().GetInt("job_id", 0));
+    Result<Json> final_state = client.WaitJob(
+        job_id, /*poll_interval_ms=*/20,
+        static_cast<int>(flags.GetInt("wait-timeout-ms", 120000)));
+    const int code = Finish(final_state);
+    if (code != 0) return code;
+    return final_state.value().GetString("state", "") == "done" ? 0 : 3;
+  }
+  if (command == "poll" || command == "cancel") {
+    return Finish(client.Call(command, JobParams(flags)));
+  }
+  if (command == "wait") {
+    Result<Json> final_state = client.WaitJob(
+        static_cast<uint64_t>(flags.GetInt("job", 0)),
+        /*poll_interval_ms=*/20,
+        static_cast<int>(flags.GetInt("wait-timeout-ms", 120000)));
+    const int code = Finish(final_state);
+    if (code != 0) return code;
+    return final_state.value().GetString("state", "") == "done" ? 0 : 3;
+  }
+  if (command == "fetch") {
+    Result<Json> result = client.Call("fetch", JobParams(flags));
+    if (!result.ok()) return Finish(result);
+    const std::string csv = result.value().GetString("csv", "");
+    const std::string output = flags.GetString("output", "");
+    if (output.empty()) {
+      std::fwrite(csv.data(), 1, csv.size(), stdout);
+      return 0;
+    }
+    std::ofstream out(output, std::ios::binary);
+    out.write(csv.data(), static_cast<std::streamsize>(csv.size()));
+    if (!out) return FailTransport(Status::IOError("cannot write " + output));
+    return 0;
+  }
+  if (command == "register") {
+    Json params = Json::Object();
+    params.Set("name", Json::Str(flags.GetString("name", "")));
+    Result<std::string> csv = ReadFileToString(flags.GetString("csv", ""));
+    if (!csv.ok()) return FailTransport(csv.status());
+    params.Set("csv", Json::Str(std::move(csv).value()));
+    Result<std::string> generalized =
+        ReadFileToString(flags.GetString("generalized", ""));
+    if (!generalized.ok()) return FailTransport(generalized.status());
+    params.Set("generalized_csv", Json::Str(std::move(generalized).value()));
+    const std::string spec_path = flags.GetString("spec", "");
+    if (!spec_path.empty()) {
+      Result<std::string> spec = ReadFileToString(spec_path);
+      if (!spec.ok()) return FailTransport(spec.status());
+      params.Set("spec", Json::Str(std::move(spec).value()));
+    }
+    return Finish(client.Call("register_table", std::move(params)));
+  }
+  if (command == "verify" || command == "attack") {
+    Json params = Json::Object();
+    params.Set("table", Json::Str(flags.GetString("table", "")));
+    params.Set("k", Json::Number(flags.GetInt("k", 0)));
+    if (command == "verify" && flags.Has("notion")) {
+      params.Set("notion", Json::Str(flags.GetString("notion", "")));
+    }
+    return Finish(client.Call(command, std::move(params)));
+  }
+  std::fprintf(stderr, "kanond_client: unknown command '%s'\n",
+               command.c_str());
+  PrintUsage();
+  return 1;
+}
