@@ -1,0 +1,69 @@
+#ifndef KANON_SERVE_HTTP_EXPORTER_H_
+#define KANON_SERVE_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "kanon/common/status.h"
+#include "kanon/telemetry/flight_recorder.h"
+#include "kanon/telemetry/metrics.h"
+
+namespace kanon {
+namespace serve {
+
+struct HttpExporterOptions {
+  /// Loopback by default, like the main listener: no authentication layer.
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back via HttpExporter::port().
+  int port = 0;
+  /// Not owned; may be null (the endpoint then serves an empty page).
+  MetricsRegistry* metrics = nullptr;
+  /// Not owned; may be null (GET /flight then 404s).
+  FlightRecorder* flight = nullptr;
+  /// Called before each /metrics render — the hook that refreshes
+  /// scrape-time gauges (uptime) without a background ticker thread.
+  std::function<void()> before_scrape;
+};
+
+/// A deliberately tiny HTTP/1.0 scrape listener so Prometheus (or curl)
+/// can pull the daemon's metrics without speaking the kanond frame
+/// protocol. One accept thread, connections served inline (a scrape is
+/// one short request/response), bounded reads, `Connection: close` on
+/// every response — no keep-alive, no chunking, no dependencies beyond
+/// the sockets the server already uses.
+///
+/// Routes: GET /metrics (Prometheus text 0.0.4), GET /healthz ("ok"),
+/// GET /flight (the flight recorder's current ring as JSON lines);
+/// anything else is 404.
+class HttpExporter {
+ public:
+  explicit HttpExporter(HttpExporterOptions options);
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+  int port() const { return port_; }
+
+  /// Stops accepting and joins. Idempotent; called by the destructor.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeClient(int fd);
+
+  const HttpExporterOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+};
+
+}  // namespace serve
+}  // namespace kanon
+
+#endif  // KANON_SERVE_HTTP_EXPORTER_H_

@@ -7,6 +7,7 @@
 
 #include "kanon/generalization/generalized_csv.h"
 #include "kanon/serve/params.h"
+#include "kanon/telemetry/trace_export.h"
 
 namespace kanon {
 namespace serve {
@@ -69,6 +70,8 @@ JobManager::JobManager(const JobManagerOptions& options,
     job_seconds_ = metrics_->GetHistogram(
         "serve.job_seconds", {0.001, 0.01, 0.1, 1.0, 10.0, 60.0},
         /*deterministic=*/false);
+    job_seconds_window_ = metrics_->GetRollingHistogram(
+        "serve.job_seconds_window", {0.001, 0.01, 0.1, 1.0, 10.0, 60.0});
   }
   const size_t workers = std::max<size_t>(1, options_.workers);
   workers_.reserve(workers);
@@ -84,11 +87,16 @@ Result<uint64_t> JobManager::Submit(JobRequest request, SubmitDenied* denied) {
   if (draining_) {
     *denied = SubmitDenied::kDraining;
     if (jobs_rejected_ != nullptr) jobs_rejected_->Add();
+    KANON_LOG_EVENT(options_.logger, options_.flight, LogLevel::kWarn,
+                    "job.rejected", LogField::Str("reason", "draining"));
     return Status::FailedPrecondition("server is draining");
   }
   if (queue_.size() >= options_.queue_bound) {
     *denied = SubmitDenied::kOverloaded;
     if (jobs_rejected_ != nullptr) jobs_rejected_->Add();
+    KANON_LOG_EVENT(options_.logger, options_.flight, LogLevel::kWarn,
+                    "job.rejected", LogField::Str("reason", "overloaded"),
+                    LogField::U64("queue_depth", queue_.size()));
     return Status::FailedPrecondition(
         "job queue is full (" + std::to_string(queue_.size()) + " of " +
         std::to_string(options_.queue_bound) + " slots)");
@@ -109,6 +117,18 @@ Result<uint64_t> JobManager::Submit(JobRequest request, SubmitDenied* denied) {
   if (jobs_accepted_ != nullptr) jobs_accepted_->Add();
   if (queue_depth_gauge_ != nullptr) {
     queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+  {
+    const Job& admitted = *jobs_.at(id);
+    KANON_LOG_EVENT(
+        options_.logger, options_.flight, LogLevel::kInfo, "job.admitted",
+        LogField::U64("job_id", id),
+        LogField::U64("rows", admitted.request.dataset.num_rows()),
+        LogField::U64("k", admitted.request.k),
+        LogField::Str("method",
+                      AnonymizationMethodName(admitted.request.method)),
+        LogField::U64("queue_depth", queue_.size()),
+        LogField::Bool("capture_trace", admitted.request.capture_trace));
   }
   work_available_.notify_one();
   return id;
@@ -187,6 +207,15 @@ void JobManager::RunJob(Job* job) {
     std::lock_guard<std::mutex> lock(job->mu);
     job->state = JobState::kRunning;
   }
+  KANON_LOG_EVENT(options_.logger, options_.flight, LogLevel::kInfo,
+                  "job.started", LogField::U64("job_id", job->id));
+
+  // Per-job trace capture. The Tracer is constructed here, on the worker
+  // thread, because construction binds lane 0 — the deterministic
+  // coordinator lane — to the constructing thread, and this thread is the
+  // one that runs the pipeline.
+  std::unique_ptr<Tracer> tracer;
+  if (job->request.capture_trace) tracer = std::make_unique<Tracer>();
 
   // Execution controls: fork the server's root budget (linked cancellation,
   // child deadline/steps can never exceed what the server has left), then
@@ -207,11 +236,26 @@ void JobManager::RunJob(Job* job) {
     const size_t steps = static_cast<size_t>(job->request.max_steps);
     if (steps < ctx.RemainingSteps()) ctx.set_step_budget(steps);
   }
+  Logger* const logger = options_.logger;
+  FlightRecorder* const flight = options_.flight;
   ctx.set_progress_observer(
-      [job](const RunProgress& progress) {
-        std::lock_guard<std::mutex> lock(job->mu);
-        job->progress_stage = progress.stage;
-        job->progress_steps = progress.steps;
+      [job, logger, flight](const RunProgress& progress) {
+        bool stage_changed = false;
+        {
+          std::lock_guard<std::mutex> lock(job->mu);
+          stage_changed = job->progress_stage != progress.stage;
+          job->progress_stage = progress.stage;
+          job->progress_steps = progress.steps;
+        }
+        // Stage transitions (not every checkpoint — the observer fires
+        // every 64 steps) go to the flight recorder: they are exactly
+        // what a post-mortem needs to place the crash inside the run.
+        if (stage_changed) {
+          KANON_LOG_EVENT(logger, flight, LogLevel::kDebug, "job.stage",
+                          LogField::U64("job_id", job->id),
+                          LogField::Str("stage", progress.stage),
+                          LogField::U64("steps", progress.steps));
+        }
       },
       /*interval_steps=*/64);
 
@@ -234,6 +278,7 @@ void JobManager::RunJob(Job* job) {
   config.num_threads = options_.job_threads;
   config.run_context = &ctx;
   config.metrics = metrics_;  // Service-wide engine.*/run.* aggregates.
+  config.tracer = tracer.get();
 
   const std::shared_ptr<const PrecomputedLoss> loss =
       LossFor(job->request);
@@ -243,23 +288,38 @@ void JobManager::RunJob(Job* job) {
                 "unknown measure '" + job->request.measure_name + "'"))
           : Anonymize(job->request.dataset, *loss, config);
 
+  // From here on the run is finished, so reading the tracer is safe; the
+  // trace is rendered and cached for every terminal state — the trace of
+  // a failed job is precisely the one worth retrieving.
   if (!result.ok()) {
-    std::lock_guard<std::mutex> lock(job->mu);
-    job->state = JobState::kFailed;
-    job->outcome.state = JobState::kFailed;
-    job->outcome.error = result.status().ToString();
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->state = JobState::kFailed;
+      job->outcome.state = JobState::kFailed;
+      job->outcome.error = result.status().ToString();
+    }
     if (jobs_failed_ != nullptr) jobs_failed_->Add();
+    if (tracer != nullptr) StoreTrace(job->id, ChromeTraceJson(*tracer));
+    KANON_LOG_EVENT(options_.logger, options_.flight, LogLevel::kError,
+                    "job.failed", LogField::U64("job_id", job->id),
+                    LogField::Str("error", result.status().ToString()));
     return;
   }
 
   std::ostringstream csv;
   const Status csv_status = WriteGeneralizedCsv(result->table, csv);
   if (!csv_status.ok()) {
-    std::lock_guard<std::mutex> lock(job->mu);
-    job->state = JobState::kFailed;
-    job->outcome.state = JobState::kFailed;
-    job->outcome.error = csv_status.ToString();
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->state = JobState::kFailed;
+      job->outcome.state = JobState::kFailed;
+      job->outcome.error = csv_status.ToString();
+    }
     if (jobs_failed_ != nullptr) jobs_failed_->Add();
+    if (tracer != nullptr) StoreTrace(job->id, ChromeTraceJson(*tracer));
+    KANON_LOG_EVENT(options_.logger, options_.flight, LogLevel::kError,
+                    "job.failed", LogField::U64("job_id", job->id),
+                    LogField::Str("error", csv_status.ToString()));
     return;
   }
 
@@ -303,6 +363,70 @@ void JobManager::RunJob(Job* job) {
     jobs_cancelled_->Add();
   }
   if (job_seconds_ != nullptr) job_seconds_->Observe(result->elapsed_seconds);
+  if (job_seconds_window_ != nullptr) {
+    job_seconds_window_->Observe(result->elapsed_seconds);
+  }
+  if (tracer != nullptr) StoreTrace(job->id, ChromeTraceJson(*tracer));
+  KANON_LOG_EVENT(options_.logger, options_.flight, LogLevel::kInfo,
+                  "job.done", LogField::U64("job_id", job->id),
+                  LogField::Dbl("seconds", result->elapsed_seconds),
+                  LogField::Dbl("loss", result->loss),
+                  LogField::Bool("degraded", result->degraded),
+                  LogField::Str("stop_reason",
+                                StopReasonName(result->stop_reason)));
+  if (result->degraded) {
+    KANON_LOG_EVENT(options_.logger, options_.flight, LogLevel::kWarn,
+                    "job.degraded", LogField::U64("job_id", job->id),
+                    LogField::Str("stage", result->degraded_stage),
+                    LogField::Str("stop_reason",
+                                  StopReasonName(result->stop_reason)));
+  }
+}
+
+void JobManager::StoreTrace(uint64_t job_id, std::string trace_json) {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  if (trace_cache_.size() >= options_.trace_cache_capacity &&
+      !trace_cache_.empty()) {
+    trace_cache_.pop_front();
+  }
+  trace_cache_.push_back(TraceEntry{
+      job_id, std::make_shared<const std::string>(std::move(trace_json))});
+}
+
+Result<std::string> JobManager::FetchTrace(uint64_t id) const {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("no job " + std::to_string(id));
+    }
+    job = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (!job->request.capture_trace) {
+      return Status::FailedPrecondition(
+          "job " + std::to_string(id) +
+          " did not capture a trace; submit with capture_trace");
+    }
+    if (job->state != JobState::kDone && job->state != JobState::kFailed) {
+      return Status::FailedPrecondition(
+          std::string("job is still ") + JobStateName(job->state));
+    }
+  }
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  for (auto it = trace_cache_.begin(); it != trace_cache_.end(); ++it) {
+    if (it->job_id == id) {
+      // Refresh recency so repeatedly inspected traces survive churn.
+      trace_cache_.splice(trace_cache_.end(), trace_cache_, it);
+      return std::string(*trace_cache_.back().trace_json);
+    }
+  }
+  return Status::NotFound("trace for job " + std::to_string(id) +
+                          " was evicted (trace cache holds " +
+                          std::to_string(options_.trace_cache_capacity) +
+                          ")");
 }
 
 bool JobManager::Snapshot(uint64_t id, JobSnapshot* out) const {

@@ -19,7 +19,10 @@
 #include "kanon/generalization/scheme.h"
 #include "kanon/loss/precomputed_loss.h"
 #include "kanon/serve/table_store.h"
+#include "kanon/telemetry/flight_recorder.h"
+#include "kanon/telemetry/log.h"
 #include "kanon/telemetry/metrics.h"
+#include "kanon/telemetry/tracer.h"
 
 namespace kanon {
 namespace serve {
@@ -44,6 +47,9 @@ struct JobRequest {
   /// When non-empty, a successful result is registered in the table store
   /// under this name, making it queryable by `verify`/`attack`.
   std::string publish_as;
+  /// Attach a per-job Tracer; once the job is terminal, `fetch_trace`
+  /// returns its Chrome-trace JSON (bounded LRU — old traces evict).
+  bool capture_trace = false;
 
   explicit JobRequest(Dataset dataset_in) : dataset(std::move(dataset_in)) {}
 };
@@ -94,6 +100,12 @@ struct JobManagerOptions {
   bool enable_test_hooks = false;
   /// Distinct (scheme, dataset, measure) PrecomputedLoss tables kept hot.
   size_t loss_cache_capacity = 4;
+  /// Completed capture_trace renderings kept for fetch_trace (LRU).
+  size_t trace_cache_capacity = 8;
+  /// Observability sinks (not owned, may be null): the structured log and
+  /// the crash flight recorder receive one record per job lifecycle event.
+  Logger* logger = nullptr;
+  FlightRecorder* flight = nullptr;
 };
 
 /// The service's execution core: a bounded FIFO of jobs drained by a fixed
@@ -127,6 +139,12 @@ class JobManager {
 
   /// The serialized generalized table of a completed job.
   Result<std::string> FetchCsv(uint64_t id) const;
+
+  /// The Chrome-trace JSON of a terminal job submitted with
+  /// capture_trace. kNotFound for unknown ids and evicted traces,
+  /// kFailedPrecondition while the job still runs or when it never
+  /// captured one.
+  Result<std::string> FetchTrace(uint64_t id) const;
 
   /// Cancels a queued or running job (cooperative: the pipeline finalizes
   /// a degraded-but-valid table). False when the id is unknown.
@@ -170,6 +188,7 @@ class JobManager {
   Gauge* queue_depth_gauge_ = nullptr;
   Gauge* jobs_running_gauge_ = nullptr;
   Histogram* job_seconds_ = nullptr;
+  RollingHistogram* job_seconds_window_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;
@@ -189,6 +208,17 @@ class JobManager {
   };
   mutable std::mutex loss_mu_;
   std::list<LossEntry> loss_cache_;
+
+  // Rendered capture_trace results: job id -> Chrome-trace JSON, most
+  // recently used at the back; lookups refresh recency, inserts evict
+  // from the front.
+  struct TraceEntry {
+    uint64_t job_id;
+    std::shared_ptr<const std::string> trace_json;
+  };
+  mutable std::mutex trace_mu_;
+  mutable std::list<TraceEntry> trace_cache_;
+  void StoreTrace(uint64_t job_id, std::string trace_json);
 };
 
 }  // namespace serve

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -80,6 +81,13 @@ Json IdList(const std::vector<uint32_t>& ids) {
   return out;
 }
 
+JobManagerOptions JobOptionsWithSinks(const ServerOptions& options) {
+  JobManagerOptions jobs = options.jobs;
+  if (jobs.logger == nullptr) jobs.logger = options.logger;
+  if (jobs.flight == nullptr) jobs.flight = options.flight;
+  return jobs;
+}
+
 }  // namespace
 
 Server::Server(const ServerOptions& options, RunContext* server_context,
@@ -89,17 +97,33 @@ Server::Server(const ServerOptions& options, RunContext* server_context,
       metrics_(metrics),
       tables_(options.table_store_capacity),
       schemes_(options.scheme_cache_capacity, metrics),
-      jobs_(std::make_unique<JobManager>(options.jobs, server_context,
-                                         metrics, &tables_)) {
+      jobs_(std::make_unique<JobManager>(JobOptionsWithSinks(options),
+                                         server_context, metrics, &tables_)),
+      logger_(options.logger),
+      flight_(options.flight),
+      start_time_(std::chrono::steady_clock::now()) {
   if (metrics_ != nullptr) {
     connections_ = metrics_->GetCounter("serve.connections");
     requests_ = metrics_->GetCounter("serve.requests");
     request_errors_ = metrics_->GetCounter("serve.request_errors");
     connections_open_ =
         metrics_->GetGauge("serve.connections_open", /*deterministic=*/false);
+    uptime_seconds_ =
+        metrics_->GetGauge("serve.uptime_seconds", /*deterministic=*/false);
     request_seconds_ = metrics_->GetHistogram(
         "serve.request_seconds", {0.0001, 0.001, 0.01, 0.1, 1.0, 10.0},
         /*deterministic=*/false);
+    request_seconds_window_ = metrics_->GetRollingHistogram(
+        "serve.request_seconds_window",
+        {0.0001, 0.001, 0.01, 0.1, 1.0, 10.0});
+  }
+}
+
+void Server::RefreshUptime() {
+  if (uptime_seconds_ != nullptr) {
+    uptime_seconds_->Set(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_time_)
+                             .count());
   }
 }
 
@@ -224,15 +248,24 @@ void Server::ServeConnection(Connection* conn) {
       break;  // Clean EOF, truncation, or socket error: drop silently.
     }
     const auto start = std::chrono::steady_clock::now();
+    const uint64_t request_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
     bool close_connection = false;
-    const std::string response = DispatchFrame(*payload, &close_connection);
+    const std::string response =
+        DispatchFrame(*payload, request_id, &close_connection);
     if (requests_ != nullptr) requests_->Add();
-    if (request_seconds_ != nullptr) {
-      request_seconds_->Observe(
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count());
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (request_seconds_ != nullptr) request_seconds_->Observe(seconds);
+    if (request_seconds_window_ != nullptr) {
+      request_seconds_window_->Observe(seconds);
     }
+    KANON_LOG_EVENT(logger_, flight_, LogLevel::kDebug, "request.done",
+                    LogField::U64("request_id", request_id),
+                    LogField::Dbl("seconds", seconds),
+                    LogField::U64("response_bytes", response.size()));
     if (!WriteFrame(conn->fd, response).ok()) break;
     if (close_connection) break;
   }
@@ -242,17 +275,37 @@ void Server::ServeConnection(Connection* conn) {
 }
 
 std::string Server::DispatchFrame(const std::string& payload,
+                                  uint64_t request_id,
                                   bool* close_connection) {
   ErrorCode code = ErrorCode::kParseError;
   Result<Request> request = DecodeRequest(payload, &code);
   if (!request.ok()) {
     if (request_errors_ != nullptr) request_errors_->Add();
+    KANON_LOG_EVENT(logger_, flight_, LogLevel::kWarn, "request.invalid",
+                    LogField::U64("request_id", request_id),
+                    LogField::Str("code", ErrorCodeName(code)));
     return ErrorResponse(Json::Null(), code, request.status().message());
   }
-  return Dispatch(*request, close_connection);
+  return Dispatch(*request, request_id, close_connection);
 }
 
-std::string Server::Dispatch(const Request& request, bool* close_connection) {
+std::string Server::Dispatch(const Request& request, uint64_t request_id,
+                             bool* close_connection) {
+  KANON_LOG_EVENT(logger_, flight_, LogLevel::kDebug, "request",
+                  LogField::U64("request_id", request_id),
+                  LogField::Str("method", request.method));
+  {
+    // Crash-rehearsal hook: an armed serve.crash failpoint flight-records
+    // the hit and dies by abort, exactly like a real fatal bug would —
+    // the path the flight-recorder dump test drives end to end.
+    const Status crash = failpoint::Check("serve.crash");
+    if (!crash.ok()) {
+      KANON_LOG_EVENT(logger_, flight_, LogLevel::kError, "serve.crash",
+                      LogField::U64("request_id", request_id),
+                      LogField::Str("method", request.method));
+      std::abort();
+    }
+  }
   {
     // Robustness-test hook: an armed serve.dispatch failpoint turns into a
     // typed internal error, proving injected dispatch faults cannot crash
@@ -260,6 +313,9 @@ std::string Server::Dispatch(const Request& request, bool* close_connection) {
     const Status injected = failpoint::Check("serve.dispatch");
     if (!injected.ok()) {
       if (request_errors_ != nullptr) request_errors_->Add();
+      KANON_LOG_EVENT(logger_, flight_, LogLevel::kWarn, "serve.failpoint",
+                      LogField::U64("request_id", request_id),
+                      LogField::Str("name", "serve.dispatch"));
       return ErrorResponse(request.id, ErrorCode::kInternal,
                            injected.ToString());
     }
@@ -270,9 +326,11 @@ std::string Server::Dispatch(const Request& request, bool* close_connection) {
     result.Set("draining", Json::Bool(jobs_->draining()));
     return OkResponse(request.id, std::move(result));
   }
-  if (request.method == "submit") return HandleSubmit(request);
+  if (request.method == "submit") return HandleSubmit(request, request_id);
   if (request.method == "poll") return HandlePoll(request);
   if (request.method == "fetch") return HandleFetch(request);
+  if (request.method == "fetch_trace") return HandleFetchTrace(request);
+  if (request.method == "flight_recorder") return HandleFlightRecorder(request);
   if (request.method == "cancel") return HandleCancel(request);
   if (request.method == "register_table") return HandleRegisterTable(request);
   if (request.method == "verify") return HandleVerify(request);
@@ -290,7 +348,7 @@ std::string Server::Dispatch(const Request& request, bool* close_connection) {
                        "unknown method '" + request.method + "'");
 }
 
-std::string Server::HandleSubmit(const Request& request) {
+std::string Server::HandleSubmit(const Request& request, uint64_t request_id) {
   // Admission stops the instant shutdown is requested (the signal handler
   // stores the flag synchronously) — not 100ms later when the accept loop
   // notices and begins the drain proper.
@@ -354,6 +412,7 @@ std::string Server::HandleSubmit(const Request& request) {
   job.max_steps = params.GetInt("max_steps", 0);
   job.debug_sleep_ms = params.GetInt("debug_sleep_ms", 0);
   job.publish_as = params.GetString("publish_as", "");
+  job.capture_trace = params.GetBool("capture_trace", false);
 
   SubmitDenied denied = SubmitDenied::kNone;
   Result<uint64_t> job_id = jobs_->Submit(std::move(job), &denied);
@@ -365,6 +424,11 @@ std::string Server::HandleSubmit(const Request& request) {
                                      : ErrorCode::kInternal;
     return ErrorResponse(request.id, code, job_id.status().message());
   }
+  // The request_id -> job_id edge: the one record that lets an operator
+  // walk from a connection's request log into the job's lifecycle log.
+  KANON_LOG_EVENT(logger_, flight_, LogLevel::kInfo, "request.submit",
+                  LogField::U64("request_id", request_id),
+                  LogField::U64("job_id", *job_id));
   Json result = Json::Object();
   result.Set("job_id", Json::Number(static_cast<int64_t>(*job_id)));
   result.Set("queue_depth",
@@ -539,10 +603,50 @@ std::string Server::HandleAttack(const Request& request) {
   return OkResponse(request.id, std::move(result));
 }
 
+std::string Server::HandleFetchTrace(const Request& request) {
+  uint64_t job_id = 0;
+  std::string error;
+  if (!GetJobId(request.params, &job_id, &error)) {
+    return ErrorResponse(request.id, ErrorCode::kInvalidParams, error);
+  }
+  Result<std::string> trace = jobs_->FetchTrace(job_id);
+  if (!trace.ok()) {
+    return ErrorResponse(request.id, CodeForStatus(trace.status()),
+                         trace.status().message());
+  }
+  Json result = Json::Object();
+  result.Set("job_id", Json::Number(static_cast<int64_t>(job_id)));
+  result.Set("trace", Json::Str(std::move(*trace)));
+  return OkResponse(request.id, std::move(result));
+}
+
+std::string Server::HandleFlightRecorder(const Request& request) {
+  Json events = Json::Array();
+  size_t capacity = 0;
+  uint64_t total = 0;
+  if (flight_ != nullptr) {
+    capacity = flight_->capacity();
+    total = flight_->total_recorded();
+    for (const std::string& line : flight_->Snapshot()) {
+      // Every recorded line is rendered JSON, but a live endpoint should
+      // not trust that: an unparseable line is returned as a raw string
+      // rather than poisoning the whole response.
+      Result<Json> parsed = Json::Parse(line);
+      events.Push(parsed.ok() ? std::move(*parsed) : Json::Str(line));
+    }
+  }
+  Json result = Json::Object();
+  result.Set("events", std::move(events));
+  result.Set("capacity", Json::Number(static_cast<int64_t>(capacity)));
+  result.Set("total_recorded", Json::Number(static_cast<int64_t>(total)));
+  return OkResponse(request.id, std::move(result));
+}
+
 std::string Server::HandleMetrics(const Request& request) {
   if (metrics_ == nullptr) {
     return OkResponse(request.id, Json::Object());
   }
+  RefreshUptime();
   Result<Json> parsed = Json::Parse(metrics_->ToJson(true));
   if (!parsed.ok()) {
     return ErrorResponse(request.id, ErrorCode::kInternal,

@@ -2,6 +2,7 @@
 #define KANON_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -34,6 +35,10 @@ struct ServerOptions {
   /// After drain completes, how long existing connections may linger (e.g.
   /// to fetch a result that finished during drain) before being severed.
   int64_t drain_grace_ms = 5000;
+  /// Observability sinks (not owned, may be null). They are also handed
+  /// to the JobManager unless options.jobs names its own.
+  Logger* logger = nullptr;
+  FlightRecorder* flight = nullptr;
   JobManagerOptions jobs;
 };
 
@@ -80,6 +85,11 @@ class Server {
   JobManager& jobs() { return *jobs_; }
   TableStore& tables() { return tables_; }
 
+  /// Recomputes the serve.uptime_seconds gauge. Called on every metrics
+  /// render (protocol method, Prometheus scrape, exit snapshot) so the
+  /// gauge is fresh without a background ticker.
+  void RefreshUptime();
+
  private:
   struct Connection {
     int fd = -1;
@@ -90,11 +100,14 @@ class Server {
   void ServeConnection(Connection* conn);
   /// Decodes and dispatches one frame; returns the serialized response.
   /// Sets *close_connection when the connection must drop after replying.
-  std::string DispatchFrame(const std::string& payload,
+  /// `request_id` is the server-assigned correlation id carried by every
+  /// log record this request emits.
+  std::string DispatchFrame(const std::string& payload, uint64_t request_id,
                             bool* close_connection);
-  std::string Dispatch(const Request& request, bool* close_connection);
+  std::string Dispatch(const Request& request, uint64_t request_id,
+                       bool* close_connection);
 
-  std::string HandleSubmit(const Request& request);
+  std::string HandleSubmit(const Request& request, uint64_t request_id);
   std::string HandlePoll(const Request& request);
   std::string HandleFetch(const Request& request);
   std::string HandleCancel(const Request& request);
@@ -102,6 +115,8 @@ class Server {
   std::string HandleVerify(const Request& request);
   std::string HandleAttack(const Request& request);
   std::string HandleMetrics(const Request& request);
+  std::string HandleFetchTrace(const Request& request);
+  std::string HandleFlightRecorder(const Request& request);
 
   /// Joins finished connection threads (all of them when `join_all`) and
   /// closes their fds. Fds are only closed here, after the join, so a
@@ -125,7 +140,14 @@ class Server {
   Counter* requests_ = nullptr;
   Counter* request_errors_ = nullptr;
   Gauge* connections_open_ = nullptr;
+  Gauge* uptime_seconds_ = nullptr;
   Histogram* request_seconds_ = nullptr;
+  RollingHistogram* request_seconds_window_ = nullptr;
+
+  Logger* const logger_;
+  FlightRecorder* const flight_;
+  const std::chrono::steady_clock::time_point start_time_;
+  std::atomic<uint64_t> next_request_id_{1};
 
   std::mutex conns_mu_;
   std::list<std::unique_ptr<Connection>> conns_;

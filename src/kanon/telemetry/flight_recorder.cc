@@ -1,0 +1,139 @@
+#include "kanon/telemetry/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace kanon {
+
+namespace {
+
+/// Crash-handler state. Plain globals set before any signal can fire;
+/// the handler reads them without synchronization (the installer is
+/// called once, from main, before serving starts).
+FlightRecorder* g_crash_recorder = nullptr;
+char g_crash_dump_path[1024] = {0};
+
+/// write(2) that tolerates short writes; best-effort (a failing fd at
+/// crash time has no recourse).
+void WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) return;
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+/// Async-signal-safe unsigned decimal formatting (snprintf is not on the
+/// POSIX safe list).
+size_t FormatUnsigned(unsigned long value, char* out, size_t cap) {
+  char tmp[24];
+  size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value > 0 && n < sizeof(tmp));
+  const size_t len = std::min(n, cap);
+  for (size_t i = 0; i < len; ++i) out[i] = tmp[n - 1 - i];
+  return len;
+}
+
+void CrashHandler(int signum) {
+  if (g_crash_recorder != nullptr && g_crash_dump_path[0] != '\0') {
+    const int fd =
+        ::open(g_crash_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      g_crash_recorder->DumpToFd(fd);
+      char line[64];
+      size_t len = 0;
+      static const char kPrefix[] = "{\"event\":\"crash.signal\",\"signal\":";
+      std::memcpy(line, kPrefix, sizeof(kPrefix) - 1);
+      len += sizeof(kPrefix) - 1;
+      len += FormatUnsigned(static_cast<unsigned long>(signum), line + len,
+                            sizeof(line) - len - 3);
+      line[len++] = '}';
+      line[len++] = '\n';
+      WriteAll(fd, line, len);
+      ::close(fd);
+    }
+  }
+  // Die with the original signal so the parent sees the true cause
+  // (exit status 128 + signum).
+  ::signal(signum, SIG_DFL);
+  ::raise(signum);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : slots_(std::max<size_t>(1, capacity)) {}
+
+void FlightRecorder::RecordLine(std::string_view line) {
+  static constexpr std::string_view kOversized =
+      "{\"event\":\"flight.oversized\"}";
+  if (line.size() > kMaxLineBytes) line = kOversized;
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[seq % slots_.size()];
+  slot.seq.store(0, std::memory_order_release);  // Invalidate for readers.
+  std::memcpy(slot.data, line.data(), line.size());
+  slot.len.store(static_cast<uint32_t>(line.size()),
+                 std::memory_order_release);
+  slot.seq.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<std::string> FlightRecorder::Snapshot() const {
+  const uint64_t end = next_.load(std::memory_order_acquire);
+  const uint64_t begin =
+      end > slots_.size() ? end - slots_.size() : 0;
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(end - begin));
+  for (uint64_t i = begin; i < end; ++i) {
+    const Slot& slot = slots_[i % slots_.size()];
+    if (slot.seq.load(std::memory_order_acquire) != i + 1) continue;
+    const uint32_t len = slot.len.load(std::memory_order_acquire);
+    std::string line(slot.data, std::min<size_t>(len, kMaxLineBytes));
+    // Seqlock validation: a concurrent writer invalidates seq first, so
+    // an unchanged seq means the copied bytes are the published ones.
+    if (slot.seq.load(std::memory_order_acquire) != i + 1) continue;
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+void FlightRecorder::DumpToFd(int fd) const {
+  const uint64_t end = next_.load(std::memory_order_acquire);
+  const uint64_t begin = end > slots_.size() ? end - slots_.size() : 0;
+  for (uint64_t i = begin; i < end; ++i) {
+    const Slot& slot = slots_[i % slots_.size()];
+    if (slot.seq.load(std::memory_order_acquire) != i + 1) continue;
+    char buf[kMaxLineBytes + 1];
+    const uint32_t len = std::min<uint32_t>(
+        slot.len.load(std::memory_order_acquire), kMaxLineBytes);
+    std::memcpy(buf, slot.data, len);
+    if (slot.seq.load(std::memory_order_acquire) != i + 1) continue;
+    buf[len] = '\n';
+    WriteAll(fd, buf, len + 1);
+  }
+}
+
+void FlightRecorder::InstallCrashHandler(FlightRecorder* recorder,
+                                         const std::string& path) {
+  g_crash_recorder = recorder;
+  std::snprintf(g_crash_dump_path, sizeof(g_crash_dump_path), "%s",
+                path.c_str());
+  struct sigaction action = {};
+  action.sa_handler = CrashHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  for (const int signum :
+       {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+    sigaction(signum, &action, nullptr);
+  }
+}
+
+}  // namespace kanon

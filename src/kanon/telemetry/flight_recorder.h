@@ -1,0 +1,74 @@
+#ifndef KANON_TELEMETRY_FLIGHT_RECORDER_H_
+#define KANON_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kanon {
+
+/// A fixed-capacity ring of recent structured events (pre-rendered JSON
+/// lines): the last seconds of a daemon's life, kept in memory at all
+/// times so a fatal signal can dump them for the post-mortem and a live
+/// `flight_recorder` query can read them without touching disk.
+///
+/// The ring is lock-free by construction — writers claim a slot with one
+/// fetch_add and publish it seqlock-style — because the dump path runs
+/// inside a fatal-signal handler where taking a mutex (possibly held by
+/// the crashing thread) would deadlock. DumpToFd() uses only write(2),
+/// atomic loads, and stack memory, so it is safe to call from the
+/// handler; a line being written concurrently with the crash is skipped
+/// rather than emitted torn.
+class FlightRecorder {
+ public:
+  /// Longest stored line; longer records are replaced by a short marker
+  /// so every stored line stays valid JSON.
+  static constexpr size_t kMaxLineBytes = 704;
+
+  explicit FlightRecorder(size_t capacity = 512);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Stores one pre-rendered JSON line (no trailing newline).
+  void RecordLine(std::string_view line);
+
+  /// The currently held lines, oldest first. Lines mid-write are skipped.
+  std::vector<std::string> Snapshot() const;
+
+  uint64_t total_recorded() const {
+    return next_.load(std::memory_order_acquire);
+  }
+  size_t capacity() const { return slots_.size(); }
+
+  /// Writes every held line + '\n' to `fd`, oldest first. Async-signal-safe:
+  /// write(2), atomic loads, no allocation, no locks.
+  void DumpToFd(int fd) const;
+
+  /// Installs a handler for SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT that dumps
+  /// `recorder` to `path` (plus a final crash.signal line), restores the
+  /// default disposition, and re-raises — so the process still dies with
+  /// the original signal and exit status. One recorder/path per process;
+  /// a second call replaces the first.
+  static void InstallCrashHandler(FlightRecorder* recorder,
+                                  const std::string& path);
+
+ private:
+  struct Slot {
+    /// 0 = empty; otherwise 1 + the logical sequence number it holds.
+    /// Cleared before the payload is written and set (release) after, so
+    /// readers can detect and skip torn lines.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint32_t> len{0};
+    char data[kMaxLineBytes];
+  };
+
+  std::atomic<uint64_t> next_{0};
+  std::vector<Slot> slots_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_TELEMETRY_FLIGHT_RECORDER_H_

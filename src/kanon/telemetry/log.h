@@ -1,0 +1,138 @@
+#ifndef KANON_TELEMETRY_LOG_H_
+#define KANON_TELEMETRY_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "kanon/common/result.h"
+#include "kanon/common/status.h"
+
+namespace kanon {
+
+class FlightRecorder;
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+/// "debug" / "info" / "warn" / "error"; false on anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+/// One key/value field of a structured log record. Keys must be string
+/// literals (they are not copied); values are typed so numbers land in
+/// the JSON as numbers, not strings.
+struct LogField {
+  enum class Kind { kStr, kInt, kUint, kDouble, kBool };
+
+  const char* key = "";
+  Kind kind = Kind::kStr;
+  std::string str;
+  int64_t i64 = 0;
+  uint64_t u64 = 0;
+  double f64 = 0.0;
+  bool b = false;
+
+  static LogField Str(const char* key, std::string value);
+  static LogField Int(const char* key, int64_t value);
+  static LogField U64(const char* key, uint64_t value);
+  static LogField Dbl(const char* key, double value);
+  static LogField Bool(const char* key, bool value);
+};
+
+/// A leveled JSON-lines logger: one record per line, shaped
+///
+///   {"ts":1754700000.123,"level":"info","event":"job.admitted","job_id":3}
+///
+/// Disabled logging is simply a null Logger* — the KANON_LOG_EVENT macro
+/// (and LogEvent()) check the pointer and the level before any field is
+/// rendered, so a silent daemon pays one branch per call site, exactly
+/// like the tracer's null sink.
+///
+/// A token-bucket rate limit (Options::rate_limit_per_sec) bounds the
+/// write amplification of an event storm: past the budget, records are
+/// dropped and counted, and the next admitted record is preceded by one
+/// "log.rate_limited" summary naming how many were lost.
+class Logger {
+ public:
+  struct Options {
+    LogLevel min_level = LogLevel::kInfo;
+    /// 0 = unlimited. Applies to admitted records across all levels.
+    double rate_limit_per_sec = 0.0;
+    /// Bucket depth; 0 picks 2x the rate (min 16).
+    double burst = 0.0;
+  };
+
+  /// `target` is a file path (opened append) or "stderr".
+  static Result<std::unique_ptr<Logger>> Open(const std::string& target,
+                                              const Options& options);
+  ~Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  bool ShouldLog(LogLevel level) const {
+    return level >= options_.min_level;
+  }
+
+  /// Renders and writes one record (subject to the rate limit).
+  void Log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields);
+
+  /// Writes an already-rendered line (no trailing newline), subject to
+  /// the rate limit. The seam LogEvent() uses so one render feeds both
+  /// the log and the flight recorder.
+  void WriteLine(std::string_view line);
+
+  /// Records dropped by the rate limiter so far.
+  uint64_t dropped() const;
+
+ private:
+  Logger(std::FILE* stream, bool owns_stream, const Options& options);
+
+  const Options options_;
+  std::FILE* const stream_;
+  const bool owns_stream_;
+
+  mutable std::mutex mu_;
+  double tokens_;
+  double last_refill_seconds_;
+  uint64_t dropped_total_ = 0;
+  uint64_t dropped_pending_ = 0;
+};
+
+namespace log_internal {
+/// Renders one JSON-lines record (no trailing newline). `ts_unix` is
+/// seconds since the Unix epoch.
+std::string RenderLine(double ts_unix, LogLevel level, std::string_view event,
+                       const LogField* fields, size_t num_fields);
+double NowUnixSeconds();
+}  // namespace log_internal
+
+/// Renders once, then fans out: the flight recorder gets every event
+/// (its ring is the post-mortem record and must not depend on the log
+/// level), the logger gets those that pass its level and rate limit.
+/// Either sink may be null.
+void LogEvent(Logger* logger, FlightRecorder* flight, LogLevel level,
+              std::string_view event, std::initializer_list<LogField> fields);
+
+/// The call-site form: evaluates the fields only when some sink wants
+/// the event, so disabled observability costs two pointer tests.
+#define KANON_LOG_EVENT(logger, flight, level, event, ...)               \
+  do {                                                                   \
+    ::kanon::Logger* kanon_log_logger = (logger);                        \
+    ::kanon::FlightRecorder* kanon_log_flight = (flight);                \
+    if ((kanon_log_logger != nullptr &&                                  \
+         kanon_log_logger->ShouldLog(level)) ||                          \
+        kanon_log_flight != nullptr) {                                   \
+      ::kanon::LogEvent(kanon_log_logger, kanon_log_flight, (level),     \
+                        (event), {__VA_ARGS__});                         \
+    }                                                                    \
+  } while (0)
+
+}  // namespace kanon
+
+#endif  // KANON_TELEMETRY_LOG_H_

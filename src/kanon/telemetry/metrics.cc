@@ -56,6 +56,13 @@ Histogram::Histogram(std::vector<double> bounds, bool deterministic)
       counts_(bounds_.size() + 1, 0) {}
 
 void Histogram::Observe(double value) {
+  if (std::isnan(value) || value < 0.0) {
+    // Durations only: a NaN or negative sample is a caller bug (backwards
+    // clock, bad subtraction) that would permanently corrupt count/sum.
+    // Clamp and account for it instead of recording garbage.
+    if (bad_samples_ != nullptr) bad_samples_->Add();
+    value = 0.0;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   size_t bucket = bounds_.size();  // Overflow bucket by default.
   for (size_t i = 0; i < bounds_.size(); ++i) {
@@ -84,12 +91,17 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
   return counts_;
 }
 
-Counter* MetricsRegistry::GetCounter(const std::string& name,
-                                     bool deterministic) {
-  std::lock_guard<std::mutex> lock(mu_);
+Counter* MetricsRegistry::CounterLocked(const std::string& name,
+                                        bool deterministic) {
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>(deterministic);
   return slot.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     bool deterministic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CounterLocked(name, deterministic);
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name, bool deterministic) {
@@ -106,8 +118,82 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(bounds), deterministic);
+    // Nondeterministic so its (wall-clock-provoked) count never enters a
+    // ToJson(false) fingerprint. CounterLocked, not GetCounter: mu_ is held.
+    slot->bad_samples_ =
+        CounterLocked("telemetry.bad_samples", /*deterministic=*/false);
   }
   return slot.get();
+}
+
+RollingHistogram* MetricsRegistry::GetRollingHistogram(
+    const std::string& name, std::vector<double> bounds,
+    double window_seconds, size_t num_slots) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<RollingHistogram>& slot = rolling_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<RollingHistogram>(std::move(bounds),
+                                              window_seconds, num_slots);
+    slot->set_bad_samples_counter(
+        CounterLocked("telemetry.bad_samples", /*deterministic=*/false));
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::SetInfo(const std::string& name, InfoLabels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  infos_[name] = std::move(labels);
+}
+
+std::vector<std::pair<std::string, Counter*>>
+MetricsRegistry::CountersSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Gauge*>> MetricsRegistry::GaugesSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) out.emplace_back(name, gauge.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram*>>
+MetricsRegistry::HistogramsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, RollingHistogram*>>
+MetricsRegistry::RollingSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, RollingHistogram*>> out;
+  out.reserve(rolling_.size());
+  for (const auto& [name, rolling] : rolling_) {
+    out.emplace_back(name, rolling.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, MetricsRegistry::InfoLabels>>
+MetricsRegistry::InfosSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, InfoLabels>> out;
+  out.reserve(infos_.size());
+  for (const auto& [name, labels] : infos_) out.emplace_back(name, labels);
+  return out;
 }
 
 std::string MetricsRegistry::ToJson(bool include_nondeterministic) const {
@@ -158,6 +244,43 @@ std::string MetricsRegistry::ToJson(bool include_nondeterministic) const {
     out << "]}";
   }
   out << (first ? "}" : "\n  }");
+  if (include_nondeterministic) {
+    // Wall-clock-derived sections: never part of the deterministic
+    // fingerprint, so they only exist in the full snapshot.
+    out << ",\n  \"rolling\": {";
+    first = true;
+    for (const auto& [name, rolling] : rolling_) {
+      const RollingHistogram::Snapshot snap = rolling->Snap();
+      out << (first ? "\n    " : ",\n    ");
+      first = false;
+      AppendQuoted(out, name);
+      out << ": {\"window_seconds\": " << FormatDouble(rolling->window_seconds())
+          << ", \"count\": " << snap.count
+          << ", \"sum\": " << FormatDouble(snap.sum)
+          << ", \"p50\": " << FormatDouble(snap.p50)
+          << ", \"p95\": " << FormatDouble(snap.p95)
+          << ", \"p99\": " << FormatDouble(snap.p99) << "}";
+    }
+    out << (first ? "}" : "\n  }");
+    out << ",\n  \"info\": {";
+    first = true;
+    for (const auto& [name, labels] : infos_) {
+      out << (first ? "\n    " : ",\n    ");
+      first = false;
+      AppendQuoted(out, name);
+      out << ": {";
+      bool first_label = true;
+      for (const auto& [key, value] : labels) {
+        if (!first_label) out << ", ";
+        first_label = false;
+        AppendQuoted(out, key);
+        out << ": ";
+        AppendQuoted(out, value);
+      }
+      out << "}";
+    }
+    out << (first ? "}" : "\n  }");
+  }
   out << "\n}\n";
   return out.str();
 }

@@ -7,7 +7,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "kanon/telemetry/rolling.h"
 
 namespace kanon {
 
@@ -50,6 +53,9 @@ class Histogram {
  public:
   Histogram(std::vector<double> bounds, bool deterministic);
 
+  /// NaN and negative samples (a backwards clock, a bad subtraction)
+  /// would silently corrupt the distribution; they clamp to 0 instead
+  /// and count into the registry's telemetry.bad_samples counter.
   void Observe(double value);
 
   uint64_t count() const;
@@ -60,8 +66,12 @@ class Histogram {
   bool deterministic() const { return deterministic_; }
 
  private:
+  friend class MetricsRegistry;
+
   const std::vector<double> bounds_;
   const bool deterministic_;
+  /// Wired by the registry; counts clamped NaN/negative observations.
+  Counter* bad_samples_ = nullptr;
   mutable std::mutex mu_;
   std::vector<uint64_t> counts_;
   uint64_t count_ = 0;
@@ -85,18 +95,49 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name, bool deterministic = true);
   Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
                           bool deterministic = true);
+  /// Rolling histograms are wall-clock-derived and therefore always
+  /// outside the determinism contract: ToJson(false) never emits them.
+  /// Geometry (bounds, window, slot count) of the first registration wins.
+  RollingHistogram* GetRollingHistogram(const std::string& name,
+                                        std::vector<double> bounds,
+                                        double window_seconds = 60.0,
+                                        size_t num_slots = 12);
 
-  /// Flat metrics JSON: {"counters":{...},"gauges":{...},"histograms":{...}}.
-  /// With include_nondeterministic=false only metrics under the determinism
-  /// contract are emitted — that string must be byte-identical at every
-  /// thread count, which is what the determinism tests fingerprint.
+  /// A constant info metric (the Prometheus build_info convention): a set
+  /// of string labels attached to a name, exported as `name{labels} 1`.
+  /// Always nondeterministic. Replaces any previous labels for `name`.
+  using InfoLabels = std::vector<std::pair<std::string, std::string>>;
+  void SetInfo(const std::string& name, InfoLabels labels);
+
+  /// Flat metrics JSON: {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// plus, with include_nondeterministic=true, "rolling" and "info"
+  /// sections. With include_nondeterministic=false only metrics under the
+  /// determinism contract are emitted — that string must be byte-identical
+  /// at every thread count, which is what the determinism tests
+  /// fingerprint; rolling, info, and telemetry.bad_samples never appear
+  /// in it.
   std::string ToJson(bool include_nondeterministic = true) const;
 
+  /// Exporter snapshots (name-sorted). The pointers are stable for the
+  /// registry's lifetime, so a scrape iterates without the registry lock.
+  std::vector<std::pair<std::string, Counter*>> CountersSnapshot() const;
+  std::vector<std::pair<std::string, Gauge*>> GaugesSnapshot() const;
+  std::vector<std::pair<std::string, Histogram*>> HistogramsSnapshot() const;
+  std::vector<std::pair<std::string, RollingHistogram*>> RollingSnapshot()
+      const;
+  std::vector<std::pair<std::string, InfoLabels>> InfosSnapshot() const;
+
  private:
+  /// Find-or-create under mu_ (the public GetCounter takes mu_ itself, so
+  /// registration paths that already hold it use this directly).
+  Counter* CounterLocked(const std::string& name, bool deterministic);
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<RollingHistogram>> rolling_;
+  std::map<std::string, InfoLabels> infos_;
 };
 
 }  // namespace kanon

@@ -1,0 +1,148 @@
+#include "kanon/telemetry/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "kanon/telemetry/metrics.h"
+#include "kanon/telemetry/rolling.h"
+
+namespace kanon {
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's
+/// dotted convention maps dots (and anything else illegal) to '_'.
+std::string SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out.push_back(alpha || (digit && i > 0) ? c : '_');
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+std::string FormatValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  if (value == static_cast<long long>(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  // Shortest representation that round-trips: bucket bounds like 0.1 must
+  // render as "0.1", not "0.10000000000000001" — a scrape-side label is an
+  // identity, and %.17g would make every scrape's le= labels unreadable.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+/// Label values: backslash, double-quote and newline are escaped.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out.append("\\\\");
+    } else if (c == '"') {
+      out.append("\\\"");
+    } else if (c == '\n') {
+      out.append("\\n");
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void AppendHeader(std::string* out, const std::string& family,
+                  const char* type, const std::string& original) {
+  out->append("# HELP " + family + " kanon " + type + " " + original + "\n");
+  out->append("# TYPE " + family + " " + type + "\n");
+}
+
+}  // namespace
+
+std::string WritePrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  out.reserve(4096);
+
+  for (const auto& [name, counter] : registry.CountersSnapshot()) {
+    const std::string family = SanitizeName(name) + "_total";
+    AppendHeader(&out, family, "counter", name);
+    out.append(family + " " + std::to_string(counter->value()) + "\n");
+  }
+
+  for (const auto& [name, gauge] : registry.GaugesSnapshot()) {
+    const std::string family = SanitizeName(name);
+    AppendHeader(&out, family, "gauge", name);
+    out.append(family + " " + FormatValue(gauge->value()) + "\n");
+  }
+
+  for (const auto& [name, histogram] : registry.HistogramsSnapshot()) {
+    const std::string family = SanitizeName(name);
+    AppendHeader(&out, family, "histogram", name);
+    const std::vector<double>& bounds = histogram->bounds();
+    const std::vector<uint64_t> counts = histogram->bucket_counts();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out.append(family + "_bucket{le=\"" + FormatValue(bounds[i]) + "\"} " +
+                 std::to_string(cumulative) + "\n");
+    }
+    out.append(family + "_bucket{le=\"+Inf\"} " +
+               std::to_string(histogram->count()) + "\n");
+    out.append(family + "_sum " + FormatValue(histogram->sum()) + "\n");
+    out.append(family + "_count " + std::to_string(histogram->count()) +
+               "\n");
+  }
+
+  for (const auto& [name, rolling] : registry.RollingSnapshot()) {
+    const std::string family = SanitizeName(name);
+    const RollingHistogram::Snapshot snap = rolling->Snap();
+    char help[64];
+    std::snprintf(help, sizeof(help), "rolling window (%gs)",
+                  rolling->window_seconds());
+    out.append("# HELP " + family + " kanon " + help + " " + name + "\n");
+    out.append("# TYPE " + family + " summary\n");
+    out.append(family + "{quantile=\"0.5\"} " + FormatValue(snap.p50) + "\n");
+    out.append(family + "{quantile=\"0.95\"} " + FormatValue(snap.p95) +
+               "\n");
+    out.append(family + "{quantile=\"0.99\"} " + FormatValue(snap.p99) +
+               "\n");
+    out.append(family + "_sum " + FormatValue(snap.sum) + "\n");
+    out.append(family + "_count " + std::to_string(snap.count) + "\n");
+  }
+
+  for (const auto& [name, labels] : registry.InfosSnapshot()) {
+    const std::string family = SanitizeName(name);
+    // Info metrics follow the build_info convention: a constant-1 gauge
+    // carrying its payload in labels ("info" is not a 0.0.4 type).
+    AppendHeader(&out, family, "gauge", name);
+    out.append(family);
+    if (!labels.empty()) {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : labels) {
+        if (!first) out.push_back(',');
+        first = false;
+        out.append(SanitizeName(key) + "=\"" + EscapeLabelValue(value) +
+                   "\"");
+      }
+      out.push_back('}');
+    }
+    out.append(" 1\n");
+  }
+
+  return out;
+}
+
+}  // namespace kanon

@@ -1,0 +1,23 @@
+#ifndef KANON_TELEMETRY_PROMETHEUS_H_
+#define KANON_TELEMETRY_PROMETHEUS_H_
+
+#include <string>
+
+namespace kanon {
+
+class MetricsRegistry;
+
+/// Renders the registry in the Prometheus text exposition format
+/// (version 0.0.4): counters as `<name>_total`, gauges verbatim,
+/// histograms with *cumulative* `_bucket{le=...}` series (the registry
+/// stores per-bucket counts; Prometheus wants running totals) plus
+/// `_sum`/`_count`, rolling histograms as summaries with
+/// `quantile="0.5|0.95|0.99"` labels, and info metrics as the
+/// conventional `name{labels} 1` constant. Dotted metric names are
+/// sanitized (`serve.requests` -> `serve_requests`); every family gets
+/// `# HELP` and `# TYPE` lines.
+std::string WritePrometheusText(const MetricsRegistry& registry);
+
+}  // namespace kanon
+
+#endif  // KANON_TELEMETRY_PROMETHEUS_H_

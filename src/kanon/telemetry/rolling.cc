@@ -1,0 +1,105 @@
+#include "kanon/telemetry/rolling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kanon/telemetry/metrics.h"
+
+namespace kanon {
+
+RollingHistogram::RollingHistogram(std::vector<double> bounds,
+                                   double window_seconds, size_t num_slots)
+    : bounds_(std::move(bounds)),
+      slot_width_(window_seconds /
+                  static_cast<double>(std::max<size_t>(1, num_slots))),
+      start_(std::chrono::steady_clock::now()),
+      slots_(std::max<size_t>(1, num_slots)) {
+  for (Slot& slot : slots_) slot.counts.assign(bounds_.size() + 1, 0);
+}
+
+double RollingHistogram::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void RollingHistogram::Observe(double value) { ObserveAt(value, NowSeconds()); }
+
+void RollingHistogram::ObserveAt(double value, double now_seconds) {
+  if (std::isnan(value) || value < 0.0) {
+    if (bad_samples_ != nullptr) bad_samples_->Add();
+    value = 0.0;
+  }
+  const int64_t epoch =
+      static_cast<int64_t>(std::floor(std::max(0.0, now_seconds) /
+                                      slot_width_));
+  size_t bucket = bounds_.size();
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = SlotFor(epoch);
+  ++slot.counts[bucket];
+  ++slot.count;
+  slot.sum += value;
+}
+
+RollingHistogram::Slot& RollingHistogram::SlotFor(int64_t epoch) {
+  Slot& slot = slots_[static_cast<size_t>(epoch) % slots_.size()];
+  if (slot.epoch != epoch) {
+    slot.epoch = epoch;
+    std::fill(slot.counts.begin(), slot.counts.end(), 0);
+    slot.count = 0;
+    slot.sum = 0.0;
+  }
+  return slot;
+}
+
+RollingHistogram::Snapshot RollingHistogram::Snap() const {
+  return SnapAt(NowSeconds());
+}
+
+RollingHistogram::Snapshot RollingHistogram::SnapAt(double now_seconds) const {
+  const int64_t epoch =
+      static_cast<int64_t>(std::floor(std::max(0.0, now_seconds) /
+                                      slot_width_));
+  const int64_t oldest = epoch - static_cast<int64_t>(slots_.size()) + 1;
+  Snapshot out;
+  std::vector<uint64_t> merged(bounds_.size() + 1, 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Slot& slot : slots_) {
+      if (slot.epoch < oldest || slot.epoch > epoch) continue;
+      for (size_t i = 0; i < merged.size(); ++i) merged[i] += slot.counts[i];
+      out.count += slot.count;
+      out.sum += slot.sum;
+    }
+  }
+  out.p50 = QuantileFromCounts(merged, bounds_, out.count, 0.50);
+  out.p95 = QuantileFromCounts(merged, bounds_, out.count, 0.95);
+  out.p99 = QuantileFromCounts(merged, bounds_, out.count, 0.99);
+  return out;
+}
+
+double RollingHistogram::QuantileFromCounts(
+    const std::vector<uint64_t>& counts, const std::vector<double>& bounds,
+    uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      // The overflow bucket has no finite upper bound; clamp to the last
+      // finite one so the estimate stays a number a dashboard can plot.
+      return i < bounds.size() ? bounds[i]
+                               : (bounds.empty() ? 0.0 : bounds.back());
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace kanon

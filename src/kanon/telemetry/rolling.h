@@ -1,0 +1,89 @@
+#ifndef KANON_TELEMETRY_ROLLING_H_
+#define KANON_TELEMETRY_ROLLING_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace kanon {
+
+class Counter;
+
+/// A trailing-window histogram: a ring of fixed-width time slots, each a
+/// fixed-bucket histogram, so quantiles are answered over "the last W
+/// seconds" rather than since process start — the shape a live scrape
+/// needs from a daemon that never ends. Observations land in the slot
+/// covering "now"; a slot is zeroed lazily the first time it is reused
+/// for a new time interval, which makes Observe O(buckets) worst case and
+/// allocation-free always.
+///
+/// Rolling metrics are wall-clock-derived and therefore always outside
+/// the determinism contract: MetricsRegistry::ToJson(false) never emits
+/// them (docs/observability.md).
+class RollingHistogram {
+ public:
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    /// Quantile estimates: the upper bound of the first bucket whose
+    /// cumulative count reaches the quantile. Observations past the last
+    /// bound clamp to it, so the estimate is conservative from below.
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  /// `bounds` as for Histogram (ascending upper bounds; one implicit
+  /// overflow bucket). The window is `num_slots` slots of
+  /// `window_seconds / num_slots` each; observations older than the
+  /// window fall out as their slots are recycled.
+  RollingHistogram(std::vector<double> bounds, double window_seconds,
+                   size_t num_slots);
+
+  /// NaN and negative samples clamp to 0 and count into `bad_samples`
+  /// when a counter was attached (the registry wires
+  /// telemetry.bad_samples).
+  void Observe(double value);
+  /// Test seam: like Observe but at an explicit time (seconds on the
+  /// histogram's own clock, 0 = construction).
+  void ObserveAt(double value, double now_seconds);
+
+  Snapshot Snap() const;
+  Snapshot SnapAt(double now_seconds) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  double window_seconds() const {
+    return slot_width_ * static_cast<double>(slots_.size());
+  }
+
+  void set_bad_samples_counter(Counter* counter) { bad_samples_ = counter; }
+
+ private:
+  struct Slot {
+    int64_t epoch = -1;  // floor(now / slot_width); -1 = never used.
+    std::vector<uint64_t> counts;
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  double NowSeconds() const;
+  /// Returns the slot for `epoch`, zeroing it if it last served an older
+  /// interval. Caller holds mu_.
+  Slot& SlotFor(int64_t epoch);
+  static double QuantileFromCounts(const std::vector<uint64_t>& counts,
+                                   const std::vector<double>& bounds,
+                                   uint64_t total, double q);
+
+  const std::vector<double> bounds_;
+  const double slot_width_;
+  const std::chrono::steady_clock::time_point start_;
+  Counter* bad_samples_ = nullptr;
+
+  mutable std::mutex mu_;
+  mutable std::vector<Slot> slots_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_TELEMETRY_ROLLING_H_

@@ -11,7 +11,9 @@
 #include <csignal>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "json_test_util.h"
 #include "serve_test_util.h"
 #include "test_util.h"
 
@@ -51,6 +53,43 @@ TEST(ServeDeadlineTest, StepBudgetDegradesWithCliSemantics) {
                                             {"--max-steps=1"},
                                             /*expected_exit=*/3);
   EXPECT_EQ(fetched.GetString("csv", ""), from_cli);
+
+  // The structured log told the whole story: every lifecycle event for
+  // this job, each a parseable JSON line carrying the job_id correlation
+  // field, including the job.degraded warning with the stop reason.
+  bool saw_admitted = false;
+  bool saw_started = false;
+  bool saw_done = false;
+  bool saw_degraded = false;
+  const std::string id_field =
+      "\"job_id\":" + std::to_string(job_id);
+  for (const std::string& line : server.LogLines()) {
+    ASSERT_TRUE(testing::JsonValidator(line).Valid()) << line;
+    if (line.find(id_field) == std::string::npos) continue;
+    const size_t event = line.find("\"event\":\"");
+    ASSERT_NE(event, std::string::npos) << line;
+    if (line.find("\"event\":\"job.admitted\"") != std::string::npos) {
+      saw_admitted = true;
+      EXPECT_NE(line.find("\"rows\":40"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"k\":2"), std::string::npos) << line;
+    }
+    if (line.find("\"event\":\"job.started\"") != std::string::npos) {
+      saw_started = true;
+    }
+    if (line.find("\"event\":\"job.done\"") != std::string::npos) {
+      saw_done = true;
+      EXPECT_NE(line.find("\"degraded\":true"), std::string::npos) << line;
+    }
+    if (line.find("\"event\":\"job.degraded\"") != std::string::npos) {
+      saw_degraded = true;
+      EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos) << line;
+      EXPECT_NE(line.find("step-budget"), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(saw_admitted);
+  EXPECT_TRUE(saw_started);
+  EXPECT_TRUE(saw_done);
+  EXPECT_TRUE(saw_degraded);
 }
 
 TEST(ServeDeadlineTest, TinyTimeoutDegradesWithDeadlineStopReason) {

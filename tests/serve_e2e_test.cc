@@ -11,6 +11,7 @@
 #include <string>
 #include <utility>
 
+#include "json_test_util.h"
 #include "serve_test_util.h"
 #include "test_util.h"
 
@@ -132,6 +133,65 @@ TEST(ServeE2eTest, RegisteredCliOutputVerifiesOverTheWire) {
   Json verdict =
       testing::Unwrap(client.Call("verify", std::move(verify_params)));
   EXPECT_TRUE(verdict.GetBool("satisfied", false)) << verdict.Dump();
+}
+
+TEST(ServeE2eTest, CaptureTraceRoundTripsAChromeTrace) {
+  TestServer server;
+  Client client = server.Connect();
+  const std::string csv = SyntheticCsv(32);
+
+  // A traced job and an untraced one, back to back: tracing must not
+  // change the output bytes.
+  Json traced_params = Json::Object();
+  traced_params.Set("capture_trace", Json::Bool(true));
+  const std::string traced_out =
+      ServeAnonymize(client, csv, 2, std::move(traced_params));
+  const std::string untraced_out =
+      ServeAnonymize(client, csv, 2, Json::Object());
+  EXPECT_EQ(traced_out, untraced_out);
+  EXPECT_EQ(traced_out, CliAnonymize(server.dir(), csv, "", 2, {}));
+
+  // fetch_trace on the traced job: well-formed Chrome trace JSON carrying
+  // the engine's phase spans.
+  Json params = Json::Object();
+  params.Set("job_id", Json::Number(int64_t{1}));
+  Json fetched = testing::Unwrap(client.Call("fetch_trace", params));
+  const std::string trace = fetched.GetString("trace", "");
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(testing::JsonValidator(trace).Valid()) << trace.substr(0, 400);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"coordinator\""), std::string::npos);
+  EXPECT_NE(trace.find("pipeline/agglomerative"), std::string::npos);
+  // Refetching is idempotent (the LRU keeps it hot).
+  Json again = testing::Unwrap(client.Call("fetch_trace", params));
+  EXPECT_EQ(again.GetString("trace", ""), trace);
+
+  // The untraced job answers with a typed error, not a crash or an empty
+  // blob; so does an unknown id.
+  Json untraced = Json::Object();
+  untraced.Set("job_id", Json::Number(int64_t{2}));
+  Result<Json> refused = client.Call("fetch_trace", std::move(untraced));
+  EXPECT_FALSE(refused.ok());
+  Json unknown = Json::Object();
+  unknown.Set("job_id", Json::Number(int64_t{99}));
+  EXPECT_FALSE(client.Call("fetch_trace", std::move(unknown)).ok());
+
+  // The flight recorder saw the whole lifecycle, queryable live.
+  Json flight =
+      testing::Unwrap(client.Call("flight_recorder", Json::Object()));
+  const Json* events = flight.Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GT(flight.GetInt("total_recorded", 0), 0);
+  bool saw_admitted = false;
+  bool saw_done = false;
+  for (const Json& event : events->array_items()) {
+    const std::string name = event.GetString("event", "");
+    if (name == "job.admitted") saw_admitted = true;
+    if (name == "job.done") saw_done = true;
+  }
+  EXPECT_TRUE(saw_admitted);
+  EXPECT_TRUE(saw_done);
 }
 
 TEST(ServeE2eTest, ResubmissionHitsSchemeAndLossCaches) {

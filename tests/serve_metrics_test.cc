@@ -6,8 +6,13 @@
 // names, and behave monotonically across a scripted request sequence.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
 #include <csignal>
 #include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <sstream>
 #include <string>
 
 #include "json_test_util.h"
@@ -121,6 +126,150 @@ TEST(ServeMetricsTest, EndpointSchemaAndMonotoneCountersAcrossSequence) {
   EXPECT_TRUE(JsonValidator(stats).Valid()) << stats;
   EXPECT_NE(stats.find("serve.jobs_accepted"), std::string::npos);
   EXPECT_NE(stats.find("serve.request_seconds"), std::string::npos);
+}
+
+/// A miniature Prometheus text-format parser: validates the 0.0.4 grammar
+/// line by line (HELP/TYPE comments, `name[{labels}] value` samples, legal
+/// name charset, numeric values) and returns every sample keyed by its
+/// full series name (labels included). Grammar violations fail the test.
+void ParseExposition(const std::string& text,
+                     std::map<std::string, double>* out) {
+  std::map<std::string, double>& samples = *out;
+  std::map<std::string, std::string> types;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string family, type;
+      ASSERT_TRUE(static_cast<bool>(fields >> family >> type)) << line;
+      ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram" || type == "summary")
+          << line;
+      ASSERT_EQ(types.count(family), 0u) << "duplicate TYPE for " << family;
+      types[family] = type;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+    // Sample: name[{labels}] value
+    size_t i = 0;
+    ASSERT_TRUE(std::isalpha(static_cast<unsigned char>(line[0])) ||
+                line[0] == '_' || line[0] == ':')
+        << line;
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) ||
+            line[i] == '_' || line[i] == ':')) {
+      ++i;
+    }
+    const std::string name = line.substr(0, i);
+    std::string series = name;
+    if (i < line.size() && line[i] == '{') {
+      const size_t close = line.find('}', i);
+      ASSERT_NE(close, std::string::npos) << line;
+      const std::string labels = line.substr(i, close - i + 1);
+      // Label bodies must be k="v" pairs; quotes must balance.
+      ASSERT_EQ(std::count(labels.begin(), labels.end(), '"') % 2, 0) << line;
+      ASSERT_NE(labels.find('='), std::string::npos) << line;
+      series += labels;
+      i = close + 1;
+    }
+    ASSERT_LT(i, line.size()) << line;
+    ASSERT_EQ(line[i], ' ') << line;
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + i + 1, &end);
+    ASSERT_EQ(*end, '\0') << "trailing junk in: " << line;
+    // A family with samples must have announced its TYPE. Histogram and
+    // summary children (_bucket/_sum/_count, quantiles) belong to the
+    // parent family.
+    bool typed = types.count(name) != 0;
+    for (const char* suffix : {"_total", "_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (!typed && name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        typed = types.count(name.substr(0, name.size() - s.size())) != 0;
+      }
+    }
+    if (!typed) typed = types.count(series.substr(0, series.find('{'))) != 0;
+    EXPECT_TRUE(typed) << "sample without TYPE: " << line;
+    samples[series] = value;
+  }
+  ASSERT_FALSE(samples.empty()) << "empty exposition";
+}
+
+TEST(ServeMetricsTest, PrometheusScrapeIsWellFormedAndMonotone) {
+  TestServer server;
+  Client client = server.Connect();
+  ASSERT_FALSE(
+      ServeAnonymize(client, SyntheticCsv(20), 2, Json::Object()).empty());
+  const int prom_port = server.prom_port();
+
+  const std::string health = testing::HttpGet(prom_port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos) << health;
+  EXPECT_EQ(testing::HttpBody(health), "ok\n");
+
+  const std::string scrape = testing::HttpGet(prom_port, "/metrics");
+  EXPECT_NE(scrape.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(scrape.find("text/plain; version=0.0.4"), std::string::npos);
+  std::map<std::string, double> first;
+  ParseExposition(testing::HttpBody(scrape), &first);
+  if (HasFatalFailure()) return;
+
+  // The documented scrape surface: counters, the rolling-window summary
+  // quantiles, uptime, and build identity.
+  EXPECT_EQ(first.at("serve_jobs_completed_total"), 1.0);
+  // submit + at least one poll + fetch.
+  EXPECT_GE(first.at("serve_requests_total"), 3.0);
+  ASSERT_EQ(first.count("serve_request_seconds_window{quantile=\"0.5\"}"), 1u);
+  ASSERT_EQ(first.count("serve_request_seconds_window{quantile=\"0.95\"}"),
+            1u);
+  ASSERT_EQ(first.count("serve_request_seconds_window{quantile=\"0.99\"}"),
+            1u);
+  EXPECT_GE(first.at("serve_request_seconds_window_count"), 3.0);
+  EXPECT_GE(first.at("serve_job_seconds_window_count"), 1.0);
+  EXPECT_GT(first.at("serve_uptime_seconds"), 0.0);
+  EXPECT_GE(first.at("serve_request_seconds_bucket{le=\"+Inf\"}"),
+            first.at("serve_request_seconds_bucket{le=\"0.1\"}"));
+  bool saw_build_info = false;
+  for (const auto& [series, value] : first) {
+    if (series.rfind("kanond_build_info{", 0) == 0) {
+      saw_build_info = true;
+      EXPECT_EQ(value, 1.0);
+      EXPECT_NE(series.find("version=\""), std::string::npos) << series;
+    }
+  }
+  EXPECT_TRUE(saw_build_info);
+
+  // A second scrape after more traffic: counters are monotone, and the
+  // scrape itself never perturbs job counters.
+  testing::Unwrap(client.Call("ping", Json::Object()));
+  std::map<std::string, double> second;
+  ParseExposition(testing::HttpBody(testing::HttpGet(prom_port, "/metrics")),
+                  &second);
+  if (HasFatalFailure()) return;
+  for (const auto& [series, value] : first) {
+    if (series.find("_total") == std::string::npos) continue;
+    ASSERT_EQ(second.count(series), 1u) << series << " vanished";
+    EXPECT_GE(second.at(series), value) << series << " went backwards";
+  }
+  EXPECT_EQ(second.at("serve_jobs_completed_total"), 1.0);
+
+  // Unknown paths 404; the daemon itself is unaffected.
+  EXPECT_NE(testing::HttpGet(prom_port, "/nope").find("HTTP/1.0 404"),
+            std::string::npos);
+  testing::Unwrap(client.Call("ping", Json::Object()));
+
+  Json bye = testing::Unwrap(client.CallRaw("shutdown", Json::Object()));
+  EXPECT_TRUE(bye.GetBool("ok", false)) << bye.Dump();
+  client.Close();
+  EXPECT_EQ(server.Wait(), 0) << server.Log();
+  // The exit snapshot carries the nondeterministic sections (rolling
+  // windows, build info) the fingerprint export never does.
+  const std::string stats = ReadFileOrDie(server.stats_json_path());
+  EXPECT_NE(stats.find("serve.request_seconds_window"), std::string::npos);
+  EXPECT_NE(stats.find("kanond_build_info"), std::string::npos);
+  EXPECT_NE(stats.find("serve.uptime_seconds"), std::string::npos);
 }
 
 TEST(ServeMetricsTest, RejectionsAndErrorsAreCounted) {

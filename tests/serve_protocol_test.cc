@@ -10,8 +10,10 @@
 
 #include <csignal>
 #include <cstdint>
+#include <sstream>
 #include <string>
 
+#include "json_test_util.h"
 #include "serve_test_util.h"
 #include "test_util.h"
 
@@ -169,6 +171,37 @@ TEST(ServeProtocolTest, ArmedDispatchFailpointYieldsTypedInternalError) {
   }
   // Injected dispatch faults must not take the process down.
   EXPECT_EQ(server.SignalAndWait(SIGTERM), 0) << server.Log();
+}
+
+TEST(ServeProtocolTest, ArmedCrashFailpointDumpsTheFlightRecorder) {
+  // The one deliberate exception to "never a crash": serve.crash rehearses
+  // a fatal bug. The process must die by SIGABRT — and the crash handler
+  // must leave a parseable flight-recorder dump behind, ending with the
+  // serve.crash event and the crash.signal marker.
+  TestServer server({{}, {{"KANON_FAILPOINTS", "serve.crash"}}});
+  Client client = server.Connect();
+  (void)client.SendFrame("{\"id\":1,\"method\":\"ping\"}");
+  EXPECT_FALSE(client.ReadResponseFrame().ok());  // Died mid-dispatch.
+  EXPECT_EQ(server.Wait(), 128 + SIGABRT) << server.Log();
+
+  const std::string dump = testing::ReadFileOrDie(server.flight_dump_path());
+  ASSERT_FALSE(dump.empty());
+  std::istringstream lines(dump);
+  std::string line;
+  bool saw_crash_event = false;
+  bool saw_signal = false;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(testing::JsonValidator(line).Valid()) << line;
+    if (line.find("\"event\":\"serve.crash\"") != std::string::npos) {
+      saw_crash_event = true;
+    }
+    if (line.find("\"event\":\"crash.signal\"") != std::string::npos) {
+      saw_signal = true;
+      EXPECT_NE(line.find("\"signal\":6"), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(saw_crash_event) << dump;
+  EXPECT_TRUE(saw_signal) << dump;
 }
 
 TEST(ServeProtocolTest, ArmedReadFailpointDropsConnectionNotProcess) {

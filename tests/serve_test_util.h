@@ -1,7 +1,10 @@
 #ifndef KANON_TESTS_SERVE_TEST_UTIL_H_
 #define KANON_TESTS_SERVE_TEST_UTIL_H_
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -121,6 +124,11 @@ inline std::string CliAnonymize(const std::string& work_dir,
 /// test. The daemon announces its port through --port-file (written
 /// atomically), which the fixture polls; stderr goes to <dir>/kanond.log
 /// for post-mortems.
+///
+/// The full observability plane is always on — structured debug log,
+/// Prometheus exporter, flight-recorder crash dump — so every serve test
+/// doubles as a soak of the logging/metrics hot paths (including under
+/// TSan), and a failing test leaves log_path() behind for the autopsy.
 class TestServer {
  public:
   struct Options {
@@ -136,7 +144,10 @@ class TestServer {
     const std::string port_file = dir_ + "/port";
     std::vector<std::string> argv = {
         KANON_KANOND_PATH, "--port-file=" + port_file,
-        "--stats-json=" + stats_json_path(), "--drain-grace-ms=3000"};
+        "--stats-json=" + stats_json_path(), "--drain-grace-ms=3000",
+        "--log-json=" + log_path(), "--log-level=debug",
+        "--prom-port=0", "--prom-port-file=" + dir_ + "/prom_port",
+        "--flight-dump=" + flight_dump_path()};
     for (const std::string& flag : options.extra_flags) argv.push_back(flag);
 
     std::vector<char*> cargv;
@@ -186,11 +197,36 @@ class TestServer {
   pid_t pid() const { return pid_; }
   const std::string& dir() const { return dir_; }
   std::string stats_json_path() const { return dir_ + "/stats.json"; }
+  std::string log_path() const { return dir_ + "/log.jsonl"; }
+  std::string flight_dump_path() const { return dir_ + "/flight.jsonl"; }
   std::string Log() const {
     std::ifstream input(dir_ + "/kanond.log");
     std::ostringstream buffer;
     buffer << input.rdbuf();
     return buffer.str();
+  }
+
+  /// The structured log's current lines (may race an in-flight write of
+  /// the last line; callers should only assert on complete records).
+  std::vector<std::string> LogLines() const {
+    std::ifstream input(log_path());
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(input, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+  }
+
+  /// The Prometheus exporter's bound port. The exporter starts before the
+  /// main port file is written, so this never blocks once the fixture is
+  /// constructed.
+  int prom_port() const {
+    std::ifstream input(dir_ + "/prom_port");
+    int port = 0;
+    KANON_CHECK(static_cast<bool>(input >> port) && port > 0,
+                "exporter port file missing");
+    return port;
   }
 
   serve::Client Connect() {
@@ -230,6 +266,41 @@ class TestServer {
   pid_t pid_ = -1;
   int port_ = 0;
 };
+
+/// One blocking HTTP/1.0 GET against the exporter; returns the raw
+/// response (status line + headers + body). Dies on transport errors so
+/// test assertions read naturally.
+inline std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  KANON_CHECK(fd >= 0, "socket failed");
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  KANON_CHECK(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "connect to exporter failed");
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  KANON_CHECK(::send(fd, request.data(), request.size(), 0) ==
+                  static_cast<ssize_t>(request.size()),
+              "send failed");
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (got <= 0) break;
+    response.append(buffer, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// The body of an HTTP response HttpGet returned (after the blank line).
+inline std::string HttpBody(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  KANON_CHECK(split != std::string::npos, "malformed HTTP response");
+  return response.substr(split + 4);
+}
 
 /// Submits an inline-CSV anonymize job; returns the job id.
 inline uint64_t SubmitJob(serve::Client& client, const std::string& csv,

@@ -289,7 +289,10 @@ TEST(PartitionTest, SpillWriterSpreadsSkewHeavyPrefixes) {
   const size_t kRows = 30;
   std::vector<std::vector<std::string>> rows;
   for (size_t i = 0; i < kRows; ++i) {
-    rows.push_back({"same", "prefix", "v" + std::to_string(i)});
+    // Bound to a named lvalue: the (const char*, string&&) operator+ trips
+    // a GCC 12 -Wrestrict false positive under -Werror.
+    const std::string suffix = std::to_string(i);
+    rows.push_back({"same", "prefix", "v" + suffix});
   }
   std::vector<ShardEntry> first;
   for (int round = 0; round < 2; ++round) {

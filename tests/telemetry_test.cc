@@ -9,17 +9,28 @@
 //     is a no-op: no allocation, no lock.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kanon/algo/anonymizer.h"
 #include "kanon/loss/entropy_measure.h"
+#include "kanon/telemetry/flight_recorder.h"
+#include "kanon/telemetry/log.h"
 #include "kanon/telemetry/metrics.h"
+#include "kanon/telemetry/prometheus.h"
+#include "kanon/telemetry/rolling.h"
 #include "kanon/telemetry/trace_export.h"
 #include "kanon/telemetry/tracer.h"
 #include "json_test_util.h"
@@ -185,6 +196,269 @@ TEST(MetricsTest, NondeterministicMetricsExcludedFromFingerprint) {
   EXPECT_NE(fingerprint.find("run.rows"), std::string::npos);
   EXPECT_TRUE(JsonValidator(full).Valid());
   EXPECT_TRUE(JsonValidator(fingerprint).Valid());
+}
+
+// --- Bad-sample guard: NaN/negative observations cannot poison sums. ---
+
+TEST(MetricsTest, HistogramClampsBadSamplesAndCountsThem) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("probe.seconds", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(std::nan(""));
+  h->Observe(-3.0);
+  // Clamped samples still count (a sample happened), land in the first
+  // bucket as 0.0, and add nothing to the sum.
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.5);
+  EXPECT_EQ(h->bucket_counts()[0], 3u);
+  EXPECT_EQ(registry.GetCounter("telemetry.bad_samples")->value(), 2u);
+  // The guard counter is wall-clock-class: never in the fingerprint.
+  EXPECT_EQ(registry.ToJson(false).find("telemetry.bad_samples"),
+            std::string::npos);
+}
+
+// --- Rolling-window histograms. ----------------------------------------
+
+TEST(RollingHistogramTest, QuantilesOverTheTrailingWindowOnly) {
+  RollingHistogram rolling({0.001, 0.01, 0.1, 1.0}, /*window_seconds=*/60.0,
+                           /*num_slots=*/12);
+  // 90 old observations at t=1s, 10 recent ones at t=70s: the old slot
+  // epoch has fallen out of the 60s window by t=70.
+  for (int i = 0; i < 90; ++i) rolling.ObserveAt(0.5, 1.0);
+  for (int i = 0; i < 10; ++i) rolling.ObserveAt(0.005, 70.0);
+  const RollingHistogram::Snapshot now = rolling.SnapAt(70.0);
+  EXPECT_EQ(now.count, 10u);
+  EXPECT_DOUBLE_EQ(now.sum, 10 * 0.005);
+  EXPECT_DOUBLE_EQ(now.p50, 0.01);
+  EXPECT_DOUBLE_EQ(now.p99, 0.01);
+  // At t=30 both populations were still in-window and the old one
+  // dominated every quantile.
+  RollingHistogram both({0.001, 0.01, 0.1, 1.0}, 60.0, 12);
+  for (int i = 0; i < 90; ++i) both.ObserveAt(0.5, 1.0);
+  for (int i = 0; i < 10; ++i) both.ObserveAt(0.005, 20.0);
+  const RollingHistogram::Snapshot mixed = both.SnapAt(30.0);
+  EXPECT_EQ(mixed.count, 100u);
+  EXPECT_DOUBLE_EQ(mixed.p50, 1.0);
+  EXPECT_DOUBLE_EQ(mixed.p95, 1.0);
+}
+
+TEST(RollingHistogramTest, BadSamplesClampAndCount) {
+  MetricsRegistry registry;
+  RollingHistogram* rolling =
+      registry.GetRollingHistogram("probe.window", {1.0, 2.0});
+  rolling->Observe(std::nan(""));
+  rolling->Observe(-1.0);
+  const RollingHistogram::Snapshot snap = rolling->Snap();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  EXPECT_EQ(registry.GetCounter("telemetry.bad_samples")->value(), 2u);
+}
+
+TEST(RollingHistogramTest, FingerprintInvariantWhileRollingMetricsActive) {
+  MetricsRegistry registry;
+  registry.GetCounter("run.rows")->Set(100);
+  const std::string before = registry.ToJson(false);
+  // Rolling histograms, info metrics, and the bad-samples guard counter
+  // are all wall-clock-derived: none may perturb the deterministic
+  // fingerprint.
+  registry.GetRollingHistogram("serve.request_seconds_window", {0.1, 1.0})
+      ->Observe(0.05);
+  registry.GetRollingHistogram("serve.request_seconds_window", {0.1, 1.0})
+      ->Observe(std::nan(""));  // telemetry.bad_samples ticks.
+  registry.SetInfo("kanond_build_info", {{"version", "1.2.3"}});
+  EXPECT_EQ(registry.ToJson(false), before);
+  // The full export does carry them.
+  const std::string full = registry.ToJson(true);
+  EXPECT_TRUE(JsonValidator(full).Valid());
+  EXPECT_NE(full.find("serve.request_seconds_window"), std::string::npos);
+  EXPECT_NE(full.find("kanond_build_info"), std::string::npos);
+}
+
+// --- Structured logging. -----------------------------------------------
+
+TEST(LoggerTest, WritesParseableJsonLinesWithTypedFields) {
+  char path_template[] = "/tmp/kanon_log_XXXXXX";
+  const int fd = ::mkstemp(path_template);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  const std::string path = path_template;
+  {
+    Logger::Options options;
+    options.min_level = LogLevel::kDebug;
+    auto logger = Logger::Open(path, options);
+    ASSERT_TRUE(logger.ok()) << logger.status().ToString();
+    KANON_LOG_EVENT(logger->get(), nullptr, LogLevel::kInfo, "job.admitted",
+                    LogField::U64("job_id", 3),
+                    LogField::Str("method", "agglomerative"),
+                    LogField::Dbl("seconds", 0.25),
+                    LogField::Bool("degraded", false),
+                    LogField::Int("delta", -2));
+    // Below min_level with no flight recorder: the macro short-circuits.
+    Logger::Options quiet = options;
+    quiet.min_level = LogLevel::kWarn;
+    auto warn_logger = Logger::Open(path, quiet);
+    ASSERT_TRUE(warn_logger.ok());
+    KANON_LOG_EVENT(warn_logger->get(), nullptr, LogLevel::kDebug, "ignored");
+  }
+  std::ifstream input(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(input, line));
+  EXPECT_TRUE(JsonValidator(line).Valid()) << line;
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"job.admitted\""), std::string::npos);
+  EXPECT_NE(line.find("\"job_id\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"method\":\"agglomerative\""), std::string::npos);
+  EXPECT_NE(line.find("\"degraded\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"delta\":-2"), std::string::npos);
+  EXPECT_NE(line.find("\"ts\":"), std::string::npos);
+  EXPECT_FALSE(std::getline(input, line)) << "ignored record was written";
+  ::unlink(path.c_str());
+}
+
+TEST(LoggerTest, RateLimitDropsAndSummarizes) {
+  char path_template[] = "/tmp/kanon_log_XXXXXX";
+  const int fd = ::mkstemp(path_template);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  const std::string path = path_template;
+  {
+    Logger::Options options;
+    options.rate_limit_per_sec = 200.0;
+    options.burst = 1.0;
+    auto opened = Logger::Open(path, options);
+    ASSERT_TRUE(opened.ok());
+    Logger* logger = opened->get();
+    // Burst of 1: the first record is admitted, a tight burst behind it
+    // is mostly dropped.
+    for (int i = 0; i < 50; ++i) {
+      logger->Log(LogLevel::kInfo, "storm", {LogField::Int("i", i)});
+    }
+    EXPECT_GT(logger->dropped(), 0u);
+    // After a refill pause the next record is admitted, preceded by the
+    // one-line summary of what was lost.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    logger->Log(LogLevel::kInfo, "after.storm", {});
+  }
+  std::ifstream input(path);
+  std::string line;
+  bool saw_summary = false;
+  bool saw_after = false;
+  while (std::getline(input, line)) {
+    EXPECT_TRUE(JsonValidator(line).Valid()) << line;
+    if (line.find("log.rate_limited") != std::string::npos) {
+      saw_summary = true;
+      EXPECT_NE(line.find("\"dropped\":"), std::string::npos);
+    }
+    if (line.find("after.storm") != std::string::npos) saw_after = true;
+  }
+  EXPECT_TRUE(saw_summary);
+  EXPECT_TRUE(saw_after);
+  ::unlink(path.c_str());
+}
+
+// --- Flight recorder. --------------------------------------------------
+
+TEST(FlightRecorderTest, RingKeepsTheMostRecentLinesOldestFirst) {
+  FlightRecorder recorder(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.RecordLine("{\"event\":\"e" + std::to_string(i) + "\"}");
+  }
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  const std::vector<std::string> lines = recorder.Snapshot();
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines.front(), "{\"event\":\"e6\"}");
+  EXPECT_EQ(lines.back(), "{\"event\":\"e9\"}");
+}
+
+TEST(FlightRecorderTest, OversizedLinesBecomeAMarkerNotTornJson) {
+  FlightRecorder recorder(/*capacity=*/2);
+  recorder.RecordLine(std::string(FlightRecorder::kMaxLineBytes + 100, 'x'));
+  const std::vector<std::string> lines = recorder.Snapshot();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(JsonValidator(lines[0]).Valid()) << lines[0];
+  EXPECT_NE(lines[0].find("flight.oversized"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpToFdWritesEveryHeldLine) {
+  FlightRecorder recorder(/*capacity=*/8);
+  LogEvent(nullptr, &recorder, LogLevel::kError, "job.failed",
+           {LogField::U64("job_id", 7)});
+  LogEvent(nullptr, &recorder, LogLevel::kInfo, "job.done",
+           {LogField::U64("job_id", 8)});
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  recorder.DumpToFd(::fileno(tmp));
+  std::fflush(tmp);
+  std::rewind(tmp);
+  char buffer[4096] = {0};
+  const size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, tmp);
+  std::fclose(tmp);
+  const std::string dump(buffer, read);
+  std::istringstream lines(dump);
+  std::string line;
+  size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(JsonValidator(line).Valid()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(dump.find("job.failed"), std::string::npos);
+  EXPECT_NE(dump.find("\"job_id\":8"), std::string::npos);
+}
+
+// --- Prometheus text exposition. ---------------------------------------
+
+TEST(PrometheusTest, ExportsEveryMetricClassInTextFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.requests")->Add(3);
+  registry.GetGauge("serve.queue_depth")->Set(2.0);
+  Histogram* h = registry.GetHistogram("serve.request_seconds", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(5.0);
+  registry.GetRollingHistogram("serve.request_seconds_window", {0.1, 1.0})
+      ->Observe(0.05);
+  registry.SetInfo("kanond_build_info",
+                   {{"version", "1.2.3"}, {"git", "abc\"def"}});
+  const std::string text = WritePrometheusText(registry);
+
+  // Counters: _total suffix, TYPE line first.
+  EXPECT_NE(text.find("# TYPE serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_requests_total 3"), std::string::npos);
+  // Histograms: cumulative buckets ending at +Inf == count.
+  EXPECT_NE(text.find("serve_request_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_request_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_request_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_request_seconds_count 3"), std::string::npos);
+  // Rolling: summary quantiles.
+  EXPECT_NE(text.find("# TYPE serve_request_seconds_window summary"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("serve_request_seconds_window{quantile=\"0.5\"} 0.1"),
+      std::string::npos);
+  EXPECT_NE(text.find("serve_request_seconds_window_count 1"),
+            std::string::npos);
+  // Info: constant-1 gauge with escaped label values.
+  EXPECT_NE(
+      text.find("kanond_build_info{version=\"1.2.3\",git=\"abc\\\"def\"} 1"),
+      std::string::npos);
+  // Every line is either a comment or `name[{labels}] value`.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(line[0])) ||
+                line[0] == '_')
+        << line;
+  }
 }
 
 // --- The determinism contract across thread counts. --------------------

@@ -11,13 +11,25 @@
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "kanon/common/flags.h"
 #include "kanon/common/run_context.h"
+#include "kanon/serve/http_exporter.h"
 #include "kanon/serve/server.h"
 #include "kanon/shard/shard_io.h"
+#include "kanon/telemetry/flight_recorder.h"
+#include "kanon/telemetry/log.h"
 #include "kanon/telemetry/metrics.h"
+
+#ifndef KANON_VERSION
+#define KANON_VERSION "0.0.0"
+#endif
+#ifndef KANON_GIT_DESCRIBE
+#define KANON_GIT_DESCRIBE "unknown"
+#endif
 
 namespace {
 
@@ -50,6 +62,20 @@ Usage: kanond [flags]
                         collect results (default 5000)
   --stats-json=PATH     Write the full metrics JSON here after drain
   --test-hooks          Honor debug_sleep_ms job params (tests only)
+
+Observability:
+  --log-json=TARGET     Structured JSON-lines log: a file path, or `stderr`
+                        (default off)
+  --log-level=LEVEL     debug|info|warn|error (default info)
+  --log-rate-limit=N    Max log records/sec; excess is dropped and counted
+                        in a `log.rate_limited` summary (default 0 = off)
+  --prom-port=N         Serve `GET /metrics` (Prometheus text) and
+                        `GET /healthz` on this HTTP port (0 = ephemeral;
+                        flag absent = exporter off)
+  --prom-port-file=PATH Write the bound exporter port here (atomically)
+  --flight-capacity=N   Flight-recorder ring size in events (default 512)
+  --flight-dump=PATH    On a fatal signal, dump the flight-recorder ring
+                        here before dying (default off)
 )");
 }
 
@@ -85,7 +111,41 @@ int main(int argc, char** argv) {
   options.jobs.default_timeout_ms = flags.GetInt("default-timeout-ms", 0);
   options.jobs.enable_test_hooks = flags.GetBool("test-hooks", false);
 
+  // Observability plane: structured log, crash flight recorder, Prometheus
+  // exporter. All optional; a daemon started without the flags pays only
+  // null-pointer branches.
+  std::unique_ptr<kanon::Logger> logger;
+  const std::string log_target = flags.GetString("log-json", "");
+  if (!log_target.empty()) {
+    kanon::Logger::Options log_options;
+    const std::string level_name = flags.GetString("log-level", "info");
+    if (!kanon::ParseLogLevel(level_name, &log_options.min_level)) {
+      std::fprintf(stderr, "kanond: unknown --log-level '%s'\n",
+                   level_name.c_str());
+      return 1;
+    }
+    log_options.rate_limit_per_sec = flags.GetDouble("log-rate-limit", 0.0);
+    kanon::Result<std::unique_ptr<kanon::Logger>> opened =
+        kanon::Logger::Open(log_target, log_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "kanond: %s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    logger = std::move(*opened);
+  }
+  options.logger = logger.get();
+
+  kanon::FlightRecorder flight(
+      static_cast<size_t>(flags.GetInt("flight-capacity", 512)));
+  options.flight = &flight;
+  const std::string flight_dump = flags.GetString("flight-dump", "");
+  if (!flight_dump.empty()) {
+    kanon::FlightRecorder::InstallCrashHandler(&flight, flight_dump);
+  }
+
   kanon::MetricsRegistry metrics;
+  metrics.SetInfo("kanond_build_info", {{"version", KANON_VERSION},
+                                        {"git", KANON_GIT_DESCRIBE}});
   kanon::RunContext server_context;
   const double budget_seconds = flags.GetDouble("budget-seconds", 0.0);
   if (budget_seconds > 0.0) server_context.ArmDeadline(budget_seconds);
@@ -104,6 +164,36 @@ int main(int argc, char** argv) {
   sigaction(SIGTERM, &action, nullptr);
   sigaction(SIGINT, &action, nullptr);
 
+  // The scrape listener starts — and its port file lands — before the main
+  // port file below, so a fixture that polls for the main port may assume
+  // the exporter is already serving.
+  std::unique_ptr<kanon::serve::HttpExporter> exporter;
+  if (flags.Has("prom-port")) {
+    kanon::serve::HttpExporterOptions prom;
+    prom.bind_address = options.bind_address;
+    prom.port = static_cast<int>(flags.GetInt("prom-port", 0));
+    prom.metrics = &metrics;
+    prom.flight = &flight;
+    prom.before_scrape = [&server] { server.RefreshUptime(); };
+    exporter = std::make_unique<kanon::serve::HttpExporter>(std::move(prom));
+    kanon::Status prom_started = exporter->Start();
+    if (!prom_started.ok()) {
+      std::fprintf(stderr, "kanond: %s\n", prom_started.ToString().c_str());
+      return 1;
+    }
+    const std::string prom_port_file = flags.GetString("prom-port-file", "");
+    if (!prom_port_file.empty()) {
+      kanon::Status wrote = kanon::shard::WriteFileAtomic(
+          prom_port_file, std::to_string(exporter->port()) + "\n");
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "kanond: %s\n", wrote.ToString().c_str());
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "kanond: metrics exporter on %s:%d\n",
+                 options.bind_address.c_str(), exporter->port());
+  }
+
   const std::string port_file = flags.GetString("port-file", "");
   if (!port_file.empty()) {
     // Atomic so a fixture polling the file never reads a half-written port.
@@ -117,9 +207,16 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "kanond: listening on %s:%d (workers=%zu queue=%zu)\n",
                options.bind_address.c_str(), server.port(),
                options.jobs.workers, options.jobs.queue_bound);
+  KANON_LOG_EVENT(logger.get(), &flight, kanon::LogLevel::kInfo,
+                  "daemon.started",
+                  kanon::LogField::Int("port", server.port()),
+                  kanon::LogField::U64("workers", options.jobs.workers),
+                  kanon::LogField::Str("version", KANON_VERSION),
+                  kanon::LogField::Str("git", KANON_GIT_DESCRIBE));
 
   kanon::Status ran = server.Run();
   g_server = nullptr;
+  if (exporter != nullptr) exporter->Stop();
   if (!ran.ok()) {
     std::fprintf(stderr, "kanond: %s\n", ran.ToString().c_str());
     return 1;
@@ -127,6 +224,7 @@ int main(int argc, char** argv) {
 
   const std::string stats_json = flags.GetString("stats-json", "");
   if (!stats_json.empty()) {
+    server.RefreshUptime();
     kanon::Status wrote =
         kanon::shard::WriteFileAtomic(stats_json, metrics.ToJson(true));
     if (!wrote.ok()) {
@@ -134,6 +232,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  KANON_LOG_EVENT(logger.get(), &flight, kanon::LogLevel::kInfo,
+                  "daemon.drained");
   std::fprintf(stderr, "kanond: drained, exiting\n");
   return 0;
 }

@@ -31,10 +31,15 @@ Commands:
   ping
   submit   --csv=FILE [--spec=FILE] [--k=N] [--method=NAME] [--distance=D]
            [--measure=M] [--attr-weights=w1,w2,...] [--timeout-ms=N]
-           [--max-steps=N] [--publish-as=NAME] [--wait]
+           [--max-steps=N] [--publish-as=NAME] [--capture-trace] [--wait]
   poll     --job=N
   wait     --job=N [--wait-timeout-ms=N]
   fetch    --job=N [--output=FILE]      (CSV to stdout without --output)
+  trace    --job=N [--output=FILE]      (Chrome/Perfetto trace JSON of a
+                                         job submitted with --capture-trace;
+                                         stdout without --output)
+  flight   [--output=FILE]              (the daemon's live flight-recorder
+                                         ring as JSON lines)
   cancel   --job=N
   register --name=NAME --csv=FILE --generalized=FILE [--spec=FILE]
   verify   --table=NAME --k=N [--notion=k-anonymity|1k|k1|kk|global-1k]
@@ -101,6 +106,9 @@ Result<Json> SubmitParams(const FlagParser& flags) {
   if (flags.Has("publish-as")) {
     params.Set("publish_as", Json::Str(flags.GetString("publish-as", "")));
   }
+  if (flags.GetBool("capture-trace", false)) {
+    params.Set("capture_trace", Json::Bool(true));
+  }
   return params;
 }
 
@@ -113,6 +121,19 @@ Json JobParams(const FlagParser& flags) {
 int FailTransport(const Status& status) {
   std::fprintf(stderr, "kanond_client: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Writes `data` to --output, or stdout when the flag is absent.
+int EmitRaw(const FlagParser& flags, const std::string& data) {
+  const std::string output = flags.GetString("output", "");
+  if (output.empty()) {
+    std::fwrite(data.data(), 1, data.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(output, std::ios::binary);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return FailTransport(Status::IOError("cannot write " + output));
+  return 0;
 }
 
 /// Prints the result (or typed error) of one call; returns the exit code.
@@ -183,16 +204,27 @@ int main(int argc, char** argv) {
   if (command == "fetch") {
     Result<Json> result = client.Call("fetch", JobParams(flags));
     if (!result.ok()) return Finish(result);
-    const std::string csv = result.value().GetString("csv", "");
-    const std::string output = flags.GetString("output", "");
-    if (output.empty()) {
-      std::fwrite(csv.data(), 1, csv.size(), stdout);
-      return 0;
+    return EmitRaw(flags, result.value().GetString("csv", ""));
+  }
+  if (command == "trace") {
+    Result<Json> result = client.Call("fetch_trace", JobParams(flags));
+    if (!result.ok()) return Finish(result);
+    return EmitRaw(flags, result.value().GetString("trace", ""));
+  }
+  if (command == "flight") {
+    Result<Json> result = client.Call("flight_recorder", Json::Object());
+    if (!result.ok()) return Finish(result);
+    // One JSON object per line, like the dump-file format, so the same
+    // tooling reads both.
+    const Json* events = result.value().Find("events");
+    std::string lines;
+    if (events != nullptr && events->is_array()) {
+      for (const Json& event : events->array_items()) {
+        lines += event.Dump();
+        lines += '\n';
+      }
     }
-    std::ofstream out(output, std::ios::binary);
-    out.write(csv.data(), static_cast<std::streamsize>(csv.size()));
-    if (!out) return FailTransport(Status::IOError("cannot write " + output));
-    return 0;
+    return EmitRaw(flags, lines);
   }
   if (command == "register") {
     Json params = Json::Object();
